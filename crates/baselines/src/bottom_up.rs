@@ -1,0 +1,102 @@
+use crate::common::interpolation_sse;
+
+/// Bottom-Up piecewise-linear segmentation (Keogh et al. (paper ref. 21)).
+///
+/// Starts from the finest boundary-sharing segmentation (every unit
+/// segment on its own) and repeatedly merges the adjacent pair whose
+/// merged segment has the lowest linear-interpolation error, until `k`
+/// segments remain. Keogh et al. report this as the best offline
+/// shape-based segmenter, and the paper finds it the most competitive
+/// explanation-agnostic baseline (§7.3).
+///
+/// Returns the K−1 interior cut positions.
+pub fn bottom_up(series: &[f64], k: usize) -> Vec<usize> {
+    let n = series.len();
+    assert!(n >= 2, "need at least two points");
+    let k = k.clamp(1, n - 1);
+
+    // Boundaries of the current segmentation (all points initially).
+    let mut bounds: Vec<usize> = (0..n).collect();
+    // merge_cost[i] = error of merging segments i and i+1, i.e. the SSE of
+    // the would-be segment (bounds[i], bounds[i+2]).
+    let mut merge_cost: Vec<f64> = (0..bounds.len() - 2)
+        .map(|i| interpolation_sse(series, bounds[i], bounds[i + 2]))
+        .collect();
+
+    while bounds.len() - 1 > k {
+        let (best, _) = merge_cost
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one merge available");
+        // Merging segments `best` and `best+1` removes boundary best+1.
+        bounds.remove(best + 1);
+        merge_cost.remove(best);
+        // Refresh the costs that involve the merged segment.
+        if best < merge_cost.len() {
+            merge_cost[best] = interpolation_sse(series, bounds[best], bounds[best + 2]);
+        }
+        if best > 0 {
+            merge_cost[best - 1] = interpolation_sse(series, bounds[best - 1], bounds[best + 1]);
+        }
+    }
+    bounds[1..bounds.len() - 1].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_piecewise_linear_knees() {
+        // Three exact linear pieces with knees at 4 and 9.
+        let mut series = Vec::new();
+        for t in 0..=4 {
+            series.push(2.0 * t as f64);
+        }
+        for t in 1..=5 {
+            series.push(8.0 - 1.5 * t as f64);
+        }
+        for t in 1..=5 {
+            series.push(0.5 + 3.0 * t as f64);
+        }
+        let cuts = bottom_up(&series, 3);
+        assert_eq!(cuts, vec![4, 9]);
+    }
+
+    #[test]
+    fn k_one_returns_no_cuts() {
+        let series = [1.0, 3.0, 2.0, 5.0];
+        assert!(bottom_up(&series, 1).is_empty());
+    }
+
+    #[test]
+    fn k_max_keeps_every_point() {
+        let series = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(bottom_up(&series, 3), vec![1, 2]);
+    }
+
+    #[test]
+    fn cuts_are_sorted_interior_positions() {
+        let series: Vec<f64> = (0..50)
+            .map(|t| if t < 25 { t as f64 } else { 50.0 - t as f64 })
+            .collect();
+        let cuts = bottom_up(&series, 5);
+        assert_eq!(cuts.len(), 4);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        assert!(cuts.iter().all(|&c| c > 0 && c < 49));
+    }
+
+    #[test]
+    fn noisy_step_series_cut_near_step() {
+        let series: Vec<f64> = (0..40)
+            .map(|t| {
+                let base = if t < 20 { 0.0 } else { 100.0 };
+                base + (t % 3) as f64 * 0.1
+            })
+            .collect();
+        let cuts = bottom_up(&series, 2);
+        assert_eq!(cuts.len(), 1);
+        assert!((18..=22).contains(&cuts[0]), "cut at {}", cuts[0]);
+    }
+}

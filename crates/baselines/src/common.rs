@@ -1,0 +1,139 @@
+/// Sum of squared errors of approximating `series[a..=b]` by the straight
+/// line through its endpoints — the piecewise-linear-approximation error
+/// used by Bottom-Up (paper ref. 21).
+pub fn interpolation_sse(series: &[f64], a: usize, b: usize) -> f64 {
+    debug_assert!(a <= b && b < series.len());
+    if b - a < 2 {
+        return 0.0;
+    }
+    let (va, vb) = (series[a], series[b]);
+    let span = (b - a) as f64;
+    let mut sse = 0.0;
+    for (off, &v) in series[a..=b].iter().enumerate() {
+        let interp = va + (vb - va) * off as f64 / span;
+        let d = v - interp;
+        sse += d * d;
+    }
+    sse
+}
+
+/// Z-normalized Euclidean distance between two equal-length windows.
+///
+/// Flat windows (zero variance) are treated as all-zero after
+/// normalization: two flat windows are identical (distance 0), a flat vs.
+/// a non-flat window are maximally far for their length.
+pub fn znormalized_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let za = znorm(a);
+    let zb = znorm(b);
+    za.iter()
+        .zip(&zb)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn znorm(w: &[f64]) -> Vec<f64> {
+    let n = w.len() as f64;
+    let mean = w.iter().sum::<f64>() / n;
+    let var = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std <= 1e-12 {
+        return vec![0.0; w.len()];
+    }
+    w.iter().map(|x| (x - mean) / std).collect()
+}
+
+/// Greedily selects up to `k` extrema indices of `scores` (largest first
+/// when `maxima`, smallest first otherwise), suppressing anything within
+/// `exclusion` of an already-selected index.
+pub(crate) fn select_extrema(
+    scores: &[f64],
+    k: usize,
+    exclusion: usize,
+    maxima: bool,
+) -> Vec<usize> {
+    let mut banned = vec![false; scores.len()];
+    let mut picked = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<usize> = None;
+        for (i, &s) in scores.iter().enumerate() {
+            if banned[i] || !s.is_finite() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(j) => {
+                    if maxima {
+                        s > scores[j]
+                    } else {
+                        s < scores[j]
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break };
+        picked.push(i);
+        let lo = i.saturating_sub(exclusion);
+        let hi = (i + exclusion).min(scores.len() - 1);
+        for b in &mut banned[lo..=hi] {
+            *b = true;
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse_zero_for_linear_segments() {
+        let s = [0.0, 2.0, 4.0, 6.0];
+        assert_eq!(interpolation_sse(&s, 0, 3), 0.0);
+        assert_eq!(interpolation_sse(&s, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn sse_positive_for_bends() {
+        let s = [0.0, 5.0, 0.0];
+        assert_eq!(interpolation_sse(&s, 0, 2), 25.0);
+    }
+
+    #[test]
+    fn znorm_distance_invariant_to_scale_and_offset() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b: Vec<f64> = a.iter().map(|x| 100.0 + 7.0 * x).collect();
+        assert!(znormalized_distance(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn znorm_distance_detects_shape_change() {
+        let up = [0.0, 1.0, 2.0, 3.0];
+        let down = [3.0, 2.0, 1.0, 0.0];
+        assert!(znormalized_distance(&up, &down) > 1.0);
+    }
+
+    #[test]
+    fn flat_windows_are_close() {
+        assert_eq!(znormalized_distance(&[5.0; 4], &[9.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn extrema_respect_exclusion() {
+        let scores = [0.0, 10.0, 9.5, 0.0, 0.0, 8.0, 0.0];
+        let picked = select_extrema(&scores, 2, 2, true);
+        assert_eq!(picked, vec![1, 5]);
+    }
+
+    #[test]
+    fn extrema_minima_mode() {
+        let scores = [5.0, 1.0, 5.0, 5.0, 0.5, 5.0];
+        let picked = select_extrema(&scores, 2, 1, false);
+        assert_eq!(picked, vec![1, 4]);
+    }
+}

@@ -1,0 +1,127 @@
+use crate::common::select_extrema;
+use crate::matrix_profile::matrix_profile_index;
+
+/// The corrected arc curve (CAC) of FLUSS (paper ref. 9): for every split position,
+/// the number of nearest-neighbour arcs crossing it, normalized by the
+/// idealized parabola `2·i·(n−i)/n` and clamped to `[0, 1]`. Low values
+/// mean few subsequences reach across the position — a semantic regime
+/// boundary.
+pub fn corrected_arc_curve(nn_index: &[usize], w: usize) -> Vec<f64> {
+    let n_sub = nn_index.len();
+    let mut diff = vec![0i64; n_sub + 1];
+    for (i, &j) in nn_index.iter().enumerate() {
+        let (a, b) = (i.min(j), i.max(j));
+        // The arc (a, b) crosses every position p with a < p < b.
+        if b > a + 1 {
+            diff[a + 1] += 1;
+            diff[b] -= 1;
+        }
+    }
+    let mut cac = vec![1.0; n_sub];
+    let mut running = 0i64;
+    let nf = n_sub as f64;
+    for (p, c) in cac.iter_mut().enumerate().take(n_sub).skip(1) {
+        running += diff[p];
+        let ideal = 2.0 * p as f64 * (nf - p as f64) / nf;
+        if ideal > 0.0 {
+            *c = (running as f64 / ideal).min(1.0);
+        }
+    }
+    // FLUSS ignores the edges, where the parabola correction is unstable.
+    let edge = (5 * w).min(n_sub / 4);
+    for c in cac.iter_mut().take(edge) {
+        *c = 1.0;
+    }
+    for c in cac.iter_mut().rev().take(edge) {
+        *c = 1.0;
+    }
+    cac
+}
+
+/// FLUSS semantic segmentation (paper ref. 9): matrix profile index → corrected arc
+/// curve → iterative extraction of the `k − 1` lowest CAC minima with a
+/// `5·w` exclusion zone. Returns interior cut positions (subsequence
+/// positions shifted by w/2 to the window centre).
+pub fn fluss(series: &[f64], k: usize, w: usize) -> Vec<usize> {
+    let n = series.len();
+    assert!(k >= 1);
+    if k == 1 || n < 2 * w + 2 {
+        return Vec::new();
+    }
+    let (_, nn_index) = matrix_profile_index(series, w);
+    let cac = corrected_arc_curve(&nn_index, w);
+    let minima = select_extrema(&cac, k - 1, 5 * w, false);
+    let mut cuts: Vec<usize> = minima
+        .into_iter()
+        .map(|i| (i + w / 2).clamp(1, n - 2))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fast sine then slow sine — the classic FLUSS regime change.
+    fn two_regimes() -> (Vec<f64>, usize) {
+        let mut series = Vec::new();
+        for t in 0..120 {
+            series.push((t as f64 * std::f64::consts::TAU / 8.0).sin());
+        }
+        for t in 0..120 {
+            series.push((t as f64 * std::f64::consts::TAU / 24.0).sin() * 1.5);
+        }
+        (series, 120)
+    }
+
+    #[test]
+    fn cac_dips_at_the_regime_boundary() {
+        let (series, boundary) = two_regimes();
+        let (_, nn) = matrix_profile_index(&series, 12);
+        let cac = corrected_arc_curve(&nn, 12);
+        let (argmin, min) = cac
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!(*min < 0.4, "CAC minimum {min}");
+        assert!(
+            argmin.abs_diff(boundary) <= 15,
+            "CAC minimum at {argmin}, boundary {boundary}"
+        );
+    }
+
+    #[test]
+    fn fluss_finds_the_boundary() {
+        let (series, boundary) = two_regimes();
+        let cuts = fluss(&series, 2, 12);
+        assert_eq!(cuts.len(), 1);
+        assert!(
+            cuts[0].abs_diff(boundary) <= 20,
+            "cut at {} vs boundary {boundary}",
+            cuts[0]
+        );
+    }
+
+    #[test]
+    fn k_one_returns_nothing() {
+        let (series, _) = two_regimes();
+        assert!(fluss(&series, 1, 12).is_empty());
+    }
+
+    #[test]
+    fn short_series_degrades_gracefully() {
+        let series = vec![1.0; 10];
+        assert!(fluss(&series, 3, 8).is_empty());
+    }
+
+    #[test]
+    fn cuts_are_interior_and_sorted() {
+        let (series, _) = two_regimes();
+        let cuts = fluss(&series, 4, 10);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        assert!(cuts.iter().all(|&c| c > 0 && c < series.len() - 1));
+    }
+}

@@ -1,0 +1,153 @@
+/// The z-normalized matrix profile and matrix profile index of `series`
+/// for subsequence length `w`, computed with the textbook
+/// running-dot-product scheme (STOMP-style diagonals, O(n²) time):
+/// `profile[i]` is the z-normalized Euclidean distance from subsequence
+/// `i` to its nearest non-trivial neighbour, and `index[i]` is that
+/// neighbour's position.
+///
+/// A trivial-match exclusion zone of `⌈w/2⌉` around the diagonal is
+/// applied, as in the FLUSS paper (paper ref. 9).
+pub fn matrix_profile_index(series: &[f64], w: usize) -> (Vec<f64>, Vec<usize>) {
+    let n = series.len();
+    assert!(w >= 2, "window must have at least 2 points");
+    assert!(n >= 2 * w, "series too short for window {w}");
+    let n_sub = n - w + 1;
+    let exclusion = w.div_ceil(2);
+
+    // Per-subsequence mean and std via prefix sums.
+    let mut prefix = vec![0.0; n + 1];
+    let mut prefix_sq = vec![0.0; n + 1];
+    for (i, &v) in series.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix_sq[i + 1] = prefix_sq[i] + v * v;
+    }
+    let wf = w as f64;
+    let mean = |i: usize| (prefix[i + w] - prefix[i]) / wf;
+    let std = |i: usize| {
+        let m = mean(i);
+        ((prefix_sq[i + w] - prefix_sq[i]) / wf - m * m).max(0.0).sqrt()
+    };
+    let means: Vec<f64> = (0..n_sub).map(mean).collect();
+    let stds: Vec<f64> = (0..n_sub).map(std).collect();
+
+    let mut profile = vec![f64::INFINITY; n_sub];
+    let mut index = vec![0usize; n_sub];
+
+    // Walk diagonals: for offset d ≥ exclusion, slide the dot product of
+    // (i, i + d) pairs in O(1) per step.
+    for d in exclusion..n_sub {
+        let mut dot: f64 = (0..w).map(|t| series[t] * series[t + d]).sum();
+        for i in 0..n_sub - d {
+            let j = i + d;
+            if i > 0 {
+                dot += series[i + w - 1] * series[j + w - 1]
+                    - series[i - 1] * series[j - 1];
+            }
+            let dist = znorm_dist(dot, means[i], stds[i], means[j], stds[j], wf);
+            if dist < profile[i] {
+                profile[i] = dist;
+                index[i] = j;
+            }
+            if dist < profile[j] {
+                profile[j] = dist;
+                index[j] = i;
+            }
+        }
+    }
+    (profile, index)
+}
+
+/// Z-normalized distance from a running dot product, with the flat-window
+/// conventions of `common::znormalized_distance`.
+fn znorm_dist(dot: f64, mi: f64, si: f64, mj: f64, sj: f64, w: f64) -> f64 {
+    const EPS: f64 = 1e-12;
+    match (si <= EPS, sj <= EPS) {
+        (true, true) => 0.0,
+        (true, false) | (false, true) => (2.0 * w).sqrt(),
+        (false, false) => {
+            let corr = ((dot - w * mi * mj) / (w * si * sj)).clamp(-1.0, 1.0);
+            (2.0 * w * (1.0 - corr)).max(0.0).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::znormalized_distance;
+
+    fn brute_force(series: &[f64], w: usize) -> (Vec<f64>, Vec<usize>) {
+        let n_sub = series.len() - w + 1;
+        let exclusion = w.div_ceil(2);
+        let mut profile = vec![f64::INFINITY; n_sub];
+        let mut index = vec![0usize; n_sub];
+        for i in 0..n_sub {
+            for j in 0..n_sub {
+                if i.abs_diff(j) < exclusion {
+                    continue;
+                }
+                let d = znormalized_distance(&series[i..i + w], &series[j..j + w]);
+                if d < profile[i] {
+                    profile[i] = d;
+                    index[i] = j;
+                }
+            }
+        }
+        (profile, index)
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        let series: Vec<f64> = (0..60)
+            .map(|t| (t as f64 * 0.7).sin() * 3.0 + (t as f64 * 0.13).cos())
+            .collect();
+        let (fast_p, _) = matrix_profile_index(&series, 8);
+        let (slow_p, _) = brute_force(&series, 8);
+        for (f, s) in fast_p.iter().zip(&slow_p) {
+            assert!((f - s).abs() < 1e-6, "fast {f} vs slow {s}");
+        }
+    }
+
+    #[test]
+    fn periodic_series_has_near_zero_profile() {
+        let series: Vec<f64> = (0..100)
+            .map(|t| (t as f64 * std::f64::consts::TAU / 10.0).sin())
+            .collect();
+        let (profile, _) = matrix_profile_index(&series, 10);
+        // Every cycle repeats exactly → nearest neighbours are ~identical.
+        let max = profile.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max < 1e-6, "max profile {max}");
+    }
+
+    #[test]
+    fn neighbours_stay_within_regimes() {
+        // Two regimes: fast sine, then slow sine. Nearest neighbours should
+        // overwhelmingly stay on their own side.
+        let mut series = Vec::new();
+        for t in 0..80 {
+            series.push((t as f64 * std::f64::consts::TAU / 8.0).sin());
+        }
+        for t in 0..80 {
+            series.push((t as f64 * std::f64::consts::TAU / 20.0).sin() * 2.0);
+        }
+        let (_, index) = matrix_profile_index(&series, 12);
+        let n_sub = index.len();
+        let boundary = 80;
+        let mut same_side = 0;
+        for (i, &j) in index.iter().enumerate() {
+            if (i < boundary) == (j < boundary) {
+                same_side += 1;
+            }
+        }
+        assert!(
+            same_side as f64 / n_sub as f64 > 0.85,
+            "only {same_side}/{n_sub} arcs stay within their regime"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_tiny_series() {
+        matrix_profile_index(&[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the baselines: output validity on arbitrary
+//! series and matrix-profile correctness against the naive reference.
+
+use proptest::prelude::*;
+use tsexplain_baselines::{
+    bottom_up, fluss, matrix_profile_index, nnsegment, znormalized_distance,
+};
+
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 30..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three baselines return sorted interior cuts, at most K−1 of
+    /// them, for any input series.
+    #[test]
+    fn baselines_output_valid_cuts(series in series_strategy(), k in 1usize..8) {
+        let n = series.len();
+        for (name, cuts) in [
+            ("bottom_up", bottom_up(&series, k)),
+            ("fluss", fluss(&series, k, 8)),
+            ("nnsegment", nnsegment(&series, k, 8)),
+        ] {
+            prop_assert!(cuts.len() <= k.saturating_sub(1), "{name}: {cuts:?}");
+            prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "{name}: unsorted");
+            prop_assert!(cuts.iter().all(|&c| c > 0 && c < n - 1), "{name}: boundary");
+        }
+    }
+
+    /// Bottom-Up with K = 1 always returns nothing; K ≥ n−1 returns all
+    /// interior points.
+    #[test]
+    fn bottom_up_extremes(series in series_strategy()) {
+        let n = series.len();
+        prop_assert!(bottom_up(&series, 1).is_empty());
+        let all = bottom_up(&series, n - 1);
+        prop_assert_eq!(all.len(), n - 2);
+    }
+
+    /// The diagonal-walk matrix profile equals the brute-force reference.
+    #[test]
+    fn matrix_profile_matches_naive(series in proptest::collection::vec(-50.0f64..50.0, 24..60)) {
+        let w = 6;
+        let (fast, _) = matrix_profile_index(&series, w);
+        let n_sub = series.len() - w + 1;
+        let exclusion = w.div_ceil(2);
+        for i in 0..n_sub {
+            let mut best = f64::INFINITY;
+            for j in 0..n_sub {
+                if i.abs_diff(j) < exclusion {
+                    continue;
+                }
+                best = best.min(znormalized_distance(&series[i..i + w], &series[j..j + w]));
+            }
+            prop_assert!((fast[i] - best).abs() < 1e-6,
+                "subsequence {i}: fast {} vs naive {best}", fast[i]);
+        }
+    }
+
+    /// Z-normalized distance is a symmetric pseudo-metric, invariant to
+    /// affine rescaling with positive slope.
+    #[test]
+    fn znorm_distance_properties(
+        a in proptest::collection::vec(-50.0f64..50.0, 8..16),
+        scale in 0.1f64..10.0,
+        offset in -100.0f64..100.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| offset + scale * x).collect();
+        prop_assert!(znormalized_distance(&a, &b) < 1e-6);
+        let c: Vec<f64> = a.iter().rev().copied().collect();
+        let d_ac = znormalized_distance(&a, &c);
+        let d_ca = znormalized_distance(&c, &a);
+        prop_assert!((d_ac - d_ca).abs() < 1e-9);
+        prop_assert!(d_ac >= 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion bench: the three shape-baseline segmenters on the Covid
+//! aggregate, across window sizes for the windowed methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsexplain_baselines::{bottom_up, fluss, nnsegment};
+use tsexplain_datagen::covid;
+
+fn benches(c: &mut Criterion) {
+    let workload = covid::generate(0).total_workload();
+    let series = workload.query.run(&workload.relation).unwrap().values;
+    let k = 6;
+
+    let mut group = c.benchmark_group("baselines/covid-total");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("bottom_up", |b| {
+        b.iter(|| black_box(bottom_up(&series, k)))
+    });
+    for window in [10usize, 15, 25] {
+        group.bench_function(format!("fluss/w={window}"), |b| {
+            b.iter(|| black_box(fluss(&series, k, window)))
+        });
+        group.bench_function(format!("nnsegment/w={window}"), |b| {
+            b.iter(|| black_box(nnsegment(&series, k, window)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,63 @@
+//! Criterion bench: the Cascading Analysts algorithm per segment — exact
+//! vs guess-and-verify at several initial guesses (the O1 ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_datagen::{liquor, sp500};
+use tsexplain_diff::{CascadingAnalysts, DiffMetric, GuessVerify};
+
+fn bench_workload(c: &mut Criterion, name: &str, cube: &ExplanationCube) {
+    let n = cube.n_points();
+    let seg = (0, n - 1);
+    let mut group = c.benchmark_group(format!("cascading/{name}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("exact", |b| {
+        let mut ca = CascadingAnalysts::new(cube, DiffMetric::AbsoluteChange, 3);
+        b.iter(|| black_box(ca.top_m(seg).total_score()))
+    });
+    for initial in [10usize, 30, 100] {
+        group.bench_function(format!("guess_verify/m0={initial}"), |b| {
+            let mut ca = CascadingAnalysts::new(cube, DiffMetric::AbsoluteChange, 3);
+            let mut gv = GuessVerify::new(cube, initial);
+            b.iter(|| {
+                let (top, _) = gv.top_m(&mut ca, seg);
+                black_box(top.total_score())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let sp = sp500::generate(0).workload();
+    let sp_cube = ExplanationCube::build(
+        &sp.relation,
+        &sp.query,
+        &CubeConfig::new(sp.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001),
+    )
+    .unwrap();
+    bench_workload(c, "sp500", &sp_cube);
+
+    let lq = liquor::generate(0).workload();
+    let lq_cube = ExplanationCube::build(
+        &lq.relation,
+        &lq.query,
+        &CubeConfig::new(lq.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001),
+    )
+    .unwrap();
+    bench_workload(c, "liquor", &lq_cube);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,44 @@
+//! Criterion bench: cube construction (pipeline module a) per workload,
+//! with and without the support filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_datagen::{covid, liquor, sp500, Workload};
+
+fn bench_build(c: &mut Criterion, workload: &Workload, filtered: bool) {
+    let mut config = CubeConfig::new(workload.explain_by.iter().map(String::as_str));
+    if filtered {
+        config = config.with_filter_ratio(0.001);
+    }
+    let label = format!(
+        "cube_build/{}{}",
+        workload.name,
+        if filtered { "/filter" } else { "" }
+    );
+    c.bench_function(&label, |b| {
+        b.iter(|| {
+            let cube =
+                ExplanationCube::build(&workload.relation, &workload.query, &config).unwrap();
+            black_box(cube.n_candidates())
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let covid_data = covid::generate(0);
+    bench_build(c, &covid_data.total_workload(), false);
+    bench_build(c, &covid_data.total_workload(), true);
+    bench_build(c, &sp500::generate(0).workload(), true);
+    bench_build(c, &liquor::generate(0).workload(), true);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,55 @@
+//! Criterion bench: end-to-end `explain()` under the Fig. 15 optimization
+//! bundles (Vanilla / w filter / O1 / O2 / O1+O2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain_datagen::{covid, liquor, sp500, Workload};
+
+fn bench_bundles(c: &mut Criterion, workload: &Workload, bundles: &[(&str, Optimizations)]) {
+    let mut group = c.benchmark_group(format!("pipeline/{}", workload.name));
+    group.sample_size(10);
+    for (name, optimizations) in bundles {
+        group.bench_function(*name, |b| {
+            let engine = TsExplain::new(
+                TsExplainConfig::new(workload.explain_by.clone())
+                    .with_optimizations(*optimizations),
+            );
+            b.iter(|| {
+                let result = engine.explain(&workload.relation, &workload.query).unwrap();
+                black_box(result.chosen_k)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let all = [
+        ("vanilla", Optimizations::none()),
+        ("filter", Optimizations::filter_only()),
+        ("o1", Optimizations::o1()),
+        ("o2", Optimizations::o2()),
+        ("o1+o2", Optimizations::all()),
+    ];
+    let covid_data = covid::generate(0);
+    bench_bundles(c, &covid_data.total_workload(), &all);
+    bench_bundles(c, &sp500::generate(0).workload(), &all);
+    // Liquor's vanilla run takes seconds; bench only the optimized bundles.
+    let optimized = [
+        ("o1", Optimizations::o1()),
+        ("o2", Optimizations::o2()),
+        ("o1+o2", Optimizations::all()),
+    ];
+    bench_bundles(c, &liquor::generate(0).workload(), &optimized);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,45 @@
+//! Criterion bench: optimized-pipeline latency vs series length (the
+//! statistical companion of the Fig. 17 harness; the harness covers the
+//! long tail with the 100 s cutoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/optimized");
+    group.sample_size(10);
+    for n in [100usize, 200, 400, 800] {
+        let dataset = SyntheticDataset::generate(SyntheticConfig {
+            n_points: n,
+            snr_db: Some(35.0),
+            min_segment_len: (n / 20).max(6),
+            seed: 0,
+            ..SyntheticConfig::default()
+        });
+        let workload = dataset.workload();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            let engine = TsExplain::new(
+                TsExplainConfig::new(w.explain_by.clone())
+                    .with_optimizations(Optimizations::all()),
+            );
+            b.iter(|| {
+                let result = engine.explain(&w.relation, &w.query).unwrap();
+                black_box(result.chosen_k)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(group);

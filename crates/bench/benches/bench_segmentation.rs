@@ -1,0 +1,71 @@
+//! Criterion bench: module (c) — cost computation + DP — and the tse vs
+//! alternative variance metrics ablation on the Covid workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_datagen::covid;
+use tsexplain_diff::{DiffMetric, TopExplStrategy};
+use tsexplain_segment::{k_segmentation, SegmentationContext, VarianceMetric};
+
+fn benches(c: &mut Criterion) {
+    let workload = covid::generate(0).total_workload();
+    let cube = ExplanationCube::build(
+        &workload.relation,
+        &workload.query,
+        &CubeConfig::new(workload.explain_by.iter().map(String::as_str))
+            .with_filter_ratio(0.001),
+    )
+    .unwrap();
+    let n = cube.n_points();
+
+    let mut group = c.benchmark_group("segmentation/covid-total");
+    group.sample_size(10);
+
+    // Full dense cost matrix + DP under the paper's tse metric and the
+    // one-sided alternatives (the §4.2.2 design ablation).
+    for metric in [VarianceMetric::Tse, VarianceMetric::Dist1, VarianceMetric::Dist2] {
+        group.bench_function(format!("dense_costs+dp/{metric}"), |b| {
+            b.iter(|| {
+                let mut ctx = SegmentationContext::new(
+                    &cube,
+                    DiffMetric::AbsoluteChange,
+                    3,
+                    TopExplStrategy::GuessVerify { initial_guess: 30 },
+                    metric,
+                );
+                let positions: Vec<usize> = (0..n).collect();
+                let costs = ctx.compute_costs(&positions, None);
+                let dp = k_segmentation(&costs, 20);
+                black_box(dp.total_cost(6))
+            })
+        });
+    }
+
+    // Banded (sketch phase I) costs.
+    group.bench_function("banded_costs/L=20", |b| {
+        b.iter(|| {
+            let mut ctx = SegmentationContext::new(
+                &cube,
+                DiffMetric::AbsoluteChange,
+                3,
+                TopExplStrategy::GuessVerify { initial_guess: 30 },
+                VarianceMetric::Tse,
+            );
+            let positions: Vec<usize> = (0..n).collect();
+            let costs = ctx.compute_costs(&positions, Some(20));
+            black_box(costs.n_pos())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,57 @@
+//! Figure 4: distribution of the ground-truth segment count K and segment
+//! lengths across the synthetic corpus.
+
+use tsexplain_datagen::synthetic::paper_corpus;
+
+fn main() {
+    let corpus = paper_corpus();
+    println!("Figure 4 — synthetic corpus ({} datasets)", corpus.len());
+
+    let mut k_hist = std::collections::BTreeMap::<usize, usize>::new();
+    let mut len_hist = std::collections::BTreeMap::<usize, usize>::new();
+    for dataset in &corpus {
+        *k_hist.entry(dataset.ground_truth_k()).or_default() += 1;
+        let mut bounds = vec![0usize];
+        bounds.extend(&dataset.ground_truth_cuts);
+        bounds.push(dataset.config.n_points - 1);
+        for w in bounds.windows(2) {
+            // Bucket lengths by 10 as in the paper's histogram.
+            *len_hist.entry((w[1] - w[0]) / 10 * 10).or_default() += 1;
+        }
+    }
+
+    println!("\nSegment number K   frequency (unique base datasets share K across SNRs)");
+    for (k, count) in &k_hist {
+        println!("  K = {k:>2}          {:>4}  {}", count, "#".repeat(count / 7));
+    }
+
+    println!("\nSegment length     frequency");
+    for (bucket, count) in &len_hist {
+        println!(
+            "  {:>3}..{:<3}        {:>4}  {}",
+            bucket,
+            bucket + 9,
+            count,
+            "#".repeat(count / 20)
+        );
+    }
+
+    let (k_min, k_max) = (
+        k_hist.keys().min().unwrap(),
+        k_hist.keys().max().unwrap(),
+    );
+    let lens: Vec<usize> = corpus
+        .iter()
+        .flat_map(|d| {
+            let mut b = vec![0usize];
+            b.extend(&d.ground_truth_cuts);
+            b.push(d.config.n_points - 1);
+            b.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>()
+        })
+        .collect();
+    println!(
+        "\nsummary: K in {k_min}..{k_max} (paper: 2..10), segment length in {}..{} (paper: 6..84)",
+        lens.iter().min().unwrap(),
+        lens.iter().max().unwrap()
+    );
+}

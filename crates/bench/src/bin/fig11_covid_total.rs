@@ -1,0 +1,46 @@
+//! Figures 2 + 11: the Covid total-confirmed-cases case study — TSExplain's
+//! segmentation with top-3 explanations, and the three baselines' cuts
+//! (given TSExplain's K) for comparison.
+
+use tsexplain::Segmentation;
+use tsexplain_bench::{
+    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table,
+    segment_rows, BASELINES,
+};
+use tsexplain_datagen::covid;
+
+fn main() {
+    let data = covid::generate(0);
+    let workload = data.total_workload();
+    let result = explain_default(&workload, 1);
+
+    println!(
+        "Figure 11 — Covid total-confirmed-cases (n = {}, ε = {}, filtered ε = {})",
+        result.stats.n_points, result.stats.epsilon, result.stats.filtered_epsilon
+    );
+    println!(
+        "TSExplain chose K = {} (paper: 6); latency {}",
+        result.chosen_k, result.latency
+    );
+    println!(
+        "TSExplain cuts (dates): {:?}",
+        result
+            .cut_times()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
+    print_segment_table("TSExplain segmentation:", &segment_rows(&result), 3);
+
+    // Baselines with the same K (§7.4 protocol).
+    let aggregate = &result.aggregate;
+    let n = aggregate.len();
+    for name in BASELINES {
+        let cuts = baseline_cuts(name, aggregate, result.chosen_k, 15);
+        let dates: Vec<String> = cuts.iter().map(|&c| result.timestamps[c].to_string()).collect();
+        println!("\n{name} cuts: {dates:?}");
+        let scheme = Segmentation::new(n, cuts).expect("valid cuts");
+        let (rows, _) = explain_fixed_segmentation(&workload, &scheme, 3);
+        print_segment_table(&format!("{name} segmentation + CA explanations:"), &rows, 3);
+    }
+}

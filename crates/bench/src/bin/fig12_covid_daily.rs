@@ -1,0 +1,47 @@
+//! Figure 12 + Table 3: the Covid daily-confirmed-cases case study (a
+//! fuzzy series — smoothed with a moving average per §7.4), plus the
+//! baselines' cuts under the same K.
+
+use tsexplain::Segmentation;
+use tsexplain_bench::{
+    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table,
+    segment_rows, BASELINES,
+};
+use tsexplain_datagen::covid;
+
+fn main() {
+    let data = covid::generate(0);
+    let workload = data.daily_workload();
+    let result = explain_default(&workload, 7);
+
+    println!(
+        "Figure 12 / Table 3 — Covid daily-confirmed-cases (n = {}, ε = {}, filtered ε = {})",
+        result.stats.n_points, result.stats.epsilon, result.stats.filtered_epsilon
+    );
+    println!(
+        "TSExplain chose K = {} (paper: 7); latency {}",
+        result.chosen_k, result.latency
+    );
+    println!("K-Variance curve:");
+    for (k, v) in result.k_variance_curve.iter().take(12) {
+        let marker = if *k == result.chosen_k { "  <- elbow" } else { "" };
+        println!("  K = {k:>2}: {v:>12.4}{marker}");
+    }
+    print_segment_table(
+        "TSExplain segmentation (paper Table 3 format):",
+        &segment_rows(&result),
+        3,
+    );
+
+    let aggregate = &result.aggregate;
+    let n = aggregate.len();
+    for name in BASELINES {
+        let cuts = baseline_cuts(name, aggregate, result.chosen_k, 15);
+        let dates: Vec<String> =
+            cuts.iter().map(|&c| result.timestamps[c].to_string()).collect();
+        println!("\n{name} cuts: {dates:?}");
+        let scheme = Segmentation::new(n, cuts).expect("valid cuts");
+        let (rows, _) = explain_fixed_segmentation(&workload, &scheme, 3);
+        print_segment_table(&format!("{name} segmentation + CA explanations:"), &rows, 3);
+    }
+}

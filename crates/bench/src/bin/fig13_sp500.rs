@@ -1,0 +1,46 @@
+//! Figure 13 + Table 4: the S&P 500 case study — crash and rebound
+//! explained through the category ⊃ subcategory ⊃ stock hierarchy.
+
+use tsexplain::Segmentation;
+use tsexplain_bench::{
+    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table,
+    segment_rows, BASELINES,
+};
+use tsexplain_datagen::sp500;
+
+fn main() {
+    let data = sp500::generate(0);
+    let workload = data.workload();
+    let result = explain_default(&workload, 1);
+
+    println!(
+        "Figure 13 / Table 4 — S&P 500 (n = {}, ε = {}, filtered ε = {})",
+        result.stats.n_points, result.stats.epsilon, result.stats.filtered_epsilon
+    );
+    println!(
+        "TSExplain chose K = {} (paper: 4); latency {}",
+        result.chosen_k, result.latency
+    );
+    println!("K-Variance curve:");
+    for (k, v) in result.k_variance_curve.iter().take(10) {
+        let marker = if *k == result.chosen_k { "  <- elbow" } else { "" };
+        println!("  K = {k:>2}: {v:>12.4}{marker}");
+    }
+    print_segment_table(
+        "TSExplain segmentation (paper Table 4 format):",
+        &segment_rows(&result),
+        3,
+    );
+
+    let aggregate = &result.aggregate;
+    let n = aggregate.len();
+    for name in BASELINES {
+        let cuts = baseline_cuts(name, aggregate, result.chosen_k, 12);
+        let dates: Vec<String> =
+            cuts.iter().map(|&c| result.timestamps[c].to_string()).collect();
+        println!("\n{name} cuts: {dates:?}");
+        let scheme = Segmentation::new(n, cuts).expect("valid cuts");
+        let (rows, _) = explain_fixed_segmentation(&workload, &scheme, 3);
+        print_segment_table(&format!("{name} segmentation + CA explanations:"), &rows, 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 16: end-to-end efficiency vs the baselines. Each baseline is
+//! timed for its segmentation pass and for the added explanation pass (CA
+//! per segment, §7.5.2); TSExplain reports its overall time (the
+//! segmentation and explanation modules interleave). All methods use the
+//! optimal K TSExplain finds.
+
+use std::time::Instant;
+
+use tsexplain::{Optimizations, Segmentation};
+use tsexplain_bench::{
+    baseline_cuts, explain_fixed_segmentation, explain_with, fmt_ms, BASELINES,
+};
+use tsexplain_datagen::{covid, liquor, Workload};
+
+fn run(workload: &Workload, smoothing: usize, window: usize) {
+    // First find the optimal K (not timed — shared by all methods).
+    let reference = explain_with(workload, Optimizations::all(), None, smoothing);
+    let k = reference.chosen_k;
+    let aggregate = &reference.aggregate;
+    let n = aggregate.len();
+    println!("\n--- {} (K = {k}) ---", workload.name);
+    println!(
+        "{:<18}{:>16}{:>16}{:>14}",
+        "method", "segmentation", "explanation", "overall"
+    );
+
+    for name in BASELINES {
+        let start = Instant::now();
+        let cuts = baseline_cuts(name, aggregate, k, window);
+        let seg_time = start.elapsed();
+        let scheme = Segmentation::new(n, cuts).expect("valid cuts");
+        let (_, expl_time) = explain_fixed_segmentation(workload, &scheme, 3);
+        println!(
+            "{:<18}{:>16}{:>16}{:>14}",
+            name,
+            fmt_ms(seg_time),
+            fmt_ms(expl_time),
+            fmt_ms(seg_time + expl_time)
+        );
+    }
+
+    for (label, optimizations) in [
+        ("VanillaTSExplain", Optimizations::none()),
+        ("TSExplain", Optimizations::all()),
+    ] {
+        let result = explain_with(workload, optimizations, Some(k), smoothing);
+        println!(
+            "{:<18}{:>16}{:>16}{:>14}",
+            label,
+            "-",
+            "-",
+            fmt_ms(result.latency.total())
+        );
+    }
+}
+
+fn main() {
+    println!("Figure 16 — end-to-end efficiency comparison with baselines");
+    let covid_data = covid::generate(0);
+    run(&covid_data.total_workload(), 1, 15);
+    run(&covid_data.daily_workload(), 7, 15);
+    run(&liquor::generate(0).workload(), 1, 10);
+    println!("\n(paper: FLUSS slowest everywhere; optimized TSExplain fastest everywhere)");
+}

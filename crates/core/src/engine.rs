@@ -1,0 +1,359 @@
+use std::time::Instant;
+
+use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_diff::TopExplStrategy;
+use tsexplain_relation::{AggQuery, Relation};
+use tsexplain_segment::{
+    k_segmentation, select_sketch, Segmentation, SegmentationContext,
+};
+
+use crate::config::{KSelection, TsExplainConfig};
+use crate::elbow::elbow_k;
+use crate::error::TsExplainError;
+use crate::latency::LatencyBreakdown;
+use crate::result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
+
+/// The TSExplain engine (paper Fig. 7): precompute → Cascading Analysts →
+/// K-Segmentation → elbow → evolving explanations.
+#[derive(Clone, Debug)]
+pub struct TsExplain {
+    config: TsExplainConfig,
+}
+
+impl TsExplain {
+    /// Builds an engine from a configuration.
+    pub fn new(config: TsExplainConfig) -> Self {
+        TsExplain { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TsExplainConfig {
+        &self.config
+    }
+
+    /// Explains the aggregated time series of `query` over `relation`.
+    pub fn explain(
+        &self,
+        relation: &Relation,
+        query: &AggQuery,
+    ) -> Result<ExplainResult, TsExplainError> {
+        self.explain_with_candidate_positions(relation, query, None)
+    }
+
+    /// Like [`TsExplain::explain`], but restricting the DP's candidate cut
+    /// positions to `positions` (sorted point indices; the endpoints are
+    /// added if missing). This is the hook the streaming extension (§8)
+    /// uses: previous cut points plus the newly arrived points.
+    pub fn explain_with_candidate_positions(
+        &self,
+        relation: &Relation,
+        query: &AggQuery,
+        positions: Option<Vec<usize>>,
+    ) -> Result<ExplainResult, TsExplainError> {
+        let t0 = Instant::now();
+        let cube = self.build_cube(relation, query)?;
+        let precompute = t0.elapsed();
+        let mut result = self.explain_cube_positions(&cube, positions)?;
+        result.latency.precompute = precompute;
+        Ok(result)
+    }
+
+    /// Module (a): builds (and optionally smooths) the explanation cube.
+    pub fn build_cube(
+        &self,
+        relation: &Relation,
+        query: &AggQuery,
+    ) -> Result<ExplanationCube, TsExplainError> {
+        let mut cube_config = CubeConfig::new(self.config.explain_by.iter().cloned())
+            .with_max_order(self.config.max_order);
+        cube_config.filter_ratio = self.config.optimizations.filter_ratio;
+        let mut cube = ExplanationCube::build(relation, query, &cube_config)?;
+        if self.config.smoothing_window > 1 {
+            cube.smooth_moving_average(self.config.smoothing_window);
+        }
+        Ok(cube)
+    }
+
+    /// Modules (b) + (c) over a pre-built cube (precompute latency is
+    /// reported as zero).
+    pub fn explain_cube(&self, cube: &ExplanationCube) -> Result<ExplainResult, TsExplainError> {
+        self.explain_cube_positions(cube, None)
+    }
+
+    fn explain_cube_positions(
+        &self,
+        cube: &ExplanationCube,
+        forced_positions: Option<Vec<usize>>,
+    ) -> Result<ExplainResult, TsExplainError> {
+        let n = cube.n_points();
+        if n < 2 {
+            return Err(TsExplainError::SeriesTooShort(n));
+        }
+        let strategy = match self.config.optimizations.guess_and_verify {
+            Some(initial_guess) => TopExplStrategy::GuessVerify { initial_guess },
+            None => TopExplStrategy::Exact,
+        };
+        let mut ctx = SegmentationContext::new(
+            cube,
+            self.config.diff_metric,
+            self.config.top_m,
+            strategy,
+            self.config.variance_metric,
+        );
+
+        let positions: Vec<usize> = match forced_positions {
+            Some(mut p) => {
+                p.push(0);
+                p.push(n - 1);
+                p.retain(|&x| x < n);
+                p.sort_unstable();
+                p.dedup();
+                p
+            }
+            None => match &self.config.optimizations.sketching {
+                Some(sketch_config) => select_sketch(&mut ctx, sketch_config),
+                None => (0..n).collect(),
+            },
+        };
+
+        let costs = ctx.compute_costs(&positions, None);
+        let dp_start = Instant::now();
+        let k_cap = match self.config.k {
+            KSelection::Auto { max_k } => max_k.min(positions.len() - 1).max(1),
+            KSelection::Fixed(k) => k,
+        };
+        let dp = k_segmentation(&costs, k_cap);
+        let curve = dp.k_variance_curve();
+        let chosen_k = match self.config.k {
+            KSelection::Auto { .. } => elbow_k(&curve),
+            KSelection::Fixed(k) => k,
+        };
+        let position_cuts = dp.cuts(chosen_k)?;
+        let dp_elapsed = dp_start.elapsed();
+
+        let cuts: Vec<usize> = position_cuts.iter().map(|&pi| positions[pi]).collect();
+        let segmentation = Segmentation::new(n, cuts)?;
+
+        let segments: Vec<SegmentExplanation> = segmentation
+            .segments()
+            .into_iter()
+            .map(|seg| self.describe_segment(cube, &mut ctx, seg))
+            .collect();
+
+        let timers = ctx.timers();
+        let latency = LatencyBreakdown {
+            precompute: Default::default(),
+            cascading: timers.cascading,
+            segmentation: timers.segmentation + dp_elapsed,
+        };
+        let stats = PipelineStats {
+            epsilon: cube.n_candidates(),
+            filtered_epsilon: cube.n_selectable(),
+            n_points: n,
+            ca_calls: ctx.ca_calls(),
+            candidate_positions: positions.len(),
+        };
+
+        Ok(ExplainResult {
+            total_variance: dp.total_cost(chosen_k),
+            segmentation,
+            chosen_k,
+            k_variance_curve: curve,
+            segments,
+            timestamps: cube.timestamps().to_vec(),
+            aggregate: cube.total_values(),
+            latency,
+            stats,
+        })
+    }
+
+    fn describe_segment(
+        &self,
+        cube: &ExplanationCube,
+        ctx: &mut SegmentationContext<'_>,
+        seg: (usize, usize),
+    ) -> SegmentExplanation {
+        // var(P) = cost / |P| (Eq. 7); flags incohesive segments (§9).
+        let variance = ctx.segment_cost(seg) / (seg.1 - seg.0) as f64;
+        let explained = ctx.explained(seg);
+        let explanations = explained
+            .top
+            .items()
+            .iter()
+            .map(|item| ExplanationItem {
+                label: cube.label(item.id),
+                gamma: item.gamma,
+                effect: item.effect,
+                series: (seg.0..=seg.1).map(|t| cube.value_at(item.id, t)).collect(),
+            })
+            .collect();
+        SegmentExplanation {
+            start: seg.0,
+            end: seg.1,
+            start_time: cube.timestamps()[seg.0].clone(),
+            end_time: cube.timestamps()[seg.1].clone(),
+            explanations,
+            variance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use tsexplain_relation::{Datum, Field, Schema};
+
+    /// Three clean phases over 30 points: NY rises (0..10), CA rises
+    /// (10..20), TX rises (20..29).
+    fn three_phase_relation() -> Relation {
+        let schema = Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for t in 0..30i64 {
+            let ny = if t <= 10 { 8.0 * t as f64 } else { 80.0 };
+            let ca = if t <= 10 {
+                2.0
+            } else if t <= 20 {
+                2.0 + 9.0 * (t - 10) as f64
+            } else {
+                92.0
+            };
+            let tx = if t <= 20 { 5.0 } else { 5.0 + 10.0 * (t - 20) as f64 };
+            for (s, v) in [("NY", ny), ("CA", ca), ("TX", tx)] {
+                b.push_row(vec![Datum::Attr(t.into()), Datum::from(s), Datum::from(v)])
+                    .unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn engine(optimizations: Optimizations) -> TsExplain {
+        TsExplain::new(
+            TsExplainConfig::new(["state"]).with_optimizations(optimizations),
+        )
+    }
+
+    #[test]
+    fn recovers_three_phases_with_auto_k() {
+        let rel = three_phase_relation();
+        let result = engine(Optimizations::none())
+            .explain(&rel, &AggQuery::sum("t", "v"))
+            .unwrap();
+        assert_eq!(result.chosen_k, 3, "curve {:?}", result.k_variance_curve);
+        let cuts = result.segmentation.cuts();
+        assert!((9..=11).contains(&cuts[0]), "cuts {cuts:?}");
+        assert!((19..=21).contains(&cuts[1]), "cuts {cuts:?}");
+        // Each segment's top explanation is its driving state.
+        let tops: Vec<&str> = result
+            .segments
+            .iter()
+            .map(|s| s.explanations[0].label.as_str())
+            .collect();
+        assert_eq!(tops, vec!["state=NY", "state=CA", "state=TX"]);
+    }
+
+    #[test]
+    fn fixed_k_is_respected() {
+        let rel = three_phase_relation();
+        let e = TsExplain::new(
+            TsExplainConfig::new(["state"])
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(2),
+        );
+        let result = e.explain(&rel, &AggQuery::sum("t", "v")).unwrap();
+        assert_eq!(result.chosen_k, 2);
+        assert_eq!(result.segments.len(), 2);
+    }
+
+    #[test]
+    fn optimized_matches_vanilla_segmentation() {
+        let rel = three_phase_relation();
+        let query = AggQuery::sum("t", "v");
+        let vanilla = engine(Optimizations::none()).explain(&rel, &query).unwrap();
+        let optimized = engine(Optimizations::all()).explain(&rel, &query).unwrap();
+        assert_eq!(vanilla.chosen_k, optimized.chosen_k);
+        assert_eq!(
+            vanilla.segmentation.cuts(),
+            optimized.segmentation.cuts(),
+            "optimizations must not change this clean result"
+        );
+    }
+
+    #[test]
+    fn result_is_self_describing() {
+        let rel = three_phase_relation();
+        let result = engine(Optimizations::none())
+            .explain(&rel, &AggQuery::sum("t", "v"))
+            .unwrap();
+        assert_eq!(result.aggregate.len(), 30);
+        assert_eq!(result.timestamps.len(), 30);
+        assert_eq!(result.stats.epsilon, 3);
+        assert!(result.stats.ca_calls > 0);
+        assert!(result.latency.total().as_nanos() > 0);
+        // Segment series have the right lengths.
+        for seg in &result.segments {
+            for item in &seg.explanations {
+                assert_eq!(item.series.len(), seg.end - seg.start + 1);
+            }
+        }
+        let display = result.to_string();
+        assert!(display.contains("state="));
+    }
+
+    #[test]
+    fn candidate_positions_restrict_cuts() {
+        let rel = three_phase_relation();
+        let query = AggQuery::sum("t", "v");
+        let e = TsExplain::new(
+            TsExplainConfig::new(["state"])
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(2),
+        );
+        let result = e
+            .explain_with_candidate_positions(&rel, &query, Some(vec![7, 20]))
+            .unwrap();
+        // Only 7 and 20 are available as interior cuts.
+        assert!(result.segmentation.cuts().iter().all(|c| [7, 20].contains(c)));
+    }
+
+    #[test]
+    fn too_short_series_errors() {
+        let schema = Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        b.push_row(vec![Datum::Attr(0i64.into()), "x".into(), 1.0.into()])
+            .unwrap();
+        let rel = b.finish();
+        let err = engine(Optimizations::none())
+            .explain(&rel, &AggQuery::sum("t", "v"))
+            .unwrap_err();
+        assert_eq!(err, TsExplainError::SeriesTooShort(1));
+    }
+
+    #[test]
+    fn infeasible_fixed_k_errors() {
+        let rel = three_phase_relation();
+        let e = TsExplain::new(
+            TsExplainConfig::new(["state"])
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(29),
+        );
+        // K = 29 = n − 1 is feasible; K = 30 is not.
+        assert!(e.explain(&rel, &AggQuery::sum("t", "v")).is_ok());
+        let e = TsExplain::new(
+            TsExplainConfig::new(["state"])
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(30),
+        );
+        assert!(e.explain(&rel, &AggQuery::sum("t", "v")).is_err());
+    }
+}

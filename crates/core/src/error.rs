@@ -1,0 +1,84 @@
+use std::fmt;
+
+use tsexplain_cube::CubeError;
+use tsexplain_relation::RelationError;
+use tsexplain_segment::SegmentError;
+
+/// Errors surfaced by the TSExplain engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TsExplainError {
+    /// Cube construction failed.
+    Cube(CubeError),
+    /// A substrate error.
+    Relation(RelationError),
+    /// Segmentation failed (e.g. an infeasible fixed K).
+    Segment(SegmentError),
+    /// The aggregated series has fewer than two points.
+    SeriesTooShort(usize),
+    /// Seasonal decomposition needs at least two full periods.
+    PeriodTooLong {
+        /// Series length.
+        n: usize,
+        /// Requested period.
+        period: usize,
+    },
+}
+
+impl fmt::Display for TsExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsExplainError::Cube(e) => write!(f, "cube error: {e}"),
+            TsExplainError::Relation(e) => write!(f, "relation error: {e}"),
+            TsExplainError::Segment(e) => write!(f, "segmentation error: {e}"),
+            TsExplainError::SeriesTooShort(n) => {
+                write!(f, "aggregated series has {n} point(s); need at least 2")
+            }
+            TsExplainError::PeriodTooLong { n, period } => {
+                write!(f, "period {period} too long for a series of {n} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsExplainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TsExplainError::Cube(e) => Some(e),
+            TsExplainError::Relation(e) => Some(e),
+            TsExplainError::Segment(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CubeError> for TsExplainError {
+    fn from(e: CubeError) -> Self {
+        TsExplainError::Cube(e)
+    }
+}
+
+impl From<RelationError> for TsExplainError {
+    fn from(e: RelationError) -> Self {
+        TsExplainError::Relation(e)
+    }
+}
+
+impl From<SegmentError> for TsExplainError {
+    fn from(e: SegmentError) -> Self {
+        TsExplainError::Segment(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TsExplainError = CubeError::NoExplainBy.into();
+        assert!(e.to_string().contains("explain-by"));
+        let e: TsExplainError = SegmentError::TooFewPoints(1).into();
+        assert!(e.to_string().contains("segmentation"));
+        assert!(TsExplainError::SeriesTooShort(1).to_string().contains('1'));
+    }
+}

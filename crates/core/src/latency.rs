@@ -1,0 +1,52 @@
+use std::time::Duration;
+
+/// Wall-clock breakdown of one `explain()` call into the paper's three
+/// pipeline modules (Fig. 15): precomputation (a), Cascading Analysts (b)
+/// and K-Segmentation (c).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyBreakdown {
+    /// Module (a): cube construction (group-bys, candidate enumeration,
+    /// filtering, trie).
+    pub precompute: Duration,
+    /// Module (b): all top-m derivations.
+    pub cascading: Duration,
+    /// Module (c): distances, variances, DP and elbow selection.
+    pub segmentation: Duration,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end latency.
+    pub fn total(&self) -> Duration {
+        self.precompute + self.cascading + self.segmentation
+    }
+}
+
+impl std::fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:?} (precompute {:?}, cascading {:?}, segmentation {:?})",
+            self.total(),
+            self.precompute,
+            self.cascading,
+            self.segmentation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_stages() {
+        let l = LatencyBreakdown {
+            precompute: Duration::from_millis(5),
+            cascading: Duration::from_millis(10),
+            segmentation: Duration::from_millis(2),
+        };
+        assert_eq!(l.total(), Duration::from_millis(17));
+        let s = l.to_string();
+        assert!(s.contains("precompute"));
+    }
+}

@@ -1,0 +1,73 @@
+//! # TSExplain
+//!
+//! A from-scratch Rust implementation of **TSExplain: Explaining Aggregated
+//! Time Series by Surfacing Evolving Contributors** (Chen & Huang,
+//! ICDE 2023).
+//!
+//! Given a relation, a group-by time-series query ("what happened") and a
+//! set of explain-by attributes, TSExplain answers "why" by partitioning
+//! the time horizon into segments with *consistent* top contributors and
+//! attaching the top-m non-overlapping explanations to each segment — the
+//! evolving explanations of Definition 3.7.
+//!
+//! ```
+//! use tsexplain::{TsExplain, TsExplainConfig};
+//! use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+//!
+//! // A tiny relation: two states over six days.
+//! let schema = Schema::new(vec![
+//!     Field::dimension("date"),
+//!     Field::dimension("state"),
+//!     Field::measure("cases"),
+//! ]).unwrap();
+//! let mut b = Relation::builder(schema);
+//! for (t, ny, ca) in [(0, 0.0, 5.0), (1, 10.0, 5.0), (2, 20.0, 5.0),
+//!                     (3, 20.0, 15.0), (4, 20.0, 30.0), (5, 20.0, 50.0)] {
+//!     b.push_row(vec![Datum::Attr((t as i64).into()), "NY".into(), ny.into()]).unwrap();
+//!     b.push_row(vec![Datum::Attr((t as i64).into()), "CA".into(), ca.into()]).unwrap();
+//! }
+//! let relation = b.finish();
+//!
+//! let config = TsExplainConfig::new(["state"]);
+//! let result = TsExplain::new(config)
+//!     .explain(&relation, &AggQuery::sum("date", "cases"))
+//!     .unwrap();
+//! // NY explains the first rise, CA the second.
+//! assert_eq!(result.segments.len(), result.chosen_k);
+//! ```
+//!
+//! The pipeline (paper Fig. 7) is: **(a)** precompute the per-explanation
+//! series cube, **(b)** derive top-m non-overlapping explanations per
+//! candidate segment with the Cascading Analysts algorithm, **(c)** run the
+//! explanation-aware K-Segmentation DP and pick K with the elbow method.
+//! Optimizations `filter`, guess-and-verify (O1) and sketching (O2) are
+//! individually toggleable via [`Optimizations`].
+
+mod config;
+mod elbow;
+mod engine;
+mod error;
+mod latency;
+mod recommend;
+mod result;
+mod seasonal;
+mod streaming;
+
+pub use config::{KSelection, Optimizations, TsExplainConfig};
+pub use elbow::elbow_k;
+pub use engine::TsExplain;
+pub use error::TsExplainError;
+pub use latency::LatencyBreakdown;
+pub use recommend::{recommend_explain_by, AttributeScore};
+pub use result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
+pub use seasonal::{classical_decompose, Decomposition};
+pub use streaming::StreamingExplainer;
+
+// Curated re-exports so downstream users need only this crate.
+pub use tsexplain_cube::{CubeConfig, ExplanationCube};
+pub use tsexplain_diff::{diff_two_relations, DiffMetric, Effect};
+pub use tsexplain_relation::{
+    AggFn, AggQuery, AggState, AttrValue, Conjunction, Datum, Field, MeasureExpr, Predicate,
+    Relation, Schema,
+};
+pub use tsexplain_segment::{Segmentation, SketchConfig, VarianceMetric};

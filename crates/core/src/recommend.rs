@@ -1,0 +1,157 @@
+//! Explain-by attribute recommendation (paper §9 lists "recommending
+//! explain-by attributes" as future work).
+//!
+//! The score of an attribute is the average share of each unit step's
+//! movement that the attribute's single best slice accounts for: an
+//! attribute whose top slice repeatedly explains most of the change is a
+//! promising drill-down dimension, while an attribute whose slices all
+//! move a little explains nothing crisply.
+
+use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_diff::{CascadingAnalysts, DiffMetric};
+use tsexplain_relation::{AggQuery, ColumnType, Relation};
+
+use crate::error::TsExplainError;
+
+/// One recommended attribute with its diagnostics.
+#[derive(Clone, Debug)]
+pub struct AttributeScore {
+    /// The dimension attribute.
+    pub attribute: String,
+    /// Mean share of per-step movement explained by the attribute's top
+    /// slice, in `[0, 1]`; higher = crisper explanations.
+    pub coverage: f64,
+    /// The attribute's cardinality (context for the analyst: a perfect
+    /// coverage from a million-value attribute is less useful).
+    pub cardinality: usize,
+}
+
+/// Ranks candidate explain-by attributes for `query` over `relation`.
+///
+/// `candidates` defaults to every dimension attribute except the query's
+/// time attribute (the paper's fallback when the user gives no domain
+/// knowledge, §3.1.1).
+pub fn recommend_explain_by(
+    relation: &Relation,
+    query: &AggQuery,
+    candidates: Option<&[&str]>,
+) -> Result<Vec<AttributeScore>, TsExplainError> {
+    let names: Vec<String> = match candidates {
+        Some(list) => list.iter().map(|s| s.to_string()).collect(),
+        None => relation
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| {
+                f.column_type() == ColumnType::Dimension && f.name() != query.time_attr()
+            })
+            .map(|f| f.name().to_string())
+            .collect(),
+    };
+
+    let mut scores = Vec::with_capacity(names.len());
+    for name in names {
+        let config = CubeConfig::new([name.as_str()]).with_max_order(1);
+        let cube = ExplanationCube::build(relation, query, &config)?;
+        scores.push(AttributeScore {
+            coverage: attribute_coverage(&cube),
+            cardinality: relation.dim_column(&name)?.dict().len(),
+            attribute: name,
+        });
+    }
+    scores.sort_by(|a, b| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cardinality.cmp(&b.cardinality))
+    });
+    Ok(scores)
+}
+
+/// Mean top-1 contribution share over the moving unit steps.
+fn attribute_coverage(cube: &ExplanationCube) -> f64 {
+    let mut ca = CascadingAnalysts::new(cube, DiffMetric::AbsoluteChange, 1);
+    let n = cube.n_points();
+    let mut total_share = 0.0;
+    let mut moving_steps = 0usize;
+    for x in 0..n - 1 {
+        let delta = (cube.total_value(x + 1) - cube.total_value(x)).abs();
+        if delta <= 0.0 {
+            continue;
+        }
+        moving_steps += 1;
+        let top = ca.top_m((x, x + 1));
+        if let Some(item) = top.items().first() {
+            total_share += (item.gamma / delta).min(1.0);
+        }
+    }
+    if moving_steps == 0 {
+        0.0
+    } else {
+        total_share / moving_steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_relation::{Datum, Field, Schema};
+
+    /// `driver` concentrates each step's change in one slice; `noise` has
+    /// values that split every step evenly.
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("driver"),
+            Field::dimension("noise"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for t in 0..12i64 {
+            // "driver" = d0 carries all the movement; d1 is flat.
+            // "noise" = alternating labels that each carry half of it.
+            for (d, nz, v) in [
+                ("d0", if t % 2 == 0 { "n0" } else { "n1" }, 10.0 * t as f64),
+                ("d1", if t % 2 == 0 { "n1" } else { "n0" }, 7.0),
+            ] {
+                b.push_row(vec![
+                    Datum::Attr(t.into()),
+                    Datum::from(d),
+                    Datum::from(nz),
+                    Datum::from(v),
+                ])
+                .unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn driver_attribute_ranks_first() {
+        let rel = relation();
+        let query = AggQuery::sum("t", "v");
+        let scores = recommend_explain_by(&rel, &query, None).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].attribute, "driver");
+        assert!(scores[0].coverage > scores[1].coverage);
+        assert!(scores[0].coverage > 0.9, "coverage {}", scores[0].coverage);
+    }
+
+    #[test]
+    fn explicit_candidates_respected() {
+        let rel = relation();
+        let query = AggQuery::sum("t", "v");
+        let scores = recommend_explain_by(&rel, &query, Some(&["noise"])).unwrap();
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].attribute, "noise");
+        assert_eq!(scores[0].cardinality, 2);
+    }
+
+    #[test]
+    fn unknown_candidate_errors() {
+        let rel = relation();
+        let query = AggQuery::sum("t", "v");
+        assert!(recommend_explain_by(&rel, &query, Some(&["nope"])).is_err());
+    }
+}

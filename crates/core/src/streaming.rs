@@ -1,0 +1,189 @@
+use tsexplain_relation::{AggQuery, Datum, Relation, Schema};
+
+use crate::engine::TsExplain;
+use crate::error::TsExplainError;
+use crate::result::ExplainResult;
+
+/// Real-time time-series explanation (paper §8, "Real-time Time Series").
+///
+/// The paper's sketch: explain the existing series once, cache its cut
+/// points, and when new data arrives "run the segmentation algorithm based
+/// on the existing time series' cutting point and newly arrived data
+/// points". Concretely, each [`StreamingExplainer::refresh`] after an
+/// append restricts the DP's candidate cut positions to the previous cut
+/// points plus every point at or after the previous horizon — so the
+/// settled past is only re-cut at previously chosen boundaries while the
+/// fresh tail is segmented at full resolution.
+pub struct StreamingExplainer {
+    engine: TsExplain,
+    query: AggQuery,
+    schema: Schema,
+    rows: Vec<Vec<Datum>>,
+    prev_cuts: Vec<usize>,
+    prev_n_points: usize,
+    last_result: Option<ExplainResult>,
+}
+
+impl StreamingExplainer {
+    /// Creates a streaming explainer; rows are appended over time.
+    pub fn new(engine: TsExplain, schema: Schema, query: AggQuery) -> Self {
+        StreamingExplainer {
+            engine,
+            query,
+            schema,
+            rows: Vec::new(),
+            prev_cuts: Vec::new(),
+            prev_n_points: 0,
+            last_result: None,
+        }
+    }
+
+    /// Appends new raw rows (typically for new timestamps).
+    pub fn append_rows(&mut self, rows: Vec<Vec<Datum>>) {
+        self.rows.extend(rows);
+    }
+
+    /// Number of buffered rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Re-explains the accumulated data incrementally.
+    ///
+    /// New data is detected by timestamp count; appending rows for
+    /// already-seen timestamps requires [`StreamingExplainer::reset_cache`]
+    /// to force a full re-run.
+    pub fn refresh(&mut self) -> Result<ExplainResult, TsExplainError> {
+        let relation = self.materialize()?;
+        let n_now = self.relation_points(&relation)?;
+        if n_now == self.prev_n_points {
+            if let Some(cached) = &self.last_result {
+                // No new timestamps: the evolving explanation is unchanged.
+                return Ok(cached.clone());
+            }
+        }
+        let positions = if self.prev_n_points >= 2 {
+            let mut p: Vec<usize> = self.prev_cuts.clone();
+            p.push(self.prev_n_points - 1);
+            // All new points are candidates at full resolution.
+            p.extend(self.prev_n_points..n_now);
+            Some(p)
+        } else {
+            None
+        };
+        let result =
+            self.engine
+                .explain_with_candidate_positions(&relation, &self.query, positions)?;
+        self.prev_cuts = result.segmentation.cuts().to_vec();
+        self.prev_n_points = result.stats.n_points;
+        self.last_result = Some(result.clone());
+        Ok(result)
+    }
+
+    /// Forgets the cached cuts and result, so the next refresh is a full
+    /// re-run (needed after restating data for already-seen timestamps).
+    pub fn reset_cache(&mut self) {
+        self.prev_cuts.clear();
+        self.prev_n_points = 0;
+        self.last_result = None;
+    }
+
+    fn materialize(&self) -> Result<Relation, TsExplainError> {
+        let mut b = Relation::builder(self.schema.clone());
+        for row in &self.rows {
+            b.push_row(row.clone())?;
+        }
+        Ok(b.finish())
+    }
+
+    fn relation_points(&self, relation: &Relation) -> Result<usize, TsExplainError> {
+        Ok(relation
+            .dim_column(self.query.time_attr())?
+            .dict()
+            .len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Optimizations, TsExplainConfig};
+    use tsexplain_relation::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap()
+    }
+
+    fn rows_for(range: std::ops::Range<i64>) -> Vec<Vec<Datum>> {
+        let mut rows = Vec::new();
+        for t in range {
+            let ny = if t <= 10 { 8.0 * t as f64 } else { 80.0 };
+            let ca = if t <= 10 { 2.0 } else { 2.0 + 9.0 * (t - 10) as f64 };
+            rows.push(vec![Datum::Attr(t.into()), "NY".into(), ny.into()]);
+            rows.push(vec![Datum::Attr(t.into()), "CA".into(), ca.into()]);
+        }
+        rows
+    }
+
+    fn streaming() -> StreamingExplainer {
+        let engine = TsExplain::new(
+            TsExplainConfig::new(["state"]).with_optimizations(Optimizations::none()),
+        );
+        StreamingExplainer::new(engine, schema(), AggQuery::sum("t", "v"))
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_replay() {
+        // Batch over everything at once…
+        let mut batch = streaming();
+        batch.append_rows(rows_for(0..21));
+        let full = batch.refresh().unwrap();
+
+        // …vs. streaming in two chunks.
+        let mut s = streaming();
+        s.append_rows(rows_for(0..12));
+        let first = s.refresh().unwrap();
+        assert!(first.stats.n_points == 12);
+        s.append_rows(rows_for(12..21));
+        let second = s.refresh().unwrap();
+
+        assert_eq!(second.stats.n_points, 21);
+        assert_eq!(
+            second.segmentation.cuts(),
+            full.segmentation.cuts(),
+            "replayed stream should find the same cuts"
+        );
+    }
+
+    #[test]
+    fn refresh_restricts_candidates_after_first_run() {
+        let mut s = streaming();
+        s.append_rows(rows_for(0..15));
+        let first = s.refresh().unwrap();
+        assert_eq!(first.stats.candidate_positions, 15);
+        s.append_rows(rows_for(15..20));
+        let second = s.refresh().unwrap();
+        // Candidates: endpoints + previous cuts + the 5 new points.
+        assert!(
+            second.stats.candidate_positions < 20,
+            "got {}",
+            second.stats.candidate_positions
+        );
+    }
+
+    #[test]
+    fn reset_cache_forces_full_rerun() {
+        let mut s = streaming();
+        s.append_rows(rows_for(0..15));
+        let _ = s.refresh().unwrap();
+        s.append_rows(rows_for(15..20));
+        s.reset_cache();
+        let full = s.refresh().unwrap();
+        assert_eq!(full.stats.candidate_positions, 20);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the engine: result validity on arbitrary
+//! workloads, elbow sanity, and optimization-equivalence.
+
+use proptest::prelude::*;
+use tsexplain::{
+    elbow_k, AggQuery, Datum, Field, KSelection, Optimizations, Relation, Schema, TsExplain,
+    TsExplainConfig,
+};
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
+    proptest::collection::vec((0u8..12, 0u8..3, 0.1f64..50.0), 15..80)
+}
+
+fn build(rows: &[(u8, u8, f64)]) -> Relation {
+    let schema = Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("a"),
+        Field::measure("v"),
+    ])
+    .unwrap();
+    let mut b = Relation::builder(schema);
+    for &(t, a, v) in rows {
+        b.push_row(vec![
+            Datum::Attr((t as i64).into()),
+            Datum::Attr((a as i64).into()),
+            Datum::from(v),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `explain` produces a structurally valid result on any workload with
+    /// at least two timestamps.
+    #[test]
+    fn explain_result_is_valid(rows in rows_strategy()) {
+        let rel = build(&rows);
+        let query = AggQuery::sum("t", "v");
+        let n = match rel.dim_column("t") {
+            Ok(col) => col.dict().len(),
+            Err(_) => return Ok(()),
+        };
+        if n < 2 {
+            return Ok(());
+        }
+        let engine = TsExplain::new(
+            TsExplainConfig::new(["a"]).with_optimizations(Optimizations::none()),
+        );
+        let result = engine.explain(&rel, &query).unwrap();
+        prop_assert_eq!(result.stats.n_points, n);
+        prop_assert_eq!(result.segments.len(), result.chosen_k);
+        prop_assert_eq!(result.segmentation.k(), result.chosen_k);
+        prop_assert_eq!(result.aggregate.len(), n);
+        // Segments tile the series with shared boundaries.
+        prop_assert_eq!(result.segments.first().unwrap().start, 0);
+        prop_assert_eq!(result.segments.last().unwrap().end, n - 1);
+        for w in result.segments.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // The chosen K's cost appears in the curve.
+        prop_assert!(result
+            .k_variance_curve
+            .iter()
+            .any(|&(k, v)| k == result.chosen_k && (v - result.total_variance).abs() < 1e-9));
+        // Each segment carries at most m explanations with finite γ.
+        for seg in &result.segments {
+            prop_assert!(seg.explanations.len() <= 3);
+            for item in &seg.explanations {
+                prop_assert!(item.gamma.is_finite() && item.gamma >= 0.0);
+                prop_assert_eq!(item.series.len(), seg.end - seg.start + 1);
+            }
+        }
+    }
+
+    /// Guess-and-verify (exact by construction) never changes the result.
+    #[test]
+    fn o1_does_not_change_results(rows in rows_strategy(), k in 2usize..5) {
+        let rel = build(&rows);
+        let query = AggQuery::sum("t", "v");
+        let n = match rel.dim_column("t") {
+            Ok(col) => col.dict().len(),
+            Err(_) => return Ok(()),
+        };
+        if n < k + 1 {
+            return Ok(());
+        }
+        let run = |optimizations: Optimizations| {
+            TsExplain::new(
+                TsExplainConfig::new(["a"])
+                    .with_optimizations(optimizations)
+                    .with_fixed_k(k),
+            )
+            .explain(&rel, &query)
+            .unwrap()
+        };
+        let vanilla = run(Optimizations::none());
+        let o1 = run(Optimizations {
+            filter_ratio: None,
+            guess_and_verify: Some(3),
+            sketching: None,
+        });
+        prop_assert_eq!(vanilla.segmentation.cuts(), o1.segmentation.cuts());
+        prop_assert!((vanilla.total_variance - o1.total_variance).abs() < 1e-9);
+    }
+
+    /// The elbow picks a K present on the curve for any decreasing curve.
+    #[test]
+    fn elbow_picks_a_curve_point(mut drops in proptest::collection::vec(0.01f64..10.0, 1..20)) {
+        let mut value = drops.iter().sum::<f64>() + 1.0;
+        let mut curve = Vec::new();
+        for (i, d) in drops.drain(..).enumerate() {
+            curve.push((i + 1, value));
+            value -= d;
+        }
+        let k = elbow_k(&curve);
+        prop_assert!(curve.iter().any(|&(ck, _)| ck == k));
+    }
+
+    /// Fixed-K selection is always honoured when feasible.
+    #[test]
+    fn fixed_k_honoured(rows in rows_strategy(), k in 1usize..6) {
+        let rel = build(&rows);
+        let query = AggQuery::sum("t", "v");
+        let n = match rel.dim_column("t") {
+            Ok(col) => col.dict().len(),
+            Err(_) => return Ok(()),
+        };
+        if n < 2 || k > n - 1 {
+            return Ok(());
+        }
+        let config = TsExplainConfig::new(["a"])
+            .with_optimizations(Optimizations::none())
+            .with_fixed_k(k);
+        prop_assert_eq!(config.k, KSelection::Fixed(k));
+        let result = TsExplain::new(config).explain(&rel, &query).unwrap();
+        prop_assert_eq!(result.chosen_k, k);
+    }
+}

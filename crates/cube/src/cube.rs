@@ -1,0 +1,639 @@
+use std::collections::HashMap;
+
+use tsexplain_relation::{
+    AggFn, AggQuery, AggState, AttrValue, Dictionary, Relation,
+};
+
+use crate::enumerate::enumerate;
+use crate::error::CubeError;
+use crate::explanation::{ExplId, Explanation};
+use crate::trie::{DrillTrie, NodeId, ROOT_NODE};
+
+/// Configuration for building an [`ExplanationCube`].
+#[derive(Clone, Debug)]
+pub struct CubeConfig {
+    /// The explain-by attributes `A` (Definition 3.1); user-specified from
+    /// domain knowledge, as in the paper's experiments (§7.1).
+    pub explain_by: Vec<String>,
+    /// Maximum explanation order β̄ (paper default: 3).
+    pub max_order: usize,
+    /// The support `filter` ratio (§7.5.1; paper default when enabled:
+    /// 0.001). `None` disables filtering (the Vanilla configuration).
+    pub filter_ratio: Option<f64>,
+    /// Prune redundant conjunctions that select exactly the same rows as
+    /// one of their sub-conjunctions (e.g. `category=Tech & stock=AAPL`
+    /// when `stock` functionally determines `category`). Keeps ε at the
+    /// paper's reported magnitudes for hierarchical explain-by attributes.
+    pub prune_redundant: bool,
+}
+
+impl CubeConfig {
+    /// A configuration explaining by the given attributes with the paper's
+    /// defaults (β̄ = 3, no filter).
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(explain_by: I) -> Self {
+        CubeConfig {
+            explain_by: explain_by.into_iter().map(Into::into).collect(),
+            max_order: 3,
+            filter_ratio: None,
+            prune_redundant: true,
+        }
+    }
+
+    /// Sets β̄.
+    pub fn with_max_order(mut self, max_order: usize) -> Self {
+        self.max_order = max_order;
+        self
+    }
+
+    /// Enables the support filter with `ratio` (paper default 0.001).
+    pub fn with_filter_ratio(mut self, ratio: f64) -> Self {
+        self.filter_ratio = Some(ratio);
+        self
+    }
+
+    /// Disables redundant-conjunction pruning (keeps every witnessed
+    /// conjunction, including ones equivalent to simpler candidates).
+    pub fn without_redundancy_pruning(mut self) -> Self {
+        self.prune_redundant = false;
+        self
+    }
+}
+
+/// The per-explanation time-series cube (paper §5.2, module a).
+///
+/// Holds the overall aggregate-state series `ts(R)` and one state series
+/// `ts(σ_E R)` per candidate explanation, the drill-down trie for the
+/// Cascading Analysts algorithm, and the selectability bitmap produced by
+/// the support filter.
+#[derive(Clone, Debug)]
+pub struct ExplanationCube {
+    timestamps: Vec<AttrValue>,
+    agg: AggFn,
+    total: Vec<AggState>,
+    attr_names: Vec<String>,
+    dicts: Vec<Dictionary>,
+    explanations: Vec<Explanation>,
+    series: Vec<Vec<AggState>>,
+    selectable: Vec<bool>,
+    /// Per node (explanations, then root in the last slot): whether the
+    /// subtree rooted there contains any selectable explanation. Lets the
+    /// CA algorithm prune filtered subtrees, which is where the filter's
+    /// speedup comes from.
+    subtree_selectable: Vec<bool>,
+    trie: DrillTrie,
+    index: HashMap<Explanation, ExplId>,
+}
+
+impl ExplanationCube {
+    /// Builds the cube for `query` over `rel` with `config`.
+    pub fn build(
+        rel: &Relation,
+        query: &AggQuery,
+        config: &CubeConfig,
+    ) -> Result<Self, CubeError> {
+        if config.explain_by.is_empty() {
+            return Err(CubeError::NoExplainBy);
+        }
+        if config.max_order == 0 {
+            return Err(CubeError::ZeroMaxOrder);
+        }
+        for (i, a) in config.explain_by.iter().enumerate() {
+            if a == query.time_attr() {
+                return Err(CubeError::TimeAttrInExplainBy(a.clone()));
+            }
+            if config.explain_by[..i].contains(a) {
+                return Err(CubeError::DuplicateExplainBy(a.clone()));
+            }
+        }
+        if rel.is_empty() {
+            return Err(CubeError::EmptyInput);
+        }
+
+        let time_col = rel.dim_column(query.time_attr())?;
+        let n_times = time_col.dict().len();
+        let measures = query.measure().eval(rel)?;
+
+        let mut attr_codes: Vec<Vec<u32>> = Vec::with_capacity(config.explain_by.len());
+        let mut dicts = Vec::with_capacity(config.explain_by.len());
+        for a in &config.explain_by {
+            let col = rel.dim_column(a)?;
+            attr_codes.push(col.codes().to_vec());
+            dicts.push(col.dict().clone());
+        }
+
+        let mut total = vec![AggState::ZERO; n_times];
+        for (row, &code) in time_col.codes().iter().enumerate() {
+            total[code as usize].observe(measures[row]);
+        }
+
+        let max_order = config.max_order.min(config.explain_by.len());
+        let en = enumerate(
+            time_col.codes(),
+            n_times,
+            &attr_codes,
+            &measures,
+            max_order,
+        );
+        let (explanations, series) = if config.prune_redundant {
+            prune_redundant(en.explanations, en.series)
+        } else {
+            (en.explanations, en.series)
+        };
+        let trie = DrillTrie::build(&explanations);
+        let index = explanations
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.clone(), i as ExplId))
+            .collect();
+
+        let mut cube = ExplanationCube {
+            timestamps: time_col.dict().values().to_vec(),
+            agg: query.agg(),
+            total,
+            attr_names: config.explain_by.clone(),
+            dicts,
+            explanations,
+            series,
+            selectable: Vec::new(),
+            subtree_selectable: Vec::new(),
+            trie,
+            index,
+        };
+        cube.apply_filter(config.filter_ratio);
+        Ok(cube)
+    }
+
+    /// (Re)applies the support filter, recomputing selectability.
+    ///
+    /// An explanation is kept when some point of its value series reaches
+    /// `ratio` × the overall series' magnitude at that point and is nonzero;
+    /// otherwise its contribution is insignificant everywhere (§7.5.1).
+    pub fn apply_filter(&mut self, filter_ratio: Option<f64>) {
+        let n_expl = self.explanations.len();
+        self.selectable = match filter_ratio {
+            None => vec![true; n_expl],
+            Some(ratio) => (0..n_expl)
+                .map(|e| {
+                    (0..self.n_points()).any(|t| {
+                        let v = self.value_at(e as ExplId, t).abs();
+                        v > 0.0 && v >= ratio * self.total_value(t).abs()
+                    })
+                })
+                .collect(),
+        };
+        // Propagate child → parent so CA can prune dead subtrees. Children
+        // always have strictly higher order, so scanning orders high→low
+        // sees every child before its parents.
+        let mut subtree = self.selectable.clone();
+        subtree.push(false); // root slot
+        let mut by_order: Vec<ExplId> = (0..n_expl as ExplId).collect();
+        by_order.sort_by_key(|&e| std::cmp::Reverse(self.explanations[e as usize].order()));
+        let root_slot = n_expl;
+        for &e in &by_order {
+            if subtree[e as usize] {
+                continue;
+            }
+            let has = self
+                .trie
+                .children(e)
+                .iter()
+                .any(|(_, kids)| kids.iter().any(|&k| subtree[k as usize]));
+            subtree[e as usize] = has;
+        }
+        subtree[root_slot] = self
+            .trie
+            .children(ROOT_NODE)
+            .iter()
+            .any(|(_, kids)| kids.iter().any(|&k| subtree[k as usize]));
+        self.subtree_selectable = subtree;
+    }
+
+    /// Number of points `n` in the aggregated time series.
+    pub fn n_points(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Total number of candidate explanations ε (Table 6, column ε).
+    pub fn n_candidates(&self) -> usize {
+        self.explanations.len()
+    }
+
+    /// Number of candidates surviving the support filter (Table 6,
+    /// column "filtered ε").
+    pub fn n_selectable(&self) -> usize {
+        self.selectable.iter().filter(|&&s| s).count()
+    }
+
+    /// The sorted timestamps of the series.
+    pub fn timestamps(&self) -> &[AttrValue] {
+        &self.timestamps
+    }
+
+    /// The aggregate function of the underlying query.
+    pub fn agg(&self) -> AggFn {
+        self.agg
+    }
+
+    /// The overall aggregate state at time index `t`.
+    pub fn total_state(&self, t: usize) -> AggState {
+        self.total[t]
+    }
+
+    /// The overall aggregate value at time index `t`.
+    pub fn total_value(&self, t: usize) -> f64 {
+        self.total[t].value(self.agg)
+    }
+
+    /// The whole overall value series.
+    pub fn total_values(&self) -> Vec<f64> {
+        (0..self.n_points()).map(|t| self.total_value(t)).collect()
+    }
+
+    /// Explanation `e`'s aggregate state at time index `t`.
+    pub fn state(&self, e: ExplId, t: usize) -> AggState {
+        self.series[e as usize][t]
+    }
+
+    /// Explanation `e`'s aggregate value at time index `t`.
+    pub fn value_at(&self, e: ExplId, t: usize) -> f64 {
+        self.series[e as usize][t].value(self.agg)
+    }
+
+    /// Explanation `e`'s whole value series.
+    pub fn value_series(&self, e: ExplId) -> Vec<f64> {
+        (0..self.n_points()).map(|t| self.value_at(e, t)).collect()
+    }
+
+    /// The candidate explanation behind `e`.
+    pub fn explanation(&self, e: ExplId) -> &Explanation {
+        &self.explanations[e as usize]
+    }
+
+    /// All candidate explanations.
+    pub fn explanations(&self) -> &[Explanation] {
+        &self.explanations
+    }
+
+    /// Human-readable label of `e` (`"state=NY"`, `"BV=1750 & P=6"`, …).
+    pub fn label(&self, e: ExplId) -> String {
+        self.explanations[e as usize].describe(&self.attr_names, &self.dicts)
+    }
+
+    /// Explain-by attribute names, in cube attribute-index order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// The dictionaries of the explain-by attributes.
+    pub fn dicts(&self) -> &[Dictionary] {
+        &self.dicts
+    }
+
+    /// The drill-down trie.
+    pub fn trie(&self) -> &DrillTrie {
+        &self.trie
+    }
+
+    /// The id of an explanation by structural equality, if enumerated.
+    pub fn lookup(&self, e: &Explanation) -> Option<ExplId> {
+        self.index.get(e).copied()
+    }
+
+    /// Whether explanation `e` survived the support filter.
+    pub fn is_selectable(&self, e: ExplId) -> bool {
+        self.selectable[e as usize]
+    }
+
+    /// Whether any explanation in the subtree under `node` is selectable.
+    pub fn subtree_selectable(&self, node: NodeId) -> bool {
+        if node == ROOT_NODE {
+            self.subtree_selectable[self.explanations.len()]
+        } else {
+            self.subtree_selectable[node as usize]
+        }
+    }
+
+    /// Ids of all selectable explanations.
+    pub fn selectable_ids(&self) -> Vec<ExplId> {
+        (0..self.explanations.len() as ExplId)
+            .filter(|&e| self.selectable[e as usize])
+            .collect()
+    }
+
+    /// Smooths the overall and per-explanation series with a centered
+    /// moving average of `window` points (clamped at the boundaries).
+    ///
+    /// The paper applies a moving average to "very fuzzy" datasets before
+    /// explaining them (§7.4); smoothing the decomposable states keeps
+    /// every downstream γ computation consistent with the smoothed view.
+    /// `window <= 1` is a no-op.
+    pub fn smooth_moving_average(&mut self, window: usize) {
+        if window <= 1 {
+            return;
+        }
+        let half = window / 2;
+        let smooth_series = |s: &[AggState]| -> Vec<AggState> {
+            let n = s.len();
+            (0..n)
+                .map(|t| {
+                    let lo = t.saturating_sub(half);
+                    let hi = (t + half).min(n - 1);
+                    let mut acc = AggState::ZERO;
+                    for x in &s[lo..=hi] {
+                        acc += *x;
+                    }
+                    let k = (hi - lo + 1) as f64;
+                    AggState {
+                        count: acc.count / k,
+                        sum: acc.sum / k,
+                        sumsq: acc.sumsq / k,
+                    }
+                })
+                .collect()
+        };
+        self.total = smooth_series(&self.total);
+        for s in &mut self.series {
+            *s = smooth_series(s);
+        }
+    }
+}
+
+/// Drops conjunctions whose row set equals one of their sub-conjunctions'.
+///
+/// A conjunction `F` is redundant iff some immediate parent `F \ {a}` has
+/// the same total support: `σ_F R ⊆ σ_{F∖a} R` always, so equal row counts
+/// imply equal row sets. Redundancy is downward-closed (adding predicates
+/// to a redundant conjunction keeps it redundant), so checking immediate
+/// parents is sufficient and the kept set always contains every kept
+/// explanation's drill-down parents.
+fn prune_redundant(
+    explanations: Vec<Explanation>,
+    series: Vec<Vec<AggState>>,
+) -> (Vec<Explanation>, Vec<Vec<AggState>>) {
+    let index: HashMap<&Explanation, usize> = explanations
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e, i))
+        .collect();
+    let support: Vec<f64> = series
+        .iter()
+        .map(|s| s.iter().map(|st| st.count).sum())
+        .collect();
+    let keep: Vec<bool> = explanations
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            if e.order() < 2 {
+                return true;
+            }
+            !e.preds().iter().any(|&(attr, _)| {
+                let parent = e.without(attr).expect("attr constrained");
+                index
+                    .get(&parent)
+                    .is_some_and(|&p| support[p] == support[i])
+            })
+        })
+        .collect();
+    let mut kept_expl = Vec::new();
+    let mut kept_series = Vec::new();
+    for (i, k) in keep.iter().enumerate() {
+        if *k {
+            kept_expl.push(explanations[i].clone());
+            kept_series.push(series[i].clone());
+        }
+    }
+    (kept_expl, kept_series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_relation::{Datum, Field, Schema};
+
+    /// date × state × pack with COUNT aggregation.
+    fn sample_relation() -> Relation {
+        let schema = Schema::new(vec![
+            Field::dimension("date"),
+            Field::dimension("state"),
+            Field::dimension("pack"),
+            Field::measure("sold"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        let rows: &[(&str, &str, i64, f64)] = &[
+            ("d1", "NY", 6, 1.0),
+            ("d1", "NY", 12, 2.0),
+            ("d1", "CA", 6, 3.0),
+            ("d2", "NY", 6, 4.0),
+            ("d2", "CA", 12, 5.0),
+            ("d3", "CA", 12, 6.0),
+        ];
+        for &(d, s, p, v) in rows {
+            b.push_row(vec![
+                Datum::from(d),
+                Datum::from(s),
+                Datum::from(p),
+                Datum::from(v),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn sample_cube(config: CubeConfig) -> ExplanationCube {
+        let rel = sample_relation();
+        let query = AggQuery::sum("date", "sold");
+        ExplanationCube::build(&rel, &query, &config).unwrap()
+    }
+
+    #[test]
+    fn totals_match_group_by() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        assert_eq!(cube.n_points(), 3);
+        assert_eq!(cube.total_values(), vec![6.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn candidate_counts() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        // Order 1: state∈{NY,CA} (2) + pack∈{6,12} (2) = 4.
+        // Order 2 witnessed: (NY,6), (NY,12), (CA,6), (CA,12) = 4.
+        assert_eq!(cube.n_candidates(), 8);
+        assert_eq!(cube.n_selectable(), 8);
+    }
+
+    #[test]
+    fn slice_series_match_manual_selection() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        let ny = (0..cube.n_candidates() as ExplId)
+            .find(|&e| cube.label(e) == "state=NY")
+            .unwrap();
+        assert_eq!(cube.value_series(ny), vec![3.0, 4.0, 0.0]);
+        let ca12 = (0..cube.n_candidates() as ExplId)
+            .find(|&e| cube.label(e) == "state=CA & pack=12")
+            .unwrap();
+        assert_eq!(cube.value_series(ca12), vec![0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slices_sum_to_total_per_attribute() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        for t in 0..cube.n_points() {
+            let sum: f64 = (0..cube.n_candidates() as ExplId)
+                .filter(|&e| {
+                    cube.explanation(e).order() == 1 && cube.explanation(e).constrains(0)
+                })
+                .map(|e| cube.value_at(e, t))
+                .sum();
+            assert!((sum - cube.total_value(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_order_respected() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]).with_max_order(1));
+        assert!(cube
+            .explanations()
+            .iter()
+            .all(|e| e.order() == 1));
+    }
+
+    #[test]
+    fn filter_marks_small_slices() {
+        // `pack=6, state=CA` only contributes 3.0/6.0 on d1; with a huge
+        // ratio nothing survives, with a tiny ratio everything does.
+        let mut cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        cube.apply_filter(Some(10.0));
+        assert_eq!(cube.n_selectable(), 0);
+        assert!(!cube.subtree_selectable(ROOT_NODE));
+        cube.apply_filter(Some(1e-9));
+        assert_eq!(cube.n_selectable(), cube.n_candidates());
+        assert!(cube.subtree_selectable(ROOT_NODE));
+    }
+
+    #[test]
+    fn filter_ratio_thresholds_point_share() {
+        let mut cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        // state=NY reaches 3/6 = 50% on d1; 0.4 keeps it, 0.9 does not
+        // (its best share is 4/9 on d2... actually 3/6=0.5) — check both.
+        cube.apply_filter(Some(0.4));
+        let ny = (0..cube.n_candidates() as ExplId)
+            .find(|&e| cube.label(e) == "state=NY")
+            .unwrap();
+        assert!(cube.is_selectable(ny));
+        cube.apply_filter(Some(0.9));
+        assert!(!cube.is_selectable(ny));
+    }
+
+    #[test]
+    fn subtree_selectability_keeps_structural_parents() {
+        let mut cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        // Filter so only the largest order-2 slice (CA & 12: 5,6) survives…
+        cube.apply_filter(Some(0.55));
+        let ca12 = (0..cube.n_candidates() as ExplId)
+            .find(|&e| cube.label(e) == "state=CA & pack=12")
+            .unwrap();
+        assert!(cube.is_selectable(ca12));
+        // …then its parents must still be drillable-through.
+        let ca = (0..cube.n_candidates() as ExplId)
+            .find(|&e| cube.label(e) == "state=CA")
+            .unwrap();
+        assert!(cube.subtree_selectable(ca));
+    }
+
+    #[test]
+    fn redundant_conjunctions_pruned_for_hierarchies() {
+        // "industry" functionally determines "sector": sector=S & industry=I
+        // selects the same rows as industry=I and must be pruned.
+        let schema = Schema::new(vec![
+            Field::dimension("d"),
+            Field::dimension("sector"),
+            Field::dimension("industry"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for (d, s, i, v) in [
+            ("d1", "Tech", "Software", 1.0),
+            ("d1", "Tech", "Hardware", 2.0),
+            ("d1", "Energy", "Oil", 3.0),
+            ("d2", "Tech", "Software", 4.0),
+            ("d2", "Energy", "Oil", 5.0),
+        ] {
+            b.push_row(vec![
+                Datum::from(d),
+                Datum::from(s),
+                Datum::from(i),
+                Datum::from(v),
+            ])
+            .unwrap();
+        }
+        let rel = b.finish();
+        let query = AggQuery::sum("d", "v");
+        let pruned =
+            ExplanationCube::build(&rel, &query, &CubeConfig::new(["sector", "industry"]))
+                .unwrap();
+        let full = ExplanationCube::build(
+            &rel,
+            &query,
+            &CubeConfig::new(["sector", "industry"]).without_redundancy_pruning(),
+        )
+        .unwrap();
+        // Order-1: 2 sectors + 3 industries = 5. Pairs are all redundant.
+        assert_eq!(pruned.n_candidates(), 5);
+        assert_eq!(full.n_candidates(), 8);
+        assert!(pruned
+            .explanations()
+            .iter()
+            .all(|e| e.order() == 1));
+    }
+
+    #[test]
+    fn pruning_keeps_informative_conjunctions() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        // state × pack combinations genuinely refine both parents here.
+        assert_eq!(cube.n_candidates(), 8);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let rel = sample_relation();
+        let query = AggQuery::sum("date", "sold");
+        let err = ExplanationCube::build(&rel, &query, &CubeConfig::new(Vec::<String>::new()))
+            .unwrap_err();
+        assert_eq!(err, CubeError::NoExplainBy);
+        let err =
+            ExplanationCube::build(&rel, &query, &CubeConfig::new(["date"])).unwrap_err();
+        assert_eq!(err, CubeError::TimeAttrInExplainBy("date".into()));
+        let err = ExplanationCube::build(&rel, &query, &CubeConfig::new(["state", "state"]))
+            .unwrap_err();
+        assert_eq!(err, CubeError::DuplicateExplainBy("state".into()));
+        let err = ExplanationCube::build(
+            &rel,
+            &query,
+            &CubeConfig::new(["state"]).with_max_order(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, CubeError::ZeroMaxOrder);
+    }
+
+    #[test]
+    fn smoothing_averages_neighbors() {
+        let mut cube = sample_cube(CubeConfig::new(["state"]));
+        let before = cube.total_values();
+        cube.smooth_moving_average(3);
+        let after = cube.total_values();
+        // Middle point becomes the mean of all three.
+        assert!((after[1] - (before[0] + before[1] + before[2]) / 3.0).abs() < 1e-9);
+        // Boundary points average the available window.
+        assert!((after[0] - (before[0] + before[1]) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_window_one_is_noop() {
+        let mut cube = sample_cube(CubeConfig::new(["state"]));
+        let before = cube.total_values();
+        cube.smooth_moving_average(1);
+        assert_eq!(before, cube.total_values());
+    }
+}

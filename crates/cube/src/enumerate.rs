@@ -1,0 +1,142 @@
+use std::collections::HashMap;
+
+use tsexplain_relation::AggState;
+
+use crate::explanation::{ExplId, Explanation};
+
+/// The raw result of candidate enumeration: every witnessed explanation of
+/// order `1..=max_order`, with its per-timestamp aggregate-state series.
+pub(crate) struct Enumeration {
+    pub explanations: Vec<Explanation>,
+    pub series: Vec<Vec<AggState>>,
+}
+
+/// Enumerates all candidate explanations witnessed by the data.
+///
+/// For every non-empty subset `S` of explain-by attributes with
+/// `|S| ≤ max_order`, rows are grouped by their value combination over `S`;
+/// each observed combination is one candidate explanation and its aggregate
+/// state is accumulated per timestamp. This is the `ε` of the paper's
+/// complexity analysis (§5.2) and the `ε` column of Table 6.
+///
+/// `attr_codes[a][row]` is the dictionary code of explain-by attribute `a`
+/// in `row`; `time_codes[row] < n_times` is the row's timestamp index;
+/// `measures[row]` the evaluated measure expression.
+pub(crate) fn enumerate(
+    time_codes: &[u32],
+    n_times: usize,
+    attr_codes: &[Vec<u32>],
+    measures: &[f64],
+    max_order: usize,
+) -> Enumeration {
+    let n_attrs = attr_codes.len();
+    let n_rows = time_codes.len();
+    let mut explanations: Vec<Explanation> = Vec::new();
+    let mut series: Vec<Vec<AggState>> = Vec::new();
+
+    for mask in 1u32..(1u32 << n_attrs) {
+        let attrs: Vec<u16> = (0..n_attrs as u16)
+            .filter(|&a| mask & (1 << a) != 0)
+            .collect();
+        if attrs.len() > max_order {
+            continue;
+        }
+        let mut local: HashMap<Vec<u32>, ExplId> = HashMap::new();
+        let mut key = vec![0u32; attrs.len()];
+        for row in 0..n_rows {
+            for (i, &a) in attrs.iter().enumerate() {
+                key[i] = attr_codes[a as usize][row];
+            }
+            let id = match local.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = explanations.len() as ExplId;
+                    local.insert(key.clone(), id);
+                    let preds = attrs.iter().copied().zip(key.iter().copied()).collect();
+                    explanations.push(Explanation::new(preds));
+                    series.push(vec![AggState::ZERO; n_times]);
+                    id
+                }
+            };
+            series[id as usize][time_codes[row] as usize].observe(measures[row]);
+        }
+    }
+
+    Enumeration {
+        explanations,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_relation::AggFn;
+
+    /// Rows: (time, a0, a1, measure).
+    fn run(rows: &[(u32, u32, u32, f64)], n_times: usize, max_order: usize) -> Enumeration {
+        let time_codes: Vec<u32> = rows.iter().map(|r| r.0).collect();
+        let a0: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let a1: Vec<u32> = rows.iter().map(|r| r.2).collect();
+        let measures: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        enumerate(&time_codes, n_times, &[a0, a1], &measures, max_order)
+    }
+
+    #[test]
+    fn enumerates_only_witnessed_combinations() {
+        // a0 ∈ {0,1}, a1 ∈ {0,1}, but (a0=1, a1=1) never occurs together.
+        let rows = [
+            (0, 0, 0, 1.0),
+            (0, 1, 0, 2.0),
+            (1, 0, 1, 3.0),
+        ];
+        let e = run(&rows, 2, 2);
+        // Order 1: a0=0, a0=1, a1=0, a1=1 → 4. Order 2: (0,0), (1,0), (0,1) → 3.
+        assert_eq!(e.explanations.len(), 7);
+        assert!(!e
+            .explanations
+            .iter()
+            .any(|x| x.order() == 2 && x.code_for(0) == Some(1) && x.code_for(1) == Some(1)));
+    }
+
+    #[test]
+    fn max_order_limits_subsets() {
+        let rows = [(0, 0, 0, 1.0), (1, 1, 1, 2.0)];
+        let e = run(&rows, 2, 1);
+        assert!(e.explanations.iter().all(|x| x.order() == 1));
+        assert_eq!(e.explanations.len(), 4);
+    }
+
+    #[test]
+    fn series_accumulates_per_time() {
+        let rows = [
+            (0, 0, 0, 1.0),
+            (0, 0, 1, 2.0),
+            (1, 0, 0, 5.0),
+        ];
+        let e = run(&rows, 2, 2);
+        let idx = e
+            .explanations
+            .iter()
+            .position(|x| x.order() == 1 && x.code_for(0) == Some(0))
+            .unwrap();
+        let s = &e.series[idx];
+        assert_eq!(s[0].value(AggFn::Sum), 3.0);
+        assert_eq!(s[1].value(AggFn::Sum), 5.0);
+        assert_eq!(s[0].value(AggFn::Count), 2.0);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let rows = [(0, 0, 0, 1.0), (1, 1, 1, 2.0), (0, 1, 0, 3.0)];
+        let a = run(&rows, 2, 2);
+        let b = run(&rows, 2, 2);
+        assert_eq!(a.explanations, b.explanations);
+    }
+
+    #[test]
+    fn empty_input_yields_no_candidates() {
+        let e = run(&[], 0, 3);
+        assert!(e.explanations.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+use tsexplain_relation::RelationError;
+
+/// Errors produced while building an [`crate::ExplanationCube`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CubeError {
+    /// A substrate error (unknown attribute, type mismatch, …).
+    Relation(RelationError),
+    /// No explain-by attributes were given.
+    NoExplainBy,
+    /// The time attribute was listed among the explain-by attributes.
+    TimeAttrInExplainBy(String),
+    /// The same attribute was listed twice in explain-by.
+    DuplicateExplainBy(String),
+    /// The maximum explanation order β̄ must be at least 1.
+    ZeroMaxOrder,
+    /// The relation has no rows / the series has no points.
+    EmptyInput,
+}
+
+impl fmt::Display for CubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeError::Relation(e) => write!(f, "relation error: {e}"),
+            CubeError::NoExplainBy => write!(f, "at least one explain-by attribute is required"),
+            CubeError::TimeAttrInExplainBy(a) => {
+                write!(f, "time attribute {a:?} cannot also be an explain-by attribute")
+            }
+            CubeError::DuplicateExplainBy(a) => {
+                write!(f, "duplicate explain-by attribute {a:?}")
+            }
+            CubeError::ZeroMaxOrder => write!(f, "max explanation order must be >= 1"),
+            CubeError::EmptyInput => write!(f, "cannot build a cube from an empty relation"),
+        }
+    }
+}
+
+impl std::error::Error for CubeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CubeError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for CubeError {
+    fn from(e: RelationError) -> Self {
+        CubeError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context() {
+        let e = CubeError::TimeAttrInExplainBy("date".into());
+        assert!(e.to_string().contains("date"));
+        let e: CubeError = RelationError::UnknownField("x".into()).into();
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the explanation cube: slice/total consistency,
+//! trie structural invariants, filter monotonicity and overlap semantics.
+
+use proptest::prelude::*;
+use tsexplain_cube::{CubeConfig, ExplId, ExplanationCube, ROOT_NODE};
+use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, f64)>> {
+    proptest::collection::vec((0u8..5, 0u8..3, 0u8..3, 0.1f64..100.0), 5..80)
+}
+
+fn build_cube(rows: &[(u8, u8, u8, f64)], max_order: usize, filter: Option<f64>) -> ExplanationCube {
+    let schema = Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("a"),
+        Field::dimension("b"),
+        Field::measure("v"),
+    ])
+    .unwrap();
+    let mut builder = Relation::builder(schema);
+    for &(t, a, b, v) in rows {
+        builder
+            .push_row(vec![
+                Datum::Attr((t as i64).into()),
+                Datum::Attr((a as i64).into()),
+                Datum::Attr((b as i64).into()),
+                Datum::from(v),
+            ])
+            .unwrap();
+    }
+    let mut config = CubeConfig::new(["a", "b"])
+        .with_max_order(max_order)
+        .without_redundancy_pruning();
+    config.filter_ratio = filter;
+    ExplanationCube::build(&builder.finish(), &AggQuery::sum("t", "v"), &config).unwrap()
+}
+
+proptest! {
+    /// Order-1 slices of one attribute sum to the total at every point.
+    #[test]
+    fn order1_slices_partition_total(rows in rows_strategy()) {
+        let cube = build_cube(&rows, 2, None);
+        for attr in 0..2u16 {
+            for t in 0..cube.n_points() {
+                let sum: f64 = (0..cube.n_candidates() as ExplId)
+                    .filter(|&e| {
+                        let expl = cube.explanation(e);
+                        expl.order() == 1 && expl.constrains(attr)
+                    })
+                    .map(|e| cube.value_at(e, t))
+                    .sum();
+                prop_assert!((sum - cube.total_value(t)).abs() < 1e-6,
+                    "attr {attr} t {t}: {sum} vs {}", cube.total_value(t));
+            }
+        }
+    }
+
+    /// Every trie child refines its parent by exactly the grouping attr.
+    #[test]
+    fn trie_children_refine_parents(rows in rows_strategy()) {
+        let cube = build_cube(&rows, 2, None);
+        let trie = cube.trie();
+        // Root children are order-1 on the group's attr.
+        for (attr, kids) in trie.children(ROOT_NODE) {
+            for &kid in kids {
+                let e = cube.explanation(kid);
+                prop_assert_eq!(e.order(), 1);
+                prop_assert!(e.constrains(*attr));
+            }
+        }
+        for parent in 0..cube.n_candidates() as ExplId {
+            for (attr, kids) in trie.children(parent) {
+                let p = cube.explanation(parent);
+                prop_assert!(!p.constrains(*attr));
+                for &kid in kids {
+                    let k = cube.explanation(kid);
+                    prop_assert_eq!(k.order(), p.order() + 1);
+                    prop_assert_eq!(&k.without(*attr).unwrap(), p);
+                }
+            }
+        }
+    }
+
+    /// Raising the filter ratio can only shrink the selectable set.
+    #[test]
+    fn filter_is_monotone(rows in rows_strategy(), r1 in 0.0001f64..0.2, r2 in 0.0001f64..0.2) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let mut cube = build_cube(&rows, 2, None);
+        cube.apply_filter(Some(lo));
+        let selectable_lo = cube.n_selectable();
+        cube.apply_filter(Some(hi));
+        let selectable_hi = cube.n_selectable();
+        prop_assert!(selectable_hi <= selectable_lo);
+        prop_assert!(selectable_lo <= cube.n_candidates());
+    }
+
+    /// `overlaps` agrees with actual row-set intersection.
+    #[test]
+    fn overlap_matches_row_semantics(rows in rows_strategy()) {
+        let cube = build_cube(&rows, 2, None);
+        let n = cube.n_candidates().min(12) as ExplId;
+        for e1 in 0..n {
+            for e2 in 0..n {
+                let x1 = cube.explanation(e1);
+                let x2 = cube.explanation(e2);
+                // Count rows matching both conjunctions.
+                let both = rows.iter().filter(|&&(_, a, b, _)| {
+                    let matches = |e: &tsexplain_cube::Explanation| {
+                        e.preds().iter().all(|&(attr, code)| {
+                            let dict = &cube.dicts()[attr as usize];
+                            let val = if attr == 0 { a } else { b } as i64;
+                            dict.code_of(&val.into()) == Some(code)
+                        })
+                    };
+                    matches(x1) && matches(x2)
+                }).count();
+                if both > 0 {
+                    prop_assert!(x1.overlaps(x2),
+                        "{} and {} share {both} rows but report non-overlapping",
+                        cube.label(e1), cube.label(e2));
+                }
+            }
+        }
+    }
+
+    /// Smoothing preserves the series mean (up to boundary effects) and
+    /// never changes the number of points.
+    #[test]
+    fn smoothing_preserves_shape(rows in rows_strategy(), window in 1usize..6) {
+        let mut cube = build_cube(&rows, 1, None);
+        let n = cube.n_points();
+        let before: f64 = cube.total_values().iter().sum();
+        cube.smooth_moving_average(window);
+        prop_assert_eq!(cube.n_points(), n);
+        let after: f64 = cube.total_values().iter().sum();
+        // Centered MA with boundary clamping keeps totals in the same band.
+        prop_assert!(after.abs() <= before.abs() * 2.0 + 1e-6);
+    }
+}

@@ -1,0 +1,253 @@
+//! The Covid workload simulator (paper §7.1.2, "Covid").
+//!
+//! The original JHU repository (paper ref. 20) records per-state daily and cumulative
+//! confirmed cases for 58 US states/territories over 2020-01-22 through
+//! 2020-12-31 (n = 345, ε = 58 with explain-by = `state`). This generator
+//! reproduces that shape with the 2020 wave structure the paper's case
+//! study narrates: WA/NY seed the outbreak, the NY/NJ/MA spring surge,
+//! CA's rise from late April, the FL/TX/CA summer wave, the IL/WI-led fall
+//! wave, and the CA/TX-dominated winter explosion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+
+use crate::dates::dates_from;
+use crate::rng::gaussian;
+use crate::workload::Workload;
+
+/// Number of days in the window (2020-01-22 ..= 2020-12-31).
+pub const N_DAYS: usize = 345;
+
+/// The 58 JHU reporting units: 50 states, DC, 5 territories, 2 cruise
+/// ships.
+pub const STATES: [&str; 58] = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
+    "VA", "WA", "WV", "WI", "WY", "DC", "PR", "GU", "VI", "AS", "MP", "Diamond Princess",
+    "Grand Princess",
+];
+
+/// A Gaussian daily-case wave: `total` cases spread around day `peak` with
+/// the given `width` (standard deviation, days).
+#[derive(Clone, Copy, Debug)]
+struct Wave {
+    peak: f64,
+    width: f64,
+    total: f64,
+}
+
+impl Wave {
+    fn at(&self, day: usize) -> f64 {
+        let z = (day as f64 - self.peak) / self.width;
+        // Normal density scaled so the wave integrates to `total`.
+        self.total * (-0.5 * z * z).exp() / (self.width * (std::f64::consts::TAU).sqrt())
+    }
+}
+
+/// Per-state wave mixture. Days are offsets from 2020-01-22; key dates:
+/// 3/14 ≈ 52, 4/7 ≈ 76, 5/25 ≈ 124, 7/16 ≈ 176, 9/9 ≈ 231, 11/10 ≈ 293.
+fn waves_for(state: &str, weight: f64) -> Vec<Wave> {
+    let w = |peak: f64, width: f64, total: f64| Wave { peak, width, total };
+    match state {
+        // The early epicentre, huge spring wave, winter resurgence.
+        "NY" => vec![w(75.0, 14.0, 360_000.0), w(350.0, 35.0, 700_000.0)],
+        "NJ" => vec![w(79.0, 14.0, 150_000.0), w(345.0, 38.0, 250_000.0)],
+        "MA" => vec![w(84.0, 15.0, 100_000.0), w(345.0, 40.0, 180_000.0)],
+        "CT" => vec![w(82.0, 15.0, 45_000.0), w(345.0, 40.0, 90_000.0)],
+        "PA" => vec![w(80.0, 16.0, 70_000.0), w(330.0, 32.0, 330_000.0)],
+        // First detected cases + modest waves.
+        "WA" => vec![
+            w(42.0, 14.0, 11_000.0),
+            w(200.0, 40.0, 50_000.0),
+            w(330.0, 35.0, 130_000.0),
+        ],
+        // Slow spring rise, summer wave, enormous winter wave.
+        "CA" => vec![
+            w(48.0, 18.0, 9_000.0),
+            w(105.0, 30.0, 110_000.0),
+            w(182.0, 26.0, 330_000.0),
+            w(338.0, 24.0, 1_700_000.0),
+        ],
+        "TX" => vec![
+            w(175.0, 22.0, 330_000.0),
+            w(290.0, 32.0, 300_000.0),
+            w(340.0, 30.0, 420_000.0),
+        ],
+        "FL" => vec![w(172.0, 20.0, 340_000.0), w(335.0, 30.0, 330_000.0)],
+        "AZ" => vec![w(170.0, 18.0, 110_000.0), w(340.0, 28.0, 170_000.0)],
+        "GA" => vec![w(180.0, 25.0, 150_000.0), w(330.0, 32.0, 160_000.0)],
+        // The late-spring rise the news reported [50], then a fall wave that
+        // crests before December.
+        "IL" => vec![
+            w(108.0, 20.0, 110_000.0),
+            w(287.0, 22.0, 420_000.0),
+        ],
+        "WI" => vec![w(280.0, 20.0, 200_000.0), w(330.0, 40.0, 60_000.0)],
+        "MN" => vec![w(285.0, 22.0, 150_000.0)],
+        "MI" => vec![w(80.0, 15.0, 55_000.0), w(300.0, 25.0, 250_000.0)],
+        "OH" => vec![w(110.0, 30.0, 50_000.0), w(320.0, 28.0, 300_000.0)],
+        "IN" => vec![w(100.0, 28.0, 35_000.0), w(315.0, 28.0, 180_000.0)],
+        // Cruise ships: a tiny burst at the very start, then nothing.
+        "Diamond Princess" => vec![w(25.0, 6.0, 46.0)],
+        "Grand Princess" => vec![w(45.0, 6.0, 103.0)],
+        // Generic profile scaled by a size weight: small spring, medium
+        // summer, large fall/winter.
+        _ => vec![
+            w(85.0, 22.0, 25_000.0 * weight),
+            w(190.0, 30.0, 45_000.0 * weight),
+            w(315.0, 30.0, 140_000.0 * weight),
+        ],
+    }
+}
+
+/// Rough relative size of each generic state (drives case volume).
+fn state_weight(state: &str) -> f64 {
+    match state {
+        "NC" | "VA" | "TN" | "MO" | "MD" => 1.4,
+        "AL" | "SC" | "LA" | "KY" | "OK" | "OR" | "CO" => 1.0,
+        "KS" | "AR" | "MS" | "IA" | "NV" | "UT" | "NM" | "NE" | "WV" | "ID" => 0.6,
+        "ME" | "NH" | "RI" | "MT" | "DE" | "SD" | "ND" | "AK" | "HI" | "WY" | "DC" => 0.3,
+        "PR" => 0.4,
+        "GU" | "VI" | "AS" | "MP" => 0.03,
+        _ => 1.0,
+    }
+}
+
+/// The generated Covid dataset: one relation with both measures.
+#[derive(Clone, Debug)]
+pub struct CovidData {
+    /// Schema: `(date, state, daily_confirmed_cases, total_confirmed_cases)`.
+    pub relation: Relation,
+}
+
+/// Generates the Covid workload (deterministic per seed).
+pub fn generate(seed: u64) -> CovidData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dates = dates_from(2020, 1, 22, 2, N_DAYS);
+    let schema = Schema::new(vec![
+        Field::dimension("date"),
+        Field::dimension("state"),
+        Field::measure("daily_confirmed_cases"),
+        Field::measure("total_confirmed_cases"),
+    ])
+    .expect("static schema");
+    let mut b = Relation::builder(schema);
+
+    for state in STATES {
+        let waves = waves_for(state, state_weight(state));
+        let mut cumulative = 0.0;
+        for (day, date) in dates.iter().enumerate() {
+            let expected: f64 = waves.iter().map(|w| w.at(day)).sum();
+            // Mild multiplicative reporting noise.
+            let noisy = (expected * (1.0 + gaussian(&mut rng, 0.0, 0.08))).max(0.0);
+            let daily = noisy.round();
+            cumulative += daily;
+            b.push_row(vec![
+                Datum::from(date.as_str()),
+                Datum::from(state),
+                Datum::from(daily),
+                Datum::from(cumulative),
+            ])
+            .expect("schema-conformant row");
+        }
+    }
+    CovidData {
+        relation: b.finish(),
+    }
+}
+
+impl CovidData {
+    /// `SELECT date, SUM(total_confirmed_cases) … GROUP BY date` — the
+    /// paper's Fig. 11 series.
+    pub fn total_workload(&self) -> Workload {
+        Workload::new(
+            "total-confirmed-cases",
+            self.relation.clone(),
+            AggQuery::sum("date", "total_confirmed_cases"),
+            vec!["state".to_string()],
+        )
+    }
+
+    /// `SELECT date, SUM(daily_confirmed_cases) … GROUP BY date` — the
+    /// paper's Fig. 12 series.
+    pub fn daily_workload(&self) -> Workload {
+        Workload::new(
+            "daily-confirmed-cases",
+            self.relation.clone(),
+            AggQuery::sum("date", "daily_confirmed_cases"),
+            vec!["state".to_string()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table6() {
+        let d = generate(0);
+        assert_eq!(d.relation.n_rows(), 58 * N_DAYS);
+        let ts = d.total_workload().query.run(&d.relation).unwrap();
+        assert_eq!(ts.len(), N_DAYS); // n = 345
+        let states = d.relation.dim_column("state").unwrap();
+        assert_eq!(states.dict().len(), 58); // ε = 58 for order-1
+    }
+
+    #[test]
+    fn totals_are_cumulative_and_monotone() {
+        let d = generate(0);
+        let ts = d.total_workload().query.run(&d.relation).unwrap();
+        assert!(ts
+            .values
+            .windows(2)
+            .all(|w| w[1] >= w[0] - 1e-9));
+        // Year-end total in the (simulated) tens of millions of case-days…
+        // at least several million cases nationally.
+        assert!(*ts.values.last().unwrap() > 5e6);
+    }
+
+    #[test]
+    fn narrative_states_dominate_their_phases() {
+        let d = generate(0);
+        let daily = d.daily_workload();
+        let rel = &d.relation;
+        let slice_sum = |state: &str, lo: usize, hi: usize| -> f64 {
+            let states = rel.dim_column("state").unwrap();
+            let code = states.dict().code_of(&state.into()).unwrap();
+            let dailies = rel.measure("daily_confirmed_cases").unwrap();
+            let dates = rel.dim_column("date").unwrap();
+            (0..rel.n_rows())
+                .filter(|&r| states.codes()[r] == code)
+                .filter(|&r| {
+                    let day = dates.codes()[r] as usize;
+                    day >= lo && day < hi
+                })
+                .map(|r| dailies[r])
+                .sum()
+        };
+        // Spring (day 50..90): NY above CA and FL.
+        assert!(slice_sum("NY", 50, 90) > slice_sum("CA", 50, 90));
+        assert!(slice_sum("NY", 50, 90) > slice_sum("FL", 50, 90));
+        // Summer (day 160..200): FL/TX above NY.
+        assert!(slice_sum("FL", 160, 200) > slice_sum("NY", 160, 200));
+        assert!(slice_sum("TX", 160, 200) > slice_sum("NY", 160, 200));
+        // Winter (day 320..345): CA leads everything.
+        for other in ["NY", "TX", "FL", "IL"] {
+            assert!(slice_sum("CA", 320, 345) > slice_sum(other, 320, 345));
+        }
+        let _ = daily;
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(
+            a.relation.measure("daily_confirmed_cases").unwrap(),
+            b.relation.measure("daily_confirmed_cases").unwrap()
+        );
+    }
+}

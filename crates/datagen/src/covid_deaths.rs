@@ -1,0 +1,180 @@
+//! The time-varying-attribute case study (paper §8, Fig. 18).
+//!
+//! CDC-style weekly Covid deaths for weeks 14–52 of 2021, broken down by
+//! `age-group` (static per person) and `vaccinated` (time-varying: people
+//! move from NO to YES as coverage grows). The generated dynamics
+//! reproduce the paper's reading: before ~week 31 the unvaccinated
+//! population drives the death toll (including unvaccinated young people),
+//! afterwards age-group=50+ dominates as breakthrough deaths among
+//! vaccinated elders rise while young unvaccinated deaths recede.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+
+use crate::rng::gaussian;
+use crate::workload::Workload;
+
+/// First and last reporting weeks (2021).
+pub const FIRST_WEEK: usize = 14;
+/// Last reporting week.
+pub const LAST_WEEK: usize = 52;
+
+/// Age groups used by the CDC surveillance table.
+pub const AGE_GROUPS: [&str; 3] = ["18-29", "30-49", "50+"];
+
+fn wave(week: f64, peak: f64, width: f64, height: f64) -> f64 {
+    let z = (week - peak) / width;
+    height * (-0.5 * z * z).exp()
+}
+
+/// A logistic ramp from 0 to `height` centred at `mid` with slope scale
+/// `rate` (weeks).
+fn rise(week: f64, mid: f64, rate: f64, height: f64) -> f64 {
+    height / (1.0 + (-(week - mid) / rate).exp())
+}
+
+/// Expected weekly deaths for one (age-group, vaccinated) slice.
+///
+/// Designed so that over the early phase (weeks ≲ 31) the `vaccinated=NO`
+/// slice moves most (the delta wave hits the unvaccinated of *all* ages),
+/// while over the late phase the `age-group=50+` slice moves most: deaths
+/// among vaccinated elders rise sharply (waning protection) and
+/// unvaccinated elders keep climbing into winter, whereas young
+/// unvaccinated deaths recede — inside the NO slice the late elder rise is
+/// cancelled by the young decline.
+fn expected(age: &str, vaccinated: bool, week: usize) -> f64 {
+    let w = week as f64;
+    match (age, vaccinated) {
+        ("50+", false) => {
+            500.0 + wave(w, 32.0, 5.0, 1200.0) + rise(w, 45.0, 2.5, 1700.0)
+        }
+        ("50+", true) => 15.0 + rise(w, 45.0, 2.5, 1950.0),
+        ("30-49", false) => 80.0 + wave(w, 32.0, 4.5, 800.0),
+        ("30-49", true) => 4.0 + rise(w, 46.0, 3.0, 60.0),
+        ("18-29", false) => 25.0 + wave(w, 32.0, 4.5, 240.0),
+        ("18-29", true) => 1.0 + rise(w, 46.0, 3.0, 12.0),
+        _ => 0.0,
+    }
+}
+
+/// The generated weekly-deaths dataset.
+#[derive(Clone, Debug)]
+pub struct CovidDeathsData {
+    /// Schema: `(week, age-group, vaccinated, deaths)`.
+    pub relation: Relation,
+}
+
+/// Generates the weekly-deaths workload (deterministic per seed).
+pub fn generate(seed: u64) -> CovidDeathsData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new(vec![
+        Field::dimension("week"),
+        Field::dimension("age-group"),
+        Field::dimension("vaccinated"),
+        Field::measure("deaths"),
+    ])
+    .expect("static schema");
+    let mut b = Relation::builder(schema);
+    for week in FIRST_WEEK..=LAST_WEEK {
+        for age in AGE_GROUPS {
+            for vaccinated in [false, true] {
+                let mean = expected(age, vaccinated, week);
+                let deaths = (mean * (1.0 + gaussian(&mut rng, 0.0, 0.05))).max(0.0).round();
+                b.push_row(vec![
+                    Datum::Attr((week as i64).into()),
+                    Datum::from(age),
+                    Datum::from(if vaccinated { "YES" } else { "NO" }),
+                    Datum::from(deaths),
+                ])
+                .expect("schema-conformant row");
+            }
+        }
+    }
+    CovidDeathsData {
+        relation: b.finish(),
+    }
+}
+
+impl CovidDeathsData {
+    /// `SELECT week, SUM(deaths) … GROUP BY week` with the two explain-by
+    /// attributes of §8.
+    pub fn workload(&self) -> Workload {
+        Workload::new(
+            "covid-deaths",
+            self.relation.clone(),
+            AggQuery::sum("week", "deaths"),
+            vec!["age-group".to_string(), "vaccinated".to_string()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice_delta(d: &CovidDeathsData, age: Option<&str>, vax: Option<&str>, w0: usize, w1: usize) -> f64 {
+        let rel = &d.relation;
+        let weeks = rel.dim_column("week").unwrap();
+        let ages = rel.dim_column("age-group").unwrap();
+        let vaxed = rel.dim_column("vaccinated").unwrap();
+        let deaths = rel.measure("deaths").unwrap();
+        let sum_at = |week: usize| -> f64 {
+            let wcode = weeks.dict().code_of(&(week as i64).into()).unwrap();
+            (0..rel.n_rows())
+                .filter(|&r| weeks.codes()[r] == wcode)
+                .filter(|&r| {
+                    age.is_none_or(|a| {
+                        ages.dict().code_of(&a.into()).is_some_and(|c| ages.codes()[r] == c)
+                    })
+                })
+                .filter(|&r| {
+                    vax.is_none_or(|v| {
+                        vaxed.dict().code_of(&v.into()).is_some_and(|c| vaxed.codes()[r] == c)
+                    })
+                })
+                .map(|r| deaths[r])
+                .sum()
+        };
+        sum_at(w1) - sum_at(w0)
+    }
+
+    #[test]
+    fn shape() {
+        let d = generate(0);
+        assert_eq!(d.relation.n_rows(), 39 * 3 * 2);
+        let ts = d.workload().query.run(&d.relation).unwrap();
+        assert_eq!(ts.len(), 39);
+    }
+
+    #[test]
+    fn unvaccinated_dominates_early_rise() {
+        let d = generate(0);
+        // Over the delta ramp-up (weeks 20 → 31) the NO slice moves more
+        // than the 50+ slice (unvaccinated young people add to it).
+        let no = slice_delta(&d, None, Some("NO"), 20, 31).abs();
+        let elders = slice_delta(&d, Some("50+"), None, 20, 31).abs();
+        assert!(no > elders, "NO {no} vs 50+ {elders}");
+    }
+
+    #[test]
+    fn elders_dominate_late_phase() {
+        let d = generate(0);
+        // From week 31 to 52 the 50+ slice (vaccinated elders surging,
+        // unvaccinated elders climbing into winter) moves more than the NO
+        // slice, where the young unvaccinated decline cancels the elders.
+        let no = slice_delta(&d, None, Some("NO"), 31, 52).abs();
+        let elders = slice_delta(&d, Some("50+"), None, 31, 52).abs();
+        assert!(elders > no, "50+ {elders} vs NO {no}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(1);
+        let b = generate(1);
+        assert_eq!(
+            a.relation.measure("deaths").unwrap(),
+            b.relation.measure("deaths").unwrap()
+        );
+    }
+}

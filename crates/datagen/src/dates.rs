@@ -1,0 +1,196 @@
+//! Minimal Gregorian date handling for the workload generators — enough to
+//! produce real ISO-formatted calendars (which sort chronologically as
+//! strings) without a date crate.
+
+/// Days per month for a given year (Gregorian).
+fn month_lengths(year: u32) -> [u32; 12] {
+    let leap = (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400);
+    [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ]
+}
+
+/// An iterator over consecutive calendar dates formatted as `YYYY-MM-DD`.
+#[derive(Clone, Debug)]
+pub struct DateIter {
+    year: u32,
+    month: u32,
+    day: u32,
+    /// Day of week, 0 = Monday.
+    weekday: u32,
+}
+
+impl DateIter {
+    /// Starts at the given date. `weekday_of_start` is 0 = Monday.
+    ///
+    /// Reference points used by the generators: 2020-01-01 was a Wednesday
+    /// (2), 2021-01-01 a Friday (4).
+    pub fn new(year: u32, month: u32, day: u32, weekday_of_start: u32) -> Self {
+        assert!((1..=12).contains(&month));
+        assert!(day >= 1 && day <= month_lengths(year)[month as usize - 1]);
+        DateIter {
+            year,
+            month,
+            day,
+            weekday: weekday_of_start % 7,
+        }
+    }
+
+    /// The current date as `YYYY-MM-DD`.
+    pub fn format(&self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// Day of week of the current date, 0 = Monday … 6 = Sunday.
+    pub fn weekday(&self) -> u32 {
+        self.weekday
+    }
+
+    /// Whether the current date falls on Saturday or Sunday.
+    pub fn is_weekend(&self) -> bool {
+        self.weekday >= 5
+    }
+
+    /// Advances to the next calendar day.
+    pub fn advance(&mut self) {
+        self.weekday = (self.weekday + 1) % 7;
+        self.day += 1;
+        if self.day > month_lengths(self.year)[self.month as usize - 1] {
+            self.day = 1;
+            self.month += 1;
+            if self.month > 12 {
+                self.month = 1;
+                self.year += 1;
+            }
+        }
+    }
+}
+
+impl Iterator for DateIter {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let out = self.format();
+        self.advance();
+        Some(out)
+    }
+}
+
+/// `n` consecutive calendar dates starting at the given date.
+pub fn dates_from(year: u32, month: u32, day: u32, weekday: u32, n: usize) -> Vec<String> {
+    DateIter::new(year, month, day, weekday).take(n).collect()
+}
+
+/// All weekdays (Mon–Fri) between the start date and `end` (inclusive,
+/// `YYYY-MM-DD`).
+pub fn weekdays(year: u32, month: u32, day: u32, weekday: u32, end: &str) -> Vec<String> {
+    let mut it = DateIter::new(year, month, day, weekday);
+    let mut out = Vec::new();
+    loop {
+        let current = it.format();
+        if current.as_str() > end {
+            break;
+        }
+        if !it.is_weekend() {
+            out.push(current);
+        }
+        it.advance();
+    }
+    out
+}
+
+/// The 2020 US-market trading calendar between 2020-01-02 and 2020-10-01:
+/// weekdays minus the major NYSE holidays in that window.
+pub fn trading_days_2020() -> Vec<String> {
+    const HOLIDAYS: [&str; 6] = [
+        "2020-01-20", // MLK day
+        "2020-02-17", // Presidents day
+        "2020-04-10", // Good Friday
+        "2020-05-25", // Memorial day
+        "2020-07-03", // Independence day (observed)
+        "2020-09-07", // Labor day
+    ];
+    // 2020-01-02 was a Thursday (weekday 3).
+    weekdays(2020, 1, 2, 3, "2020-10-01")
+        .into_iter()
+        .filter(|d| !HOLIDAYS.contains(&d.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_and_advances_over_month_boundary() {
+        let dates = dates_from(2020, 1, 30, 3, 4);
+        assert_eq!(
+            dates,
+            vec!["2020-01-30", "2020-01-31", "2020-02-01", "2020-02-02"]
+        );
+    }
+
+    #[test]
+    fn leap_year_february() {
+        let dates = dates_from(2020, 2, 28, 4, 3);
+        assert_eq!(dates, vec!["2020-02-28", "2020-02-29", "2020-03-01"]);
+        let dates = dates_from(2021, 2, 28, 6, 2);
+        assert_eq!(dates, vec!["2021-02-28", "2021-03-01"]);
+    }
+
+    #[test]
+    fn year_rollover() {
+        let dates = dates_from(2020, 12, 31, 3, 2);
+        assert_eq!(dates, vec!["2020-12-31", "2021-01-01"]);
+    }
+
+    #[test]
+    fn covid_window_has_345_days() {
+        // 2020-01-22 (Wednesday) through 2020-12-31 — the paper's n = 345.
+        let dates = dates_from(2020, 1, 22, 2, 345);
+        assert_eq!(dates.first().unwrap(), "2020-01-22");
+        assert_eq!(dates.last().unwrap(), "2020-12-31");
+    }
+
+    #[test]
+    fn weekday_tracking_matches_calendar() {
+        // 2020-01-22 was a Wednesday; 2020-01-25 a Saturday.
+        let mut it = DateIter::new(2020, 1, 22, 2);
+        assert_eq!(it.weekday(), 2);
+        it.advance();
+        it.advance();
+        it.advance();
+        assert_eq!(it.format(), "2020-01-25");
+        assert!(it.is_weekend());
+    }
+
+    #[test]
+    fn weekdays_excludes_weekends() {
+        // 2020-06-01 (Monday) .. 2020-06-14 (Sunday): 10 weekdays.
+        let w = weekdays(2020, 6, 1, 0, "2020-06-14");
+        assert_eq!(w.len(), 10);
+        assert!(!w.contains(&"2020-06-06".to_string()));
+    }
+
+    #[test]
+    fn trading_days_shape() {
+        let days = trading_days_2020();
+        assert_eq!(days.first().unwrap(), "2020-01-02");
+        assert_eq!(days.last().unwrap(), "2020-10-01");
+        assert!(!days.contains(&"2020-04-10".to_string()));
+        // ~9 months of weekdays minus holidays.
+        assert!(days.len() > 180 && days.len() < 195, "{}", days.len());
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+    }
+}

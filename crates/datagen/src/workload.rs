@@ -1,0 +1,32 @@
+use tsexplain_relation::{AggQuery, Relation};
+
+/// A ready-to-explain workload: the relation, the "what happened" query and
+/// the explain-by attributes the paper's experiments use for it.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short dataset name (used by the bench harness's table rows).
+    pub name: String,
+    /// The base relation.
+    pub relation: Relation,
+    /// The aggregated-time-series query.
+    pub query: AggQuery,
+    /// The explain-by attributes A.
+    pub explain_by: Vec<String>,
+}
+
+impl Workload {
+    /// Bundles the pieces of a workload.
+    pub fn new(
+        name: impl Into<String>,
+        relation: Relation,
+        query: AggQuery,
+        explain_by: Vec<String>,
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            relation,
+            query,
+            explain_by,
+        }
+    }
+}

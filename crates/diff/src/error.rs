@@ -1,0 +1,65 @@
+use std::fmt;
+
+use tsexplain_cube::CubeError;
+use tsexplain_relation::RelationError;
+
+/// Errors produced by the diff layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiffError {
+    /// A cube-construction error.
+    Cube(CubeError),
+    /// A substrate error.
+    Relation(RelationError),
+    /// The two relations handed to the two-relation diff have different
+    /// schemas.
+    SchemaMismatch,
+    /// m must be at least 1.
+    ZeroM,
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Cube(e) => write!(f, "cube error: {e}"),
+            DiffError::Relation(e) => write!(f, "relation error: {e}"),
+            DiffError::SchemaMismatch => {
+                write!(f, "test and control relations must share a schema")
+            }
+            DiffError::ZeroM => write!(f, "top-m requires m >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiffError::Cube(e) => Some(e),
+            DiffError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CubeError> for DiffError {
+    fn from(e: CubeError) -> Self {
+        DiffError::Cube(e)
+    }
+}
+
+impl From<RelationError> for DiffError {
+    fn from(e: RelationError) -> Self {
+        DiffError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DiffError::SchemaMismatch.to_string().contains("schema"));
+        let e: DiffError = CubeError::NoExplainBy.into();
+        assert!(e.to_string().contains("explain-by"));
+    }
+}

@@ -1,0 +1,318 @@
+use tsexplain_cube::{ExplId, ExplanationCube};
+
+use crate::cascading::CascadingAnalysts;
+use crate::score::ScoreContext;
+use crate::top::TopExplanations;
+
+/// Per-derivation statistics of the guess-and-verify loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuessVerifyStats {
+    /// The m̄ that finally verified (or ε on exact fallback).
+    pub final_guess: usize,
+    /// Number of guess rounds (1 when the initial guess verified).
+    pub rounds: u32,
+    /// True when the loop gave up and ran the exact algorithm.
+    pub fell_back_exact: bool,
+}
+
+/// Optimization O1: guess-and-verify (paper §5.3.1).
+///
+/// Instead of feeding all ε candidates into the Cascading Analysts
+/// algorithm, feed only the m̄ candidates with the highest difference
+/// scores, then certify the result with the Eq. 12 bound:
+///
+/// ```text
+/// Best[m] ≥ Best[m′] + Σ_{1 ≤ j ≤ m−m′} γ(E_{r_{m̄+j}})   ∀ 0 ≤ m′ < m
+/// ```
+///
+/// Any optimal solution splits into members ranked ≤ m̄ (whose total is
+/// bounded by some `Best[m′]` of the restricted run, since a subset of a
+/// cascading-expressible set is cascading-expressible) and members ranked
+/// > m̄ (bounded by the next `m − m′` scores after position m̄). When the
+/// > restricted `Best[m]` dominates every such bound it is globally optimal;
+/// > otherwise m̄ doubles (paper: m̄₀ = 30 for m = 3).
+///
+/// Owns its buffers so repeated derivations allocate only O(m̄) per round.
+pub struct GuessVerify {
+    initial_guess: usize,
+    /// Scratch: (γ, id), sorted descending per segment.
+    scored: Vec<(f64, ExplId)>,
+    /// Structural-inclusion bitmap over all candidates.
+    structural: Vec<bool>,
+    /// Selection-permission bitmap over all candidates.
+    allowed: Vec<bool>,
+    /// Entries of the two bitmaps that are currently set.
+    touched: Vec<ExplId>,
+    /// Included nodes in children-first order, rebuilt per round.
+    order: Vec<ExplId>,
+}
+
+impl GuessVerify {
+    /// Creates the optimizer with initial guess m̄₀ (paper default 30).
+    pub fn new(cube: &ExplanationCube, initial_guess: usize) -> Self {
+        assert!(initial_guess >= 1, "initial guess must be >= 1");
+        let n = cube.n_candidates();
+        GuessVerify {
+            initial_guess,
+            scored: Vec::new(),
+            structural: vec![false; n],
+            allowed: vec![false; n],
+            touched: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Derives the (certified-optimal) top-m list for `seg`.
+    pub fn top_m(
+        &mut self,
+        ca: &mut CascadingAnalysts<'_>,
+        seg: (usize, usize),
+    ) -> (TopExplanations, GuessVerifyStats) {
+        let cube = ca.cube();
+        let m = ca.m();
+        let ctx: ScoreContext<'_> = ca.score_context();
+
+        self.scored.clear();
+        for e in 0..cube.n_candidates() as ExplId {
+            if cube.is_selectable(e) {
+                self.scored.push((ctx.gamma(e, seg), e));
+            }
+        }
+        // Descending γ, ties by id, so χ = [E_r1, E_r2, …] is deterministic.
+        let desc = |a: &(f64, ExplId), b: &(f64, ExplId)| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        };
+
+        let total = self.scored.len();
+        let mut guess = self.initial_guess.min(total);
+        let mut rounds = 0u32;
+        loop {
+            // Only the head of χ is consulted (the top-m̄ restriction plus
+            // the next m scores for the Eq. 12 bound), so an O(ε) partial
+            // selection replaces a full sort — this is where O1's win over
+            // exact CA comes from when ε is large.
+            let need = (guess + m).min(total);
+            if need < total {
+                self.scored.select_nth_unstable_by(need, desc);
+            }
+            self.scored[..need].sort_by(desc);
+            if guess >= total {
+                // Exact fallback (also covers tiny candidate sets).
+                let (top, _) = ca.top_m_with_best(seg);
+                return (
+                    top,
+                    GuessVerifyStats {
+                        final_guess: total,
+                        rounds: rounds.max(1),
+                        fell_back_exact: true,
+                    },
+                );
+            }
+            rounds += 1;
+            self.build_restriction(cube, guess);
+            let (top, best) = ca.top_m_restricted(seg, &self.order, &self.structural, &self.allowed);
+            if self.verified(&best, m, guess) {
+                return (
+                    top,
+                    GuessVerifyStats {
+                        final_guess: guess,
+                        rounds,
+                        fell_back_exact: false,
+                    },
+                );
+            }
+            guess = (guess * 2).min(total);
+        }
+    }
+
+    /// Marks the top-`guess` candidates (plus ancestors) in the bitmaps and
+    /// rebuilds the children-first order.
+    fn build_restriction(&mut self, cube: &ExplanationCube, guess: usize) {
+        for &e in &self.touched {
+            self.structural[e as usize] = false;
+            self.allowed[e as usize] = false;
+        }
+        self.touched.clear();
+        self.order.clear();
+
+        for i in 0..guess {
+            let e = self.scored[i].1;
+            if !self.allowed[e as usize] {
+                self.allowed[e as usize] = true;
+            }
+            self.mark_structural(cube, e);
+            // The drill path from the root to `e` may pass through any
+            // subset of its predicates, so include them all.
+            let expl = cube.explanation(e);
+            let preds = expl.preds();
+            let k = preds.len() as u32;
+            for mask in 1..(1u32 << k) {
+                if mask == (1 << k) - 1 {
+                    continue; // `e` itself, already marked
+                }
+                let subset: Vec<(u16, u32)> = preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p)
+                    .collect();
+                let ancestor = tsexplain_cube::Explanation::new(subset);
+                if let Some(aid) = cube.lookup(&ancestor) {
+                    self.mark_structural(cube, aid);
+                }
+            }
+        }
+        // Children-first processing order.
+        self.order.extend(self.touched.iter().copied());
+        self.order
+            .sort_by_key(|&e| std::cmp::Reverse(cube.explanation(e).order()));
+    }
+
+    fn mark_structural(&mut self, _cube: &ExplanationCube, e: ExplId) {
+        if !self.structural[e as usize] {
+            self.structural[e as usize] = true;
+            self.touched.push(e);
+        }
+    }
+
+    /// The Eq. 12 sufficient condition.
+    fn verified(&self, best: &[f64], m: usize, guess: usize) -> bool {
+        let tail_gamma = |j: usize| -> f64 {
+            self.scored
+                .get(guess + j - 1)
+                .map(|&(g, _)| g)
+                .unwrap_or(0.0)
+        };
+        let tol = 1e-9 * best[m].abs().max(1.0);
+        for m_prime in 0..m {
+            let mut bound = best[m_prime];
+            for j in 1..=(m - m_prime) {
+                bound += tail_gamma(j);
+            }
+            if best[m] + tol < bound {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::DiffMetric;
+    use tsexplain_cube::CubeConfig;
+    use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+
+    /// A cube with many one-attribute slices of varied movement, plus a
+    /// second attribute to exercise drill-downs.
+    fn wide_cube(n_slices: usize) -> ExplanationCube {
+        let schema = Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("A"),
+            Field::dimension("B"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for i in 0..n_slices {
+            let a = format!("a{i:03}");
+            let bb = if i % 2 == 0 { "x" } else { "y" };
+            // Slice i moves by (i * 7 % 23) + small per-B split.
+            let delta = (i * 7 % 23) as f64;
+            b.push_row(vec![
+                Datum::from("t1"),
+                Datum::from(a.as_str()),
+                Datum::from(bb),
+                Datum::from(10.0),
+            ])
+            .unwrap();
+            b.push_row(vec![
+                Datum::from("t2"),
+                Datum::from(a.as_str()),
+                Datum::from(bb),
+                Datum::from(10.0 + delta),
+            ])
+            .unwrap();
+        }
+        ExplanationCube::build(
+            &b.finish(),
+            &AggQuery::sum("t", "v"),
+            &CubeConfig::new(["A", "B"]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_exact_on_wide_instance() {
+        let cube = wide_cube(60);
+        for m in 1..=3 {
+            let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, m);
+            let exact = ca.top_m((0, 1));
+            let mut gv = GuessVerify::new(&cube, 5);
+            let (approx, stats) = gv.top_m(&mut ca, (0, 1));
+            assert!(
+                (approx.total_score() - exact.total_score()).abs() < 1e-9,
+                "m={m}: gv={} exact={} (stats {stats:?})",
+                approx.total_score(),
+                exact.total_score()
+            );
+        }
+    }
+
+    #[test]
+    fn small_initial_guess_forces_doubling() {
+        let cube = wide_cube(60);
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 3);
+        let mut gv = GuessVerify::new(&cube, 1);
+        let (_, stats) = gv.top_m(&mut ca, (0, 1));
+        assert!(stats.rounds >= 1);
+        assert!(stats.final_guess >= 1);
+    }
+
+    #[test]
+    fn reuse_across_segments_is_clean() {
+        let schema = Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("A"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for (t, a, v) in [
+            ("t1", "x", 1.0),
+            ("t2", "x", 9.0),
+            ("t3", "x", 2.0),
+            ("t1", "y", 5.0),
+            ("t2", "y", 5.0),
+            ("t3", "y", 50.0),
+        ] {
+            b.push_row(vec![Datum::from(t), Datum::from(a), Datum::from(v)])
+                .unwrap();
+        }
+        let cube = ExplanationCube::build(
+            &b.finish(),
+            &AggQuery::sum("t", "v"),
+            &CubeConfig::new(["A"]),
+        )
+        .unwrap();
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 1);
+        let mut gv = GuessVerify::new(&cube, 1);
+        let (t01, _) = gv.top_m(&mut ca, (0, 1));
+        let (t12, _) = gv.top_m(&mut ca, (1, 2));
+        assert_eq!(cube.label(t01.items()[0].id), "A=x");
+        assert_eq!(cube.label(t12.items()[0].id), "A=y");
+    }
+
+    #[test]
+    fn handles_all_filtered() {
+        let mut cube = wide_cube(10);
+        cube.apply_filter(Some(1e9));
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 3);
+        let mut gv = GuessVerify::new(&cube, 30);
+        let (top, _) = gv.top_m(&mut ca, (0, 1));
+        assert!(top.is_empty());
+    }
+}

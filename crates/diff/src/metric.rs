@@ -1,0 +1,108 @@
+use std::fmt;
+
+/// The difference-metric abstraction γ(E) of the diff operator
+/// (paper ref. 1; §3.1.1).
+///
+/// All metrics are derived from the *contribution* of an explanation over a
+/// segment — the amount by which including the slice's records changes the
+/// endpoint-to-endpoint delta:
+///
+/// ```text
+/// contribution(E) = [f(M,R_t) − f(M,R_c)] − [f(M,R_t − σ_E R_t) − f(M,R_c − σ_E R_c)]
+/// ```
+///
+/// The paper's experiments all use [`DiffMetric::AbsoluteChange`]; the
+/// other two are the "extended difference metric library" its conclusion
+/// lists as future work, with semantics following the DIFF/MacroBase
+/// lineage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiffMetric {
+    /// `γ(E) = |contribution(E)|` (Definition 3.2).
+    AbsoluteChange,
+    /// Contribution normalized by the magnitude of the slice's control-side
+    /// aggregate: `γ(E) = |contribution(E)| / max(|f(M, σ_E R_c)|, 1)`.
+    /// Emphasizes slices that changed a lot *relative to their own size*.
+    RelativeChange,
+    /// Log risk ratio of the slice's share of the total at the two
+    /// endpoints: `γ(E) = |ln(share_t / share_c)|` with shares clamped to a
+    /// small positive floor. Emphasizes slices whose *relative weight* in
+    /// the KPI shifted.
+    RiskRatio,
+}
+
+impl DiffMetric {
+    /// All supported metrics.
+    pub const ALL: [DiffMetric; 3] = [
+        DiffMetric::AbsoluteChange,
+        DiffMetric::RelativeChange,
+        DiffMetric::RiskRatio,
+    ];
+}
+
+impl fmt::Display for DiffMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiffMetric::AbsoluteChange => "absolute-change",
+            DiffMetric::RelativeChange => "relative-change",
+            DiffMetric::RiskRatio => "risk-ratio",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The change effect τ(E) (Definition 3.3): the sign of the contribution.
+///
+/// `Plus` means including the slice's records makes the KPI delta larger
+/// (the slice pushed the KPI *up* over the segment); `Minus` the opposite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Effect {
+    /// Positive contribution (`+` in the paper's tables).
+    Plus,
+    /// Negative contribution (`-` in the paper's tables).
+    Minus,
+    /// Exactly zero contribution.
+    Zero,
+}
+
+impl Effect {
+    /// Classifies a contribution value.
+    pub fn of(contribution: f64) -> Effect {
+        if contribution > 0.0 {
+            Effect::Plus
+        } else if contribution < 0.0 {
+            Effect::Minus
+        } else {
+            Effect::Zero
+        }
+    }
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Effect::Plus => "+",
+            Effect::Minus => "-",
+            Effect::Zero => "0",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effect_classification() {
+        assert_eq!(Effect::of(3.0), Effect::Plus);
+        assert_eq!(Effect::of(-0.5), Effect::Minus);
+        assert_eq!(Effect::of(0.0), Effect::Zero);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Effect::Plus.to_string(), "+");
+        assert_eq!(Effect::Minus.to_string(), "-");
+        assert_eq!(DiffMetric::AbsoluteChange.to_string(), "absolute-change");
+    }
+}

@@ -1,0 +1,98 @@
+use tsexplain_segment::Segmentation;
+
+/// Edit distance between two sorted cut-position sequences.
+///
+/// With the oracle K (the paper's Fig. 10 protocol) both sequences have the
+/// same length and the distance is the order-aligned sum `Σ |a_i − b_i|`.
+/// For robustness against methods that return a different K, unmatched
+/// cuts are charged a gap penalty via a monotone alignment DP; the paper's
+/// experiments never hit that path.
+pub fn cut_edit_distance(a: &[usize], b: &[usize], gap_penalty: usize) -> usize {
+    if a.len() == b.len() {
+        return a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| x.abs_diff(y))
+            .sum();
+    }
+    // Needleman–Wunsch-style alignment over the two sorted sequences.
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![usize::MAX / 2; m + 1]; n + 1];
+    dp[0][0] = 0;
+    for i in 0..=n {
+        for j in 0..=m {
+            let cur = dp[i][j];
+            if i < n && j < m {
+                let cost = a[i].abs_diff(b[j]);
+                dp[i + 1][j + 1] = dp[i + 1][j + 1].min(cur + cost);
+            }
+            if i < n {
+                dp[i + 1][j] = dp[i + 1][j].min(cur + gap_penalty);
+            }
+            if j < m {
+                dp[i][j + 1] = dp[i][j + 1].min(cur + gap_penalty);
+            }
+        }
+    }
+    dp[n][m]
+}
+
+/// The paper's `distance percent (%)` (§7.3): the edit distance between the
+/// output scheme's cuts and the ground-truth cuts, normalized by both the
+/// segment count K and the series length n. Lower is better.
+pub fn distance_percent(output: &Segmentation, ground_truth_cuts: &[usize]) -> f64 {
+    let n = output.n_points();
+    // K = number of segments (cuts + 1).
+    let k = ground_truth_cuts.len().max(output.cuts().len()) + 1;
+    let dist = cut_edit_distance(output.cuts(), ground_truth_cuts, n / 2);
+    100.0 * dist as f64 / (k as f64 * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_cuts_score_zero() {
+        let s = Segmentation::new(100, vec![20, 50, 80]).unwrap();
+        assert_eq!(distance_percent(&s, &[20, 50, 80]), 0.0);
+    }
+
+    #[test]
+    fn equal_length_is_aligned_sum() {
+        assert_eq!(cut_edit_distance(&[10, 50], &[12, 47], 100), 5);
+    }
+
+    #[test]
+    fn distance_scales_with_displacement() {
+        let near = Segmentation::new(100, vec![22, 51]).unwrap();
+        let far = Segmentation::new(100, vec![40, 70]).unwrap();
+        let gt = [20, 50];
+        assert!(distance_percent(&near, &gt) < distance_percent(&far, &gt));
+    }
+
+    #[test]
+    fn normalization_by_k_and_n() {
+        // One cut off by 10 on n=100 with K−1 = 1, K = 2: 100·10/(2·100) = 5%.
+        let s = Segmentation::new(100, vec![30]).unwrap();
+        let dp = distance_percent(&s, &[20]);
+        assert!((dp - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_lengths_use_gap_penalty() {
+        // One extra cut costs one gap.
+        let d = cut_edit_distance(&[20, 50, 80], &[20, 80], 30);
+        assert_eq!(d, 30);
+        // The alignment picks the cheaper pairing.
+        let d = cut_edit_distance(&[20], &[18, 90], 25);
+        assert_eq!(d, 2 + 25);
+    }
+
+    #[test]
+    fn empty_vs_empty() {
+        assert_eq!(cut_edit_distance(&[], &[], 10), 0);
+        let s = Segmentation::whole(50).unwrap();
+        assert_eq!(distance_percent(&s, &[]), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+/// Ranks `values` ascending (rank 1 = smallest) with *min-rank* tie
+/// handling: tied entries share the rank of the first of their group.
+///
+/// This is the cross-metric ranking of Fig. 6 ("rank across all the eight
+/// metrics … based on their own ground truth rank"); min-rank ties are
+/// what makes the paper's 50 dB column read "all metrics rank 1st" when
+/// every metric certifies the ground truth.
+pub fn rank_ascending(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the 1-based rank of the first.
+        let min_rank = (i + 1) as f64;
+        for &idx in &order[i..=j] {
+            ranks[idx] = min_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Per-metric average rank over several datasets: `per_dataset[d][m]` is
+/// metric `m`'s rank on dataset `d`; the result is the mean over `d`
+/// (Fig. 6's y-axis at one SNR level).
+pub fn average_ranks(per_dataset: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!per_dataset.is_empty());
+    let m = per_dataset[0].len();
+    let mut sums = vec![0.0; m];
+    for row in per_dataset {
+        assert_eq!(row.len(), m, "ragged rank table");
+        for (s, r) in sums.iter_mut().zip(row) {
+            *s += r;
+        }
+    }
+    sums.iter_mut().for_each(|s| *s /= per_dataset.len() as f64);
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        assert_eq!(rank_ascending(&[10.0, 1.0, 5.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_share_min_rank() {
+        // 1, 1, 3 → ranks 1, 1, 3.
+        assert_eq!(rank_ascending(&[1.0, 1.0, 3.0]), vec![1.0, 1.0, 3.0]);
+        // All equal → everyone ranks 1st (the paper's 50 dB reading).
+        assert_eq!(rank_ascending(&[2.0, 2.0, 2.0]), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gap_after_tie() {
+        assert_eq!(rank_ascending(&[5.0, 5.0, 1.0]), vec![2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn averages_across_datasets() {
+        let table = vec![vec![1.0, 2.0], vec![3.0, 2.0]];
+        assert_eq!(average_ranks(&table), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_panics() {
+        average_ranks(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,60 @@
+use rand::seq::index::sample;
+use rand::Rng;
+use tsexplain_segment::Segmentation;
+
+/// Draws a uniformly random K-segmentation of an n-point series: K−1
+/// distinct interior cut positions out of the n−2 candidates (the
+/// `C(n−2, K−1)` scheme space of §5.1, sampled for the §4.2.2 study).
+pub fn random_segmentation<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Segmentation {
+    assert!(n >= 2, "need at least two points");
+    assert!(k >= 1 && k < n, "1 <= K <= n-1");
+    let mut cuts: Vec<usize> = sample(rng, n - 2, k - 1)
+        .into_iter()
+        .map(|i| i + 1)
+        .collect();
+    cuts.sort_unstable();
+    Segmentation::new(n, cuts).expect("sampled cuts are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_valid_schemes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = random_segmentation(&mut rng, 50, 6);
+            assert_eq!(s.k(), 6);
+            assert_eq!(s.n_points(), 50);
+        }
+    }
+
+    #[test]
+    fn k_one_has_no_cuts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = random_segmentation(&mut rng, 10, 1);
+        assert!(s.cuts().is_empty());
+    }
+
+    #[test]
+    fn max_k_uses_every_position() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = random_segmentation(&mut rng, 10, 9);
+        assert_eq!(s.cuts(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn cut_positions_cover_the_interior() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let s = random_segmentation(&mut rng, 12, 3);
+            seen.extend(s.cuts().iter().copied());
+        }
+        // All interior positions 1..=10 should eventually appear.
+        assert_eq!(seen.len(), 10);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the evaluation machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsexplain_eval::{cut_edit_distance, distance_percent, random_segmentation, rank_ascending};
+use tsexplain_segment::Segmentation;
+
+proptest! {
+    /// Sampled segmentations are always valid and uniform enough to cover
+    /// the requested K.
+    #[test]
+    fn sampling_validity(seed in 0u64..1000, n in 3usize..60, k_raw in 1usize..10) {
+        let k = k_raw.min(n - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scheme = random_segmentation(&mut rng, n, k);
+        prop_assert_eq!(scheme.k(), k);
+        prop_assert_eq!(scheme.n_points(), n);
+    }
+
+    /// Distance percent is 0 exactly on identical cut sequences and is
+    /// symmetric in its aligned part.
+    #[test]
+    fn distance_percent_zero_iff_identical(
+        n in 10usize..100,
+        cuts in proptest::collection::btree_set(1usize..98, 0..5),
+    ) {
+        let cuts: Vec<usize> = cuts.into_iter().filter(|&c| c < n - 1).collect();
+        let scheme = Segmentation::new(n, cuts.clone()).unwrap();
+        prop_assert_eq!(distance_percent(&scheme, &cuts), 0.0);
+        if let Some(&first) = cuts.first() {
+            if first + 1 < n - 1 && !cuts.contains(&(first + 1)) {
+                let mut moved = cuts.clone();
+                moved[0] = first + 1;
+                moved.sort_unstable();
+                let shifted = Segmentation::new(n, moved).unwrap();
+                prop_assert!(distance_percent(&shifted, &cuts) > 0.0);
+            }
+        }
+    }
+
+    /// Equal-length edit distance is a metric on aligned sequences.
+    #[test]
+    fn edit_distance_metric_properties(
+        a in proptest::collection::btree_set(1usize..200, 1..6),
+        b in proptest::collection::btree_set(1usize..200, 1..6),
+    ) {
+        let a: Vec<usize> = a.into_iter().collect();
+        let b: Vec<usize> = b.into_iter().collect();
+        prop_assert_eq!(cut_edit_distance(&a, &a, 100), 0);
+        prop_assert_eq!(
+            cut_edit_distance(&a, &b, 100),
+            cut_edit_distance(&b, &a, 100)
+        );
+    }
+
+    /// rank_ascending is a proper min-rank ranking: ranks live in
+    /// `1..=n`, the minimum value ranks 1, and order agrees with the
+    /// input order.
+    #[test]
+    fn ranks_are_consistent(values in proptest::collection::vec(0.0f64..100.0, 1..12)) {
+        let ranks = rank_ascending(&values);
+        let n = values.len() as f64;
+        prop_assert!(ranks.iter().all(|&r| (1.0..=n).contains(&r)));
+        prop_assert!(ranks.contains(&1.0));
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+                if values[i] == values[j] {
+                    prop_assert!((ranks[i] - ranks[j]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Decomposable aggregate state: `(count, sum, sum of squares)`.
+///
+/// The state forms an abelian group under [`AggState::merge`] /
+/// [`AggState::remove`], which is exactly what the paper's precomputation
+/// module relies on (§5.2): for decomposable aggregates such as SUM, AVG and
+/// Variance, the series of the complement relation `R − σ_E R` is derived by
+/// *subtracting* the slice's state from the total state — no second scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AggState {
+    /// Number of observed rows.
+    pub count: f64,
+    /// Sum of observed measure values.
+    pub sum: f64,
+    /// Sum of squared measure values (for VARIANCE).
+    pub sumsq: f64,
+}
+
+impl AggState {
+    /// The empty (identity) state.
+    pub const ZERO: AggState = AggState {
+        count: 0.0,
+        sum: 0.0,
+        sumsq: 0.0,
+    };
+
+    /// State of a single observation.
+    pub fn of(v: f64) -> Self {
+        AggState {
+            count: 1.0,
+            sum: v,
+            sumsq: v * v,
+        }
+    }
+
+    /// Folds one observation into the state.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1.0;
+        self.sum += v;
+        self.sumsq += v * v;
+    }
+
+    /// Group addition.
+    pub fn merge(self, other: AggState) -> AggState {
+        self + other
+    }
+
+    /// Group subtraction (removal of a sub-population's state).
+    pub fn remove(self, other: AggState) -> AggState {
+        self - other
+    }
+
+    /// Evaluates the aggregate function on this state.
+    ///
+    /// Empty states evaluate to 0 for AVG/VARIANCE, mirroring SQL's
+    /// NULL-as-missing behaviour for the purposes of time-series plotting.
+    pub fn value(&self, f: AggFn) -> f64 {
+        match f {
+            AggFn::Sum => self.sum,
+            AggFn::Count => self.count,
+            AggFn::Avg => {
+                if self.count > 0.0 {
+                    self.sum / self.count
+                } else {
+                    0.0
+                }
+            }
+            AggFn::Variance => {
+                if self.count > 0.0 {
+                    let mean = self.sum / self.count;
+                    (self.sumsq / self.count - mean * mean).max(0.0)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl Add for AggState {
+    type Output = AggState;
+    fn add(self, rhs: AggState) -> AggState {
+        AggState {
+            count: self.count + rhs.count,
+            sum: self.sum + rhs.sum,
+            sumsq: self.sumsq + rhs.sumsq,
+        }
+    }
+}
+
+impl AddAssign for AggState {
+    fn add_assign(&mut self, rhs: AggState) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for AggState {
+    type Output = AggState;
+    fn sub(self, rhs: AggState) -> AggState {
+        AggState {
+            count: self.count - rhs.count,
+            sum: self.sum - rhs.sum,
+            sumsq: self.sumsq - rhs.sumsq,
+        }
+    }
+}
+
+impl SubAssign for AggState {
+    fn sub_assign(&mut self, rhs: AggState) {
+        *self = *self - rhs;
+    }
+}
+
+/// The aggregate functions supported by the engine.
+///
+/// All four are decomposable over [`AggState`] (paper §5.2: "most aggregate
+/// function f(M) is decomposable, e.g., SUM, AVG, Variance").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// `SUM(M)`
+    Sum,
+    /// `COUNT(M)` (row count)
+    Count,
+    /// `AVG(M)`
+    Avg,
+    /// Population variance of `M`.
+    Variance,
+}
+
+impl AggFn {
+    /// All supported aggregate functions.
+    pub const ALL: [AggFn; 4] = [AggFn::Sum, AggFn::Count, AggFn::Avg, AggFn::Variance];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_of(vs: &[f64]) -> AggState {
+        let mut s = AggState::ZERO;
+        for &v in vs {
+            s.observe(v);
+        }
+        s
+    }
+
+    #[test]
+    fn sum_count_avg() {
+        let s = state_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.value(AggFn::Sum), 6.0);
+        assert_eq!(s.value(AggFn::Count), 3.0);
+        assert_eq!(s.value(AggFn::Avg), 2.0);
+    }
+
+    #[test]
+    fn variance_is_population_variance() {
+        let s = state_of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.value(AggFn::Variance) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_state_values() {
+        let s = AggState::ZERO;
+        assert_eq!(s.value(AggFn::Sum), 0.0);
+        assert_eq!(s.value(AggFn::Avg), 0.0);
+        assert_eq!(s.value(AggFn::Variance), 0.0);
+    }
+
+    #[test]
+    fn merge_then_remove_is_identity() {
+        let a = state_of(&[1.0, 5.0]);
+        let b = state_of(&[2.0]);
+        let merged = a.merge(b);
+        let back = merged.remove(b);
+        assert!((back.count - a.count).abs() < 1e-12);
+        assert!((back.sum - a.sum).abs() < 1e-12);
+        assert!((back.sumsq - a.sumsq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_matches_complement_semantics() {
+        // f(M, R - σ_E R): removing the slice's state gives the aggregate of
+        // the remaining rows.
+        let all = state_of(&[10.0, 20.0, 30.0]);
+        let slice = state_of(&[20.0]);
+        let rest = all.remove(slice);
+        assert_eq!(rest.value(AggFn::Sum), 40.0);
+        assert_eq!(rest.value(AggFn::Count), 2.0);
+        assert_eq!(rest.value(AggFn::Avg), 20.0);
+    }
+
+    #[test]
+    fn variance_never_negative_after_roundtrip() {
+        let s = state_of(&[1e9, 1e9 + 1.0]);
+        assert!(s.value(AggFn::Variance) >= 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+use crate::column::{Column, DimColumn};
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::{ColumnType, Schema};
+use crate::value::AttrValue;
+
+/// A single row value handed to [`RelationBuilder::push_row`].
+///
+/// The builder coerces by schema: dimension fields accept [`Datum::Attr`]
+/// (and [`Datum::Num`] with an integral value); measure fields accept
+/// [`Datum::Num`] and integer [`Datum::Attr`]s.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Datum {
+    /// A dimension member.
+    Attr(AttrValue),
+    /// A numeric measure value.
+    Num(f64),
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Attr(v.into())
+    }
+}
+
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::Attr(v.into())
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Attr(v.into())
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Num(v)
+    }
+}
+
+impl From<AttrValue> for Datum {
+    fn from(v: AttrValue) -> Self {
+        Datum::Attr(v)
+    }
+}
+
+/// Row-oriented builder for [`Relation`].
+///
+/// Dictionaries are built (sorted) once at [`RelationBuilder::finish`], so
+/// dictionary codes are ordinal regardless of insertion order.
+pub struct RelationBuilder {
+    schema: Schema,
+    dim_values: Vec<Vec<AttrValue>>,
+    measures: Vec<Vec<f64>>,
+    rows: usize,
+}
+
+impl RelationBuilder {
+    pub(crate) fn new(schema: Schema) -> Self {
+        let mut dim_values = Vec::new();
+        let mut measures = Vec::new();
+        for f in schema.fields() {
+            match f.column_type() {
+                ColumnType::Dimension => dim_values.push(Vec::new()),
+                ColumnType::Measure => measures.push(Vec::new()),
+            }
+        }
+        RelationBuilder {
+            schema,
+            dim_values,
+            measures,
+            rows: 0,
+        }
+    }
+
+    /// Appends one row; values must match the schema order.
+    pub fn push_row(&mut self, row: Vec<Datum>) -> Result<(), RelationError> {
+        if row.len() != self.schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        // Validate everything before touching the buffers so a failed push
+        // leaves the builder unchanged.
+        let mut staged_dims: Vec<AttrValue> = Vec::new();
+        let mut staged_measures: Vec<f64> = Vec::new();
+        for (field, datum) in self.schema.fields().iter().zip(&row) {
+            match (field.column_type(), datum) {
+                (ColumnType::Dimension, Datum::Attr(v)) => staged_dims.push(v.clone()),
+                (ColumnType::Dimension, Datum::Num(_)) => {
+                    return Err(RelationError::TypeMismatch {
+                        field: field.name().to_string(),
+                        expected: "dimension",
+                    })
+                }
+                (ColumnType::Measure, Datum::Num(v)) => staged_measures.push(*v),
+                (ColumnType::Measure, Datum::Attr(AttrValue::Int(i))) => {
+                    staged_measures.push(*i as f64)
+                }
+                (ColumnType::Measure, Datum::Attr(_)) => {
+                    return Err(RelationError::TypeMismatch {
+                        field: field.name().to_string(),
+                        expected: "measure",
+                    })
+                }
+            }
+        }
+        let mut di = 0;
+        let mut mi = 0;
+        for field in self.schema.fields() {
+            match field.column_type() {
+                ColumnType::Dimension => {
+                    self.dim_values[di].push(staged_dims[di].clone());
+                    di += 1;
+                }
+                ColumnType::Measure => {
+                    self.measures[mi].push(staged_measures[mi]);
+                    mi += 1;
+                }
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finalizes the relation, building sorted dictionaries.
+    pub fn finish(self) -> Relation {
+        let mut columns = Vec::with_capacity(self.schema.len());
+        let mut dims = self.dim_values.into_iter();
+        let mut ms = self.measures.into_iter();
+        for f in self.schema.fields() {
+            match f.column_type() {
+                ColumnType::Dimension => {
+                    let values = dims.next().expect("one buffer per dimension");
+                    columns.push(Column::Dimension(DimColumn::from_values(values)));
+                }
+                ColumnType::Measure => {
+                    let values = ms.next().expect("one buffer per measure");
+                    columns.push(Column::Measure(values));
+                }
+            }
+        }
+        Relation::from_parts(self.schema, columns, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::dimension("date"),
+            Field::dimension("pack"),
+            Field::measure("sold"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_rows() {
+        let mut b = Relation::builder(schema());
+        b.push_row(vec!["d1".into(), 6i64.into(), 2.0.into()]).unwrap();
+        b.push_row(vec!["d2".into(), 12i64.into(), 3.0.into()])
+            .unwrap();
+        let rel = b.finish();
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(rel.measure("sold").unwrap(), &[2.0, 3.0]);
+        rel.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = Relation::builder(schema());
+        let err = b.push_row(vec!["d1".into()]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        assert_eq!(b.n_rows(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_rejected_atomically() {
+        let mut b = Relation::builder(schema());
+        // Third field is a measure; a string is not acceptable.
+        let err = b
+            .push_row(vec!["d1".into(), 6i64.into(), "oops".into()])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+        assert_eq!(b.n_rows(), 0);
+        // Builder still usable.
+        b.push_row(vec!["d1".into(), 6i64.into(), 1.0.into()]).unwrap();
+        assert_eq!(b.n_rows(), 1);
+    }
+
+    #[test]
+    fn integer_coerces_into_measure() {
+        let mut b = Relation::builder(schema());
+        b.push_row(vec!["d1".into(), 6i64.into(), Datum::Attr(AttrValue::Int(4))])
+            .unwrap();
+        let rel = b.finish();
+        assert_eq!(rel.measure("sold").unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn float_rejected_for_dimension() {
+        let mut b = Relation::builder(schema());
+        let err = b
+            .push_row(vec![Datum::Num(1.5), 6i64.into(), 1.0.into()])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_finish() {
+        let rel = Relation::builder(schema()).finish();
+        assert!(rel.is_empty());
+        rel.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal CSV ingestion so real exports (JHU, Iowa liquor, …) can be
+//! loaded without extra dependencies.
+//!
+//! Supported: comma separation, `"`-quoting with `""` escapes, a header
+//! row naming the columns. Values in measure columns must parse as `f64`;
+//! dimension values that parse as integers become [`AttrValue::Int`],
+//! everything else [`AttrValue::Str`].
+
+use crate::builder::Datum;
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::{ColumnType, Schema};
+use crate::value::AttrValue;
+
+/// Parses one CSV record (without the trailing newline).
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if field.is_empty() && !quoted => quoted = true,
+            ',' if !quoted => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Builds a relation from CSV text. The header row must contain every
+/// field of `schema` (extra columns are ignored; order is free).
+///
+/// ```
+/// use tsexplain_relation::{csv_to_relation, Field, Schema};
+/// let schema = Schema::new(vec![
+///     Field::dimension("date"),
+///     Field::dimension("state"),
+///     Field::measure("cases"),
+/// ]).unwrap();
+/// let text = "state,cases,date\nNY,12,2020-03-01\nCA,5,2020-03-01\n";
+/// let relation = csv_to_relation(text, schema).unwrap();
+/// assert_eq!(relation.n_rows(), 2);
+/// ```
+pub fn csv_to_relation(text: &str, schema: Schema) -> Result<Relation, RelationError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or(RelationError::EmptyRelation)
+        .map(split_record)?;
+    // Map each schema field to its CSV column index.
+    let mut mapping = Vec::with_capacity(schema.len());
+    for field in schema.fields() {
+        let idx = header
+            .iter()
+            .position(|h| h.trim() == field.name())
+            .ok_or_else(|| RelationError::UnknownField(field.name().to_string()))?;
+        mapping.push((idx, field.name().to_string(), field.column_type()));
+    }
+
+    let mut builder = Relation::builder(schema.clone());
+    for line in lines {
+        let record = split_record(line);
+        let mut row = Vec::with_capacity(mapping.len());
+        for (idx, name, ty) in &mapping {
+            let raw = record.get(*idx).map(|s| s.trim()).unwrap_or("");
+            row.push(match ty {
+                ColumnType::Measure => {
+                    let v: f64 = raw.parse().map_err(|_| RelationError::TypeMismatch {
+                        field: name.clone(),
+                        expected: "measure",
+                    })?;
+                    Datum::Num(v)
+                }
+                ColumnType::Dimension => match raw.parse::<i64>() {
+                    Ok(i) => Datum::Attr(AttrValue::Int(i)),
+                    Err(_) => Datum::Attr(AttrValue::from(raw)),
+                },
+            });
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::AggQuery;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::dimension("date"),
+            Field::dimension("state"),
+            Field::measure("cases"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_simple_csv() {
+        let text = "date,state,cases\n2020-03-01,NY,12\n2020-03-02,NY,20\n";
+        let rel = csv_to_relation(text, schema()).unwrap();
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(rel.measure("cases").unwrap(), &[12.0, 20.0]);
+        let ts = AggQuery::sum("date", "cases").run(&rel).unwrap();
+        assert_eq!(ts.values, vec![12.0, 20.0]);
+    }
+
+    #[test]
+    fn header_order_is_free_and_extras_ignored() {
+        let text = "extra,state,cases,date\nx,NY,1,2020-01-01\ny,CA,2,2020-01-02\n";
+        let rel = csv_to_relation(text, schema()).unwrap();
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(
+            rel.dim_column("state").unwrap().value_at(1),
+            &AttrValue::from("CA")
+        );
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let text = "date,state,cases\n2020-01-01,\"New York, NY\",3\n2020-01-02,\"He said \"\"hi\"\"\",4\n";
+        let rel = csv_to_relation(text, schema()).unwrap();
+        assert_eq!(
+            rel.dim_column("state").unwrap().value_at(0),
+            &AttrValue::from("New York, NY")
+        );
+        assert_eq!(
+            rel.dim_column("state").unwrap().value_at(1),
+            &AttrValue::from("He said \"hi\"")
+        );
+    }
+
+    #[test]
+    fn integer_dimensions_become_ints() {
+        let s = Schema::new(vec![Field::dimension("pack"), Field::measure("v")]).unwrap();
+        let rel = csv_to_relation("pack,v\n12,1.5\n6,2\n", s).unwrap();
+        assert_eq!(
+            rel.dim_column("pack").unwrap().value_at(0),
+            &AttrValue::Int(12)
+        );
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let err = csv_to_relation("date,cases\n2020,1\n", schema()).unwrap_err();
+        assert_eq!(err, RelationError::UnknownField("state".into()));
+    }
+
+    #[test]
+    fn bad_measure_errors() {
+        let err =
+            csv_to_relation("date,state,cases\n2020,NY,many\n", schema()).unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(
+            csv_to_relation("", schema()).unwrap_err(),
+            RelationError::EmptyRelation
+        );
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "date,state,cases\n\n2020-01-01,NY,1\n\n";
+        let rel = csv_to_relation(text, schema()).unwrap();
+        assert_eq!(rel.n_rows(), 1);
+    }
+}

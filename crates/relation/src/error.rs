@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Errors produced by the relational substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationError {
+    /// Two fields in a schema share a name.
+    DuplicateField(String),
+    /// A referenced field does not exist in the schema.
+    UnknownField(String),
+    /// A row value's type does not match its field's column type.
+    TypeMismatch {
+        /// The offending field.
+        field: String,
+        /// What the schema expects ("dimension" / "measure").
+        expected: &'static str,
+    },
+    /// A row has the wrong number of values.
+    ArityMismatch {
+        /// Fields declared in the schema.
+        expected: usize,
+        /// Values supplied in the row.
+        got: usize,
+    },
+    /// The referenced field exists but is not a dimension.
+    NotADimension(String),
+    /// The referenced field exists but is not a measure.
+    NotAMeasure(String),
+    /// An operation that needs rows was given an empty relation.
+    EmptyRelation,
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateField(name) => {
+                write!(f, "duplicate field name in schema: {name:?}")
+            }
+            RelationError::UnknownField(name) => write!(f, "unknown field: {name:?}"),
+            RelationError::TypeMismatch { field, expected } => {
+                write!(f, "field {field:?} expects a {expected} value")
+            }
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but the schema has {expected} fields")
+            }
+            RelationError::NotADimension(name) => {
+                write!(f, "field {name:?} is not a dimension")
+            }
+            RelationError::NotAMeasure(name) => write!(f, "field {name:?} is not a measure"),
+            RelationError::EmptyRelation => write!(f, "operation requires a non-empty relation"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = RelationError::UnknownField("statee".into());
+        assert!(e.to_string().contains("statee"));
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+    }
+}

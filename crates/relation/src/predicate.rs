@@ -1,0 +1,181 @@
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::value::AttrValue;
+
+/// An equality predicate `attribute = value` over a dimension attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Predicate {
+    attr: String,
+    value: AttrValue,
+}
+
+impl Predicate {
+    /// Builds `attr = value`.
+    pub fn equals(attr: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        Predicate {
+            attr: attr.into(),
+            value: value.into(),
+        }
+    }
+
+    /// The predicated attribute name.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// The value the attribute must equal.
+    pub fn value(&self) -> &AttrValue {
+        &self.value
+    }
+
+    /// Evaluates the predicate on one row of `rel`.
+    pub fn matches(&self, rel: &Relation, row: usize) -> Result<bool, RelationError> {
+        let col = rel.dim_column(&self.attr)?;
+        Ok(match col.dict().code_of(&self.value) {
+            Some(code) => col.codes()[row] == code,
+            None => false,
+        })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+/// A conjunction of equality predicates — the shape of an explanation
+/// (Definition 3.1: `E = (A1=a1 & … & Aβ=aβ)`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Conjunction {
+    preds: Vec<Predicate>,
+}
+
+impl Conjunction {
+    /// The empty conjunction (matches every row).
+    pub fn new() -> Self {
+        Conjunction::default()
+    }
+
+    /// Builds a conjunction from predicates.
+    pub fn of(preds: Vec<Predicate>) -> Self {
+        Conjunction { preds }
+    }
+
+    /// Adds a predicate; builder style.
+    pub fn and(mut self, pred: Predicate) -> Self {
+        self.preds.push(pred);
+        self
+    }
+
+    /// The predicates of the conjunction.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// The order β of the conjunction (number of predicates).
+    pub fn order(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Evaluates the conjunction on one row.
+    pub fn matches(&self, rel: &Relation, row: usize) -> Result<bool, RelationError> {
+        for p in &self.preds {
+            if !p.matches(rel, row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.preds.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Datum;
+    use crate::schema::{Field, Schema};
+
+    fn sample() -> Relation {
+        let schema = Schema::new(vec![
+            Field::dimension("state"),
+            Field::dimension("pack"),
+            Field::measure("sold"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for (s, p, v) in [("NY", 6, 1.0), ("CA", 12, 2.0), ("NY", 12, 3.0)] {
+            b.push_row(vec![Datum::from(s), Datum::from(p as i64), Datum::from(v)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn predicate_matches_rows() {
+        let rel = sample();
+        let p = Predicate::equals("state", "NY");
+        assert!(p.matches(&rel, 0).unwrap());
+        assert!(!p.matches(&rel, 1).unwrap());
+        assert!(p.matches(&rel, 2).unwrap());
+    }
+
+    #[test]
+    fn predicate_on_absent_value_matches_nothing() {
+        let rel = sample();
+        let p = Predicate::equals("state", "TX");
+        for row in 0..3 {
+            assert!(!p.matches(&rel, row).unwrap());
+        }
+    }
+
+    #[test]
+    fn conjunction_requires_all() {
+        let rel = sample();
+        let c = Conjunction::new()
+            .and(Predicate::equals("state", "NY"))
+            .and(Predicate::equals("pack", 12i64));
+        assert!(!c.matches(&rel, 0).unwrap());
+        assert!(!c.matches(&rel, 1).unwrap());
+        assert!(c.matches(&rel, 2).unwrap());
+    }
+
+    #[test]
+    fn empty_conjunction_matches_all() {
+        let rel = sample();
+        let c = Conjunction::new();
+        assert!(c.matches(&rel, 0).unwrap());
+        assert_eq!(c.to_string(), "TRUE");
+    }
+
+    #[test]
+    fn display_joins_with_ampersand() {
+        let c = Conjunction::new()
+            .and(Predicate::equals("BV", 1750i64))
+            .and(Predicate::equals("P", 6i64));
+        assert_eq!(c.to_string(), "BV=1750 & P=6");
+    }
+
+    #[test]
+    fn unknown_attr_errors() {
+        let rel = sample();
+        let p = Predicate::equals("nope", "x");
+        assert!(p.matches(&rel, 0).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+use std::collections::HashMap;
+
+use crate::error::RelationError;
+
+/// Whether a column holds dimension members or numeric measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// A categorical attribute, dictionary encoded. Explain-by attributes
+    /// and the time dimension are dimensions.
+    Dimension,
+    /// A numeric `f64` attribute that aggregate functions operate on.
+    Measure,
+}
+
+/// One named, typed column of a [`Schema`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    ty: ColumnType,
+}
+
+impl Field {
+    /// Declares a dimension field.
+    pub fn dimension(name: impl Into<String>) -> Self {
+        Field {
+            name: name.into(),
+            ty: ColumnType::Dimension,
+        }
+    }
+
+    /// Declares a measure field.
+    pub fn measure(name: impl Into<String>) -> Self {
+        Field {
+            name: name.into(),
+            ty: ColumnType::Measure,
+        }
+    }
+
+    /// The field's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field's column type.
+    pub fn column_type(&self) -> ColumnType {
+        self.ty
+    }
+}
+
+/// An ordered list of uniquely-named fields.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Self, RelationError> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(RelationError::DuplicateField(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The positional index of `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, RelationError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownField(name.to_string()))
+    }
+
+    /// The field at position `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// The index of `name`, checked to be a dimension.
+    pub fn dimension_index(&self, name: &str) -> Result<usize, RelationError> {
+        let idx = self.index_of(name)?;
+        match self.fields[idx].ty {
+            ColumnType::Dimension => Ok(idx),
+            ColumnType::Measure => Err(RelationError::NotADimension(name.to_string())),
+        }
+    }
+
+    /// The index of `name`, checked to be a measure.
+    pub fn measure_index(&self, name: &str) -> Result<usize, RelationError> {
+        let idx = self.index_of(name)?;
+        match self.fields[idx].ty {
+            ColumnType::Measure => Ok(idx),
+            ColumnType::Dimension => Err(RelationError::NotAMeasure(name.to_string())),
+        }
+    }
+
+    /// Names of all dimension fields, in declaration order.
+    pub fn dimension_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.ty == ColumnType::Dimension)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::dimension("date"),
+            Field::dimension("state"),
+            Field::measure("cases"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![Field::dimension("a"), Field::measure("a")]).unwrap_err();
+        assert_eq!(err, RelationError::DuplicateField("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("state").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    fn type_checked_lookups() {
+        let s = sample();
+        assert_eq!(s.dimension_index("state").unwrap(), 1);
+        assert_eq!(s.measure_index("cases").unwrap(), 2);
+        assert_eq!(
+            s.dimension_index("cases").unwrap_err(),
+            RelationError::NotADimension("cases".into())
+        );
+        assert_eq!(
+            s.measure_index("date").unwrap_err(),
+            RelationError::NotAMeasure("date".into())
+        );
+    }
+
+    #[test]
+    fn dimension_names_in_order() {
+        assert_eq!(sample().dimension_names(), vec!["date", "state"]);
+    }
+}

@@ -1,0 +1,111 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A dimension attribute value.
+///
+/// Dimension columns are dictionary encoded; the dictionary stores
+/// `AttrValue`s in sorted order so that dictionary codes are ordinal. Time
+/// dimensions rely on this: ISO-formatted date strings (`"2020-01-22"`) sort
+/// lexicographically in chronological order, and integer timestamps sort
+/// numerically.
+///
+/// Integers order before strings so that a (discouraged) mixed-type column
+/// still has a total order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrValue {
+    /// An integer-valued dimension member, e.g. `Pack = 12`.
+    Int(i64),
+    /// A string-valued dimension member, e.g. `state = "NY"`.
+    Str(Arc<str>),
+}
+
+impl AttrValue {
+    /// Returns the string payload if this is a [`AttrValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            AttrValue::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer payload if this is an [`AttrValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            AttrValue::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_payloads() {
+        assert_eq!(AttrValue::from(12).to_string(), "12");
+        assert_eq!(AttrValue::from("NY").to_string(), "NY");
+    }
+
+    #[test]
+    fn iso_dates_sort_chronologically() {
+        let a = AttrValue::from("2020-01-22");
+        let b = AttrValue::from("2020-02-01");
+        let c = AttrValue::from("2020-12-31");
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ints_sort_numerically_and_before_strings() {
+        assert!(AttrValue::from(2) < AttrValue::from(10));
+        assert!(AttrValue::from(999) < AttrValue::from("0"));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(AttrValue::from(7).as_int(), Some(7));
+        assert_eq!(AttrValue::from(7).as_str(), None);
+        assert_eq!(AttrValue::from("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(AttrValue::from("CA"), AttrValue::from(String::from("CA")));
+        assert_ne!(AttrValue::from("CA"), AttrValue::from("TX"));
+        assert_ne!(AttrValue::from(1), AttrValue::from("1"));
+    }
+}

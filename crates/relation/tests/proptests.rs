@@ -1,0 +1,128 @@
+//! Property-based tests for the relational substrate: AggState group laws,
+//! builder/relation round trips, and group-by correctness against a naive
+//! oracle.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tsexplain_relation::{
+    AggFn, AggQuery, AggState, Conjunction, Datum, Field, Predicate, Relation, Schema,
+};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    /// merge is associative and commutative, remove inverts merge.
+    #[test]
+    fn agg_state_group_laws(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..20),
+        ys in proptest::collection::vec(-1e3f64..1e3, 1..20),
+        zs in proptest::collection::vec(-1e3f64..1e3, 1..20),
+    ) {
+        let state = |vs: &[f64]| {
+            let mut s = AggState::ZERO;
+            for &v in vs { s.observe(v); }
+            s
+        };
+        let (a, b, c) = (state(&xs), state(&ys), state(&zs));
+        let ab_c = a.merge(b).merge(c);
+        let a_bc = a.merge(b.merge(c));
+        prop_assert!(close(ab_c.sum, a_bc.sum));
+        prop_assert!(close(ab_c.sumsq, a_bc.sumsq));
+        let ba = b.merge(a);
+        prop_assert!(close(a.merge(b).sum, ba.sum));
+        let back = a.merge(b).remove(b);
+        prop_assert!(close(back.sum, a.sum));
+        prop_assert!(close(back.count, a.count));
+    }
+
+    /// Aggregate values computed from states match direct computation.
+    #[test]
+    fn agg_values_match_direct(xs in proptest::collection::vec(-1e3f64..1e3, 1..40)) {
+        let mut s = AggState::ZERO;
+        for &v in &xs { s.observe(v); }
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let mean = sum / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!(close(s.value(AggFn::Sum), sum));
+        prop_assert!(close(s.value(AggFn::Count), n));
+        prop_assert!(close(s.value(AggFn::Avg), mean));
+        prop_assert!((s.value(AggFn::Variance) - var).abs() < 1e-4 * var.max(1.0));
+    }
+}
+
+/// Row model for relation round trips: (time 0..5, attr 0..4, measure).
+fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
+    proptest::collection::vec((0u8..5, 0u8..4, -100.0f64..100.0), 1..60)
+}
+
+fn build(rows: &[(u8, u8, f64)]) -> Relation {
+    let schema = Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("a"),
+        Field::measure("v"),
+    ])
+    .unwrap();
+    let mut b = Relation::builder(schema);
+    for &(t, a, v) in rows {
+        b.push_row(vec![
+            Datum::Attr((t as i64).into()),
+            Datum::Attr((a as i64).into()),
+            Datum::from(v),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    /// select + exclude partition the relation for any predicate.
+    #[test]
+    fn select_exclude_partition(rows in rows_strategy(), which in 0u8..4) {
+        let rel = build(&rows);
+        let conj = Conjunction::new().and(Predicate::equals("a", which as i64));
+        let inside = rel.select(&conj).unwrap();
+        let outside = rel.exclude(&conj).unwrap();
+        prop_assert_eq!(inside.n_rows() + outside.n_rows(), rel.n_rows());
+        inside.check_invariants().unwrap();
+        outside.check_invariants().unwrap();
+        let total: f64 = rel.measure("v").unwrap().iter().sum();
+        let parts: f64 = inside.measure("v").unwrap().iter().sum::<f64>()
+            + outside.measure("v").unwrap().iter().sum::<f64>();
+        prop_assert!(close(total, parts));
+    }
+
+    /// SUM group-by matches a HashMap oracle.
+    #[test]
+    fn group_by_matches_oracle(rows in rows_strategy()) {
+        let rel = build(&rows);
+        let ts = AggQuery::sum("t", "v").run(&rel).unwrap();
+        let mut oracle: HashMap<i64, f64> = HashMap::new();
+        for &(t, _, v) in &rows {
+            *oracle.entry(t as i64).or_default() += v;
+        }
+        prop_assert_eq!(ts.len(), oracle.len());
+        for (time, value) in ts.timestamps.iter().zip(&ts.values) {
+            let t = time.as_int().unwrap();
+            prop_assert!(close(*value, oracle[&t]));
+        }
+        // Timestamps sorted.
+        prop_assert!(ts.timestamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Dictionary codes are ordinal after building.
+    #[test]
+    fn dictionary_codes_ordinal(rows in rows_strategy()) {
+        let rel = build(&rows);
+        let col = rel.dim_column("a").unwrap();
+        let values = col.dict().values();
+        prop_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        for row in 0..rel.n_rows() {
+            let code = col.codes()[row];
+            prop_assert_eq!(col.dict().code_of(col.value_at(row)), Some(code));
+        }
+    }
+}

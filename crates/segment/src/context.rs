@@ -1,0 +1,338 @@
+use std::time::{Duration, Instant};
+
+use tsexplain_cube::ExplanationCube;
+use tsexplain_diff::{DiffMetric, ScoreContext, TopExplEngine, TopExplStrategy};
+
+use crate::cost::CostMatrix;
+use crate::ndcg::ExplainedSegment;
+use crate::scheme::Segmentation;
+use crate::variance::{object_centroid_distance, object_pair_distance, VarianceMetric};
+
+/// Wall-clock accumulators for the two segment-side pipeline stages the
+/// paper's latency breakdown separates (Fig. 15): the Cascading Analysts
+/// module (b) and the distance/variance/DP module (c).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimers {
+    /// Time spent deriving top-m explanations (module b).
+    pub cascading: Duration,
+    /// Time spent on distances, variances and the DP (module c).
+    pub segmentation: Duration,
+}
+
+/// Orchestrates segment explanation and cost computation: caches the unit
+/// objects' top-explanation lists (§4.1.1 — the atomic units of
+/// K-Segmentation), runs the configured top-m strategy per centroid
+/// segment, and evaluates the `|P| · var(P)` DP costs under the chosen
+/// [`VarianceMetric`].
+pub struct SegmentationContext<'a> {
+    engine: TopExplEngine<'a>,
+    diff_metric: DiffMetric,
+    metric: VarianceMetric,
+    object_tops: Option<Vec<ExplainedSegment>>,
+    timers: StageTimers,
+}
+
+impl<'a> SegmentationContext<'a> {
+    /// Builds a context over `cube`.
+    pub fn new(
+        cube: &'a ExplanationCube,
+        diff_metric: DiffMetric,
+        m: usize,
+        strategy: TopExplStrategy,
+        metric: VarianceMetric,
+    ) -> Self {
+        SegmentationContext {
+            engine: TopExplEngine::new(cube, diff_metric, m, strategy),
+            diff_metric,
+            metric,
+            object_tops: None,
+            timers: StageTimers::default(),
+        }
+    }
+
+    /// The underlying cube.
+    pub fn cube(&self) -> &'a ExplanationCube {
+        self.engine.cube()
+    }
+
+    /// Number of points `n` in the series.
+    pub fn n_points(&self) -> usize {
+        self.engine.cube().n_points()
+    }
+
+    /// The within-segment variance metric in use.
+    pub fn variance_metric(&self) -> VarianceMetric {
+        self.metric
+    }
+
+    /// The difference metric γ in use.
+    pub fn diff_metric(&self) -> DiffMetric {
+        self.diff_metric
+    }
+
+    /// Accumulated stage timings.
+    pub fn timers(&self) -> StageTimers {
+        self.timers
+    }
+
+    /// Number of top-m derivations performed so far.
+    pub fn ca_calls(&self) -> u64 {
+        self.engine.calls()
+    }
+
+    /// Derives (and times) the top-m explanations of an arbitrary segment.
+    pub fn explained(&mut self, seg: (usize, usize)) -> ExplainedSegment {
+        let start = Instant::now();
+        let top = self.engine.top_m(seg);
+        self.timers.cascading += start.elapsed();
+        ExplainedSegment::new(seg, top)
+    }
+
+    /// Ensures the unit-object top lists are cached.
+    fn ensure_objects(&mut self) {
+        if self.object_tops.is_none() {
+            let n = self.n_points();
+            let start = Instant::now();
+            let tops: Vec<ExplainedSegment> = (0..n.saturating_sub(1))
+                .map(|x| ExplainedSegment::new((x, x + 1), self.engine.top_m((x, x + 1))))
+                .collect();
+            self.timers.cascading += start.elapsed();
+            self.object_tops = Some(tops);
+        }
+    }
+
+    /// The cached top-explanations of unit object `[p_x, p_{x+1}]`.
+    pub fn object_top(&mut self, x: usize) -> ExplainedSegment {
+        self.ensure_objects();
+        self.object_tops.as_ref().expect("cached")[x].clone()
+    }
+
+    /// Computes the DP cost matrix over the candidate cut `positions`
+    /// (sorted point indices, first = 0, last = n − 1).
+    ///
+    /// With `max_len_points = Some(L)`, only segments spanning at most `L`
+    /// points are evaluated (the sketch-selection constraint, §5.3.2) and —
+    /// when positions are all points — banded storage is used so memory is
+    /// `O(n·L)` instead of `O(n²)`.
+    pub fn compute_costs(
+        &mut self,
+        positions: &[usize],
+        max_len_points: Option<usize>,
+    ) -> CostMatrix {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(positions.first(), Some(&0));
+        debug_assert_eq!(positions.last(), Some(&(self.n_points() - 1)));
+        self.ensure_objects();
+
+        let n_pos = positions.len();
+        let dense_positions = n_pos == self.n_points();
+        let mut matrix = match (max_len_points, dense_positions) {
+            (Some(band), true) => CostMatrix::banded(n_pos, band),
+            _ => CostMatrix::dense(n_pos),
+        };
+
+        for pi in 0..n_pos {
+            for pj in pi + 1..n_pos {
+                let (a, b) = (positions[pi], positions[pj]);
+                if let Some(max_len) = max_len_points {
+                    if b - a > max_len {
+                        break; // spans only grow with pj
+                    }
+                }
+                let cost = self.segment_cost((a, b));
+                matrix.set(pi, pj, cost);
+            }
+        }
+        matrix
+    }
+
+    /// The DP cost `|P| · var(P)` of one segment `(a, b)` (point indices)
+    /// under the context's variance metric.
+    ///
+    /// For the centroid structure (Eq. 7) this is the *sum* of
+    /// object↔centroid distances; for the all-pair structure (Eq. 10) it is
+    /// `|P|` times the average over all ordered object pairs.
+    pub fn segment_cost(&mut self, seg: (usize, usize)) -> f64 {
+        let (a, b) = seg;
+        debug_assert!(a < b);
+        let len = b - a;
+        if len == 1 {
+            return 0.0; // a single object is its own centroid
+        }
+        self.ensure_objects();
+        if self.metric.is_all_pair() {
+            let start = Instant::now();
+            let ctx = ScoreContext::new(self.engine.cube(), self.diff_metric);
+            let objects = self.object_tops.as_ref().expect("cached");
+            let mut sum = 0.0;
+            for x in a..b {
+                for y in x + 1..b {
+                    sum += object_pair_distance(&ctx, &objects[x], &objects[y], self.metric);
+                }
+            }
+            // AVG over the l² ordered pairs (diagonal is 0, symmetric pairs
+            // counted twice), scaled by |P| = l.
+            let l = len as f64;
+            let cost = l * (2.0 * sum / (l * l));
+            self.timers.segmentation += start.elapsed();
+            cost
+        } else {
+            let centroid = self.explained(seg);
+            let start = Instant::now();
+            let ctx = ScoreContext::new(self.engine.cube(), self.diff_metric);
+            let objects = self.object_tops.as_ref().expect("cached");
+            let mut cost = 0.0;
+            #[allow(clippy::needless_range_loop)] // point indices, not iteration
+            for x in a..b {
+                cost += object_centroid_distance(&ctx, &objects[x], &centroid, self.metric);
+            }
+            self.timers.segmentation += start.elapsed();
+            cost
+        }
+    }
+
+    /// The paper's objective (Problem 1): `Σ_i |P_i| · var(P_i)` of a
+    /// scheme. This is what Table 7 reports as the segmentation quality.
+    pub fn objective(&mut self, scheme: &Segmentation) -> f64 {
+        scheme
+            .segments()
+            .into_iter()
+            .map(|seg| self.segment_cost(seg))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_cube::CubeConfig;
+    use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+
+    /// Two clean phases: NY drives objects 0..3, CA drives objects 3..6.
+    fn cube() -> ExplanationCube {
+        let schema = Schema::new(vec![
+            Field::dimension("d"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let ny = [0.0, 10.0, 20.0, 30.0, 30.0, 30.0, 30.0];
+        let ca = [5.0, 5.0, 5.0, 5.0, 25.0, 45.0, 65.0];
+        let mut b = Relation::builder(schema);
+        for (t, (&vny, &vca)) in ny.iter().zip(ca.iter()).enumerate() {
+            b.push_row(vec![
+                Datum::from(format!("d{t}")),
+                Datum::from("NY"),
+                Datum::from(vny),
+            ])
+            .unwrap();
+            b.push_row(vec![
+                Datum::from(format!("d{t}")),
+                Datum::from("CA"),
+                Datum::from(vca),
+            ])
+            .unwrap();
+        }
+        ExplanationCube::build(
+            &b.finish(),
+            &AggQuery::sum("d", "v"),
+            &CubeConfig::new(["state"]),
+        )
+        .unwrap()
+    }
+
+    fn context(cube: &ExplanationCube, metric: VarianceMetric) -> SegmentationContext<'_> {
+        SegmentationContext::new(
+            cube,
+            DiffMetric::AbsoluteChange,
+            3,
+            TopExplStrategy::Exact,
+            metric,
+        )
+    }
+
+    #[test]
+    fn unit_segments_cost_zero() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        for x in 0..cube.n_points() - 1 {
+            assert_eq!(ctx.segment_cost((x, x + 1)), 0.0);
+        }
+    }
+
+    #[test]
+    fn coherent_segment_cheaper_than_mixed() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let coherent = ctx.segment_cost((0, 3));
+        let mixed = ctx.segment_cost((1, 5));
+        assert!(
+            coherent < mixed,
+            "coherent {coherent} should be < mixed {mixed}"
+        );
+    }
+
+    #[test]
+    fn objective_prefers_true_split() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let good = Segmentation::new(7, vec![3]).unwrap();
+        let bad = Segmentation::new(7, vec![1]).unwrap();
+        assert!(ctx.objective(&good) < ctx.objective(&bad));
+    }
+
+    #[test]
+    fn cost_matrix_matches_individual_costs() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let positions: Vec<usize> = (0..7).collect();
+        let m = ctx.compute_costs(&positions, None);
+        for a in 0..7 {
+            for b in a + 1..7 {
+                assert!((m.get(a, b) - ctx.segment_cost((a, b))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_costs_skip_long_segments() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let positions: Vec<usize> = (0..7).collect();
+        let m = ctx.compute_costs(&positions, Some(2));
+        assert_eq!(m.band(), Some(2));
+        assert!(m.get(0, 2).is_finite());
+        assert!(m.get(0, 3).is_infinite());
+    }
+
+    #[test]
+    fn sparse_positions_dense_matrix() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let positions = vec![0, 3, 6];
+        let m = ctx.compute_costs(&positions, None);
+        assert_eq!(m.n_pos(), 3);
+        assert!(m.get(0, 1).is_finite());
+        assert!((m.get(0, 2) - ctx.segment_cost((0, 6))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allpair_cost_is_finite_and_nonnegative() {
+        let cube = cube();
+        for metric in [VarianceMetric::AllPair, VarianceMetric::SAllPair] {
+            let mut ctx = context(&cube, metric);
+            for seg in [(0usize, 2usize), (0, 6), (2, 5)] {
+                let c = ctx.segment_cost(seg);
+                assert!(c.is_finite() && c >= 0.0, "{metric}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let _ = ctx.segment_cost((0, 6));
+        assert!(ctx.ca_calls() > 0);
+    }
+}

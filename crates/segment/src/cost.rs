@@ -1,0 +1,160 @@
+/// Segment-cost matrix over an ordered list of candidate cut positions.
+///
+/// `cost(i, j)` (position indices, `i < j`) is the DP cost
+/// `|P| · var(P)` of making one segment out of everything between positions
+/// `i` and `j`. Missing entries (outside the sketch band, or skipped by the
+/// length constraint) read as `+∞`, which the DP treats as infeasible.
+///
+/// Two storages are provided because the two pipeline phases have opposite
+/// shapes: the sketch-selection phase computes *all* positions but only
+/// short segments (banded storage, `O(n·L)`), while the main phase computes
+/// *few* positions but all spans (dense triangular storage, `O(|S|²)`).
+#[derive(Clone, Debug)]
+pub struct CostMatrix {
+    n_pos: usize,
+    storage: Storage,
+}
+
+#[derive(Clone, Debug)]
+enum Storage {
+    /// Upper-triangular, row-major.
+    Dense(Vec<f64>),
+    /// Only spans of at most `band` positions.
+    Banded { band: usize, data: Vec<f64> },
+}
+
+impl CostMatrix {
+    /// An all-infinite dense matrix over `n_pos` positions.
+    pub fn dense(n_pos: usize) -> Self {
+        let entries = n_pos * n_pos.saturating_sub(1) / 2;
+        CostMatrix {
+            n_pos,
+            storage: Storage::Dense(vec![f64::INFINITY; entries]),
+        }
+    }
+
+    /// An all-infinite banded matrix: spans `j − i ≤ band` only.
+    pub fn banded(n_pos: usize, band: usize) -> Self {
+        assert!(band >= 1, "band must cover at least unit segments");
+        CostMatrix {
+            n_pos,
+            storage: Storage::Banded {
+                band,
+                data: vec![f64::INFINITY; n_pos.saturating_sub(1) * band],
+            },
+        }
+    }
+
+    /// Number of candidate positions.
+    pub fn n_pos(&self) -> usize {
+        self.n_pos
+    }
+
+    /// The band width, when banded.
+    pub fn band(&self) -> Option<usize> {
+        match &self.storage {
+            Storage::Dense(_) => None,
+            Storage::Banded { band, .. } => Some(*band),
+        }
+    }
+
+    fn dense_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n_pos);
+        i * (self.n_pos - 1) - i * (i.saturating_sub(1)) / 2 + (j - i - 1)
+    }
+
+    /// The cost of the segment between positions `i` and `j` (`i < j`);
+    /// `+∞` when unavailable.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < j && j < self.n_pos);
+        match &self.storage {
+            Storage::Dense(data) => data[self.dense_index(i, j)],
+            Storage::Banded { band, data } => {
+                if j - i > *band {
+                    f64::INFINITY
+                } else {
+                    data[i * band + (j - i - 1)]
+                }
+            }
+        }
+    }
+
+    /// Stores the cost of the segment between positions `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics when a banded matrix is written outside its band.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert!(i < j && j < self.n_pos);
+        match &mut self.storage {
+            Storage::Dense(data) => {
+                let idx = i * (self.n_pos - 1) - i * (i.saturating_sub(1)) / 2 + (j - i - 1);
+                data[idx] = value;
+            }
+            Storage::Banded { band, data } => {
+                assert!(j - i <= *band, "write outside band: ({i}, {j}) band {band}");
+                data[i * *band + (j - i - 1)] = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip_all_pairs() {
+        let n = 7;
+        let mut m = CostMatrix::dense(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                m.set(i, j, (i * 10 + j) as f64);
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(m.get(i, j), (i * 10 + j) as f64, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_defaults_to_infinity() {
+        let m = CostMatrix::dense(4);
+        assert!(m.get(0, 3).is_infinite());
+    }
+
+    #[test]
+    fn banded_roundtrip_within_band() {
+        let n = 10;
+        let band = 3;
+        let mut m = CostMatrix::banded(n, band);
+        for i in 0..n {
+            for j in i + 1..n.min(i + band + 1) {
+                m.set(i, j, (i + j) as f64);
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if j - i <= band {
+                    assert_eq!(m.get(i, j), (i + j) as f64);
+                } else {
+                    assert!(m.get(i, j).is_infinite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside band")]
+    fn banded_write_outside_band_panics() {
+        let mut m = CostMatrix::banded(10, 2);
+        m.set(0, 5, 1.0);
+    }
+
+    #[test]
+    fn band_accessor() {
+        assert_eq!(CostMatrix::dense(5).band(), None);
+        assert_eq!(CostMatrix::banded(5, 2).band(), Some(2));
+    }
+}

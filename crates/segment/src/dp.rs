@@ -1,0 +1,287 @@
+use crate::cost::CostMatrix;
+use crate::error::SegmentError;
+
+/// The output of the K-Segmentation dynamic program (Eq. 11): optimal total
+/// costs `D(n, k)` and back-pointers for every `k` up to the cap, computed
+/// in a single pass.
+///
+/// The paper's optimal-K selection (§6) relies on exactly this: computing
+/// `D(n, K = 20)` yields `D(n, k)` for every smaller `k` at no extra cost,
+/// which is the K-Variance curve the elbow method inspects.
+#[derive(Clone, Debug)]
+pub struct DpResult {
+    n_pos: usize,
+    k_max: usize,
+    /// `d[j * (k_max + 1) + k]` = minimal total cost of splitting positions
+    /// `0..=j` into `k` segments.
+    d: Vec<f64>,
+    /// Back-pointer: the previous boundary position index.
+    prev: Vec<u32>,
+}
+
+impl DpResult {
+    /// Number of candidate positions.
+    pub fn n_pos(&self) -> usize {
+        self.n_pos
+    }
+
+    /// The largest K computed.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    fn at(&self, j: usize, k: usize) -> f64 {
+        self.d[j * (self.k_max + 1) + k]
+    }
+
+    /// The optimal total cost `D(n, k)`; `+∞` when no valid scheme exists.
+    pub fn total_cost(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.k_max, "k out of range");
+        self.at(self.n_pos - 1, k)
+    }
+
+    /// The K-Variance curve `[(k, D(n, k))]` over all feasible `k`.
+    pub fn k_variance_curve(&self) -> Vec<(usize, f64)> {
+        (1..=self.k_max)
+            .map(|k| (k, self.total_cost(k)))
+            .filter(|(_, c)| c.is_finite())
+            .collect()
+    }
+
+    /// The largest `k` with a finite optimal cost.
+    pub fn feasible_k_max(&self) -> usize {
+        (1..=self.k_max)
+            .rev()
+            .find(|&k| self.total_cost(k).is_finite())
+            .unwrap_or(0)
+    }
+
+    /// The interior cut *position indices* of the optimal `k`-segmentation.
+    pub fn cuts(&self, k: usize) -> Result<Vec<usize>, SegmentError> {
+        if k < 1 || k > self.k_max || !self.total_cost(k).is_finite() {
+            return Err(SegmentError::InfeasibleK {
+                k,
+                positions: self.n_pos,
+            });
+        }
+        let mut cuts = Vec::with_capacity(k - 1);
+        let mut j = self.n_pos - 1;
+        for kk in (2..=k).rev() {
+            j = self.prev[j * (self.k_max + 1) + kk] as usize;
+            cuts.push(j);
+        }
+        cuts.reverse();
+        Ok(cuts)
+    }
+}
+
+/// Solves K-Segmentation over a cost matrix for all `k ∈ 1..=k_max`
+/// (Eq. 11):
+///
+/// ```text
+/// D(j, k) = min_{j'} [ D(j', k−1) + cost(j', j) ]
+/// ```
+///
+/// Positions are the matrix's candidate cut positions; every segment spans
+/// at least one position step. When the matrix is banded, transitions are
+/// restricted to the band, giving the `O(L · n · K)` sketch-phase bound.
+pub fn k_segmentation(costs: &CostMatrix, k_max: usize) -> DpResult {
+    let n_pos = costs.n_pos();
+    assert!(n_pos >= 2, "need at least two positions");
+    let k_max = k_max.max(1).min(n_pos - 1);
+    let stride = k_max + 1;
+    let mut d = vec![f64::INFINITY; n_pos * stride];
+    let mut prev = vec![u32::MAX; n_pos * stride];
+
+    for j in 1..n_pos {
+        d[j * stride + 1] = costs.get(0, j);
+    }
+    for k in 2..=k_max {
+        for j in k..n_pos {
+            let lo = match costs.band() {
+                Some(band) => j.saturating_sub(band).max(k - 1),
+                None => k - 1,
+            };
+            let mut best = f64::INFINITY;
+            let mut arg = u32::MAX;
+            for jp in lo..j {
+                let left = d[jp * stride + (k - 1)];
+                if !left.is_finite() {
+                    continue;
+                }
+                let cand = left + costs.get(jp, j);
+                if cand < best {
+                    best = cand;
+                    arg = jp as u32;
+                }
+            }
+            d[j * stride + k] = best;
+            prev[j * stride + k] = arg;
+        }
+    }
+
+    DpResult {
+        n_pos,
+        k_max,
+        d,
+        prev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Costs from an additive per-point "badness": segment (i, j) costs the
+    /// squared distance between a step series' values at i and j, so the
+    /// optimal 2-segmentation cuts exactly at the step.
+    fn step_costs(values: &[f64]) -> CostMatrix {
+        let n = values.len();
+        let mut m = CostMatrix::dense(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                // Sum of squared deviations from the segment's linear
+                // interpolation: zero for segments inside one flat level.
+                let mut cost = 0.0;
+                for x in i..=j {
+                    let frac = (x - i) as f64 / (j - i) as f64;
+                    let interp = values[i] + frac * (values[j] - values[i]);
+                    cost += (values[x] - interp).powi(2);
+                }
+                m.set(i, j, cost);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn finds_single_breakpoint() {
+        // Flat then linearly rising: the unique zero-cost 2-segmentation
+        // cuts exactly at the knee (index 2).
+        let values = [0.0, 0.0, 0.0, 10.0, 20.0, 30.0];
+        let dp = k_segmentation(&step_costs(&values), 3);
+        assert!(dp.total_cost(1) > 0.0);
+        assert!(dp.total_cost(2).abs() < 1e-12);
+        assert_eq!(dp.cuts(2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn cost_is_monotone_for_length_convex_costs() {
+        // With a cost that is convex in segment length, splitting any
+        // segment strictly helps, so D(n, k) must decrease with k.
+        let n = 9;
+        let mut costs = CostMatrix::dense(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                costs.set(i, j, ((j - i - 1) * (j - i - 1)) as f64);
+            }
+        }
+        let dp = k_segmentation(&costs, 6);
+        for k in 2..=6 {
+            assert!(
+                dp.total_cost(k) <= dp.total_cost(k - 1) + 1e-12,
+                "k={k}: {} > {}",
+                dp.total_cost(k),
+                dp.total_cost(k - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn max_k_gives_zero_cost() {
+        let values = [1.0, 4.0, 2.0, 8.0, 3.0];
+        let dp = k_segmentation(&step_costs(&values), 4);
+        // K = n − 1 puts every object in its own segment: cost 0.
+        assert!(dp.total_cost(4).abs() < 1e-12);
+        let cuts = dp.cuts(4).unwrap();
+        assert_eq!(cuts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let values = [2.0, 7.0, 1.0, 9.0, 4.0, 6.0, 3.0];
+        let n = values.len();
+        let costs = step_costs(&values);
+        let dp = k_segmentation(&costs, n - 1);
+        for k in 1..n {
+            // Enumerate all (k−1)-subsets of interior positions.
+            let interior: Vec<usize> = (1..n - 1).collect();
+            let mut best = f64::INFINITY;
+            let combos = combinations(&interior, k - 1);
+            for cuts in combos {
+                let mut bounds = vec![0];
+                bounds.extend(cuts.iter().copied());
+                bounds.push(n - 1);
+                let total: f64 = bounds.windows(2).map(|w| costs.get(w[0], w[1])).sum();
+                best = best.min(total);
+            }
+            assert!(
+                (dp.total_cost(k) - best).abs() < 1e-9,
+                "k={k}: dp={} brute={best}",
+                dp.total_cost(k)
+            );
+        }
+    }
+
+    fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+        if k == 0 {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            for mut rest in combinations(&items[i + 1..], k - 1) {
+                rest.insert(0, x);
+                out.push(rest);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn banded_dp_respects_band() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let n = values.len();
+        let dense = step_costs(&values);
+        let mut banded = CostMatrix::banded(n, 2);
+        for i in 0..n {
+            for j in i + 1..n.min(i + 3) {
+                banded.set(i, j, dense.get(i, j));
+            }
+        }
+        let dp = k_segmentation(&banded, 5);
+        // K = 1 (one 6-point segment) exceeds the band: infeasible.
+        assert!(!dp.total_cost(1).is_finite());
+        // K = 3 is feasible (2+2+1 points per segment ≤ band).
+        assert!(dp.total_cost(3).is_finite());
+        let cuts = dp.cuts(3).unwrap();
+        assert_eq!(cuts.len(), 2);
+        // Every segment within the band.
+        let mut bounds = vec![0];
+        bounds.extend(&cuts);
+        bounds.push(n - 1);
+        assert!(bounds.windows(2).all(|w| w[1] - w[0] <= 2));
+    }
+
+    #[test]
+    fn infeasible_k_errors() {
+        let values = [1.0, 2.0, 3.0];
+        let dp = k_segmentation(&step_costs(&values), 2);
+        assert!(dp.cuts(2).is_ok());
+        assert!(matches!(
+            // k_max clamps at n−1 = 2, so ask for k=2 on a banded-infeasible…
+            // here just check out-of-range k errors via cuts().
+            dp.cuts(5),
+            Err(SegmentError::InfeasibleK { .. })
+        ));
+    }
+
+    #[test]
+    fn curve_lists_feasible_ks() {
+        let values = [1.0, 5.0, 2.0, 6.0, 3.0];
+        let dp = k_segmentation(&step_costs(&values), 4);
+        let curve = dp.k_variance_curve();
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0].0, 1);
+        assert_eq!(dp.feasible_k_max(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by the segmentation layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Cut positions were not strictly increasing interior points.
+    InvalidCuts(String),
+    /// The time series is too short to segment (needs ≥ 2 points).
+    TooFewPoints(usize),
+    /// No valid scheme exists for the requested K (e.g. K > n − 1).
+    InfeasibleK {
+        /// Requested number of segments.
+        k: usize,
+        /// Number of candidate positions available.
+        positions: usize,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::InvalidCuts(msg) => write!(f, "invalid cut positions: {msg}"),
+            SegmentError::TooFewPoints(n) => {
+                write!(f, "a time series of {n} point(s) cannot be segmented")
+            }
+            SegmentError::InfeasibleK { k, positions } => {
+                write!(f, "no {k}-segmentation exists over {positions} positions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SegmentError::TooFewPoints(1).to_string().contains('1'));
+        let e = SegmentError::InfeasibleK { k: 9, positions: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,39 @@
+//! # tsexplain-segment
+//!
+//! The explanation-aware K-Segmentation engine of TSExplain — module (c)
+//! of the pipeline (paper §4, §5):
+//!
+//! * [`ndcg`] — how well one segment's top-explanation list explains
+//!   another segment, via NDCG with *rectified relevance* (Eqs. 3–5): an
+//!   explanation that pushes the KPI up in one segment but down in the
+//!   other contributes zero.
+//! * [`VarianceMetric`] — all eight within-segment variance designs the
+//!   paper evaluates (§4.2.2): `tse` (Eq. 6/7), `dist1` (Eq. 8), `dist2`
+//!   (Eq. 9), `allpair` (Eq. 10) and their squared `S*` variants.
+//! * [`SegmentationContext`] — object top-explanation caching, segment
+//!   cost computation (`|P| · var(P)`), and objective scoring.
+//! * [`k_segmentation`] — the dynamic program of Eq. 11, producing optimal
+//!   schemes for every `K` up to a cap in one pass (which is what makes the
+//!   elbow method free, §6).
+//! * [`select_sketch`] — optimization O2 (§5.3.2): a length-constrained
+//!   phase-I run whose cut positions become the candidate cut set of the
+//!   full pipeline.
+//! * [`Segmentation`] — a validated K-segmentation scheme.
+
+mod context;
+mod cost;
+mod dp;
+mod error;
+mod ndcg;
+mod scheme;
+mod sketch;
+mod variance;
+
+pub use context::{SegmentationContext, StageTimers};
+pub use cost::CostMatrix;
+pub use dp::{k_segmentation, DpResult};
+pub use error::SegmentError;
+pub use ndcg::{ndcg, ExplainedSegment};
+pub use scheme::Segmentation;
+pub use sketch::{select_sketch, SketchConfig};
+pub use variance::{object_centroid_distance, object_pair_distance, VarianceMetric};

@@ -1,0 +1,130 @@
+use crate::error::SegmentError;
+
+/// A K-segmentation scheme over a time series of `n` points (0-based point
+/// indices).
+///
+/// The scheme is described by its interior cut positions
+/// `c_2 < c_3 < … < c_K` (Definition 3.7 uses 1-based `c_1 = 1` and
+/// `c_{K+1} = n`; here the implicit boundaries are `0` and `n − 1`).
+/// Segment `i` spans points `[boundaries[i], boundaries[i+1]]` inclusive —
+/// neighbouring segments share their boundary point, exactly as in the
+/// paper's `P_i = [p_{c_i}, p_{c_{i+1}}]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segmentation {
+    n: usize,
+    cuts: Vec<usize>,
+}
+
+impl Segmentation {
+    /// Builds a scheme over `n` points with the given interior cuts.
+    ///
+    /// Cuts must be strictly increasing and lie strictly inside `(0, n-1)`.
+    pub fn new(n: usize, cuts: Vec<usize>) -> Result<Self, SegmentError> {
+        if n < 2 {
+            return Err(SegmentError::TooFewPoints(n));
+        }
+        for (i, &c) in cuts.iter().enumerate() {
+            if c == 0 || c >= n - 1 {
+                return Err(SegmentError::InvalidCuts(format!(
+                    "cut {c} outside interior (0, {})",
+                    n - 1
+                )));
+            }
+            if i > 0 && cuts[i - 1] >= c {
+                return Err(SegmentError::InvalidCuts(format!(
+                    "cuts not strictly increasing at {c}"
+                )));
+            }
+        }
+        Ok(Segmentation { n, cuts })
+    }
+
+    /// The single-segment scheme (K = 1).
+    pub fn whole(n: usize) -> Result<Self, SegmentError> {
+        Segmentation::new(n, Vec::new())
+    }
+
+    /// Number of points in the underlying series.
+    pub fn n_points(&self) -> usize {
+        self.n
+    }
+
+    /// The number of segments K.
+    pub fn k(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Interior cut positions (ascending).
+    pub fn cuts(&self) -> &[usize] {
+        &self.cuts
+    }
+
+    /// All boundaries including the endpoints: `[0, c_2, …, c_K, n−1]`.
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut b = Vec::with_capacity(self.cuts.len() + 2);
+        b.push(0);
+        b.extend_from_slice(&self.cuts);
+        b.push(self.n - 1);
+        b
+    }
+
+    /// The segments as `(start, end)` point-index pairs (inclusive ends).
+    pub fn segments(&self) -> Vec<(usize, usize)> {
+        let b = self.boundaries();
+        b.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Number of unit objects `[p_x, p_{x+1}]` inside segment `i` — the
+    /// `|P_i|` weight of Problem 1.
+    pub fn segment_len(&self, i: usize) -> usize {
+        let (a, b) = self.segments()[i];
+        b - a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_series_is_one_segment() {
+        let s = Segmentation::whole(10).unwrap();
+        assert_eq!(s.k(), 1);
+        assert_eq!(s.segments(), vec![(0, 9)]);
+        assert_eq!(s.segment_len(0), 9);
+    }
+
+    #[test]
+    fn segments_share_boundaries() {
+        let s = Segmentation::new(10, vec![3, 7]).unwrap();
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.segments(), vec![(0, 3), (3, 7), (7, 9)]);
+        assert_eq!(s.boundaries(), vec![0, 3, 7, 9]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_cuts() {
+        assert!(Segmentation::new(10, vec![0]).is_err());
+        assert!(Segmentation::new(10, vec![9]).is_err());
+        assert!(Segmentation::new(10, vec![10]).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_or_duplicate_cuts() {
+        assert!(Segmentation::new(10, vec![5, 3]).is_err());
+        assert!(Segmentation::new(10, vec![4, 4]).is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_series() {
+        assert!(Segmentation::whole(1).is_err());
+        assert!(Segmentation::whole(0).is_err());
+    }
+
+    #[test]
+    fn segment_lengths_sum_to_object_count() {
+        let s = Segmentation::new(20, vec![4, 9, 15]).unwrap();
+        let total: usize = (0..s.k()).map(|i| s.segment_len(i)).sum();
+        assert_eq!(total, 19);
+    }
+}

@@ -1,0 +1,259 @@
+use std::fmt;
+
+use tsexplain_diff::ScoreContext;
+
+use crate::ndcg::{ndcg, ExplainedSegment};
+
+/// The eight within-segment variance designs evaluated in §4.2.2.
+///
+/// Each metric combines
+///
+/// * a **structure** — compare every object against the segment's centroid
+///   (Eq. 7) or compare all object pairs (`allpair`, Eq. 10), and
+/// * a **distance form** — the symmetric two-way NDCG average (Eq. 6), the
+///   object-explains-centroid direction only (`dist1`, Eq. 8), or the
+///   centroid-explains-object direction only (`dist2`, Eq. 9), optionally
+///   with the NDCG aggregate replaced by its quadratic (l2) mean — the
+///   `S*` variants.
+///
+/// The paper's experiments (Fig. 6) show `tse` dominates the alternatives;
+/// the engine defaults to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarianceMetric {
+    /// Eq. 7 structure with the symmetric Eq. 6 distance — the paper's
+    /// chosen design.
+    Tse,
+    /// Eq. 8: only how well the object's list explains the centroid.
+    Dist1,
+    /// Eq. 9: only how well the centroid's list explains the object.
+    Dist2,
+    /// Eq. 10: average symmetric distance over all object pairs.
+    AllPair,
+    /// `tse` with the NDCG pair aggregated by quadratic mean.
+    STse,
+    /// `dist1` with the NDCG term squared.
+    SDist1,
+    /// `dist2` with the NDCG term squared.
+    SDist2,
+    /// `allpair` with the quadratic-mean distance.
+    SAllPair,
+}
+
+impl VarianceMetric {
+    /// All eight designs, in the paper's naming order.
+    pub const ALL: [VarianceMetric; 8] = [
+        VarianceMetric::Tse,
+        VarianceMetric::Dist1,
+        VarianceMetric::Dist2,
+        VarianceMetric::AllPair,
+        VarianceMetric::STse,
+        VarianceMetric::SDist1,
+        VarianceMetric::SDist2,
+        VarianceMetric::SAllPair,
+    ];
+
+    /// True for the all-pair structural variants (Eq. 10).
+    pub fn is_all_pair(&self) -> bool {
+        matches!(self, VarianceMetric::AllPair | VarianceMetric::SAllPair)
+    }
+
+    /// True for the squared (`S*`) variants.
+    pub fn is_squared(&self) -> bool {
+        matches!(
+            self,
+            VarianceMetric::STse
+                | VarianceMetric::SDist1
+                | VarianceMetric::SDist2
+                | VarianceMetric::SAllPair
+        )
+    }
+}
+
+impl fmt::Display for VarianceMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VarianceMetric::Tse => "tse",
+            VarianceMetric::Dist1 => "dist1",
+            VarianceMetric::Dist2 => "dist2",
+            VarianceMetric::AllPair => "allpair",
+            VarianceMetric::STse => "Stse",
+            VarianceMetric::SDist1 => "Sdist1",
+            VarianceMetric::SDist2 => "Sdist2",
+            VarianceMetric::SAllPair => "Sallpair",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Distance between an *object* (unit segment) and its segment *centroid*
+/// under `metric` (Eqs. 6, 8, 9 and the squared variants).
+///
+/// For the all-pair structural variants this is still the symmetric
+/// distance — the structure only changes *which* pairs are averaged, which
+/// is handled by the caller.
+pub fn object_centroid_distance(
+    ctx: &ScoreContext<'_>,
+    object: &ExplainedSegment,
+    centroid: &ExplainedSegment,
+    metric: VarianceMetric,
+) -> f64 {
+    // N_co: how well the object's list explains the centroid (Eq. 8 term);
+    // N_oc: how well the centroid's list explains the object (Eq. 9 term).
+    match metric {
+        VarianceMetric::Tse | VarianceMetric::AllPair => {
+            let n_co = ndcg(ctx, centroid, object);
+            let n_oc = ndcg(ctx, object, centroid);
+            1.0 - (n_co + n_oc) / 2.0
+        }
+        VarianceMetric::STse | VarianceMetric::SAllPair => {
+            let n_co = ndcg(ctx, centroid, object);
+            let n_oc = ndcg(ctx, object, centroid);
+            1.0 - ((n_co * n_co + n_oc * n_oc) / 2.0).sqrt()
+        }
+        VarianceMetric::Dist1 => 1.0 - ndcg(ctx, centroid, object),
+        VarianceMetric::SDist1 => {
+            let n = ndcg(ctx, centroid, object);
+            1.0 - n * n
+        }
+        VarianceMetric::Dist2 => 1.0 - ndcg(ctx, object, centroid),
+        VarianceMetric::SDist2 => {
+            let n = ndcg(ctx, object, centroid);
+            1.0 - n * n
+        }
+    }
+}
+
+/// Distance between two objects for the all-pair structure (Eq. 10).
+pub fn object_pair_distance(
+    ctx: &ScoreContext<'_>,
+    a: &ExplainedSegment,
+    b: &ExplainedSegment,
+    metric: VarianceMetric,
+) -> f64 {
+    let n_ab = ndcg(ctx, a, b);
+    let n_ba = ndcg(ctx, b, a);
+    if metric.is_squared() {
+        1.0 - ((n_ab * n_ab + n_ba * n_ba) / 2.0).sqrt()
+    } else {
+        1.0 - (n_ab + n_ba) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_cube::{CubeConfig, ExplanationCube};
+    use tsexplain_diff::{CascadingAnalysts, DiffMetric};
+    use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+
+    fn cube() -> ExplanationCube {
+        let schema = Schema::new(vec![
+            Field::dimension("d"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let series: &[(&str, [f64; 4])] = &[
+            ("NY", [0.0, 10.0, 20.0, 20.0]),
+            ("CA", [0.0, 0.0, 10.0, 40.0]),
+        ];
+        let mut b = Relation::builder(schema);
+        for (state, vals) in series {
+            for (t, v) in vals.iter().enumerate() {
+                b.push_row(vec![
+                    Datum::from(format!("d{t}")),
+                    Datum::from(*state),
+                    Datum::from(*v),
+                ])
+                .unwrap();
+            }
+        }
+        ExplanationCube::build(
+            &b.finish(),
+            &AggQuery::sum("d", "v"),
+            &CubeConfig::new(["state"]),
+        )
+        .unwrap()
+    }
+
+    fn all_distances(metric: VarianceMetric) -> Vec<f64> {
+        let cube = cube();
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 2);
+        let ctx = ca.score_context();
+        let segs = [(0usize, 1usize), (1, 2), (2, 3), (0, 3)];
+        let ex: Vec<ExplainedSegment> = segs
+            .iter()
+            .map(|&s| ExplainedSegment::new(s, ca.top_m(s)))
+            .collect();
+        let mut out = Vec::new();
+        for a in &ex {
+            for b in &ex {
+                out.push(object_centroid_distance(&ctx, a, b, metric));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn distances_in_unit_interval_for_all_metrics() {
+        for metric in VarianceMetric::ALL {
+            for d in all_distances(metric) {
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&d),
+                    "{metric}: distance {d} out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let cube = cube();
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 2);
+        let ctx = ca.score_context();
+        for metric in VarianceMetric::ALL {
+            let es = ExplainedSegment::new((0, 2), ca.top_m((0, 2)));
+            let d = object_centroid_distance(&ctx, &es, &es, metric);
+            assert!(d.abs() < 1e-12, "{metric}: self distance {d}");
+        }
+    }
+
+    #[test]
+    fn symmetric_forms_are_symmetric() {
+        let cube = cube();
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 2);
+        let ctx = ca.score_context();
+        let a = ExplainedSegment::new((0, 1), ca.top_m((0, 1)));
+        let b = ExplainedSegment::new((2, 3), ca.top_m((2, 3)));
+        for metric in [VarianceMetric::Tse, VarianceMetric::STse] {
+            let d_ab = object_centroid_distance(&ctx, &a, &b, metric);
+            let d_ba = object_centroid_distance(&ctx, &b, &a, metric);
+            assert!((d_ab - d_ba).abs() < 1e-12, "{metric} not symmetric");
+        }
+        let p_ab = object_pair_distance(&ctx, &a, &b, VarianceMetric::AllPair);
+        let p_ba = object_pair_distance(&ctx, &b, &a, VarianceMetric::AllPair);
+        assert!((p_ab - p_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_variant_never_exceeds_plain_for_same_pair() {
+        // Quadratic mean ≥ arithmetic mean ⇒ 1 − qm ≤ 1 − am.
+        let cube = cube();
+        let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 2);
+        let ctx = ca.score_context();
+        let a = ExplainedSegment::new((0, 1), ca.top_m((0, 1)));
+        let b = ExplainedSegment::new((0, 3), ca.top_m((0, 3)));
+        let plain = object_centroid_distance(&ctx, &a, &b, VarianceMetric::Tse);
+        let squared = object_centroid_distance(&ctx, &a, &b, VarianceMetric::STse);
+        assert!(squared <= plain + 1e-12);
+    }
+
+    #[test]
+    fn metric_display_names_match_paper() {
+        let names: Vec<String> = VarianceMetric::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["tse", "dist1", "dist2", "allpair", "Stse", "Sdist1", "Sdist2", "Sallpair"]
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the segmentation layer: DP optimality against
+//! brute force, NDCG/distance ranges, scheme validity and sketch
+//! invariants.
+
+use proptest::prelude::*;
+use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_diff::{DiffMetric, TopExplStrategy};
+use tsexplain_segment::{
+    k_segmentation, ndcg, object_centroid_distance, select_sketch, CostMatrix,
+    ExplainedSegment, Segmentation, SegmentationContext, SketchConfig, VarianceMetric,
+};
+
+fn cost_matrix_strategy() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (4usize..9).prop_flat_map(|n| {
+        let entries = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec(0.0f64..10.0, entries..=entries),
+        )
+    })
+}
+
+fn fill(n: usize, values: &[f64]) -> CostMatrix {
+    let mut m = CostMatrix::dense(n);
+    let mut idx = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            m.set(i, j, values[idx]);
+            idx += 1;
+        }
+    }
+    m
+}
+
+fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        for mut rest in combinations(&items[i + 1..], k - 1) {
+            rest.insert(0, x);
+            out.push(rest);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DP is optimal for arbitrary cost matrices and every K.
+    #[test]
+    fn dp_matches_brute_force((n, values) in cost_matrix_strategy()) {
+        let costs = fill(n, &values);
+        let dp = k_segmentation(&costs, n - 1);
+        for k in 1..n {
+            let interior: Vec<usize> = (1..n - 1).collect();
+            let mut best = f64::INFINITY;
+            for cuts in combinations(&interior, k - 1) {
+                let mut bounds = vec![0];
+                bounds.extend(cuts);
+                bounds.push(n - 1);
+                let total: f64 = bounds.windows(2).map(|w| costs.get(w[0], w[1])).sum();
+                best = best.min(total);
+            }
+            prop_assert!((dp.total_cost(k) - best).abs() < 1e-9,
+                "k={k}: dp {} vs brute {best}", dp.total_cost(k));
+            // The reconstructed cuts achieve the optimal cost.
+            let cuts = dp.cuts(k).unwrap();
+            let mut bounds = vec![0];
+            bounds.extend(&cuts);
+            bounds.push(n - 1);
+            let achieved: f64 = bounds.windows(2).map(|w| costs.get(w[0], w[1])).sum();
+            prop_assert!((achieved - best).abs() < 1e-9);
+        }
+    }
+
+    /// Segmentation schemes validate exactly the right inputs.
+    #[test]
+    fn scheme_validity(n in 2usize..50, cuts in proptest::collection::vec(1usize..49, 0..6)) {
+        let mut sorted = cuts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.retain(|&c| c < n - 1);
+        let scheme = Segmentation::new(n, sorted.clone()).unwrap();
+        prop_assert_eq!(scheme.k(), sorted.len() + 1);
+        let segments = scheme.segments();
+        prop_assert_eq!(segments.first().unwrap().0, 0);
+        prop_assert_eq!(segments.last().unwrap().1, n - 1);
+        for w in segments.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0); // shared boundaries
+        }
+        let objects: usize = (0..scheme.k()).map(|i| scheme.segment_len(i)).sum();
+        prop_assert_eq!(objects, n - 1);
+    }
+}
+
+/// Random small cubes for metric-level properties.
+fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
+    proptest::collection::vec((0u8..6, 0u8..3, 0.1f64..50.0), 8..60)
+}
+
+fn build_cube(rows: &[(u8, u8, f64)]) -> ExplanationCube {
+    let schema = schema_new();
+    let mut builder = tsexplain_relation::Relation::builder(schema);
+    for &(t, a, v) in rows {
+        builder
+            .push_row(vec![
+                tsexplain_relation::Datum::Attr((t as i64).into()),
+                tsexplain_relation::Datum::Attr((a as i64).into()),
+                tsexplain_relation::Datum::from(v),
+            ])
+            .unwrap();
+    }
+    ExplanationCube::build(
+        &builder.finish(),
+        &tsexplain_relation::AggQuery::sum("t", "v"),
+        &CubeConfig::new(["a"]),
+    )
+    .unwrap()
+}
+
+fn schema_new() -> tsexplain_relation::Schema {
+    tsexplain_relation::Schema::new(vec![
+        tsexplain_relation::Field::dimension("t"),
+        tsexplain_relation::Field::dimension("a"),
+        tsexplain_relation::Field::measure("v"),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// NDCG stays in [0,1]; self-NDCG is 1; all metric distances stay in
+    /// [0,1] and are 0 on identical segments.
+    #[test]
+    fn ndcg_and_distance_ranges(rows in rows_strategy()) {
+        let cube = build_cube(&rows);
+        if cube.n_points() < 3 {
+            return Ok(());
+        }
+        let mut ca = tsexplain_diff::CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 3);
+        let ctx = ca.score_context();
+        let n = cube.n_points();
+        let segs = [(0usize, 1usize), (1, 2), (0, n - 1), (n - 2, n - 1)];
+        let explained: Vec<ExplainedSegment> = segs
+            .iter()
+            .map(|&s| ExplainedSegment::new(s, ca.top_m(s)))
+            .collect();
+        for x in &explained {
+            prop_assert!((ndcg(&ctx, x, x) - 1.0).abs() < 1e-9);
+            for y in &explained {
+                let v = ndcg(&ctx, x, y);
+                prop_assert!((0.0..=1.0).contains(&v));
+                for metric in VarianceMetric::ALL {
+                    let d = object_centroid_distance(&ctx, x, y, metric);
+                    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&d), "{metric}: {d}");
+                }
+            }
+        }
+    }
+
+    /// Segment costs are non-negative, zero on unit segments, and the
+    /// whole-series cost equals the K=1 DP cost.
+    #[test]
+    fn cost_consistency(rows in rows_strategy()) {
+        let cube = build_cube(&rows);
+        let n = cube.n_points();
+        if n < 3 {
+            return Ok(());
+        }
+        let mut ctx = SegmentationContext::new(
+            &cube,
+            DiffMetric::AbsoluteChange,
+            3,
+            TopExplStrategy::Exact,
+            VarianceMetric::Tse,
+        );
+        for x in 0..n - 1 {
+            prop_assert_eq!(ctx.segment_cost((x, x + 1)), 0.0);
+        }
+        let whole = ctx.segment_cost((0, n - 1));
+        prop_assert!(whole >= 0.0);
+        let positions: Vec<usize> = (0..n).collect();
+        let costs = ctx.compute_costs(&positions, None);
+        let dp = k_segmentation(&costs, 3);
+        prop_assert!((dp.total_cost(1) - whole).abs() < 1e-9);
+        // More segments never increase the optimal DP cost by much — they
+        // can only reorganize; K = n−1 is exactly 0.
+        let full = k_segmentation(&costs, n - 1);
+        prop_assert!(full.total_cost(n - 1).abs() < 1e-9);
+    }
+
+    /// Sketches are valid candidate-position sets.
+    #[test]
+    fn sketch_positions_valid(rows in rows_strategy(), frac in 0.05f64..0.5) {
+        let cube = build_cube(&rows);
+        let n = cube.n_points();
+        if n < 4 {
+            return Ok(());
+        }
+        let mut ctx = SegmentationContext::new(
+            &cube,
+            DiffMetric::AbsoluteChange,
+            3,
+            TopExplStrategy::Exact,
+            VarianceMetric::Tse,
+        );
+        let config = SketchConfig {
+            max_len_fraction: frac,
+            max_len_cap: 20,
+            size_factor: 3.0,
+        };
+        let sketch = select_sketch(&mut ctx, &config);
+        prop_assert_eq!(*sketch.first().unwrap(), 0);
+        prop_assert_eq!(*sketch.last().unwrap(), n - 1);
+        prop_assert!(sketch.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end pipeline tests over the simulated real-world workloads:
+//! relation → cube → Cascading Analysts → K-Segmentation → evolving
+//! explanations, with the paper's narrative as the oracle.
+
+use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain_datagen::{covid, covid_deaths, sp500};
+
+/// Collects all explanation labels of segments overlapping `[lo, hi]`.
+fn labels_in_range(
+    result: &tsexplain::ExplainResult,
+    lo: usize,
+    hi: usize,
+) -> Vec<String> {
+    result
+        .segments
+        .iter()
+        .filter(|s| s.start < hi && s.end > lo)
+        .flat_map(|s| s.explanations.iter().map(|e| e.label.clone()))
+        .collect()
+}
+
+#[test]
+fn covid_total_narrative() {
+    let data = covid::generate(0);
+    let workload = data.total_workload();
+    let engine = TsExplain::new(
+        TsExplainConfig::new(workload.explain_by.clone())
+            .with_optimizations(Optimizations::all()),
+    );
+    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+
+    // The paper reports K = 6 for this series; the elbow must land nearby.
+    assert!(
+        (4..=9).contains(&result.chosen_k),
+        "chosen K = {}",
+        result.chosen_k
+    );
+    assert_eq!(result.stats.epsilon, 58);
+    assert_eq!(result.stats.n_points, 345);
+
+    // Spring (≈ day 50..90): NY among the top explanations.
+    let spring = labels_in_range(&result, 50, 90);
+    assert!(
+        spring.iter().any(|l| l == "state=NY"),
+        "spring explanations {spring:?}"
+    );
+    // Winter (≈ day 320..345): CA among the top explanations.
+    let winter = labels_in_range(&result, 320, 345);
+    assert!(
+        winter.iter().any(|l| l == "state=CA"),
+        "winter explanations {winter:?}"
+    );
+}
+
+#[test]
+fn covid_daily_smoothed_pipeline_runs_interactively() {
+    let data = covid::generate(0);
+    let workload = data.daily_workload();
+    let engine = TsExplain::new(
+        TsExplainConfig::new(workload.explain_by.clone())
+            .with_optimizations(Optimizations::all())
+            .with_smoothing(7),
+    );
+    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    assert!((4..=10).contains(&result.chosen_k));
+    // Every segment of a K-segmentation is non-degenerate and labelled.
+    for seg in &result.segments {
+        assert!(seg.end > seg.start);
+        assert!(!seg.explanations.is_empty(), "{} ~ {}", seg.start, seg.end);
+        assert!(seg.explanations.len() <= 3);
+    }
+    // Neighbouring segments should not share an identical explanation list
+    // — the failure mode the paper shows for the baselines (§7.4.1). Note
+    // labels alone may repeat with flipped effects (Table 3: NY+ NJ+ then
+    // NY− NJ−), so the comparison includes the effect.
+    let lists: Vec<Vec<String>> = result
+        .segments
+        .iter()
+        .map(|s| {
+            s.explanations
+                .iter()
+                .map(|e| format!("{}{}", e.label, e.effect))
+                .collect()
+        })
+        .collect();
+    let identical_neighbours = lists.windows(2).filter(|w| w[0] == w[1]).count();
+    assert!(
+        identical_neighbours == 0,
+        "identical neighbouring explanation lists: {lists:?}"
+    );
+}
+
+#[test]
+fn sp500_crash_attribution() {
+    let data = sp500::generate(0);
+    let workload = data.workload();
+    let engine = TsExplain::new(
+        TsExplainConfig::new(workload.explain_by.clone())
+            .with_optimizations(Optimizations::all()),
+    );
+    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    assert!((3..=7).contains(&result.chosen_k), "K = {}", result.chosen_k);
+
+    // Locate the crash window (2020-02-19 .. 2020-03-23) in point indices.
+    let day_of = |date: &str| -> usize {
+        result
+            .timestamps
+            .iter()
+            .position(|t| t.as_str().is_some_and(|s| s >= date))
+            .unwrap()
+    };
+    let crash_labels = labels_in_range(&result, day_of("2020-02-19"), day_of("2020-03-23"));
+    assert!(
+        crash_labels
+            .iter()
+            .any(|l| l.contains("technology") || l.contains("financial")),
+        "crash explanations {crash_labels:?}"
+    );
+    // Technology must surface with a negative effect somewhere in the
+    // crash and a positive one in the recovery.
+    let effects: Vec<(String, String)> = result
+        .segments
+        .iter()
+        .flat_map(|s| {
+            s.explanations
+                .iter()
+                .map(|e| (e.label.clone(), e.effect.to_string()))
+        })
+        .collect();
+    assert!(effects
+        .iter()
+        .any(|(l, e)| l.contains("technology") && e == "-"));
+    assert!(effects
+        .iter()
+        .any(|(l, e)| l.contains("technology") && e == "+"));
+}
+
+#[test]
+fn time_varying_attribute_case_study() {
+    // Paper §8 / Fig. 18: the top contributor flips from vaccinated=NO to
+    // age-group=50+ around week 31.
+    // Fig. 18 shows a single contributor per phase (m = 1); with larger m
+    // the age-wise and vaccination-wise partitions tie on total γ.
+    let data = covid_deaths::generate(0);
+    let workload = data.workload();
+    let engine = TsExplain::new(
+        TsExplainConfig::new(workload.explain_by.clone())
+            .with_optimizations(Optimizations::none())
+            .with_fixed_k(2)
+            .with_top_m(1),
+    );
+    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    assert_eq!(result.segments.len(), 2);
+    let early_top = &result.segments[0].explanations[0].label;
+    let late_top = &result.segments[1].explanations[0].label;
+    assert!(
+        early_top.contains("vaccinated=NO"),
+        "early phase driven by {early_top}"
+    );
+    assert!(
+        late_top.contains("age-group=50+"),
+        "late phase driven by {late_top}"
+    );
+}
+
+#[test]
+fn latency_breakdown_accounts_for_all_modules() {
+    let data = covid::generate(0);
+    let workload = data.total_workload();
+    let engine = TsExplain::new(
+        TsExplainConfig::new(workload.explain_by.clone())
+            .with_optimizations(Optimizations::all()),
+    );
+    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    assert!(result.latency.precompute.as_nanos() > 0);
+    assert!(result.latency.cascading.as_nanos() > 0);
+    assert!(result.latency.segmentation.as_nanos() > 0);
+    assert!(result.stats.ca_calls > 0);
+}
