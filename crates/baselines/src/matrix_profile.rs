@@ -25,7 +25,9 @@ pub fn matrix_profile_index(series: &[f64], w: usize) -> (Vec<f64>, Vec<usize>) 
     let mean = |i: usize| (prefix[i + w] - prefix[i]) / wf;
     let std = |i: usize| {
         let m = mean(i);
-        ((prefix_sq[i + w] - prefix_sq[i]) / wf - m * m).max(0.0).sqrt()
+        ((prefix_sq[i + w] - prefix_sq[i]) / wf - m * m)
+            .max(0.0)
+            .sqrt()
     };
     let means: Vec<f64> = (0..n_sub).map(mean).collect();
     let stds: Vec<f64> = (0..n_sub).map(std).collect();
@@ -40,8 +42,7 @@ pub fn matrix_profile_index(series: &[f64], w: usize) -> (Vec<f64>, Vec<usize>) 
         for i in 0..n_sub - d {
             let j = i + d;
             if i > 0 {
-                dot += series[i + w - 1] * series[j + w - 1]
-                    - series[i - 1] * series[j - 1];
+                dot += series[i + w - 1] * series[j + w - 1] - series[i - 1] * series[j - 1];
             }
             let dist = znorm_dist(dot, means[i], stds[i], means[j], stds[j], wf);
             if dist < profile[i] {

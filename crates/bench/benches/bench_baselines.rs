@@ -15,9 +15,7 @@ fn benches(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("bottom_up", |b| {
-        b.iter(|| black_box(bottom_up(&series, k)))
-    });
+    group.bench_function("bottom_up", |b| b.iter(|| black_box(bottom_up(&series, k))));
     for window in [10usize, 15, 25] {
         group.bench_function(format!("fluss/w={window}"), |b| {
             b.iter(|| black_box(fluss(&series, k, window)))

@@ -22,8 +22,7 @@ fn benches(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
             let engine = TsExplain::new(
-                TsExplainConfig::new(w.explain_by.clone())
-                    .with_optimizations(Optimizations::all()),
+                TsExplainConfig::new(w.explain_by.clone()).with_optimizations(Optimizations::all()),
             );
             b.iter(|| {
                 let result = engine.explain(&w.relation, &w.query).unwrap();

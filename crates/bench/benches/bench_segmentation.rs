@@ -13,8 +13,7 @@ fn benches(c: &mut Criterion) {
     let cube = ExplanationCube::build(
         &workload.relation,
         &workload.query,
-        &CubeConfig::new(workload.explain_by.iter().map(String::as_str))
-            .with_filter_ratio(0.001),
+        &CubeConfig::new(workload.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001),
     )
     .unwrap();
     let n = cube.n_points();
@@ -24,7 +23,11 @@ fn benches(c: &mut Criterion) {
 
     // Full dense cost matrix + DP under the paper's tse metric and the
     // one-sided alternatives (the §4.2.2 design ablation).
-    for metric in [VarianceMetric::Tse, VarianceMetric::Dist1, VarianceMetric::Dist2] {
+    for metric in [
+        VarianceMetric::Tse,
+        VarianceMetric::Dist1,
+        VarianceMetric::Dist2,
+    ] {
         group.bench_function(format!("dense_costs+dp/{metric}"), |b| {
             b.iter(|| {
                 let mut ctx = SegmentationContext::new(

@@ -22,7 +22,11 @@ fn main() {
 
     println!("\nSegment number K   frequency (unique base datasets share K across SNRs)");
     for (k, count) in &k_hist {
-        println!("  K = {k:>2}          {:>4}  {}", count, "#".repeat(count / 7));
+        println!(
+            "  K = {k:>2}          {:>4}  {}",
+            count,
+            "#".repeat(count / 7)
+        );
     }
 
     println!("\nSegment length     frequency");
@@ -36,10 +40,7 @@ fn main() {
         );
     }
 
-    let (k_min, k_max) = (
-        k_hist.keys().min().unwrap(),
-        k_hist.keys().max().unwrap(),
-    );
+    let (k_min, k_max) = (k_hist.keys().min().unwrap(), k_hist.keys().max().unwrap());
     let lens: Vec<usize> = corpus
         .iter()
         .flat_map(|d| {

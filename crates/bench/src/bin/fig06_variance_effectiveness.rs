@@ -43,15 +43,11 @@ fn main() {
                 ..SyntheticConfig::default()
             });
             let relation = dataset.to_relation();
-            let cube = ExplanationCube::build(
-                &relation,
-                &dataset.query(),
-                &CubeConfig::new(["category"]),
-            )
-            .expect("cube");
+            let cube =
+                ExplanationCube::build(&relation, &dataset.query(), &CubeConfig::new(["category"]))
+                    .expect("cube");
             let n = dataset.config.n_points;
-            let gt =
-                Segmentation::new(n, dataset.ground_truth_cuts.clone()).expect("valid gt");
+            let gt = Segmentation::new(n, dataset.ground_truth_cuts.clone()).expect("valid gt");
 
             // The same sampled schemes are scored under every metric.
             let mut rng = StdRng::seed_from_u64(1000 + seed);

@@ -3,8 +3,8 @@
 
 use tsexplain::Segmentation;
 use tsexplain_bench::{
-    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table,
-    segment_rows, BASELINES,
+    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table, segment_rows,
+    BASELINES,
 };
 use tsexplain_datagen::sp500;
 
@@ -23,7 +23,11 @@ fn main() {
     );
     println!("K-Variance curve:");
     for (k, v) in result.k_variance_curve.iter().take(10) {
-        let marker = if *k == result.chosen_k { "  <- elbow" } else { "" };
+        let marker = if *k == result.chosen_k {
+            "  <- elbow"
+        } else {
+            ""
+        };
         println!("  K = {k:>2}: {v:>12.4}{marker}");
     }
     print_segment_table(
@@ -36,8 +40,10 @@ fn main() {
     let n = aggregate.len();
     for name in BASELINES {
         let cuts = baseline_cuts(name, aggregate, result.chosen_k, 12);
-        let dates: Vec<String> =
-            cuts.iter().map(|&c| result.timestamps[c].to_string()).collect();
+        let dates: Vec<String> = cuts
+            .iter()
+            .map(|&c| result.timestamps[c].to_string())
+            .collect();
         println!("\n{name} cuts: {dates:?}");
         let scheme = Segmentation::new(n, cuts).expect("valid cuts");
         let (rows, _) = explain_fixed_segmentation(&workload, &scheme, 3);

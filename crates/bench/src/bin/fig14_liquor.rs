@@ -4,8 +4,8 @@
 
 use tsexplain::Segmentation;
 use tsexplain_bench::{
-    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table,
-    segment_rows, BASELINES,
+    baseline_cuts, explain_default, explain_fixed_segmentation, print_segment_table, segment_rows,
+    BASELINES,
 };
 use tsexplain_datagen::liquor;
 
@@ -58,8 +58,10 @@ fn main() {
     let n = aggregate.len();
     for name in BASELINES {
         let cuts = baseline_cuts(name, aggregate, result.chosen_k, 10);
-        let dates: Vec<String> =
-            cuts.iter().map(|&c| result.timestamps[c].to_string()).collect();
+        let dates: Vec<String> = cuts
+            .iter()
+            .map(|&c| result.timestamps[c].to_string())
+            .collect();
         println!("\n{name} cuts: {dates:?}");
         let scheme = Segmentation::new(n, cuts).expect("valid cuts");
         let (rows, _) = explain_fixed_segmentation(&workload, &scheme, 3);

@@ -7,9 +7,7 @@
 use std::time::Instant;
 
 use tsexplain::{Optimizations, Segmentation};
-use tsexplain_bench::{
-    baseline_cuts, explain_fixed_segmentation, explain_with, fmt_ms, BASELINES,
-};
+use tsexplain_bench::{baseline_cuts, explain_fixed_segmentation, explain_with, fmt_ms, BASELINES};
 use tsexplain_datagen::{covid, liquor, Workload};
 
 fn run(workload: &Workload, smoothing: usize, window: usize) {

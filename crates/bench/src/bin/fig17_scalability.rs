@@ -22,7 +22,10 @@ fn main() {
         .collect();
 
     println!("Figure 17 — latency vs series length ({reps} series per length, 100 s cutoff)");
-    println!("{:<10}{:>20}{:>20}", "length", "VanillaTSExplain", "TSExplain");
+    println!(
+        "{:<10}{:>20}{:>20}",
+        "length", "VanillaTSExplain", "TSExplain"
+    );
 
     let mut vanilla_alive = true;
     for &n in &lengths {

@@ -8,8 +8,7 @@ fn stats_row(workload: &Workload) -> (String, usize, usize, usize) {
     let cube = ExplanationCube::build(
         &workload.relation,
         &workload.query,
-        &CubeConfig::new(workload.explain_by.iter().map(String::as_str))
-            .with_filter_ratio(0.001),
+        &CubeConfig::new(workload.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001),
     )
     .expect("cube");
     (
@@ -37,8 +36,14 @@ fn main() {
         println!("{name:<28}{eps:>10}{filtered:>14}{n:>8}");
     }
     println!("\npaper reference:");
-    println!("{:<28}{:>10}{:>14}{:>8}", "total-confirmed-cases", 58, 54, 345);
-    println!("{:<28}{:>10}{:>14}{:>8}", "daily-confirmed-cases", 58, 55, 345);
+    println!(
+        "{:<28}{:>10}{:>14}{:>8}",
+        "total-confirmed-cases", 58, 54, 345
+    );
+    println!(
+        "{:<28}{:>10}{:>14}{:>8}",
+        "daily-confirmed-cases", 58, 55, 345
+    );
     println!("{:<28}{:>10}{:>14}{:>8}", "S&P 500", 610, 329, 151);
     println!("{:<28}{:>10}{:>14}{:>8}", "Liquor", 8197, 1812, 128);
 }

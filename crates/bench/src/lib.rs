@@ -118,8 +118,7 @@ pub fn explain_fixed_segmentation(
     let cube = ExplanationCube::build(
         &workload.relation,
         &workload.query,
-        &CubeConfig::new(workload.explain_by.iter().map(String::as_str))
-            .with_filter_ratio(0.001),
+        &CubeConfig::new(workload.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001),
     )
     .expect("cube must build");
     let start = Instant::now();

@@ -44,7 +44,11 @@ mod tests {
         // Sharp drop until K=4, flat afterwards.
         let curve: Vec<(usize, f64)> = (1..=10)
             .map(|k| {
-                let v = if k <= 4 { 100.0 - 24.0 * k as f64 } else { 4.0 - 0.2 * k as f64 };
+                let v = if k <= 4 {
+                    100.0 - 24.0 * k as f64
+                } else {
+                    4.0 - 0.2 * k as f64
+                };
                 (k, v.max(0.0))
             })
             .collect();

@@ -3,18 +3,25 @@ use std::time::Instant;
 use tsexplain_cube::{CubeConfig, ExplanationCube};
 use tsexplain_diff::TopExplStrategy;
 use tsexplain_relation::{AggQuery, Relation};
-use tsexplain_segment::{
-    k_segmentation, select_sketch, Segmentation, SegmentationContext,
-};
+use tsexplain_segment::{k_segmentation, select_sketch, Segmentation, SegmentationContext};
 
 use crate::config::{KSelection, TsExplainConfig};
-use crate::elbow::elbow_k;
 use crate::error::TsExplainError;
 use crate::latency::LatencyBreakdown;
+use crate::request::ExplainRequest;
 use crate::result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 
-/// The TSExplain engine (paper Fig. 7): precompute → Cascading Analysts →
-/// K-Segmentation → elbow → evolving explanations.
+/// The classic one-shot TSExplain engine (paper Fig. 7): precompute →
+/// Cascading Analysts → K-Segmentation → elbow → evolving explanations.
+///
+/// `TsExplain` is retained as a compatibility shim: [`TsExplain::explain`]
+/// behaves like a one-shot session issuing a single [`ExplainRequest`]
+/// built from its [`TsExplainConfig`]. Code that issues more than one
+/// query against the same data should hold an
+/// [`crate::ExplainSession`] instead — the session reuses its explanation
+/// cube across requests, while each `explain` call here re-aggregates
+/// everything. This type is slated for deprecation once downstream
+/// callers have migrated (see the crate-level docs).
 #[derive(Clone, Debug)]
 pub struct TsExplain {
     config: TsExplainConfig,
@@ -32,6 +39,13 @@ impl TsExplain {
     }
 
     /// Explains the aggregated time series of `query` over `relation`.
+    ///
+    /// Behaviorally equivalent to registering a one-shot
+    /// [`crate::ExplainSession`] and issuing a single
+    /// `ExplainRequest::from_config(config)`, but borrows the relation
+    /// instead of cloning it into a session — legacy callers (and the
+    /// latency benchmarks) pay no copy on top of the precompute they
+    /// already repeat per call.
     pub fn explain(
         &self,
         relation: &Relation,
@@ -53,7 +67,8 @@ impl TsExplain {
         let t0 = Instant::now();
         let cube = self.build_cube(relation, query)?;
         let precompute = t0.elapsed();
-        let mut result = self.explain_cube_positions(&cube, positions)?;
+        let mut result =
+            explain_cube_request(&cube, &ExplainRequest::from_config(&self.config), positions)?;
         result.latency.precompute = precompute;
         Ok(result)
     }
@@ -77,124 +92,135 @@ impl TsExplain {
     /// Modules (b) + (c) over a pre-built cube (precompute latency is
     /// reported as zero).
     pub fn explain_cube(&self, cube: &ExplanationCube) -> Result<ExplainResult, TsExplainError> {
-        self.explain_cube_positions(cube, None)
+        explain_cube_request(cube, &ExplainRequest::from_config(&self.config), None)
     }
+}
 
-    fn explain_cube_positions(
-        &self,
-        cube: &ExplanationCube,
-        forced_positions: Option<Vec<usize>>,
-    ) -> Result<ExplainResult, TsExplainError> {
-        let n = cube.n_points();
-        if n < 2 {
-            return Err(TsExplainError::SeriesTooShort(n));
+/// Pipeline modules (b) + (c) — Cascading Analysts plus explanation-aware
+/// K-Segmentation — over a pre-built cube, driven by a request.
+///
+/// This is the single implementation behind every entry point: the
+/// [`crate::ExplainSession`] serving path, the [`TsExplain`] shim, and the
+/// streaming refresh (which passes `forced_positions`).
+pub(crate) fn explain_cube_request(
+    cube: &ExplanationCube,
+    request: &ExplainRequest,
+    forced_positions: Option<Vec<usize>>,
+) -> Result<ExplainResult, TsExplainError> {
+    let n = cube.n_points();
+    if n < 2 {
+        return Err(TsExplainError::SeriesTooShort(n));
+    }
+    request
+        .validate_k(n)
+        .map_err(TsExplainError::InvalidRequest)?;
+
+    let optimizations = request.optimizations();
+    let strategy = match optimizations.guess_and_verify {
+        Some(initial_guess) => TopExplStrategy::GuessVerify { initial_guess },
+        None => TopExplStrategy::Exact,
+    };
+    let mut ctx = SegmentationContext::new(
+        cube,
+        request.diff_metric(),
+        request.top_m(),
+        strategy,
+        request.variance_metric(),
+    );
+
+    let positions: Vec<usize> = match forced_positions {
+        Some(mut p) => {
+            p.push(0);
+            p.push(n - 1);
+            p.retain(|&x| x < n);
+            p.sort_unstable();
+            p.dedup();
+            p
         }
-        let strategy = match self.config.optimizations.guess_and_verify {
-            Some(initial_guess) => TopExplStrategy::GuessVerify { initial_guess },
-            None => TopExplStrategy::Exact,
-        };
-        let mut ctx = SegmentationContext::new(
-            cube,
-            self.config.diff_metric,
-            self.config.top_m,
-            strategy,
-            self.config.variance_metric,
-        );
+        None => match &request.sketching() {
+            Some(sketch_config) => select_sketch(&mut ctx, sketch_config),
+            None => (0..n).collect(),
+        },
+    };
 
-        let positions: Vec<usize> = match forced_positions {
-            Some(mut p) => {
-                p.push(0);
-                p.push(n - 1);
-                p.retain(|&x| x < n);
-                p.sort_unstable();
-                p.dedup();
-                p
-            }
-            None => match &self.config.optimizations.sketching {
-                Some(sketch_config) => select_sketch(&mut ctx, sketch_config),
-                None => (0..n).collect(),
-            },
-        };
+    let costs = ctx.compute_costs(&positions, None);
+    let dp_start = Instant::now();
+    let k_cap = match request.k_selection() {
+        KSelection::Auto { max_k } => max_k.min(positions.len() - 1).max(1),
+        KSelection::Fixed(k) => k,
+    };
+    let dp = k_segmentation(&costs, k_cap);
+    let curve = dp.k_variance_curve();
+    let chosen_k = match request.k_selection() {
+        KSelection::Auto { .. } => crate::elbow::elbow_k(&curve),
+        KSelection::Fixed(k) => k,
+    };
+    let position_cuts = dp.cuts(chosen_k)?;
+    let dp_elapsed = dp_start.elapsed();
 
-        let costs = ctx.compute_costs(&positions, None);
-        let dp_start = Instant::now();
-        let k_cap = match self.config.k {
-            KSelection::Auto { max_k } => max_k.min(positions.len() - 1).max(1),
-            KSelection::Fixed(k) => k,
-        };
-        let dp = k_segmentation(&costs, k_cap);
-        let curve = dp.k_variance_curve();
-        let chosen_k = match self.config.k {
-            KSelection::Auto { .. } => elbow_k(&curve),
-            KSelection::Fixed(k) => k,
-        };
-        let position_cuts = dp.cuts(chosen_k)?;
-        let dp_elapsed = dp_start.elapsed();
+    let cuts: Vec<usize> = position_cuts.iter().map(|&pi| positions[pi]).collect();
+    let segmentation = Segmentation::new(n, cuts)?;
 
-        let cuts: Vec<usize> = position_cuts.iter().map(|&pi| positions[pi]).collect();
-        let segmentation = Segmentation::new(n, cuts)?;
+    let segments: Vec<SegmentExplanation> = segmentation
+        .segments()
+        .into_iter()
+        .map(|seg| describe_segment(cube, &mut ctx, seg))
+        .collect();
 
-        let segments: Vec<SegmentExplanation> = segmentation
-            .segments()
-            .into_iter()
-            .map(|seg| self.describe_segment(cube, &mut ctx, seg))
-            .collect();
+    let timers = ctx.timers();
+    let latency = LatencyBreakdown {
+        precompute: Default::default(),
+        cascading: timers.cascading,
+        segmentation: timers.segmentation + dp_elapsed,
+    };
+    let stats = PipelineStats {
+        epsilon: cube.n_candidates(),
+        filtered_epsilon: cube.n_selectable(),
+        n_points: n,
+        ca_calls: ctx.ca_calls(),
+        candidate_positions: positions.len(),
+        cube_from_cache: false,
+    };
 
-        let timers = ctx.timers();
-        let latency = LatencyBreakdown {
-            precompute: Default::default(),
-            cascading: timers.cascading,
-            segmentation: timers.segmentation + dp_elapsed,
-        };
-        let stats = PipelineStats {
-            epsilon: cube.n_candidates(),
-            filtered_epsilon: cube.n_selectable(),
-            n_points: n,
-            ca_calls: ctx.ca_calls(),
-            candidate_positions: positions.len(),
-        };
+    Ok(ExplainResult {
+        total_variance: dp.total_cost(chosen_k),
+        segmentation,
+        chosen_k,
+        k_variance_curve: curve,
+        segments,
+        timestamps: cube.timestamps().to_vec(),
+        aggregate: cube.total_values(),
+        latency,
+        stats,
+    })
+}
 
-        Ok(ExplainResult {
-            total_variance: dp.total_cost(chosen_k),
-            segmentation,
-            chosen_k,
-            k_variance_curve: curve,
-            segments,
-            timestamps: cube.timestamps().to_vec(),
-            aggregate: cube.total_values(),
-            latency,
-            stats,
+fn describe_segment(
+    cube: &ExplanationCube,
+    ctx: &mut SegmentationContext<'_>,
+    seg: (usize, usize),
+) -> SegmentExplanation {
+    // var(P) = cost / |P| (Eq. 7); flags incohesive segments (§9).
+    let variance = ctx.segment_cost(seg) / (seg.1 - seg.0) as f64;
+    let explained = ctx.explained(seg);
+    let explanations = explained
+        .top
+        .items()
+        .iter()
+        .map(|item| ExplanationItem {
+            label: cube.label(item.id),
+            gamma: item.gamma,
+            effect: item.effect,
+            series: (seg.0..=seg.1).map(|t| cube.value_at(item.id, t)).collect(),
         })
-    }
-
-    fn describe_segment(
-        &self,
-        cube: &ExplanationCube,
-        ctx: &mut SegmentationContext<'_>,
-        seg: (usize, usize),
-    ) -> SegmentExplanation {
-        // var(P) = cost / |P| (Eq. 7); flags incohesive segments (§9).
-        let variance = ctx.segment_cost(seg) / (seg.1 - seg.0) as f64;
-        let explained = ctx.explained(seg);
-        let explanations = explained
-            .top
-            .items()
-            .iter()
-            .map(|item| ExplanationItem {
-                label: cube.label(item.id),
-                gamma: item.gamma,
-                effect: item.effect,
-                series: (seg.0..=seg.1).map(|t| cube.value_at(item.id, t)).collect(),
-            })
-            .collect();
-        SegmentExplanation {
-            start: seg.0,
-            end: seg.1,
-            start_time: cube.timestamps()[seg.0].clone(),
-            end_time: cube.timestamps()[seg.1].clone(),
-            explanations,
-            variance,
-        }
+        .collect();
+    SegmentExplanation {
+        start: seg.0,
+        end: seg.1,
+        start_time: cube.timestamps()[seg.0].clone(),
+        end_time: cube.timestamps()[seg.1].clone(),
+        explanations,
+        variance,
     }
 }
 
@@ -223,7 +249,11 @@ mod tests {
             } else {
                 92.0
             };
-            let tx = if t <= 20 { 5.0 } else { 5.0 + 10.0 * (t - 20) as f64 };
+            let tx = if t <= 20 {
+                5.0
+            } else {
+                5.0 + 10.0 * (t - 20) as f64
+            };
             for (s, v) in [("NY", ny), ("CA", ca), ("TX", tx)] {
                 b.push_row(vec![Datum::Attr(t.into()), Datum::from(s), Datum::from(v)])
                     .unwrap();
@@ -233,9 +263,7 @@ mod tests {
     }
 
     fn engine(optimizations: Optimizations) -> TsExplain {
-        TsExplain::new(
-            TsExplainConfig::new(["state"]).with_optimizations(optimizations),
-        )
+        TsExplain::new(TsExplainConfig::new(["state"]).with_optimizations(optimizations))
     }
 
     #[test]
@@ -318,7 +346,11 @@ mod tests {
             .explain_with_candidate_positions(&rel, &query, Some(vec![7, 20]))
             .unwrap();
         // Only 7 and 20 are available as interior cuts.
-        assert!(result.segmentation.cuts().iter().all(|c| [7, 20].contains(c)));
+        assert!(result
+            .segmentation
+            .cuts()
+            .iter()
+            .all(|c| [7, 20].contains(c)));
     }
 
     #[test]
@@ -354,6 +386,32 @@ mod tests {
                 .with_optimizations(Optimizations::none())
                 .with_fixed_k(30),
         );
-        assert!(e.explain(&rel, &AggQuery::sum("t", "v")).is_err());
+        let err = e.explain(&rel, &AggQuery::sum("t", "v")).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TsExplainError::InvalidRequest(crate::request::InvalidRequest::InfeasibleK {
+                    k: 30,
+                    n: 30
+                })
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn shim_matches_direct_cube_pipeline() {
+        // The compatibility shim (one-shot session) and the lower-level
+        // build_cube + explain_cube path must agree exactly.
+        let rel = three_phase_relation();
+        let query = AggQuery::sum("t", "v");
+        let e = engine(Optimizations::none());
+        let via_shim = e.explain(&rel, &query).unwrap();
+        let cube = e.build_cube(&rel, &query).unwrap();
+        let via_cube = e.explain_cube(&cube).unwrap();
+        assert_eq!(via_shim.chosen_k, via_cube.chosen_k);
+        assert_eq!(via_shim.segmentation, via_cube.segmentation);
+        assert_eq!(via_shim.total_variance, via_cube.total_variance);
+        assert_eq!(via_shim.aggregate, via_cube.aggregate);
     }
 }

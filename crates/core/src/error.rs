@@ -4,9 +4,14 @@ use tsexplain_cube::CubeError;
 use tsexplain_relation::RelationError;
 use tsexplain_segment::SegmentError;
 
-/// Errors surfaced by the TSExplain engine.
+use crate::request::InvalidRequest;
+
+/// Errors surfaced by the TSExplain engine and serving session.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TsExplainError {
+    /// The request failed upfront validation (unknown attributes, empty
+    /// explain-by, infeasible K, empty time window, …).
+    InvalidRequest(InvalidRequest),
     /// Cube construction failed.
     Cube(CubeError),
     /// A substrate error.
@@ -27,6 +32,7 @@ pub enum TsExplainError {
 impl fmt::Display for TsExplainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TsExplainError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
             TsExplainError::Cube(e) => write!(f, "cube error: {e}"),
             TsExplainError::Relation(e) => write!(f, "relation error: {e}"),
             TsExplainError::Segment(e) => write!(f, "segmentation error: {e}"),
@@ -43,11 +49,18 @@ impl fmt::Display for TsExplainError {
 impl std::error::Error for TsExplainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            TsExplainError::InvalidRequest(e) => Some(e),
             TsExplainError::Cube(e) => Some(e),
             TsExplainError::Relation(e) => Some(e),
             TsExplainError::Segment(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<InvalidRequest> for TsExplainError {
+    fn from(e: InvalidRequest) -> Self {
+        TsExplainError::InvalidRequest(e)
     }
 }
 

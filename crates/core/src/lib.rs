@@ -10,8 +10,17 @@
 //! attaching the top-m non-overlapping explanations to each segment — the
 //! evolving explanations of Definition 3.7.
 //!
+//! ## The serving session: register once, query many
+//!
+//! The pipeline (paper Fig. 7) splits into an expensive precompute step —
+//! the explanation cube — and cheap per-query modules (Cascading
+//! Analysts plus K-Segmentation). [`ExplainSession`] exploits that split: it registers
+//! a [`Relation`] + [`AggQuery`] once, keeps a keyed cache of prepared
+//! cubes, and answers any number of [`ExplainRequest`]s (varying K, top-m,
+//! difference metric, time window) without repeating precompute:
+//!
 //! ```
-//! use tsexplain::{TsExplain, TsExplainConfig};
+//! use tsexplain::{DiffMetric, ExplainRequest, ExplainSession};
 //! use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
 //!
 //! // A tiny relation: two states over six days.
@@ -26,15 +35,41 @@
 //!     b.push_row(vec![Datum::Attr((t as i64).into()), "NY".into(), ny.into()]).unwrap();
 //!     b.push_row(vec![Datum::Attr((t as i64).into()), "CA".into(), ca.into()]).unwrap();
 //! }
-//! let relation = b.finish();
 //!
-//! let config = TsExplainConfig::new(["state"]);
-//! let result = TsExplain::new(config)
-//!     .explain(&relation, &AggQuery::sum("date", "cases"))
-//!     .unwrap();
-//! // NY explains the first rise, CA the second.
+//! // Register once…
+//! let mut session = ExplainSession::new(b.finish(), AggQuery::sum("date", "cases")).unwrap();
+//!
+//! // …then ask as many questions as the analyst has. The explanation cube
+//! // is built on the first request and reused afterwards.
+//! let result = session.explain(&ExplainRequest::new(["state"])).unwrap();
 //! assert_eq!(result.segments.len(), result.chosen_k);
+//! let k2 = session.explain(&ExplainRequest::new(["state"]).with_fixed_k(2)).unwrap();
+//! assert_eq!(k2.chosen_k, 2);
+//! let rel = session
+//!     .explain(&ExplainRequest::new(["state"]).with_diff_metric(DiffMetric::RelativeChange))
+//!     .unwrap();
+//! assert!(rel.stats.cube_from_cache);
+//! assert_eq!(session.stats().cubes_built, 1);
+//!
+//! // Responses serialize for a service boundary.
+//! let json = serde_json::to_string(&result).unwrap();
+//! assert!(json.contains("\"segments\""));
 //! ```
+//!
+//! Requests are validated upfront — unknown attributes, an empty
+//! explain-by set or an infeasible fixed K come back as
+//! [`TsExplainError::InvalidRequest`] before any pipeline work runs.
+//!
+//! Live data goes through the same session: [`ExplainSession::append_rows`]
+//! extends every cached cube incrementally at the tail, and
+//! [`StreamingExplainer`] wraps a session with the paper's §8 cut-point
+//! reuse. Both the batch session and the streaming wrapper implement
+//! [`Explainer`], so serving code can treat them uniformly.
+//!
+//! The pre-session entry point [`TsExplain::explain`] remains as a
+//! compatibility shim (one-shot session per call) and is slated for
+//! deprecation; hold a session instead whenever more than one query hits
+//! the same data.
 //!
 //! The pipeline (paper Fig. 7) is: **(a)** precompute the per-explanation
 //! series cube, **(b)** derive top-m non-overlapping explanations per
@@ -49,8 +84,11 @@ mod engine;
 mod error;
 mod latency;
 mod recommend;
+mod request;
 mod result;
 mod seasonal;
+mod serde_impls;
+mod session;
 mod streaming;
 
 pub use config::{KSelection, Optimizations, TsExplainConfig};
@@ -59,12 +97,14 @@ pub use engine::TsExplain;
 pub use error::TsExplainError;
 pub use latency::LatencyBreakdown;
 pub use recommend::{recommend_explain_by, AttributeScore};
+pub use request::{ExplainRequest, InvalidRequest};
 pub use result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 pub use seasonal::{classical_decompose, Decomposition};
+pub use session::{ExplainSession, Explainer, SessionStats};
 pub use streaming::StreamingExplainer;
 
 // Curated re-exports so downstream users need only this crate.
-pub use tsexplain_cube::{CubeConfig, ExplanationCube};
+pub use tsexplain_cube::{CubeConfig, ExplanationCube, IncrementalCube};
 pub use tsexplain_diff::{diff_two_relations, DiffMetric, Effect};
 pub use tsexplain_relation::{
     AggFn, AggQuery, AggState, AttrValue, Conjunction, Datum, Field, MeasureExpr, Predicate,

@@ -42,9 +42,7 @@ pub fn recommend_explain_by(
             .schema()
             .fields()
             .iter()
-            .filter(|f| {
-                f.column_type() == ColumnType::Dimension && f.name() != query.time_attr()
-            })
+            .filter(|f| f.column_type() == ColumnType::Dimension && f.name() != query.time_attr())
             .map(|f| f.name().to_string())
             .collect(),
     };

@@ -1,0 +1,451 @@
+//! The typed per-query request of the serving API.
+//!
+//! A [`crate::ExplainSession`] registers a relation and an aggregation
+//! query once; every subsequent question an analyst asks — different K,
+//! different top-m, a different difference metric, a restricted time window
+//! — is an [`ExplainRequest`]. Requests are cheap values, validated
+//! upfront ([`InvalidRequest`]), and serializable, so they can cross a
+//! service boundary as JSON.
+
+use std::fmt;
+
+use tsexplain_diff::DiffMetric;
+use tsexplain_relation::{AttrValue, ColumnType, Schema};
+use tsexplain_segment::{SketchConfig, VarianceMetric};
+
+use crate::config::{KSelection, Optimizations, TsExplainConfig};
+
+/// A rejected [`ExplainRequest`], detected before any pipeline work runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvalidRequest {
+    /// The explain-by set was empty.
+    EmptyExplainBy,
+    /// An explain-by attribute is not a dimension of the registered
+    /// relation.
+    UnknownAttribute(String),
+    /// An explain-by attribute equals the query's time attribute.
+    TimeAttrInExplainBy(String),
+    /// An explain-by attribute was listed twice.
+    DuplicateAttribute(String),
+    /// `top_m` was zero — every segment needs at least one explanation
+    /// slot.
+    ZeroTopM,
+    /// `max_order` was zero — candidates have order at least 1.
+    ZeroMaxOrder,
+    /// A fixed or maximum K of zero, or a fixed K exceeding `n − 1`
+    /// segments for an `n`-point series.
+    InfeasibleK {
+        /// The requested K.
+        k: usize,
+        /// The series length it was checked against (0 when rejected
+        /// before the series length is known).
+        n: usize,
+    },
+    /// The time-range restriction selects fewer than two points.
+    EmptyTimeRange {
+        /// Render of the requested range start.
+        start: String,
+        /// Render of the requested range end.
+        end: String,
+    },
+    /// The session was registered with a time attribute that is not a
+    /// dimension of the relation.
+    UnknownTimeAttribute(String),
+    /// The session's query references a measure column that does not
+    /// exist.
+    UnknownMeasure(String),
+}
+
+impl fmt::Display for InvalidRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidRequest::EmptyExplainBy => {
+                write!(f, "explain-by set is empty; name at least one dimension")
+            }
+            InvalidRequest::UnknownAttribute(a) => {
+                write!(
+                    f,
+                    "explain-by attribute {a:?} is not a dimension of the registered relation"
+                )
+            }
+            InvalidRequest::TimeAttrInExplainBy(a) => {
+                write!(
+                    f,
+                    "explain-by attribute {a:?} is the query's time attribute"
+                )
+            }
+            InvalidRequest::DuplicateAttribute(a) => {
+                write!(f, "explain-by attribute {a:?} listed twice")
+            }
+            InvalidRequest::ZeroTopM => write!(f, "top-m must be at least 1"),
+            InvalidRequest::ZeroMaxOrder => write!(f, "max explanation order must be at least 1"),
+            InvalidRequest::InfeasibleK { k, n } => {
+                if *n == 0 {
+                    write!(f, "K = {k} is infeasible (K must be at least 1)")
+                } else {
+                    write!(
+                        f,
+                        "K = {k} is infeasible for a series of {n} points (max {})",
+                        n - 1
+                    )
+                }
+            }
+            InvalidRequest::EmptyTimeRange { start, end } => {
+                write!(
+                    f,
+                    "time range [{start}, {end}] selects fewer than two points"
+                )
+            }
+            InvalidRequest::UnknownTimeAttribute(a) => {
+                write!(f, "time attribute {a:?} is not a dimension of the relation")
+            }
+            InvalidRequest::UnknownMeasure(m) => {
+                write!(f, "measure column {m:?} does not exist in the relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidRequest {}
+
+/// One explanation query against a registered session (see module docs).
+///
+/// Construction follows the builder idiom of [`TsExplainConfig`], with the
+/// paper's defaults: m = 3, β̄ = 3, absolute-change, `tse` variance,
+/// elbow-selected K ≤ 20, all optimizations, no smoothing, full horizon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplainRequest {
+    explain_by: Vec<String>,
+    top_m: usize,
+    max_order: usize,
+    diff_metric: DiffMetric,
+    variance_metric: VarianceMetric,
+    k: KSelection,
+    optimizations: Optimizations,
+    smoothing_window: usize,
+    time_range: Option<(AttrValue, AttrValue)>,
+}
+
+impl ExplainRequest {
+    /// A request with the paper's defaults for the given explain-by
+    /// attributes.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(explain_by: I) -> Self {
+        ExplainRequest::from_config(&TsExplainConfig::new(explain_by))
+    }
+
+    /// Lifts a legacy [`TsExplainConfig`] into a request (full horizon).
+    pub fn from_config(config: &TsExplainConfig) -> Self {
+        ExplainRequest {
+            explain_by: config.explain_by.clone(),
+            top_m: config.top_m,
+            max_order: config.max_order,
+            diff_metric: config.diff_metric,
+            variance_metric: config.variance_metric,
+            k: config.k,
+            optimizations: config.optimizations,
+            smoothing_window: config.smoothing_window,
+            time_range: None,
+        }
+    }
+
+    /// Sets m, the number of explanations per segment.
+    pub fn with_top_m(mut self, m: usize) -> Self {
+        self.top_m = m;
+        self
+    }
+
+    /// Sets β̄, the maximum explanation order.
+    pub fn with_max_order(mut self, order: usize) -> Self {
+        self.max_order = order;
+        self
+    }
+
+    /// Sets the difference metric γ.
+    pub fn with_diff_metric(mut self, metric: DiffMetric) -> Self {
+        self.diff_metric = metric;
+        self
+    }
+
+    /// Sets the within-segment variance design.
+    pub fn with_variance_metric(mut self, metric: VarianceMetric) -> Self {
+        self.variance_metric = metric;
+        self
+    }
+
+    /// Fixes K.
+    pub fn with_fixed_k(mut self, k: usize) -> Self {
+        self.k = KSelection::Fixed(k);
+        self
+    }
+
+    /// Selects K with the elbow method, capped at `max_k`.
+    pub fn with_max_k(mut self, max_k: usize) -> Self {
+        self.k = KSelection::Auto { max_k };
+        self
+    }
+
+    /// Sets the optimization bundle.
+    pub fn with_optimizations(mut self, optimizations: Optimizations) -> Self {
+        self.optimizations = optimizations;
+        self
+    }
+
+    /// Sets the pre-explanation smoothing window (`<= 1` = off).
+    pub fn with_smoothing(mut self, window: usize) -> Self {
+        self.smoothing_window = window;
+        self
+    }
+
+    /// Restricts the explanation to timestamps in `[start, end]`
+    /// (inclusive). The window must cover at least two points of the
+    /// series.
+    pub fn with_time_range(
+        mut self,
+        start: impl Into<AttrValue>,
+        end: impl Into<AttrValue>,
+    ) -> Self {
+        self.time_range = Some((start.into(), end.into()));
+        self
+    }
+
+    /// Clears the time-range restriction (full horizon).
+    pub fn with_full_horizon(mut self) -> Self {
+        self.time_range = None;
+        self
+    }
+
+    /// The explain-by attributes A.
+    pub fn explain_by(&self) -> &[String] {
+        &self.explain_by
+    }
+
+    /// m — explanations per segment.
+    pub fn top_m(&self) -> usize {
+        self.top_m
+    }
+
+    /// β̄ — maximum explanation order.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// The difference metric γ.
+    pub fn diff_metric(&self) -> DiffMetric {
+        self.diff_metric
+    }
+
+    /// The within-segment variance design.
+    pub fn variance_metric(&self) -> VarianceMetric {
+        self.variance_metric
+    }
+
+    /// The K selection policy.
+    pub fn k_selection(&self) -> KSelection {
+        self.k
+    }
+
+    /// The optimization bundle.
+    pub fn optimizations(&self) -> Optimizations {
+        self.optimizations
+    }
+
+    /// The smoothing window (`<= 1` = off).
+    pub fn smoothing_window(&self) -> usize {
+        self.smoothing_window
+    }
+
+    /// The time-range restriction, if any.
+    pub fn time_range(&self) -> Option<&(AttrValue, AttrValue)> {
+        self.time_range.as_ref()
+    }
+
+    /// Validates everything checkable without the series length: explain-by
+    /// attributes against the relation's schema, structural knobs, and K
+    /// being nonzero. `K ≤ n − 1` and the time window's population are
+    /// checked by the session once the series length is known.
+    pub fn validate(&self, schema: &Schema, time_attr: &str) -> Result<(), InvalidRequest> {
+        if self.explain_by.is_empty() {
+            return Err(InvalidRequest::EmptyExplainBy);
+        }
+        for (i, a) in self.explain_by.iter().enumerate() {
+            if a == time_attr {
+                return Err(InvalidRequest::TimeAttrInExplainBy(a.clone()));
+            }
+            if self.explain_by[..i].contains(a) {
+                return Err(InvalidRequest::DuplicateAttribute(a.clone()));
+            }
+            let is_dimension = schema
+                .index_of(a)
+                .is_ok_and(|idx| schema.field(idx).column_type() == ColumnType::Dimension);
+            if !is_dimension {
+                return Err(InvalidRequest::UnknownAttribute(a.clone()));
+            }
+        }
+        if self.top_m == 0 {
+            return Err(InvalidRequest::ZeroTopM);
+        }
+        if self.max_order == 0 {
+            return Err(InvalidRequest::ZeroMaxOrder);
+        }
+        match self.k {
+            KSelection::Fixed(0) | KSelection::Auto { max_k: 0 } => {
+                return Err(InvalidRequest::InfeasibleK { k: 0, n: 0 })
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Checks a fixed K against the (possibly window-restricted) series
+    /// length: an `n`-point series admits at most `n − 1` segments.
+    pub(crate) fn validate_k(&self, n: usize) -> Result<(), InvalidRequest> {
+        if let KSelection::Fixed(k) = self.k {
+            if k > n.saturating_sub(1) {
+                return Err(InvalidRequest::InfeasibleK { k, n });
+            }
+        }
+        Ok(())
+    }
+
+    /// The sketch configuration, when O2 is enabled.
+    pub(crate) fn sketching(&self) -> Option<SketchConfig> {
+        self.optimizations.sketching
+    }
+}
+
+impl Default for ExplainRequest {
+    /// A request with no explain-by attributes — invalid until
+    /// attributes are supplied; useful as deserialization scaffolding.
+    fn default() -> Self {
+        ExplainRequest::new(Vec::<String>::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_relation::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::dimension("date"),
+            Field::dimension("state"),
+            Field::dimension("pack"),
+            Field::measure("sold"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn defaults_mirror_config() {
+        let r = ExplainRequest::new(["state"]);
+        let c = TsExplainConfig::new(["state"]);
+        assert_eq!(r.top_m(), c.top_m);
+        assert_eq!(r.max_order(), c.max_order);
+        assert_eq!(r.diff_metric(), c.diff_metric);
+        assert_eq!(r.k_selection(), c.k);
+        assert_eq!(r.time_range(), None);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let r = ExplainRequest::new(["state", "pack"])
+            .with_top_m(5)
+            .with_fixed_k(4)
+            .with_diff_metric(DiffMetric::RelativeChange)
+            .with_time_range("2020-01-01", "2020-06-30");
+        assert_eq!(r.top_m(), 5);
+        assert_eq!(r.k_selection(), KSelection::Fixed(4));
+        assert_eq!(r.diff_metric(), DiffMetric::RelativeChange);
+        assert!(r.time_range().is_some());
+        assert_eq!(r.with_full_horizon().time_range(), None);
+    }
+
+    #[test]
+    fn validation_catches_bad_attributes() {
+        let s = schema();
+        assert_eq!(
+            ExplainRequest::new(Vec::<String>::new()).validate(&s, "date"),
+            Err(InvalidRequest::EmptyExplainBy)
+        );
+        assert_eq!(
+            ExplainRequest::new(["nope"]).validate(&s, "date"),
+            Err(InvalidRequest::UnknownAttribute("nope".into()))
+        );
+        // A measure is not a valid explain-by attribute.
+        assert_eq!(
+            ExplainRequest::new(["sold"]).validate(&s, "date"),
+            Err(InvalidRequest::UnknownAttribute("sold".into()))
+        );
+        assert_eq!(
+            ExplainRequest::new(["date"]).validate(&s, "date"),
+            Err(InvalidRequest::TimeAttrInExplainBy("date".into()))
+        );
+        assert_eq!(
+            ExplainRequest::new(["state", "state"]).validate(&s, "date"),
+            Err(InvalidRequest::DuplicateAttribute("state".into()))
+        );
+        assert!(ExplainRequest::new(["state", "pack"])
+            .validate(&s, "date")
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_knobs() {
+        let s = schema();
+        assert_eq!(
+            ExplainRequest::new(["state"])
+                .with_top_m(0)
+                .validate(&s, "date"),
+            Err(InvalidRequest::ZeroTopM)
+        );
+        assert_eq!(
+            ExplainRequest::new(["state"])
+                .with_max_order(0)
+                .validate(&s, "date"),
+            Err(InvalidRequest::ZeroMaxOrder)
+        );
+        assert_eq!(
+            ExplainRequest::new(["state"])
+                .with_fixed_k(0)
+                .validate(&s, "date"),
+            Err(InvalidRequest::InfeasibleK { k: 0, n: 0 })
+        );
+        assert_eq!(
+            ExplainRequest::new(["state"])
+                .with_max_k(0)
+                .validate(&s, "date"),
+            Err(InvalidRequest::InfeasibleK { k: 0, n: 0 })
+        );
+    }
+
+    #[test]
+    fn k_feasibility_against_series_length() {
+        let r = ExplainRequest::new(["state"]).with_fixed_k(29);
+        assert!(r.validate_k(30).is_ok());
+        let r = ExplainRequest::new(["state"]).with_fixed_k(30);
+        assert_eq!(
+            r.validate_k(30),
+            Err(InvalidRequest::InfeasibleK { k: 30, n: 30 })
+        );
+        // Auto K is clamped, never infeasible.
+        let r = ExplainRequest::new(["state"]).with_max_k(500);
+        assert!(r.validate_k(30).is_ok());
+    }
+
+    #[test]
+    fn invalid_request_messages_are_specific() {
+        assert!(InvalidRequest::UnknownAttribute("x".into())
+            .to_string()
+            .contains("\"x\""));
+        assert!(InvalidRequest::InfeasibleK { k: 30, n: 30 }
+            .to_string()
+            .contains("max 29"));
+        assert!(InvalidRequest::EmptyTimeRange {
+            start: "a".into(),
+            end: "b".into()
+        }
+        .to_string()
+        .contains("fewer than two points"));
+    }
+}

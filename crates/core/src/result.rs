@@ -43,7 +43,7 @@ pub struct SegmentExplanation {
 }
 
 /// Pipeline statistics (Table 6 columns + instrumentation).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Total candidate explanations ε.
     pub epsilon: usize,
@@ -55,6 +55,9 @@ pub struct PipelineStats {
     pub ca_calls: u64,
     /// Candidate cut positions used by the DP (= n without sketching).
     pub candidate_positions: usize,
+    /// Whether the explanation cube was served from a session's cache
+    /// (precompute latency ≈ 0) rather than built for this request.
+    pub cube_from_cache: bool,
 }
 
 /// The full output of one `explain()` call.
@@ -99,8 +102,8 @@ impl ExplainResult {
         if self.segments.is_empty() {
             return Vec::new();
         }
-        let mean = self.segments.iter().map(|s| s.variance).sum::<f64>()
-            / self.segments.len() as f64;
+        let mean =
+            self.segments.iter().map(|s| s.variance).sum::<f64>() / self.segments.len() as f64;
         if mean <= 0.0 {
             return Vec::new();
         }
@@ -163,9 +166,7 @@ mod tests {
                 }],
                 variance: 0.1,
             }],
-            timestamps: ["d0", "d1", "d2", "d3", "d4"]
-                .map(AttrValue::from)
-                .to_vec(),
+            timestamps: ["d0", "d1", "d2", "d3", "d4"].map(AttrValue::from).to_vec(),
             aggregate: vec![0.0, 5.0, 12.0, 12.0, 12.0],
             latency: LatencyBreakdown::default(),
             stats: PipelineStats::default(),

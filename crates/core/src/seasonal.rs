@@ -22,10 +22,7 @@ pub struct Decomposition {
 /// The trend is a centered moving average of length `period` (the usual
 /// 2×m average for even periods); boundary positions reuse the nearest
 /// interior trend value so every component has the series' length.
-pub fn classical_decompose(
-    series: &[f64],
-    period: usize,
-) -> Result<Decomposition, TsExplainError> {
+pub fn classical_decompose(series: &[f64], period: usize) -> Result<Decomposition, TsExplainError> {
     let n = series.len();
     if period < 2 || n < 2 * period {
         return Err(TsExplainError::PeriodTooLong { n, period });
@@ -72,9 +69,7 @@ pub fn classical_decompose(
     }
 
     let seasonal: Vec<f64> = (0..n).map(|t| phase_mean[t % period]).collect();
-    let residual: Vec<f64> = (0..n)
-        .map(|t| series[t] - trend[t] - seasonal[t])
-        .collect();
+    let residual: Vec<f64> = (0..n).map(|t| series[t] - trend[t] - seasonal[t]).collect();
     Ok(Decomposition {
         trend,
         seasonal,
@@ -92,8 +87,7 @@ mod tests {
         let n = 120;
         let series: Vec<f64> = (0..n)
             .map(|t| {
-                2.0 * t as f64
-                    + 10.0 * (t as f64 * std::f64::consts::TAU / period as f64).sin()
+                2.0 * t as f64 + 10.0 * (t as f64 * std::f64::consts::TAU / period as f64).sin()
             })
             .collect();
         let d = classical_decompose(&series, period).unwrap();
@@ -105,11 +99,19 @@ mod tests {
         for t in 0..n - period {
             assert!((d.seasonal[t] - d.seasonal[t + period]).abs() < 1e-9);
         }
-        let amp = d.seasonal.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let amp = d
+            .seasonal
+            .iter()
+            .cloned()
+            .fold(0.0f64, |a, b| a.max(b.abs()));
         assert!(amp > 7.0, "seasonal amplitude {amp}");
         // Residuals are small away from the boundary.
         for t in period..n - period {
-            assert!(d.residual[t].abs() < 1.5, "t={t} residual {}", d.residual[t]);
+            assert!(
+                d.residual[t].abs() < 1.5,
+                "t={t} residual {}",
+                d.residual[t]
+            );
         }
     }
 

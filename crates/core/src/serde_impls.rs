@@ -1,0 +1,352 @@
+//! JSON serialization of the request/response layer (vendored-serde
+//! impls), so [`ExplainRequest`]s and [`ExplainResult`]s can cross a
+//! service boundary as JSON.
+//!
+//! Deserialized responses are structurally revalidated where it matters —
+//! a [`Segmentation`] re-runs its invariant checks on the way in — and the
+//! encoding is stable: plain objects with snake_case members, enums as
+//! their paper-facing names.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::config::{KSelection, Optimizations};
+use crate::latency::LatencyBreakdown;
+use crate::request::ExplainRequest;
+use crate::result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
+
+impl Serialize for LatencyBreakdown {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("precompute", self.precompute.serialize()),
+            ("cascading", self.cascading.serialize()),
+            ("segmentation", self.segmentation.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for LatencyBreakdown {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(LatencyBreakdown {
+            precompute: value.field("precompute")?,
+            cascading: value.field("cascading")?,
+            segmentation: value.field("segmentation")?,
+        })
+    }
+}
+
+impl Serialize for PipelineStats {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("epsilon", self.epsilon.serialize()),
+            ("filtered_epsilon", self.filtered_epsilon.serialize()),
+            ("n_points", self.n_points.serialize()),
+            ("ca_calls", self.ca_calls.serialize()),
+            ("candidate_positions", self.candidate_positions.serialize()),
+            ("cube_from_cache", self.cube_from_cache.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for PipelineStats {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(PipelineStats {
+            epsilon: value.field("epsilon")?,
+            filtered_epsilon: value.field("filtered_epsilon")?,
+            n_points: value.field("n_points")?,
+            ca_calls: value.field("ca_calls")?,
+            candidate_positions: value.field("candidate_positions")?,
+            cube_from_cache: value.field("cube_from_cache")?,
+        })
+    }
+}
+
+impl Serialize for ExplanationItem {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("label", self.label.serialize()),
+            ("gamma", self.gamma.serialize()),
+            ("effect", self.effect.serialize()),
+            ("series", self.series.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ExplanationItem {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(ExplanationItem {
+            label: value.field("label")?,
+            gamma: value.field("gamma")?,
+            effect: value.field("effect")?,
+            series: value.field("series")?,
+        })
+    }
+}
+
+impl Serialize for SegmentExplanation {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("start", self.start.serialize()),
+            ("end", self.end.serialize()),
+            ("start_time", self.start_time.serialize()),
+            ("end_time", self.end_time.serialize()),
+            ("explanations", self.explanations.serialize()),
+            ("variance", self.variance.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for SegmentExplanation {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(SegmentExplanation {
+            start: value.field("start")?,
+            end: value.field("end")?,
+            start_time: value.field("start_time")?,
+            end_time: value.field("end_time")?,
+            explanations: value.field("explanations")?,
+            variance: value.field("variance")?,
+        })
+    }
+}
+
+impl Serialize for ExplainResult {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("segmentation", self.segmentation.serialize()),
+            ("chosen_k", self.chosen_k.serialize()),
+            ("k_variance_curve", self.k_variance_curve.serialize()),
+            ("total_variance", self.total_variance.serialize()),
+            ("segments", self.segments.serialize()),
+            ("timestamps", self.timestamps.serialize()),
+            ("aggregate", self.aggregate.serialize()),
+            ("latency", self.latency.serialize()),
+            ("stats", self.stats.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ExplainResult {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(ExplainResult {
+            segmentation: value.field("segmentation")?,
+            chosen_k: value.field("chosen_k")?,
+            k_variance_curve: value.field("k_variance_curve")?,
+            total_variance: value.field("total_variance")?,
+            segments: value.field("segments")?,
+            timestamps: value.field("timestamps")?,
+            aggregate: value.field("aggregate")?,
+            latency: value.field("latency")?,
+            stats: value.field("stats")?,
+        })
+    }
+}
+
+impl Serialize for KSelection {
+    fn serialize(&self) -> Value {
+        match self {
+            KSelection::Auto { max_k } => Value::object([
+                ("mode", Value::String("auto".into())),
+                ("max_k", max_k.serialize()),
+            ]),
+            KSelection::Fixed(k) => Value::object([
+                ("mode", Value::String("fixed".into())),
+                ("k", k.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for KSelection {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.get("mode").and_then(Value::as_str) {
+            Some("auto") => Ok(KSelection::Auto {
+                max_k: value.field("max_k")?,
+            }),
+            Some("fixed") => Ok(KSelection::Fixed(value.field("k")?)),
+            _ => Err(Error::new(
+                "expected K selection mode \"auto\" or \"fixed\"",
+            )),
+        }
+    }
+}
+
+impl Serialize for Optimizations {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("filter_ratio", self.filter_ratio.serialize()),
+            ("guess_and_verify", self.guess_and_verify.serialize()),
+            ("sketching", self.sketching.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Optimizations {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(Optimizations {
+            filter_ratio: value.field("filter_ratio")?,
+            guess_and_verify: value.field("guess_and_verify")?,
+            sketching: value.field("sketching")?,
+        })
+    }
+}
+
+impl Serialize for ExplainRequest {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("explain_by", self.explain_by().serialize()),
+            ("top_m", self.top_m().serialize()),
+            ("max_order", self.max_order().serialize()),
+            ("diff_metric", self.diff_metric().serialize()),
+            ("variance_metric", self.variance_metric().serialize()),
+            ("k", self.k_selection().serialize()),
+            ("optimizations", self.optimizations().serialize()),
+            ("smoothing_window", self.smoothing_window().serialize()),
+            ("time_range", self.time_range().serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ExplainRequest {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let explain_by: Vec<String> = value.field("explain_by")?;
+        let mut request = ExplainRequest::new(explain_by)
+            .with_top_m(value.field("top_m")?)
+            .with_max_order(value.field("max_order")?)
+            .with_diff_metric(value.field("diff_metric")?)
+            .with_variance_metric(value.field("variance_metric")?)
+            .with_optimizations(value.field("optimizations")?)
+            .with_smoothing(value.field("smoothing_window")?);
+        request = match value.field::<KSelection>("k")? {
+            KSelection::Auto { max_k } => request.with_max_k(max_k),
+            KSelection::Fixed(k) => request.with_fixed_k(k),
+        };
+        if let Some((start, end)) = value
+            .field::<Option<(tsexplain_relation::AttrValue, tsexplain_relation::AttrValue)>>(
+                "time_range",
+            )?
+        {
+            request = request.with_time_range(start, end);
+        }
+        Ok(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TsExplainConfig;
+    use std::time::Duration;
+    use tsexplain_diff::{DiffMetric, Effect};
+    use tsexplain_relation::AttrValue;
+    use tsexplain_segment::Segmentation;
+
+    fn sample_result() -> ExplainResult {
+        ExplainResult {
+            segmentation: Segmentation::new(5, vec![2]).unwrap(),
+            chosen_k: 2,
+            k_variance_curve: vec![(1, 3.0), (2, 1.0)],
+            total_variance: 1.0,
+            segments: vec![SegmentExplanation {
+                start: 0,
+                end: 2,
+                start_time: AttrValue::from("d0"),
+                end_time: AttrValue::from("d2"),
+                explanations: vec![ExplanationItem {
+                    label: "state=NY".into(),
+                    gamma: 12.5,
+                    effect: Effect::Plus,
+                    series: vec![0.0, 5.0, 12.5],
+                }],
+                variance: 0.125,
+            }],
+            timestamps: ["d0", "d1", "d2", "d3", "d4"].map(AttrValue::from).to_vec(),
+            aggregate: vec![0.0, 5.0, 12.5, 12.5, 12.5],
+            latency: LatencyBreakdown {
+                precompute: Duration::from_micros(1500),
+                cascading: Duration::from_micros(250),
+                segmentation: Duration::from_micros(40),
+            },
+            stats: PipelineStats {
+                epsilon: 3,
+                filtered_epsilon: 2,
+                n_points: 5,
+                ca_calls: 9,
+                candidate_positions: 5,
+                cube_from_cache: true,
+            },
+        }
+    }
+
+    #[test]
+    fn result_roundtrips_through_json_text() {
+        let result = sample_result();
+        let json = serde_json::to_string(&result).unwrap();
+        let back: ExplainResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.segmentation, result.segmentation);
+        assert_eq!(back.chosen_k, result.chosen_k);
+        assert_eq!(back.k_variance_curve, result.k_variance_curve);
+        assert_eq!(back.total_variance, result.total_variance);
+        assert_eq!(back.timestamps, result.timestamps);
+        assert_eq!(back.aggregate, result.aggregate);
+        assert_eq!(back.latency.precompute, result.latency.precompute);
+        assert_eq!(back.stats, result.stats);
+        assert_eq!(back.segments.len(), 1);
+        let seg = &back.segments[0];
+        assert_eq!(seg.explanations[0].label, "state=NY");
+        assert_eq!(seg.explanations[0].effect, Effect::Plus);
+        assert_eq!(seg.explanations[0].series, vec![0.0, 5.0, 12.5]);
+        assert_eq!(seg.variance, 0.125);
+    }
+
+    #[test]
+    fn result_json_is_readable() {
+        let json = serde_json::to_string_pretty(&sample_result()).unwrap();
+        for needle in [
+            "\"segments\"",
+            "\"state=NY\"",
+            "\"chosen_k\": 2",
+            "\"cube_from_cache\": true",
+            "\"effect\": \"+\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_with_all_knobs() {
+        let request = ExplainRequest::new(["state", "pack"])
+            .with_top_m(5)
+            .with_max_order(2)
+            .with_diff_metric(DiffMetric::RiskRatio)
+            .with_fixed_k(4)
+            .with_smoothing(7)
+            .with_optimizations(Optimizations::o1())
+            .with_time_range("2020-01-01", "2020-06-30");
+        let json = serde_json::to_string(&request).unwrap();
+        let back: ExplainRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn default_request_roundtrips() {
+        let request = ExplainRequest::from_config(&TsExplainConfig::new(["a"]));
+        let back: ExplainRequest =
+            serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn forged_segmentations_are_rejected() {
+        let mut value = serde_json::to_value(&sample_result());
+        // Corrupt the cuts so they fall outside the interior.
+        if let Value::Object(map) = &mut value {
+            map.insert(
+                "segmentation".into(),
+                Value::object([
+                    ("n_points", 5usize.serialize()),
+                    ("cuts", vec![17usize].serialize()),
+                ]),
+            );
+        }
+        assert!(ExplainResult::deserialize(&value).is_err());
+    }
+}

@@ -1,0 +1,788 @@
+//! The serving session: register data once, answer many explain requests.
+//!
+//! The paper's pipeline (Fig. 7) splits into an expensive precompute step —
+//! the explanation cube — and cheap per-query modules (Cascading
+//! Analysts plus K-Segmentation). An interactive analyst exploits exactly that split:
+//! they register a dataset once and then iterate on K, top-m, difference
+//! metric or time window, none of which invalidate the cube. The legacy
+//! [`crate::TsExplain::explain`] entry point rebuilt the cube on every
+//! call; [`ExplainSession`] instead owns a keyed cache of prepared cubes
+//! (keyed by explain-by set, max order and filter ratio, with finalized
+//! snapshots kept per smoothing window) and answers requests against it.
+//!
+//! Appending rows ([`ExplainSession::append_rows`]) extends every cached
+//! cube *incrementally at the tail* (`O(new rows)`), which is what makes
+//! the rewritten [`crate::StreamingExplainer`] a thin wrapper over a
+//! session. Restated history (rows at already-settled timestamps) falls
+//! back to a transparent full rebuild.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tsexplain_cube::{
+    AppendRow, CubeCacheKey, CubeConfig, CubeError, ExplanationCube, IncrementalCube,
+};
+use tsexplain_relation::{
+    AggQuery, AttrValue, Column, ColumnType, Datum, Relation, RelationError, Schema,
+};
+
+use crate::engine::explain_cube_request;
+use crate::error::TsExplainError;
+use crate::request::{ExplainRequest, InvalidRequest};
+use crate::result::ExplainResult;
+
+/// Anything that can answer [`ExplainRequest`]s: the batch serving session
+/// and the streaming wrapper both implement this, so callers can swap
+/// offline and real-time explainers behind one interface.
+pub trait Explainer {
+    /// Answers one request.
+    fn explain(&mut self, request: &ExplainRequest) -> Result<ExplainResult, TsExplainError>;
+}
+
+/// Serving-session instrumentation: how much precompute the cube cache
+/// saved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Cubes built from scratch (cache misses).
+    pub cubes_built: u64,
+    /// Requests answered from a cached, up-to-date cube.
+    pub cube_cache_hits: u64,
+    /// Requests that reused a cached cube's incremental state but had to
+    /// re-finalize its snapshot after appended rows.
+    pub cube_refreshes: u64,
+    /// Raw rows appended over the session's lifetime.
+    pub rows_appended: u64,
+    /// Full rebuilds forced by restated history.
+    pub rebuilds: u64,
+}
+
+/// A cached cube: the incremental enumeration state plus the finalized
+/// (pruned, filtered, smoothed) snapshots the pipeline runs against. The
+/// incremental state is smoothing-independent, so one entry serves every
+/// smoothing window an analyst tries — only the finalized snapshot is
+/// kept per window. Snapshots are dropped when rows arrive and lazily
+/// re-finalized on the next request.
+#[derive(Debug)]
+struct CacheEntry {
+    inc: IncrementalCube,
+    snapshots: HashMap<usize, Arc<ExplanationCube>>,
+}
+
+impl CacheEntry {
+    /// Finalizes (or returns) the snapshot for `smoothing`.
+    fn snapshot(
+        &mut self,
+        smoothing: usize,
+    ) -> Result<(Arc<ExplanationCube>, bool), TsExplainError> {
+        if let Some(snapshot) = self.snapshots.get(&smoothing) {
+            return Ok((Arc::clone(snapshot), true));
+        }
+        let mut cube = self.inc.snapshot()?;
+        if smoothing > 1 {
+            cube.smooth_moving_average(smoothing);
+        }
+        let cube = Arc::new(cube);
+        self.snapshots.insert(smoothing, Arc::clone(&cube));
+        Ok((cube, false))
+    }
+}
+
+/// A reusable serving session over one registered relation and query (see
+/// module docs). Create with [`ExplainSession::new`], query with
+/// [`ExplainSession::explain`], feed live data with
+/// [`ExplainSession::append_rows`].
+#[derive(Debug)]
+pub struct ExplainSession {
+    schema: Schema,
+    query: AggQuery,
+    /// The relation as of construction (or the last forced rebuild).
+    base: Relation,
+    /// Rows appended since `base` was materialized, in arrival order.
+    tail: Vec<Vec<Datum>>,
+    cubes: HashMap<CubeCacheKey, CacheEntry>,
+    /// Distinct timestamps across `base` + `tail`.
+    n_points: usize,
+    /// The largest timestamp seen so far.
+    last_time: Option<AttrValue>,
+    stats: SessionStats,
+}
+
+impl ExplainSession {
+    /// Registers `relation` and `query`, validating that the query's time
+    /// attribute is a dimension and its measure columns exist.
+    pub fn new(relation: Relation, query: AggQuery) -> Result<Self, TsExplainError> {
+        let schema = relation.schema().clone();
+        if schema.dimension_index(query.time_attr()).is_err() {
+            return Err(TsExplainError::InvalidRequest(
+                InvalidRequest::UnknownTimeAttribute(query.time_attr().to_string()),
+            ));
+        }
+        validate_measure(&schema, query.measure())?;
+        let (n_points, last_time) = match relation.dim_column(query.time_attr()) {
+            Ok(col) => (col.dict().len(), col.dict().values().last().cloned()),
+            Err(_) => (0, None),
+        };
+        Ok(ExplainSession {
+            schema,
+            query,
+            base: relation,
+            tail: Vec::new(),
+            cubes: HashMap::new(),
+            n_points,
+            last_time,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The registered query.
+    pub fn query(&self) -> &AggQuery {
+        &self.query
+    }
+
+    /// The registered relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of distinct timestamps registered so far.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Number of prepared cubes currently cached.
+    pub fn cached_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Cache instrumentation.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Drops every cached cube (the next request per key rebuilds).
+    pub fn invalidate(&mut self) {
+        self.cubes.clear();
+    }
+
+    /// Answers one request (see [`Explainer::explain`]).
+    pub fn explain(&mut self, request: &ExplainRequest) -> Result<ExplainResult, TsExplainError> {
+        self.explain_with_positions(request, None)
+    }
+
+    /// Like [`ExplainSession::explain`], but restricting the DP's candidate
+    /// cut positions (the streaming hook, paper §8). Positions index into
+    /// the request's — possibly time-sliced — series.
+    pub fn explain_with_positions(
+        &mut self,
+        request: &ExplainRequest,
+        positions: Option<Vec<usize>>,
+    ) -> Result<ExplainResult, TsExplainError> {
+        self.stats.requests += 1;
+        request
+            .validate(&self.schema, self.query.time_attr())
+            .map_err(TsExplainError::InvalidRequest)?;
+
+        let acquire_start = Instant::now();
+        let (cube, from_cache) = self.acquire_cube(request)?;
+        let cube = match request.time_range() {
+            None => cube,
+            Some((start, end)) => Arc::new(self.slice_cube(&cube, request, start, end)?),
+        };
+        let precompute = acquire_start.elapsed();
+
+        let mut result = explain_cube_request(&cube, request, positions)?;
+        result.latency.precompute = precompute;
+        result.stats.cube_from_cache = from_cache;
+        Ok(result)
+    }
+
+    /// Appends raw rows (schema order). New timestamps must not precede
+    /// the session's horizon — tail data extends every cached cube in
+    /// `O(new rows)`; restated history forces a transparent full rebuild
+    /// (all cached cubes are dropped).
+    pub fn append_rows(&mut self, rows: Vec<Vec<Datum>>) -> Result<(), TsExplainError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        // Surface malformed rows now, independent of cache state: arity,
+        // a dimension value in every dimension slot (not just the time
+        // attribute), and measure evaluability. A row rejected here must
+        // never reach the tail — it would poison every later request.
+        for row in &rows {
+            if row.len() != self.schema.len() {
+                return Err(RelationError::ArityMismatch {
+                    expected: self.schema.len(),
+                    got: row.len(),
+                }
+                .into());
+            }
+            for (idx, field) in self.schema.fields().iter().enumerate() {
+                if field.column_type() == ColumnType::Dimension && matches!(row[idx], Datum::Num(_))
+                {
+                    return Err(RelationError::TypeMismatch {
+                        field: field.name().to_string(),
+                        expected: "dimension",
+                    }
+                    .into());
+                }
+            }
+            self.query.measure().eval_row(&self.schema, row)?;
+        }
+        self.stats.rows_appended += rows.len() as u64;
+
+        if self.is_tail_ordered(&rows)? {
+            // Fast path: extend every cached cube at its tail. Encode for
+            // every entry *before* mutating any, so a failure cannot leave
+            // the cache entries mutually inconsistent.
+            let encodings: Vec<(CubeCacheKey, Vec<AppendRow>)> = self
+                .cubes
+                .iter()
+                .map(|(key, entry)| {
+                    let encoded = encode_rows(
+                        &self.schema,
+                        &self.query,
+                        &entry.inc.config().explain_by,
+                        &rows,
+                    )?;
+                    Ok((key.clone(), encoded))
+                })
+                .collect::<Result<_, TsExplainError>>()?;
+            let mut all_applied = true;
+            for (key, encoded) in encodings {
+                let entry = self.cubes.get_mut(&key).expect("key taken from the map");
+                if entry.inc.append_batch(&encoded).is_err() {
+                    // The session's ordering check and the cube's should
+                    // agree; if they ever diverge, fall back to a rebuild
+                    // (which drops every entry, including any already
+                    // extended) rather than panicking mid-append.
+                    all_applied = false;
+                    break;
+                }
+                entry.snapshots.clear();
+            }
+            if !all_applied {
+                self.stats.rebuilds += 1;
+                self.tail.extend(rows);
+                return self.rebuild_base();
+            }
+            for row in &rows {
+                let time = self.row_time(row)?;
+                if self.last_time.as_ref().is_none_or(|last| time > *last) {
+                    self.n_points += 1;
+                    self.last_time = Some(time);
+                }
+            }
+            self.tail.extend(rows);
+            Ok(())
+        } else {
+            // Restated or out-of-order history: rebuild from scratch.
+            self.stats.rebuilds += 1;
+            self.tail.extend(rows);
+            self.rebuild_base()
+        }
+    }
+
+    /// Whether `rows` only touch the session's tail: every timestamp at or
+    /// after the horizon, and previously-unseen timestamps arriving in
+    /// non-decreasing order (the contract of incremental cube appends).
+    fn is_tail_ordered(&self, rows: &[Vec<Datum>]) -> Result<bool, TsExplainError> {
+        let mut newest = self.last_time.clone();
+        let horizon = self.last_time.clone();
+        for row in rows {
+            let time = self.row_time(row)?;
+            if let Some(h) = &horizon {
+                if time < *h {
+                    return Ok(false);
+                }
+            }
+            if let Some(n) = &newest {
+                // `time` is new iff it exceeds the horizon; new timestamps
+                // must not interleave backwards.
+                if time < *n && horizon.as_ref().is_none_or(|h| time > *h) {
+                    return Ok(false);
+                }
+            }
+            if newest.as_ref().is_none_or(|n| time > *n) {
+                newest = Some(time);
+            }
+        }
+        Ok(true)
+    }
+
+    fn row_time(&self, row: &[Datum]) -> Result<AttrValue, TsExplainError> {
+        let idx = self.schema.index_of(self.query.time_attr())?;
+        match &row[idx] {
+            Datum::Attr(v) => Ok(v.clone()),
+            Datum::Num(_) => Err(RelationError::TypeMismatch {
+                field: self.query.time_attr().to_string(),
+                expected: "dimension",
+            }
+            .into()),
+        }
+    }
+
+    /// Re-materializes `base` from all rows seen so far and drops every
+    /// cached cube. The only path that pays the full O(total rows) cost.
+    fn rebuild_base(&mut self) -> Result<(), TsExplainError> {
+        let mut builder = Relation::builder(self.schema.clone());
+        for row in relation_rows(&self.base) {
+            builder.push_row(row)?;
+        }
+        for row in self.tail.drain(..) {
+            builder.push_row(row)?;
+        }
+        self.base = builder.finish();
+        self.cubes.clear();
+        let col = self.base.dim_column(self.query.time_attr())?;
+        self.n_points = col.dict().len();
+        self.last_time = col.dict().values().last().cloned();
+        Ok(())
+    }
+
+    /// Returns the prepared cube for `request`, building (and caching) it
+    /// on a miss. The `bool` is true when the request was answered from an
+    /// up-to-date cached snapshot.
+    fn acquire_cube(
+        &mut self,
+        request: &ExplainRequest,
+    ) -> Result<(Arc<ExplanationCube>, bool), TsExplainError> {
+        let mut cube_config = CubeConfig::new(request.explain_by().iter().cloned())
+            .with_max_order(request.max_order());
+        cube_config.filter_ratio = request.optimizations().filter_ratio;
+        let key = cube_config.cache_key();
+        let smoothing = request.smoothing_window().max(1);
+
+        if let Some(entry) = self.cubes.get_mut(&key) {
+            let (cube, was_ready) = entry.snapshot(smoothing)?;
+            if was_ready {
+                self.stats.cube_cache_hits += 1;
+            } else {
+                self.stats.cube_refreshes += 1;
+            }
+            return Ok((cube, was_ready));
+        }
+
+        // Cold build. An empty base with pending tail rows (streaming cold
+        // start) is materialized first so the seed scan is columnar.
+        if self.base.is_empty() {
+            if self.tail.is_empty() {
+                return Err(TsExplainError::Cube(CubeError::EmptyInput));
+            }
+            self.rebuild_base()?;
+            // A rebuild drops cached cubes, but on this path the cache was
+            // already missing this key; other keys are rebuilt on demand.
+        }
+        let mut inc = IncrementalCube::from_relation(&self.base, &self.query, &cube_config)?;
+        if !self.tail.is_empty() {
+            let encoded = encode_rows(&self.schema, &self.query, request.explain_by(), &self.tail)?;
+            if let Err(e) = inc.append_batch(&encoded) {
+                match e {
+                    CubeError::RestatedTimestamp(_) => {
+                        // Tail rows predate the base horizon (possible
+                        // after out-of-order appends): fold them in.
+                        self.stats.rebuilds += 1;
+                        self.rebuild_base()?;
+                        inc =
+                            IncrementalCube::from_relation(&self.base, &self.query, &cube_config)?;
+                    }
+                    other => return Err(other.into()),
+                }
+            }
+        }
+        self.stats.cubes_built += 1;
+        let mut entry = CacheEntry {
+            inc,
+            snapshots: HashMap::new(),
+        };
+        let (cube, _) = entry.snapshot(smoothing)?;
+        self.cubes.insert(key, entry);
+        Ok((cube, false))
+    }
+
+    /// Resolves a time-range restriction against the cube's axis and
+    /// slices it.
+    fn slice_cube(
+        &self,
+        cube: &ExplanationCube,
+        request: &ExplainRequest,
+        start: &AttrValue,
+        end: &AttrValue,
+    ) -> Result<ExplanationCube, TsExplainError> {
+        let empty = || {
+            TsExplainError::InvalidRequest(InvalidRequest::EmptyTimeRange {
+                start: start.to_string(),
+                end: end.to_string(),
+            })
+        };
+        if start > end {
+            return Err(empty());
+        }
+        let timestamps = cube.timestamps();
+        let lo = timestamps.partition_point(|t| t < start);
+        let hi = timestamps.partition_point(|t| t <= end);
+        if hi <= lo + 1 {
+            return Err(empty());
+        }
+        cube.slice_time(lo, hi - 1, request.optimizations().filter_ratio)
+            .map_err(|e| match e {
+                CubeError::InvalidTimeSlice { .. } => empty(),
+                other => other.into(),
+            })
+    }
+}
+
+impl Explainer for ExplainSession {
+    fn explain(&mut self, request: &ExplainRequest) -> Result<ExplainResult, TsExplainError> {
+        ExplainSession::explain(self, request)
+    }
+}
+
+/// Validates that every column a measure expression references exists and
+/// is a measure.
+fn validate_measure(
+    schema: &Schema,
+    measure: &tsexplain_relation::MeasureExpr,
+) -> Result<(), TsExplainError> {
+    use tsexplain_relation::MeasureExpr;
+    let check = |name: &String| {
+        schema.measure_index(name).map(|_| ()).map_err(|_| {
+            TsExplainError::InvalidRequest(InvalidRequest::UnknownMeasure(name.clone()))
+        })
+    };
+    match measure {
+        MeasureExpr::Column(name) => check(name),
+        MeasureExpr::Product(a, b) => {
+            check(a)?;
+            check(b)
+        }
+        MeasureExpr::Scaled(inner, _) => validate_measure(schema, inner),
+    }
+}
+
+/// Extracts `(time, explain-by values, measure)` triples from raw rows for
+/// one cube configuration.
+fn encode_rows(
+    schema: &Schema,
+    query: &AggQuery,
+    explain_by: &[String],
+    rows: &[Vec<Datum>],
+) -> Result<Vec<AppendRow>, TsExplainError> {
+    let time_idx = schema.index_of(query.time_attr())?;
+    let attr_idx: Vec<usize> = explain_by
+        .iter()
+        .map(|a| schema.index_of(a))
+        .collect::<Result<_, _>>()?;
+    let attr_value = |row: &[Datum], idx: usize, name: &str| match &row[idx] {
+        Datum::Attr(v) => Ok(v.clone()),
+        Datum::Num(_) => Err(TsExplainError::Relation(RelationError::TypeMismatch {
+            field: name.to_string(),
+            expected: "dimension",
+        })),
+    };
+    rows.iter()
+        .map(|row| {
+            let time = attr_value(row, time_idx, query.time_attr())?;
+            let attrs = attr_idx
+                .iter()
+                .zip(explain_by)
+                .map(|(&idx, name)| attr_value(row, idx, name))
+                .collect::<Result<Vec<_>, _>>()?;
+            let measure = query.measure().eval_row(schema, row)?;
+            Ok((time, attrs, measure))
+        })
+        .collect()
+}
+
+/// Reconstructs raw rows (schema order) from a materialized relation — the
+/// slow-path input to [`ExplainSession::rebuild_base`].
+fn relation_rows(rel: &Relation) -> Vec<Vec<Datum>> {
+    let schema = rel.schema();
+    let mut rows = vec![Vec::with_capacity(schema.len()); rel.n_rows()];
+    for idx in 0..schema.len() {
+        match rel.column(idx) {
+            Column::Dimension(col) => {
+                for (row, &code) in col.codes().iter().enumerate() {
+                    rows[row].push(Datum::Attr(col.dict().value(code).clone()));
+                }
+            }
+            Column::Measure(values) => {
+                for (row, &v) in values.iter().enumerate() {
+                    rows[row].push(Datum::Num(v));
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use tsexplain_diff::DiffMetric;
+    use tsexplain_relation::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap()
+    }
+
+    fn rows_for(range: std::ops::Range<i64>) -> Vec<Vec<Datum>> {
+        let mut rows = Vec::new();
+        for t in range {
+            let ny = if t <= 10 { 8.0 * t as f64 } else { 80.0 };
+            let ca = if t <= 10 {
+                2.0
+            } else if t <= 20 {
+                2.0 + 9.0 * (t - 10) as f64
+            } else {
+                92.0
+            };
+            rows.push(vec![Datum::Attr(t.into()), "NY".into(), ny.into()]);
+            rows.push(vec![Datum::Attr(t.into()), "CA".into(), ca.into()]);
+        }
+        rows
+    }
+
+    fn relation(range: std::ops::Range<i64>) -> Relation {
+        let mut b = Relation::builder(schema());
+        for row in rows_for(range) {
+            b.push_row(row).unwrap();
+        }
+        b.finish()
+    }
+
+    fn session() -> ExplainSession {
+        ExplainSession::new(relation(0..21), AggQuery::sum("t", "v")).unwrap()
+    }
+
+    fn base_request() -> ExplainRequest {
+        ExplainRequest::new(["state"]).with_optimizations(Optimizations::none())
+    }
+
+    #[test]
+    fn serves_many_requests_from_one_cube() {
+        let mut s = session();
+        let r1 = s.explain(&base_request()).unwrap();
+        let r2 = s.explain(&base_request().with_fixed_k(3)).unwrap();
+        let r3 = s
+            .explain(
+                &base_request()
+                    .with_top_m(1)
+                    .with_diff_metric(DiffMetric::RelativeChange),
+            )
+            .unwrap();
+        assert_eq!(s.stats().cubes_built, 1, "one cube for all three requests");
+        assert_eq!(s.stats().cube_cache_hits, 2);
+        assert!(!r1.stats.cube_from_cache);
+        assert!(r2.stats.cube_from_cache && r3.stats.cube_from_cache);
+        assert_eq!(r2.chosen_k, 3);
+        assert!(r3.segments.iter().all(|seg| seg.explanations.len() <= 1));
+    }
+
+    #[test]
+    fn differing_cube_knobs_build_separate_cubes() {
+        let mut s = session();
+        s.explain(&base_request()).unwrap();
+        s.explain(&base_request().with_max_order(1)).unwrap();
+        assert_eq!(s.stats().cubes_built, 2);
+        assert_eq!(s.cached_cubes(), 2);
+        // A different smoothing window reuses the incremental state — only
+        // the finalized snapshot is re-derived.
+        s.explain(&base_request().with_smoothing(3)).unwrap();
+        assert_eq!(s.stats().cubes_built, 2);
+        assert_eq!(s.cached_cubes(), 2);
+        assert_eq!(s.stats().cube_refreshes, 1);
+        // Asking for that smoothing again is a plain cache hit.
+        s.explain(&base_request().with_smoothing(3)).unwrap();
+        assert_eq!(s.stats().cube_cache_hits, 1);
+    }
+
+    #[test]
+    fn cached_results_are_bit_identical_to_cold_runs() {
+        let mut warm = session();
+        let first = warm.explain(&base_request()).unwrap();
+        let cached = warm.explain(&base_request()).unwrap();
+        let mut cold = session();
+        let fresh = cold.explain(&base_request()).unwrap();
+        for result in [&cached, &fresh] {
+            assert_eq!(result.segmentation, first.segmentation);
+            assert_eq!(result.chosen_k, first.chosen_k);
+            assert_eq!(result.total_variance, first.total_variance);
+            assert_eq!(result.aggregate, first.aggregate);
+            assert_eq!(result.k_variance_curve, first.k_variance_curve);
+        }
+        assert!(cached.stats.cube_from_cache);
+        assert!(cached.latency.precompute <= fresh.latency.precompute);
+    }
+
+    #[test]
+    fn time_range_restricts_the_horizon() {
+        let mut s = session();
+        let full = s.explain(&base_request()).unwrap();
+        let windowed = s
+            .explain(&base_request().with_time_range(5i64, 15i64))
+            .unwrap();
+        assert_eq!(windowed.stats.n_points, 11);
+        assert_eq!(windowed.timestamps[0], AttrValue::from(5));
+        assert!(windowed.stats.n_points < full.stats.n_points);
+        // The window reused the cached full cube.
+        assert_eq!(s.stats().cubes_built, 1);
+    }
+
+    #[test]
+    fn empty_time_ranges_are_rejected() {
+        let mut s = session();
+        for (a, b) in [(15i64, 5i64), (100, 200), (7, 7)] {
+            let err = s
+                .explain(&base_request().with_time_range(a, b))
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TsExplainError::InvalidRequest(InvalidRequest::EmptyTimeRange { .. })
+                ),
+                "({a}, {b}) gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_requests_never_build_cubes() {
+        let mut s = session();
+        assert!(s.explain(&ExplainRequest::new(["nope"])).is_err());
+        assert!(s
+            .explain(&ExplainRequest::new(Vec::<String>::new()))
+            .is_err());
+        assert!(s.explain(&base_request().with_fixed_k(0)).is_err());
+        assert_eq!(s.stats().cubes_built, 0);
+        assert_eq!(s.cached_cubes(), 0);
+        // Infeasible K against the known horizon is caught with the cube
+        // built but before any pipeline work.
+        let err = s.explain(&base_request().with_fixed_k(21)).unwrap_err();
+        assert!(matches!(
+            err,
+            TsExplainError::InvalidRequest(InvalidRequest::InfeasibleK { k: 21, n: 21 })
+        ));
+    }
+
+    #[test]
+    fn session_registration_validates_query() {
+        let rel = relation(0..5);
+        let err = ExplainSession::new(rel.clone(), AggQuery::sum("nope", "v")).unwrap_err();
+        assert!(matches!(
+            err,
+            TsExplainError::InvalidRequest(InvalidRequest::UnknownTimeAttribute(_))
+        ));
+        let err = ExplainSession::new(rel.clone(), AggQuery::sum("t", "nope")).unwrap_err();
+        assert!(matches!(
+            err,
+            TsExplainError::InvalidRequest(InvalidRequest::UnknownMeasure(_))
+        ));
+        // The time attribute must be a dimension, not a measure.
+        let err = ExplainSession::new(rel, AggQuery::sum("v", "v")).unwrap_err();
+        assert!(matches!(
+            err,
+            TsExplainError::InvalidRequest(InvalidRequest::UnknownTimeAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn appends_extend_cached_cubes_incrementally() {
+        let mut s = ExplainSession::new(relation(0..12), AggQuery::sum("t", "v")).unwrap();
+        let first = s.explain(&base_request()).unwrap();
+        assert_eq!(first.stats.n_points, 12);
+        s.append_rows(rows_for(12..21)).unwrap();
+        assert_eq!(s.n_points(), 21);
+        let second = s.explain(&base_request()).unwrap();
+        assert_eq!(second.stats.n_points, 21);
+        // The cube was refreshed from incremental state, not rebuilt.
+        assert_eq!(s.stats().cubes_built, 1);
+        assert_eq!(s.stats().cube_refreshes, 1);
+        assert_eq!(s.stats().rebuilds, 0);
+        // Replayed result matches a cold session over all the data.
+        let mut cold = session();
+        let batch = cold.explain(&base_request()).unwrap();
+        assert_eq!(second.segmentation, batch.segmentation);
+        assert_eq!(second.aggregate, batch.aggregate);
+    }
+
+    #[test]
+    fn restated_history_falls_back_to_rebuild() {
+        let mut s = ExplainSession::new(relation(5..12), AggQuery::sum("t", "v")).unwrap();
+        s.explain(&base_request()).unwrap();
+        // Rows before the horizon: a restatement.
+        s.append_rows(rows_for(0..5)).unwrap();
+        assert_eq!(s.stats().rebuilds, 1);
+        assert_eq!(s.cached_cubes(), 0, "rebuild drops cached cubes");
+        assert_eq!(s.n_points(), 12);
+        let result = s.explain(&base_request()).unwrap();
+        assert_eq!(result.stats.n_points, 12);
+        // Result equals a cold session over the union.
+        let mut cold = ExplainSession::new(relation(0..12), AggQuery::sum("t", "v")).unwrap();
+        let batch = cold.explain(&base_request()).unwrap();
+        assert_eq!(result.segmentation, batch.segmentation);
+        assert_eq!(result.aggregate, batch.aggregate);
+    }
+
+    #[test]
+    fn streaming_cold_start_from_empty_relation() {
+        let empty = Relation::builder(schema()).finish();
+        let mut s = ExplainSession::new(empty, AggQuery::sum("t", "v")).unwrap();
+        assert!(matches!(
+            s.explain(&base_request()),
+            Err(TsExplainError::Cube(CubeError::EmptyInput))
+        ));
+        s.append_rows(rows_for(0..8)).unwrap();
+        let result = s.explain(&base_request()).unwrap();
+        assert_eq!(result.stats.n_points, 8);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_before_ingestion() {
+        let mut s = session();
+        let before = s.n_points();
+        // Wrong arity.
+        assert!(s
+            .append_rows(vec![vec![Datum::Attr(99i64.into())]])
+            .is_err());
+        // Numeric datum in the time slot.
+        assert!(s
+            .append_rows(vec![vec![Datum::Num(1.0), "NY".into(), 1.0.into()]])
+            .is_err());
+        // String where the measure belongs.
+        assert!(s
+            .append_rows(vec![vec![
+                Datum::Attr(99i64.into()),
+                "NY".into(),
+                "x".into()
+            ]])
+            .is_err());
+        assert_eq!(s.n_points(), before, "rejected rows must not be ingested");
+    }
+
+    #[test]
+    fn invalidate_forces_rebuild() {
+        let mut s = session();
+        s.explain(&base_request()).unwrap();
+        s.invalidate();
+        assert_eq!(s.cached_cubes(), 0);
+        s.explain(&base_request()).unwrap();
+        assert_eq!(s.stats().cubes_built, 2);
+    }
+
+    #[test]
+    fn explainer_trait_is_object_safe_and_answers() {
+        let mut s = session();
+        let explainer: &mut dyn Explainer = &mut s;
+        let result = explainer.explain(&base_request()).unwrap();
+        assert_eq!(result.stats.n_points, 21);
+    }
+}

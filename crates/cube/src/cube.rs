@@ -1,8 +1,6 @@
 use std::collections::HashMap;
 
-use tsexplain_relation::{
-    AggFn, AggQuery, AggState, AttrValue, Dictionary, Relation,
-};
+use tsexplain_relation::{AggFn, AggQuery, AggState, AttrValue, Dictionary, Relation};
 
 use crate::enumerate::enumerate;
 use crate::error::CubeError;
@@ -57,6 +55,29 @@ impl CubeConfig {
         self.prune_redundant = false;
         self
     }
+
+    /// A hashable identity for cubes built from this configuration over the
+    /// same data — what a serving session keys its cube cache by.
+    ///
+    /// Two configurations with equal keys produce identical cubes for the
+    /// same relation and query (the float ratio is compared bitwise).
+    pub fn cache_key(&self) -> CubeCacheKey {
+        CubeCacheKey {
+            explain_by: self.explain_by.clone(),
+            max_order: self.max_order,
+            filter_ratio_bits: self.filter_ratio.map(f64::to_bits),
+            prune_redundant: self.prune_redundant,
+        }
+    }
+}
+
+/// The hashable identity of a [`CubeConfig`] (see [`CubeConfig::cache_key`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CubeCacheKey {
+    explain_by: Vec<String>,
+    max_order: usize,
+    filter_ratio_bits: Option<u64>,
+    prune_redundant: bool,
 }
 
 /// The per-explanation time-series cube (paper §5.2, module a).
@@ -86,11 +107,7 @@ pub struct ExplanationCube {
 
 impl ExplanationCube {
     /// Builds the cube for `query` over `rel` with `config`.
-    pub fn build(
-        rel: &Relation,
-        query: &AggQuery,
-        config: &CubeConfig,
-    ) -> Result<Self, CubeError> {
+    pub fn build(rel: &Relation, query: &AggQuery, config: &CubeConfig) -> Result<Self, CubeError> {
         if config.explain_by.is_empty() {
             return Err(CubeError::NoExplainBy);
         }
@@ -127,17 +144,41 @@ impl ExplanationCube {
         }
 
         let max_order = config.max_order.min(config.explain_by.len());
-        let en = enumerate(
-            time_col.codes(),
-            n_times,
-            &attr_codes,
-            &measures,
-            max_order,
-        );
-        let (explanations, series) = if config.prune_redundant {
-            prune_redundant(en.explanations, en.series)
+        let en = enumerate(time_col.codes(), n_times, &attr_codes, &measures, max_order);
+        Ok(ExplanationCube::assemble(
+            time_col.dict().values().to_vec(),
+            query.agg(),
+            total,
+            config.explain_by.clone(),
+            dicts,
+            en.explanations,
+            en.series,
+            config.filter_ratio,
+            config.prune_redundant,
+        ))
+    }
+
+    /// Finalizes a cube from raw enumeration output: optionally prunes
+    /// redundant conjunctions, builds the drill-down trie and the lookup
+    /// index, and applies the support filter. Shared by the batch
+    /// [`ExplanationCube::build`] path and [`crate::IncrementalCube`]
+    /// snapshots, so both produce structurally identical cubes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        timestamps: Vec<AttrValue>,
+        agg: AggFn,
+        total: Vec<AggState>,
+        attr_names: Vec<String>,
+        dicts: Vec<Dictionary>,
+        explanations: Vec<Explanation>,
+        series: Vec<Vec<AggState>>,
+        filter_ratio: Option<f64>,
+        prune: bool,
+    ) -> Self {
+        let (explanations, series) = if prune {
+            prune_redundant(explanations, series)
         } else {
-            (en.explanations, en.series)
+            (explanations, series)
         };
         let trie = DrillTrie::build(&explanations);
         let index = explanations
@@ -145,12 +186,11 @@ impl ExplanationCube {
             .enumerate()
             .map(|(i, e)| (e.clone(), i as ExplId))
             .collect();
-
         let mut cube = ExplanationCube {
-            timestamps: time_col.dict().values().to_vec(),
-            agg: query.agg(),
+            timestamps,
+            agg,
             total,
-            attr_names: config.explain_by.clone(),
+            attr_names,
             dicts,
             explanations,
             series,
@@ -159,7 +199,42 @@ impl ExplanationCube {
             trie,
             index,
         };
-        cube.apply_filter(config.filter_ratio);
+        cube.apply_filter(filter_ratio);
+        cube
+    }
+
+    /// A cube restricted to the time window `[lo, hi]` (inclusive point
+    /// indices) — cheap cube reuse for time-range-restricted requests.
+    ///
+    /// The candidate set is inherited from the full horizon (candidates are
+    /// *witnessed* conjunctions; a slice never witnesses new ones, and
+    /// keeping the full set preserves drill-down structure). The support
+    /// filter is re-applied over the sliced series with `filter_ratio`, so
+    /// selectability reflects the window.
+    pub fn slice_time(
+        &self,
+        lo: usize,
+        hi: usize,
+        filter_ratio: Option<f64>,
+    ) -> Result<ExplanationCube, CubeError> {
+        let n = self.n_points();
+        if lo > hi || hi >= n || hi - lo < 1 {
+            return Err(CubeError::InvalidTimeSlice { lo, hi, n });
+        }
+        let mut cube = ExplanationCube {
+            timestamps: self.timestamps[lo..=hi].to_vec(),
+            agg: self.agg,
+            total: self.total[lo..=hi].to_vec(),
+            attr_names: self.attr_names.clone(),
+            dicts: self.dicts.clone(),
+            explanations: self.explanations.clone(),
+            series: self.series.iter().map(|s| s[lo..=hi].to_vec()).collect(),
+            selectable: Vec::new(),
+            subtree_selectable: Vec::new(),
+            trie: self.trie.clone(),
+            index: self.index.clone(),
+        };
+        cube.apply_filter(filter_ratio);
         Ok(cube)
     }
 
@@ -480,9 +555,7 @@ mod tests {
         let cube = sample_cube(CubeConfig::new(["state", "pack"]));
         for t in 0..cube.n_points() {
             let sum: f64 = (0..cube.n_candidates() as ExplId)
-                .filter(|&e| {
-                    cube.explanation(e).order() == 1 && cube.explanation(e).constrains(0)
-                })
+                .filter(|&e| cube.explanation(e).order() == 1 && cube.explanation(e).constrains(0))
                 .map(|e| cube.value_at(e, t))
                 .sum();
             assert!((sum - cube.total_value(t)).abs() < 1e-9);
@@ -492,10 +565,7 @@ mod tests {
     #[test]
     fn max_order_respected() {
         let cube = sample_cube(CubeConfig::new(["state", "pack"]).with_max_order(1));
-        assert!(cube
-            .explanations()
-            .iter()
-            .all(|e| e.order() == 1));
+        assert!(cube.explanations().iter().all(|e| e.order() == 1));
     }
 
     #[test]
@@ -571,8 +641,7 @@ mod tests {
         let rel = b.finish();
         let query = AggQuery::sum("d", "v");
         let pruned =
-            ExplanationCube::build(&rel, &query, &CubeConfig::new(["sector", "industry"]))
-                .unwrap();
+            ExplanationCube::build(&rel, &query, &CubeConfig::new(["sector", "industry"])).unwrap();
         let full = ExplanationCube::build(
             &rel,
             &query,
@@ -582,10 +651,7 @@ mod tests {
         // Order-1: 2 sectors + 3 industries = 5. Pairs are all redundant.
         assert_eq!(pruned.n_candidates(), 5);
         assert_eq!(full.n_candidates(), 8);
-        assert!(pruned
-            .explanations()
-            .iter()
-            .all(|e| e.order() == 1));
+        assert!(pruned.explanations().iter().all(|e| e.order() == 1));
     }
 
     #[test]
@@ -602,18 +668,14 @@ mod tests {
         let err = ExplanationCube::build(&rel, &query, &CubeConfig::new(Vec::<String>::new()))
             .unwrap_err();
         assert_eq!(err, CubeError::NoExplainBy);
-        let err =
-            ExplanationCube::build(&rel, &query, &CubeConfig::new(["date"])).unwrap_err();
+        let err = ExplanationCube::build(&rel, &query, &CubeConfig::new(["date"])).unwrap_err();
         assert_eq!(err, CubeError::TimeAttrInExplainBy("date".into()));
-        let err = ExplanationCube::build(&rel, &query, &CubeConfig::new(["state", "state"]))
-            .unwrap_err();
+        let err =
+            ExplanationCube::build(&rel, &query, &CubeConfig::new(["state", "state"])).unwrap_err();
         assert_eq!(err, CubeError::DuplicateExplainBy("state".into()));
-        let err = ExplanationCube::build(
-            &rel,
-            &query,
-            &CubeConfig::new(["state"]).with_max_order(0),
-        )
-        .unwrap_err();
+        let err =
+            ExplanationCube::build(&rel, &query, &CubeConfig::new(["state"]).with_max_order(0))
+                .unwrap_err();
         assert_eq!(err, CubeError::ZeroMaxOrder);
     }
 
@@ -627,6 +689,62 @@ mod tests {
         assert!((after[1] - (before[0] + before[1] + before[2]) / 3.0).abs() < 1e-9);
         // Boundary points average the available window.
         assert!((after[0] - (before[0] + before[1]) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_time_restricts_series_and_reapplies_filter() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        let sliced = cube.slice_time(1, 2, None).unwrap();
+        assert_eq!(sliced.n_points(), 2);
+        assert_eq!(sliced.total_values(), vec![9.0, 6.0]);
+        assert_eq!(sliced.n_candidates(), cube.n_candidates());
+        assert_eq!(sliced.timestamps()[0], cube.timestamps()[1]);
+        // state=NY only contributes on d1/d2 (4.0 on d2): a harsh filter
+        // over the slice drops more candidates than over the full series.
+        let harsh = cube.slice_time(1, 2, Some(0.9)).unwrap();
+        assert!(harsh.n_selectable() < cube.n_candidates());
+        // Labels survive slicing.
+        let ny = (0..sliced.n_candidates() as ExplId)
+            .find(|&e| sliced.label(e) == "state=NY")
+            .unwrap();
+        assert_eq!(sliced.value_series(ny), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_time_rejects_degenerate_windows() {
+        let cube = sample_cube(CubeConfig::new(["state"]));
+        assert!(matches!(
+            cube.slice_time(2, 1, None),
+            Err(CubeError::InvalidTimeSlice { .. })
+        ));
+        assert!(matches!(
+            cube.slice_time(1, 1, None),
+            Err(CubeError::InvalidTimeSlice { .. })
+        ));
+        assert!(matches!(
+            cube.slice_time(0, 3, None),
+            Err(CubeError::InvalidTimeSlice { .. })
+        ));
+        assert!(cube.slice_time(0, 2, None).is_ok());
+    }
+
+    #[test]
+    fn cache_keys_compare_bitwise() {
+        let a = CubeConfig::new(["state"]).with_filter_ratio(0.001);
+        let b = CubeConfig::new(["state"]).with_filter_ratio(0.001);
+        let c = CubeConfig::new(["state"]).with_filter_ratio(0.002);
+        let d = CubeConfig::new(["state", "pack"]).with_filter_ratio(0.001);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_ne!(a.cache_key(), d.cache_key());
+        assert_ne!(a.cache_key(), CubeConfig::new(["state"]).cache_key());
+        assert_ne!(
+            a.cache_key(),
+            CubeConfig::new(["state"])
+                .with_filter_ratio(0.001)
+                .with_max_order(1)
+                .cache_key()
+        );
     }
 
     #[test]

@@ -85,11 +85,7 @@ mod tests {
     #[test]
     fn enumerates_only_witnessed_combinations() {
         // a0 ∈ {0,1}, a1 ∈ {0,1}, but (a0=1, a1=1) never occurs together.
-        let rows = [
-            (0, 0, 0, 1.0),
-            (0, 1, 0, 2.0),
-            (1, 0, 1, 3.0),
-        ];
+        let rows = [(0, 0, 0, 1.0), (0, 1, 0, 2.0), (1, 0, 1, 3.0)];
         let e = run(&rows, 2, 2);
         // Order 1: a0=0, a0=1, a1=0, a1=1 → 4. Order 2: (0,0), (1,0), (0,1) → 3.
         assert_eq!(e.explanations.len(), 7);
@@ -109,11 +105,7 @@ mod tests {
 
     #[test]
     fn series_accumulates_per_time() {
-        let rows = [
-            (0, 0, 0, 1.0),
-            (0, 0, 1, 2.0),
-            (1, 0, 0, 5.0),
-        ];
+        let rows = [(0, 0, 0, 1.0), (0, 0, 1, 2.0), (1, 0, 0, 5.0)];
         let e = run(&rows, 2, 2);
         let idx = e
             .explanations

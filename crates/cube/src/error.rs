@@ -17,6 +17,26 @@ pub enum CubeError {
     ZeroMaxOrder,
     /// The relation has no rows / the series has no points.
     EmptyInput,
+    /// A time-window slice was empty or out of bounds.
+    InvalidTimeSlice {
+        /// Requested start point index (inclusive).
+        lo: usize,
+        /// Requested end point index (inclusive).
+        hi: usize,
+        /// Series length.
+        n: usize,
+    },
+    /// An incremental append carried a timestamp before the cube's horizon
+    /// (data restatement) — the caller must rebuild from scratch instead.
+    RestatedTimestamp(String),
+    /// An incremental append's row had the wrong number of explain-by
+    /// values.
+    ArityMismatch {
+        /// Number of explain-by attributes the cube was built with.
+        expected: usize,
+        /// Number of values in the offending row.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CubeError {
@@ -25,13 +45,28 @@ impl fmt::Display for CubeError {
             CubeError::Relation(e) => write!(f, "relation error: {e}"),
             CubeError::NoExplainBy => write!(f, "at least one explain-by attribute is required"),
             CubeError::TimeAttrInExplainBy(a) => {
-                write!(f, "time attribute {a:?} cannot also be an explain-by attribute")
+                write!(
+                    f,
+                    "time attribute {a:?} cannot also be an explain-by attribute"
+                )
             }
             CubeError::DuplicateExplainBy(a) => {
                 write!(f, "duplicate explain-by attribute {a:?}")
             }
             CubeError::ZeroMaxOrder => write!(f, "max explanation order must be >= 1"),
             CubeError::EmptyInput => write!(f, "cannot build a cube from an empty relation"),
+            CubeError::InvalidTimeSlice { lo, hi, n } => {
+                write!(f, "time slice [{lo}, {hi}] invalid for a series of {n} points (need >= 2 points in range)")
+            }
+            CubeError::RestatedTimestamp(t) => {
+                write!(f, "timestamp {t:?} lies before the cube's horizon; incremental append only accepts tail data")
+            }
+            CubeError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "appended row has {got} explain-by value(s); cube expects {expected}"
+                )
+            }
         }
     }
 }

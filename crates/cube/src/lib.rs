@@ -24,9 +24,11 @@ mod cube;
 mod enumerate;
 mod error;
 mod explanation;
+mod incremental;
 mod trie;
 
-pub use cube::{CubeConfig, ExplanationCube};
+pub use cube::{CubeCacheKey, CubeConfig, ExplanationCube};
 pub use error::CubeError;
 pub use explanation::{ExplId, Explanation};
+pub use incremental::{AppendRow, IncrementalCube};
 pub use trie::{DrillTrie, NodeId, ROOT_NODE};

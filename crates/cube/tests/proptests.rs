@@ -9,7 +9,11 @@ fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, f64)>> {
     proptest::collection::vec((0u8..5, 0u8..3, 0u8..3, 0.1f64..100.0), 5..80)
 }
 
-fn build_cube(rows: &[(u8, u8, u8, f64)], max_order: usize, filter: Option<f64>) -> ExplanationCube {
+fn build_cube(
+    rows: &[(u8, u8, u8, f64)],
+    max_order: usize,
+    filter: Option<f64>,
+) -> ExplanationCube {
     let schema = Schema::new(vec![
         Field::dimension("t"),
         Field::dimension("a"),

@@ -22,10 +22,63 @@ pub const N_DAYS: usize = 345;
 /// The 58 JHU reporting units: 50 states, DC, 5 territories, 2 cruise
 /// ships.
 pub const STATES: [&str; 58] = [
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
-    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
-    "VA", "WA", "WV", "WI", "WY", "DC", "PR", "GU", "VI", "AS", "MP", "Diamond Princess",
+    "AL",
+    "AK",
+    "AZ",
+    "AR",
+    "CA",
+    "CO",
+    "CT",
+    "DE",
+    "FL",
+    "GA",
+    "HI",
+    "ID",
+    "IL",
+    "IN",
+    "IA",
+    "KS",
+    "KY",
+    "LA",
+    "ME",
+    "MD",
+    "MA",
+    "MI",
+    "MN",
+    "MS",
+    "MO",
+    "MT",
+    "NE",
+    "NV",
+    "NH",
+    "NJ",
+    "NM",
+    "NY",
+    "NC",
+    "ND",
+    "OH",
+    "OK",
+    "OR",
+    "PA",
+    "RI",
+    "SC",
+    "SD",
+    "TN",
+    "TX",
+    "UT",
+    "VT",
+    "VA",
+    "WA",
+    "WV",
+    "WI",
+    "WY",
+    "DC",
+    "PR",
+    "GU",
+    "VI",
+    "AS",
+    "MP",
+    "Diamond Princess",
     "Grand Princess",
 ];
 
@@ -80,10 +133,7 @@ fn waves_for(state: &str, weight: f64) -> Vec<Wave> {
         "GA" => vec![w(180.0, 25.0, 150_000.0), w(330.0, 32.0, 160_000.0)],
         // The late-spring rise the news reported [50], then a fall wave that
         // crests before December.
-        "IL" => vec![
-            w(108.0, 20.0, 110_000.0),
-            w(287.0, 22.0, 420_000.0),
-        ],
+        "IL" => vec![w(108.0, 20.0, 110_000.0), w(287.0, 22.0, 420_000.0)],
         "WI" => vec![w(280.0, 20.0, 200_000.0), w(330.0, 40.0, 60_000.0)],
         "MN" => vec![w(285.0, 22.0, 150_000.0)],
         "MI" => vec![w(80.0, 15.0, 55_000.0), w(300.0, 25.0, 250_000.0)],
@@ -200,10 +250,7 @@ mod tests {
     fn totals_are_cumulative_and_monotone() {
         let d = generate(0);
         let ts = d.total_workload().query.run(&d.relation).unwrap();
-        assert!(ts
-            .values
-            .windows(2)
-            .all(|w| w[1] >= w[0] - 1e-9));
+        assert!(ts.values.windows(2).all(|w| w[1] >= w[0] - 1e-9));
         // Year-end total in the (simulated) tens of millions of case-days…
         // at least several million cases nationally.
         assert!(*ts.values.last().unwrap() > 5e6);

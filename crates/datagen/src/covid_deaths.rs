@@ -46,9 +46,7 @@ fn rise(week: f64, mid: f64, rate: f64, height: f64) -> f64 {
 fn expected(age: &str, vaccinated: bool, week: usize) -> f64 {
     let w = week as f64;
     match (age, vaccinated) {
-        ("50+", false) => {
-            500.0 + wave(w, 32.0, 5.0, 1200.0) + rise(w, 45.0, 2.5, 1700.0)
-        }
+        ("50+", false) => 500.0 + wave(w, 32.0, 5.0, 1200.0) + rise(w, 45.0, 2.5, 1700.0),
         ("50+", true) => 15.0 + rise(w, 45.0, 2.5, 1950.0),
         ("30-49", false) => 80.0 + wave(w, 32.0, 4.5, 800.0),
         ("30-49", true) => 4.0 + rise(w, 46.0, 3.0, 60.0),
@@ -80,7 +78,9 @@ pub fn generate(seed: u64) -> CovidDeathsData {
         for age in AGE_GROUPS {
             for vaccinated in [false, true] {
                 let mean = expected(age, vaccinated, week);
-                let deaths = (mean * (1.0 + gaussian(&mut rng, 0.0, 0.05))).max(0.0).round();
+                let deaths = (mean * (1.0 + gaussian(&mut rng, 0.0, 0.05)))
+                    .max(0.0)
+                    .round();
                 b.push_row(vec![
                     Datum::Attr((week as i64).into()),
                     Datum::from(age),
@@ -113,7 +113,13 @@ impl CovidDeathsData {
 mod tests {
     use super::*;
 
-    fn slice_delta(d: &CovidDeathsData, age: Option<&str>, vax: Option<&str>, w0: usize, w1: usize) -> f64 {
+    fn slice_delta(
+        d: &CovidDeathsData,
+        age: Option<&str>,
+        vax: Option<&str>,
+        w0: usize,
+        w1: usize,
+    ) -> f64 {
         let rel = &d.relation;
         let weeks = rel.dim_column("week").unwrap();
         let ages = rel.dim_column("age-group").unwrap();
@@ -125,12 +131,17 @@ mod tests {
                 .filter(|&r| weeks.codes()[r] == wcode)
                 .filter(|&r| {
                     age.is_none_or(|a| {
-                        ages.dict().code_of(&a.into()).is_some_and(|c| ages.codes()[r] == c)
+                        ages.dict()
+                            .code_of(&a.into())
+                            .is_some_and(|c| ages.codes()[r] == c)
                     })
                 })
                 .filter(|&r| {
                     vax.is_none_or(|v| {
-                        vaxed.dict().code_of(&v.into()).is_some_and(|c| vaxed.codes()[r] == c)
+                        vaxed
+                            .dict()
+                            .code_of(&v.into())
+                            .is_some_and(|c| vaxed.codes()[r] == c)
                     })
                 })
                 .map(|r| deaths[r])

@@ -159,7 +159,9 @@ pub fn generate(seed: u64) -> LiquorData {
     for (day, date) in dates.iter().enumerate() {
         for p in &products {
             let expected = p.weight * multiplier(p, day as f64);
-            let qty = (expected * (1.0 + gaussian(&mut rng, 0.0, 0.15))).max(0.0).round();
+            let qty = (expected * (1.0 + gaussian(&mut rng, 0.0, 0.15)))
+                .max(0.0)
+                .round();
             if qty <= 0.0 {
                 continue;
             }
@@ -237,12 +239,16 @@ mod tests {
                 })
                 .filter(|&r| {
                     bv_val.is_none_or(|v| {
-                        bv.dict().code_of(&v.into()).is_some_and(|c| bv.codes()[r] == c)
+                        bv.dict()
+                            .code_of(&v.into())
+                            .is_some_and(|c| bv.codes()[r] == c)
                     })
                 })
                 .filter(|&r| {
                     p_val.is_none_or(|v| {
-                        pack.dict().code_of(&v.into()).is_some_and(|c| pack.codes()[r] == c)
+                        pack.dict()
+                            .code_of(&v.into())
+                            .is_some_and(|c| pack.codes()[r] == c)
                     })
                 })
                 .map(|r| qty[r])

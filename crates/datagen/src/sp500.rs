@@ -25,45 +25,117 @@ const SECTORS: [(&str, f64, &[&str]); 11] = [
     (
         "technology",
         0.27,
-        &["software", "semiconductors", "hardware", "it services", "cloud"],
+        &[
+            "software",
+            "semiconductors",
+            "hardware",
+            "it services",
+            "cloud",
+        ],
     ),
     (
         "healthcare",
         0.14,
-        &["pharma", "biotech", "medical devices", "health insurance", "diagnostics"],
+        &[
+            "pharma",
+            "biotech",
+            "medical devices",
+            "health insurance",
+            "diagnostics",
+        ],
     ),
     (
         "financial",
         0.11,
-        &["banks", "insurance", "asset management", "credit services", "exchanges"],
+        &[
+            "banks",
+            "insurance",
+            "asset management",
+            "credit services",
+            "exchanges",
+        ],
     ),
     (
         "communication",
         0.10,
-        &["internet content", "telecom", "media", "entertainment", "advertising"],
+        &[
+            "internet content",
+            "telecom",
+            "media",
+            "entertainment",
+            "advertising",
+        ],
     ),
     (
         "consumer cyclical",
         0.10,
-        &["internet retail", "autos", "restaurants", "apparel", "travel"],
+        &[
+            "internet retail",
+            "autos",
+            "restaurants",
+            "apparel",
+            "travel",
+        ],
     ),
     (
         "industrials",
         0.08,
-        &["aerospace", "railroads", "machinery", "airlines", "logistics"],
+        &[
+            "aerospace",
+            "railroads",
+            "machinery",
+            "airlines",
+            "logistics",
+        ],
     ),
     (
         "consumer defensive",
         0.07,
-        &["household products", "beverages", "discount stores", "packaged foods", "tobacco"],
+        &[
+            "household products",
+            "beverages",
+            "discount stores",
+            "packaged foods",
+            "tobacco",
+        ],
     ),
-    ("energy", 0.04, &["oil majors", "exploration", "pipelines", "refining", "services"]),
-    ("utilities", 0.03, &["electric", "gas", "water", "renewables", "multi-utility"]),
-    ("real estate", 0.03, &["reit office", "reit retail", "reit residential", "reit data", "reit health"]),
+    (
+        "energy",
+        0.04,
+        &[
+            "oil majors",
+            "exploration",
+            "pipelines",
+            "refining",
+            "services",
+        ],
+    ),
+    (
+        "utilities",
+        0.03,
+        &["electric", "gas", "water", "renewables", "multi-utility"],
+    ),
+    (
+        "real estate",
+        0.03,
+        &[
+            "reit office",
+            "reit retail",
+            "reit residential",
+            "reit data",
+            "reit health",
+        ],
+    ),
     (
         "basic materials",
         0.03,
-        &["chemicals", "metals", "mining", "paper", "construction materials"],
+        &[
+            "chemicals",
+            "metals",
+            "mining",
+            "paper",
+            "construction materials",
+        ],
     ),
 ];
 

@@ -85,9 +85,7 @@ impl SyntheticDataset {
             let mut ok = union
                 .windows(2)
                 .all(|w| w[1] - w[0] >= config.min_segment_len);
-            ok &= union
-                .first()
-                .is_none_or(|&c| c >= config.min_segment_len);
+            ok &= union.first().is_none_or(|&c| c >= config.min_segment_len);
             ok &= union
                 .last()
                 .is_none_or(|&c| config.n_points - 1 - c >= config.min_segment_len);
@@ -111,9 +109,7 @@ impl SyntheticDataset {
             }
         }
 
-        let categories = (1..=config.n_categories)
-            .map(|i| format!("a{i}"))
-            .collect();
+        let categories = (1..=config.n_categories).map(|i| format!("a{i}")).collect();
         SyntheticDataset {
             config,
             categories,
@@ -301,7 +297,9 @@ mod tests {
             let gap = d.config.min_segment_len;
             let gt = &d.ground_truth_cuts;
             assert!(gt.windows(2).all(|w| w[1] - w[0] >= gap), "seed {seed}");
-            assert!(gt.iter().all(|&c| c >= gap && d.config.n_points - 1 - c >= gap));
+            assert!(gt
+                .iter()
+                .all(|&c| c >= gap && d.config.n_points - 1 - c >= gap));
         }
     }
 

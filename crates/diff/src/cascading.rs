@@ -48,8 +48,7 @@ impl<'a> CascadingAnalysts<'a> {
         let mut full_order: Vec<ExplId> = (0..cube.n_candidates() as ExplId)
             .filter(|&e| cube.subtree_selectable(e))
             .collect();
-        full_order
-            .sort_by_key(|&e| std::cmp::Reverse(cube.explanation(e).order()));
+        full_order.sort_by_key(|&e| std::cmp::Reverse(cube.explanation(e).order()));
         let n = cube.n_candidates();
         CascadingAnalysts {
             ctx: ScoreContext::new(cube, metric),
@@ -150,7 +149,15 @@ impl<'a> CascadingAnalysts<'a> {
         let best_root: Vec<f64> = self.best[root * stride..root * stride + stride].to_vec();
 
         let mut selected: Vec<ExplId> = Vec::with_capacity(self.m);
-        self.reconstruct(ROOT_NODE, self.m, seg, trie, &include, &selectable, &mut selected);
+        self.reconstruct(
+            ROOT_NODE,
+            self.m,
+            seg,
+            trie,
+            &include,
+            &selectable,
+            &mut selected,
+        );
 
         let items = selected
             .into_iter()
@@ -271,8 +278,7 @@ impl<'a> CascadingAnalysts<'a> {
             }
         }
         for (_attr, kids) in trie.children(node) {
-            let included: Vec<ExplId> =
-                kids.iter().copied().filter(|&k| include(k)).collect();
+            let included: Vec<ExplId> = kids.iter().copied().filter(|&k| include(k)).collect();
             if included.is_empty() {
                 continue;
             }
@@ -495,7 +501,9 @@ mod tests {
         assert_eq!(top.len(), 2);
         assert_eq!(top.total_score(), 20.0);
         let labels: Vec<String> = top.items().iter().map(|i| cube.label(i.id)).collect();
-        assert!(labels.iter().all(|l| l.contains('&') || l.starts_with("B=")));
+        assert!(labels
+            .iter()
+            .all(|l| l.contains('&') || l.starts_with("B=")));
     }
 
     #[test]
@@ -594,9 +602,6 @@ mod tests {
         cube.apply_filter(Some(0.01));
         let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 3);
         let top = ca.top_m((0, 1));
-        assert!(top
-            .items()
-            .iter()
-            .all(|it| cube.is_selectable(it.id)));
+        assert!(top.items().iter().all(|it| cube.is_selectable(it.id)));
     }
 }

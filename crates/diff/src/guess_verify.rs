@@ -112,7 +112,8 @@ impl GuessVerify {
             }
             rounds += 1;
             self.build_restriction(cube, guess);
-            let (top, best) = ca.top_m_restricted(seg, &self.order, &self.structural, &self.allowed);
+            let (top, best) =
+                ca.top_m_restricted(seg, &self.order, &self.structural, &self.allowed);
             if self.verified(&best, m, guess) {
                 return (
                     top,

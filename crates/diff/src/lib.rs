@@ -28,6 +28,7 @@ mod error;
 mod guess_verify;
 mod metric;
 mod score;
+mod serde_impls;
 mod top;
 mod two_relation;
 

@@ -46,8 +46,7 @@ impl<'a> ScoreContext<'a> {
         let slice_t = self.cube.state(e, b);
         let slice_c = self.cube.state(e, a);
         let delta_with = total_t.value(agg) - total_c.value(agg);
-        let delta_without =
-            total_t.remove(slice_t).value(agg) - total_c.remove(slice_c).value(agg);
+        let delta_without = total_t.remove(slice_t).value(agg) - total_c.remove(slice_c).value(agg);
         delta_with - delta_without
     }
 

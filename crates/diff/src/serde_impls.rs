@@ -1,0 +1,62 @@
+//! JSON serialization for diff types (vendored-serde impls).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::metric::{DiffMetric, Effect};
+
+impl Serialize for Effect {
+    fn serialize(&self) -> Value {
+        // The paper's table notation: "+", "-", "0".
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Effect {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_str() {
+            Some("+") => Ok(Effect::Plus),
+            Some("-") => Ok(Effect::Minus),
+            Some("0") => Ok(Effect::Zero),
+            _ => Err(Error::new("expected an effect sign: \"+\", \"-\" or \"0\"")),
+        }
+    }
+}
+
+impl Serialize for DiffMetric {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for DiffMetric {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| Error::new("expected a difference-metric name"))?;
+        DiffMetric::ALL
+            .into_iter()
+            .find(|m| m.to_string() == name)
+            .ok_or_else(|| Error::new(format!("unknown difference metric {name:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_roundtrip() {
+        for e in [Effect::Plus, Effect::Minus, Effect::Zero] {
+            assert_eq!(Effect::deserialize(&e.serialize()), Ok(e));
+        }
+        assert!(Effect::deserialize(&Value::String("x".into())).is_err());
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        for m in DiffMetric::ALL {
+            assert_eq!(DiffMetric::deserialize(&m.serialize()), Ok(m));
+        }
+        assert!(DiffMetric::deserialize(&Value::Null).is_err());
+    }
+}

@@ -93,8 +93,7 @@ impl TopExplanations {
 }
 
 /// How [`TopExplEngine`] derives top-m lists.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum TopExplStrategy {
     /// Exact Cascading Analysts over every (unfiltered) candidate.
     #[default]
@@ -106,7 +105,6 @@ pub enum TopExplStrategy {
         initial_guess: usize,
     },
 }
-
 
 impl TopExplStrategy {
     /// The paper's guess-and-verify default (m̄₀ = 30).

@@ -36,10 +36,15 @@ pub fn diff_two_relations(
 
     const TIME_ATTR: &str = "__diff_side";
     let mut fields = vec![Field::dimension(TIME_ATTR)];
-    fields.extend(test.schema().fields().iter().map(|f| match f.column_type() {
-        ColumnType::Dimension => Field::dimension(f.name()),
-        ColumnType::Measure => Field::measure(f.name()),
-    }));
+    fields.extend(
+        test.schema()
+            .fields()
+            .iter()
+            .map(|f| match f.column_type() {
+                ColumnType::Dimension => Field::dimension(f.name()),
+                ColumnType::Measure => Field::measure(f.name()),
+            }),
+    );
     let schema = Schema::new(fields)?;
     let mut builder = Relation::builder(schema);
     for (side, rel) in [("0_control", control), ("1_test", test)] {
@@ -72,9 +77,10 @@ pub fn diff_two_relations(
 
 fn schemas_match(a: &Schema, b: &Schema) -> bool {
     a.len() == b.len()
-        && a.fields().iter().zip(b.fields()).all(|(fa, fb)| {
-            fa.name() == fb.name() && fa.column_type() == fb.column_type()
-        })
+        && a.fields()
+            .iter()
+            .zip(b.fields())
+            .all(|(fa, fb)| fa.name() == fb.name() && fa.column_type() == fb.column_type())
 }
 
 #[cfg(test)]
@@ -82,11 +88,7 @@ mod tests {
     use super::*;
 
     fn relation(rows: &[(&str, f64)]) -> Relation {
-        let schema = Schema::new(vec![
-            Field::dimension("state"),
-            Field::measure("cases"),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![Field::dimension("state"), Field::measure("cases")]).unwrap();
         let mut b = Relation::builder(schema);
         for &(s, v) in rows {
             b.push_row(vec![Datum::from(s), Datum::from(v)]).unwrap();
@@ -138,11 +140,8 @@ mod tests {
     #[test]
     fn schema_mismatch_rejected() {
         let control = relation(&[("NY", 1.0)]);
-        let schema = Schema::new(vec![
-            Field::dimension("county"),
-            Field::measure("cases"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Field::dimension("county"), Field::measure("cases")]).unwrap();
         let test = Relation::builder(schema).finish();
         let err = diff_two_relations(
             &test,

@@ -49,8 +49,7 @@ fn brute_force(cube: &ExplanationCube, seg: (usize, usize), m: usize) -> f64 {
         if (mask.count_ones() as usize) > m {
             continue;
         }
-        let chosen: Vec<ExplId> =
-            (0..n as ExplId).filter(|&e| mask & (1 << e) != 0).collect();
+        let chosen: Vec<ExplId> = (0..n as ExplId).filter(|&e| mask & (1 << e) != 0).collect();
         let ok = chosen.iter().enumerate().all(|(i, &a)| {
             chosen[i + 1..]
                 .iter()

@@ -9,11 +9,7 @@ use tsexplain_segment::Segmentation;
 /// experiments never hit that path.
 pub fn cut_edit_distance(a: &[usize], b: &[usize], gap_penalty: usize) -> usize {
     if a.len() == b.len() {
-        return a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| x.abs_diff(y))
-            .sum();
+        return a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).sum();
     }
     // Needleman–Wunsch-style alignment over the two sorted sequences.
     let (n, m) = (a.len(), b.len());

@@ -82,7 +82,11 @@ mod tests {
         let mut b = Relation::builder(schema);
         for t in 0..10i64 {
             let x = if t <= 5 { 10.0 * t as f64 } else { 50.0 };
-            let y = if t <= 5 { 3.0 } else { 3.0 + 12.0 * (t - 5) as f64 };
+            let y = if t <= 5 {
+                3.0
+            } else {
+                3.0 + 12.0 * (t - 5) as f64
+            };
             for (c, v) in [("x", x), ("y", y)] {
                 b.push_row(vec![Datum::Attr(t.into()), Datum::from(c), Datum::from(v)])
                     .unwrap();

@@ -170,7 +170,8 @@ mod tests {
     #[test]
     fn builds_rows() {
         let mut b = Relation::builder(schema());
-        b.push_row(vec!["d1".into(), 6i64.into(), 2.0.into()]).unwrap();
+        b.push_row(vec!["d1".into(), 6i64.into(), 2.0.into()])
+            .unwrap();
         b.push_row(vec!["d2".into(), 12i64.into(), 3.0.into()])
             .unwrap();
         let rel = b.finish();
@@ -197,15 +198,20 @@ mod tests {
         assert!(matches!(err, RelationError::TypeMismatch { .. }));
         assert_eq!(b.n_rows(), 0);
         // Builder still usable.
-        b.push_row(vec!["d1".into(), 6i64.into(), 1.0.into()]).unwrap();
+        b.push_row(vec!["d1".into(), 6i64.into(), 1.0.into()])
+            .unwrap();
         assert_eq!(b.n_rows(), 1);
     }
 
     #[test]
     fn integer_coerces_into_measure() {
         let mut b = Relation::builder(schema());
-        b.push_row(vec!["d1".into(), 6i64.into(), Datum::Attr(AttrValue::Int(4))])
-            .unwrap();
+        b.push_row(vec![
+            "d1".into(),
+            6i64.into(),
+            Datum::Attr(AttrValue::Int(4)),
+        ])
+        .unwrap();
         let rel = b.finish();
         assert_eq!(rel.measure("sold").unwrap(), &[4.0]);
     }

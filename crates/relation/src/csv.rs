@@ -162,8 +162,7 @@ mod tests {
 
     #[test]
     fn bad_measure_errors() {
-        let err =
-            csv_to_relation("date,state,cases\n2020,NY,many\n", schema()).unwrap_err();
+        let err = csv_to_relation("date,state,cases\n2020,NY,many\n", schema()).unwrap_err();
         assert!(matches!(err, RelationError::TypeMismatch { .. }));
     }
 

@@ -31,6 +31,24 @@ impl Dictionary {
         }
     }
 
+    /// Builds a dictionary whose codes follow the *given* order instead of
+    /// the sorted order — used by incrementally grown cubes, where codes of
+    /// values first seen after construction are assigned append-order.
+    ///
+    /// `values` must be distinct.
+    ///
+    /// # Panics
+    /// Panics (debug) on duplicate values.
+    pub fn from_ordered_values(values: Vec<AttrValue>) -> Self {
+        let index: HashMap<AttrValue, u32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        debug_assert_eq!(index.len(), values.len(), "values must be distinct");
+        Dictionary { values, index }
+    }
+
     /// Number of distinct values (the attribute's cardinality).
     pub fn len(&self) -> usize {
         self.values.len()

@@ -40,7 +40,10 @@ impl fmt::Display for RelationError {
                 write!(f, "field {field:?} expects a {expected} value")
             }
             RelationError::ArityMismatch { expected, got } => {
-                write!(f, "row has {got} values but the schema has {expected} fields")
+                write!(
+                    f,
+                    "row has {got} values but the schema has {expected} fields"
+                )
             }
             RelationError::NotADimension(name) => {
                 write!(f, "field {name:?} is not a dimension")

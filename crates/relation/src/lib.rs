@@ -30,6 +30,7 @@ mod predicate;
 mod query;
 mod relation;
 mod schema;
+mod serde_impls;
 mod value;
 
 pub use agg::{AggFn, AggState};

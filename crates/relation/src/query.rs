@@ -37,6 +37,38 @@ impl MeasureExpr {
         MeasureExpr::Scaled(Box::new(self), factor)
     }
 
+    /// Evaluates the expression for one raw row in schema order — the
+    /// row-at-a-time counterpart of [`MeasureExpr::eval`], used by
+    /// incremental (streaming) ingestion where no materialized [`Relation`]
+    /// exists. Applies the same numeric coercions as
+    /// [`crate::RelationBuilder::push_row`].
+    pub fn eval_row(
+        &self,
+        schema: &crate::Schema,
+        row: &[crate::Datum],
+    ) -> Result<f64, RelationError> {
+        let column_value = |name: &str| -> Result<f64, RelationError> {
+            let idx = schema.measure_index(name)?;
+            match row.get(idx) {
+                Some(crate::Datum::Num(v)) => Ok(*v),
+                Some(crate::Datum::Attr(AttrValue::Int(i))) => Ok(*i as f64),
+                Some(crate::Datum::Attr(_)) => Err(RelationError::TypeMismatch {
+                    field: name.to_string(),
+                    expected: "measure",
+                }),
+                None => Err(RelationError::ArityMismatch {
+                    expected: schema.len(),
+                    got: row.len(),
+                }),
+            }
+        };
+        match self {
+            MeasureExpr::Column(name) => column_value(name),
+            MeasureExpr::Product(a, b) => Ok(column_value(a)? * column_value(b)?),
+            MeasureExpr::Scaled(inner, factor) => Ok(inner.eval_row(schema, row)? * factor),
+        }
+    }
+
     /// Evaluates the expression over every row of `rel`.
     pub fn eval(&self, rel: &Relation) -> Result<Vec<f64>, RelationError> {
         match self {
@@ -250,6 +282,9 @@ mod tests {
     #[test]
     fn display_reads_like_sql() {
         let q = AggQuery::sum("date", "cases");
-        assert_eq!(q.to_string(), "SELECT date, SUM(cases) FROM R GROUP BY date");
+        assert_eq!(
+            q.to_string(),
+            "SELECT date, SUM(cases) FROM R GROUP BY date"
+        );
     }
 }

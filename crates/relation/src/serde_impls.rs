@@ -1,0 +1,61 @@
+//! JSON serialization for substrate types (vendored-serde impls).
+//!
+//! [`AttrValue`] crosses the service boundary inside timestamps and
+//! segment bounds. The encoding keeps the payload natural — integers as
+//! JSON numbers, strings as JSON strings — which round-trips losslessly
+//! because an `AttrValue` is exactly one of the two.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::value::AttrValue;
+
+impl Serialize for AttrValue {
+    fn serialize(&self) -> Value {
+        match self {
+            AttrValue::Int(i) => Value::Number(*i as f64),
+            AttrValue::Str(s) => Value::String(s.to_string()),
+        }
+    }
+}
+
+impl Deserialize for AttrValue {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(_) => Ok(AttrValue::Int(i64::deserialize(value)?)),
+            Value::String(s) => Ok(AttrValue::from(s.as_str())),
+            other => Err(Error::new(format!(
+                "expected number or string for an attribute value, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_str_roundtrip_distinctly() {
+        for v in [
+            AttrValue::from(42),
+            AttrValue::from(-3),
+            AttrValue::from("NY"),
+        ] {
+            assert_eq!(AttrValue::deserialize(&v.serialize()), Ok(v));
+        }
+        // "42" the string and 42 the int stay distinguishable.
+        let s = AttrValue::from("42");
+        let i = AttrValue::from(42);
+        assert_ne!(s.serialize(), i.serialize());
+        assert_eq!(AttrValue::deserialize(&s.serialize()), Ok(s));
+        assert_eq!(AttrValue::deserialize(&i.serialize()), Ok(i));
+    }
+
+    #[test]
+    fn rejects_foreign_shapes() {
+        assert!(AttrValue::deserialize(&Value::Bool(true)).is_err());
+        assert!(AttrValue::deserialize(&Value::Number(1.5)).is_err());
+        assert!(AttrValue::deserialize(&Value::Null).is_err());
+    }
+}

@@ -26,6 +26,7 @@ mod dp;
 mod error;
 mod ndcg;
 mod scheme;
+mod serde_impls;
 mod sketch;
 mod variance;
 

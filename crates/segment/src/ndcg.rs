@@ -124,9 +124,20 @@ mod tests {
         let cube = cube();
         let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 3);
         let ctx = ca.score_context();
-        let segs = [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (0, 2), (1, 3), (2, 4), (0, 4)];
-        let explained: Vec<ExplainedSegment> =
-            segs.iter().map(|&s| ExplainedSegment::new(s, ca.top_m(s))).collect();
+        let segs = [
+            (0usize, 1usize),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (0, 4),
+        ];
+        let explained: Vec<ExplainedSegment> = segs
+            .iter()
+            .map(|&s| ExplainedSegment::new(s, ca.top_m(s)))
+            .collect();
         for a in &explained {
             for b in &explained {
                 let v = ndcg(&ctx, a, b);

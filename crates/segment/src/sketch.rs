@@ -92,7 +92,11 @@ mod tests {
         let mut b = Relation::builder(schema);
         for t in 0..60 {
             let ny = if t < 30 { 10.0 * t as f64 } else { 290.0 };
-            let ca = if t < 30 { 5.0 } else { 5.0 + 8.0 * (t - 30) as f64 };
+            let ca = if t < 30 {
+                5.0
+            } else {
+                5.0 + 8.0 * (t - 30) as f64
+            };
             b.push_row(vec![
                 Datum::from(format!("d{t:02}")),
                 Datum::from("NY"),

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use tsexplain_cube::{CubeConfig, ExplanationCube};
 use tsexplain_diff::{DiffMetric, TopExplStrategy};
 use tsexplain_segment::{
-    k_segmentation, ndcg, object_centroid_distance, select_sketch, CostMatrix,
-    ExplainedSegment, Segmentation, SegmentationContext, SketchConfig, VarianceMetric,
+    k_segmentation, ndcg, object_centroid_distance, select_sketch, CostMatrix, ExplainedSegment,
+    Segmentation, SegmentationContext, SketchConfig, VarianceMetric,
 };
 
 fn cost_matrix_strategy() -> impl Strategy<Value = (usize, Vec<f64>)> {

@@ -2,9 +2,14 @@
 //! total and daily confirmed-cases series by state, using the simulated
 //! JHU-style workload.
 //!
+//! Shows the session workflow: each workload is registered once and then
+//! queried several times (auto K, a drill-down with fixed K, a windowed
+//! request) while the explanation cube is built exactly once per
+//! configuration.
+//!
 //! Run with `cargo run --release --example covid_explain`.
 
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_datagen::covid;
 
 fn main() {
@@ -12,19 +17,15 @@ fn main() {
 
     // --- total-confirmed-cases (Fig. 11) -------------------------------
     let total = data.total_workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(total.explain_by.clone()).with_optimizations(Optimizations::all()),
-    );
-    let result = engine
-        .explain(&total.relation, &total.query)
-        .expect("explainable");
+    let mut session =
+        ExplainSession::new(total.relation.clone(), total.query.clone()).expect("valid workload");
+    let request =
+        ExplainRequest::new(total.explain_by.clone()).with_optimizations(Optimizations::all());
+    let result = session.explain(&request).expect("explainable");
     println!("=== {} (n = {}) ===", total.name, result.stats.n_points);
     println!(
         "chosen K = {} | candidates = {} | CA calls = {} | {}",
-        result.chosen_k,
-        result.stats.epsilon,
-        result.stats.ca_calls,
-        result.latency
+        result.chosen_k, result.stats.epsilon, result.stats.ca_calls, result.latency
     );
     for seg in &result.segments {
         let tops: Vec<String> = seg
@@ -32,24 +33,59 @@ fn main() {
             .iter()
             .map(|e| format!("{} ({})", e.label, e.effect))
             .collect();
-        println!("  {} ~ {}: {}", seg.start_time, seg.end_time, tops.join(", "));
+        println!(
+            "  {} ~ {}: {}",
+            seg.start_time,
+            seg.end_time,
+            tops.join(", ")
+        );
     }
+
+    // Follow-up questions hit the cached cube: a coarser view…
+    let coarse = session
+        .explain(&request.clone().with_fixed_k(2))
+        .expect("explainable");
+    println!(
+        "\nfollow-up K = 2 (cube from cache: {}): cuts at {:?}",
+        coarse.stats.cube_from_cache,
+        coarse.cut_times()
+    );
+    // …and a zoom into the first wave only.
+    let first_wave = session
+        .explain(&request.clone().with_time_range("2020-02-01", "2020-06-30"))
+        .expect("explainable");
+    println!(
+        "first-wave window: n = {}, K = {} (cube from cache: {})",
+        first_wave.stats.n_points, first_wave.chosen_k, first_wave.stats.cube_from_cache
+    );
+    let stats = session.stats();
+    println!(
+        "session: {} requests, {} cube built, {} cache hits",
+        stats.requests, stats.cubes_built, stats.cube_cache_hits
+    );
 
     // --- daily-confirmed-cases (Fig. 12 / Table 3) ----------------------
     // The daily series is fuzzy; the paper smooths fuzzy series with a
     // moving average before explaining (§7.4).
     let daily = data.daily_workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(daily.explain_by.clone())
-            .with_optimizations(Optimizations::all())
-            .with_smoothing(7),
-    );
-    let result = engine
-        .explain(&daily.relation, &daily.query)
+    let mut session =
+        ExplainSession::new(daily.relation.clone(), daily.query.clone()).expect("valid workload");
+    let result = session
+        .explain(
+            &ExplainRequest::new(daily.explain_by.clone())
+                .with_optimizations(Optimizations::all())
+                .with_smoothing(7),
+        )
         .expect("explainable");
-    println!("\n=== {} (smoothed, n = {}) ===", daily.name, result.stats.n_points);
+    println!(
+        "\n=== {} (smoothed, n = {}) ===",
+        daily.name, result.stats.n_points
+    );
     println!("chosen K = {}", result.chosen_k);
-    println!("{:<24}{:<22}{:<22}{:<22}", "Segment", "Top-1", "Top-2", "Top-3");
+    println!(
+        "{:<24}{:<22}{:<22}{:<22}",
+        "Segment", "Top-1", "Top-2", "Top-3"
+    );
     for seg in &result.segments {
         let cell = |rank: usize| -> String {
             seg.explanations

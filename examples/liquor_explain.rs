@@ -3,23 +3,25 @@
 //! genuine order-2 conjunctions like `BV=1750 & P=6`, and compare the
 //! optimization bundles' latencies on the paper's heaviest workload.
 //!
+//! The ablation runs through one [`ExplainSession`]: bundles that share
+//! the cube-relevant knobs (the filter ratio) reuse a prepared cube and
+//! only re-run the cheap per-query modules.
+//!
 //! Run with `cargo run --release --example liquor_explain`.
 
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_datagen::liquor;
 
 fn main() {
     let data = liquor::generate(0);
     let workload = data.workload();
 
+    let mut session = ExplainSession::new(workload.relation.clone(), workload.query.clone())
+        .expect("valid workload");
     // Full optimizations (the paper's interactive configuration).
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::all()),
-    );
-    let result = engine
-        .explain(&workload.relation, &workload.query)
-        .expect("explainable");
+    let request =
+        ExplainRequest::new(workload.explain_by.clone()).with_optimizations(Optimizations::all());
+    let result = session.explain(&request).expect("explainable");
 
     println!(
         "=== Liquor (n = {}, candidates = {}, after filter = {}) ===",
@@ -28,7 +30,10 @@ fn main() {
     println!("chosen K = {} | {}", result.chosen_k, result.latency);
 
     println!("\nEvolving explanations (paper Table 5 format):");
-    println!("{:<26}{:<26}{:<26}{:<26}", "Segment", "Top-1", "Top-2", "Top-3");
+    println!(
+        "{:<26}{:<26}{:<26}{:<26}",
+        "Segment", "Top-1", "Top-2", "Top-3"
+    );
     for seg in &result.segments {
         let cell = |rank: usize| -> String {
             seg.explanations
@@ -62,24 +67,31 @@ fn main() {
         }
     );
 
-    // Latency ablation on the same workload (Fig. 15's axis).
-    println!("\nOptimization ablation (end-to-end):");
+    // Latency ablation on the same workload (Fig. 15's axis). All bundles
+    // share the support-filter ratio, so the session serves every run from
+    // the one cube built above.
+    println!("\nOptimization ablation (end-to-end, shared cube):");
     for (name, optimizations) in [
         ("w filter", Optimizations::filter_only()),
         ("O1", Optimizations::o1()),
         ("O2", Optimizations::o2()),
         ("O1+O2", Optimizations::all()),
     ] {
-        let engine = TsExplain::new(
-            TsExplainConfig::new(workload.explain_by.clone()).with_optimizations(optimizations),
-        );
-        let r = engine
-            .explain(&workload.relation, &workload.query)
+        let r = session
+            .explain(
+                &ExplainRequest::new(workload.explain_by.clone()).with_optimizations(optimizations),
+            )
             .expect("explainable");
         println!(
-            "  {name:<9} {:>10.1?}  (variance {:.4})",
+            "  {name:<9} {:>10.1?}  (variance {:.4}, cube from cache: {})",
             r.latency.total(),
-            r.total_variance
+            r.total_variance,
+            r.stats.cube_from_cache
         );
     }
+    let stats = session.stats();
+    println!(
+        "\nsession: {} requests, {} cube(s) built, {} cache hits",
+        stats.requests, stats.cubes_built, stats.cube_cache_hits
+    );
 }

@@ -1,10 +1,11 @@
-//! Quickstart: build a tiny relation, ask "what happened", then ask "why".
+//! Quickstart: build a tiny relation, register it in a session, ask "what
+//! happened", then ask "why" — several times, against one prepared cube.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use tsexplain::{
-    diff_two_relations, AggFn, AggQuery, Conjunction, Datum, DiffMetric, Field, MeasureExpr,
-    Optimizations, Predicate, Relation, Schema, TsExplain, TsExplainConfig,
+    diff_two_relations, AggFn, AggQuery, Conjunction, Datum, DiffMetric, ExplainRequest,
+    ExplainSession, Field, MeasureExpr, Optimizations, Predicate, Relation, Schema,
 };
 
 fn main() {
@@ -26,7 +27,11 @@ fn main() {
         } else {
             128.0
         };
-        let tx = if t <= 8 { 12.0 } else { 12.0 + 40.0 * (t - 8) as f64 };
+        let tx = if t <= 8 {
+            12.0
+        } else {
+            12.0 + 40.0 * (t - 8) as f64
+        };
         for (state, v) in [("NY", ny), ("CA", ca), ("TX", tx)] {
             builder
                 .push_row(vec![
@@ -45,12 +50,25 @@ fn main() {
     println!("{query}");
     println!("aggregate: {:?}\n", ts.values);
 
-    // "Why": evolving explanations via TSExplain.
-    let engine = TsExplain::new(
-        TsExplainConfig::new(["state"]).with_optimizations(Optimizations::none()),
-    );
-    let result = engine.explain(&relation, &query).expect("explainable");
+    // "Why": register the data once, then issue explain requests.
+    let mut session =
+        ExplainSession::new(relation.clone(), query.clone()).expect("valid registration");
+    let request = ExplainRequest::new(["state"]).with_optimizations(Optimizations::none());
+    let result = session.explain(&request).expect("explainable");
     println!("{result}\n");
+
+    // Follow-ups reuse the prepared cube — here as JSON, as a service
+    // endpoint would return it.
+    let follow_up = session
+        .explain(&request.with_fixed_k(2))
+        .expect("explainable");
+    println!(
+        "follow-up K = 2 reused the cube: {} (session built {} cube total)",
+        follow_up.stats.cube_from_cache,
+        session.stats().cubes_built
+    );
+    let json = serde_json::to_string(&follow_up).expect("serializable");
+    println!("response bytes as JSON: {}\n", json.len());
 
     // The classical building block: two-relations diff between the first
     // and last day (what the paper generalizes away from).

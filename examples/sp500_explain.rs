@@ -1,23 +1,21 @@
 //! The paper's S&P 500 case study (Fig. 13, Table 4): explain the index's
 //! crash and rebound through the hierarchical explain-by attributes
-//! category ⊃ subcategory ⊃ stock.
+//! category ⊃ subcategory ⊃ stock, served from one session.
 //!
 //! Run with `cargo run --release --example sp500_explain`.
 
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{DiffMetric, ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_datagen::sp500;
 
 fn main() {
     let data = sp500::generate(0);
     let workload = data.workload();
 
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::all()),
-    );
-    let result = engine
-        .explain(&workload.relation, &workload.query)
-        .expect("explainable");
+    let mut session = ExplainSession::new(workload.relation.clone(), workload.query.clone())
+        .expect("valid workload");
+    let request =
+        ExplainRequest::new(workload.explain_by.clone()).with_optimizations(Optimizations::all());
+    let result = session.explain(&request).expect("explainable");
 
     println!(
         "=== S&P 500 (n = {}, candidates = {}, after filter = {}) ===",
@@ -27,12 +25,19 @@ fn main() {
 
     println!("\nK-Variance curve (elbow picked K = {}):", result.chosen_k);
     for (k, v) in &result.k_variance_curve {
-        let marker = if *k == result.chosen_k { "  <- elbow" } else { "" };
+        let marker = if *k == result.chosen_k {
+            "  <- elbow"
+        } else {
+            ""
+        };
         println!("  K = {k:>2}: {v:>10.4}{marker}");
     }
 
     println!("\nEvolving explanations (paper Table 4 format):");
-    println!("{:<26}{:<30}{:<30}{:<30}", "Segment", "Top-1", "Top-2", "Top-3");
+    println!(
+        "{:<26}{:<30}{:<30}{:<30}",
+        "Segment", "Top-1", "Top-2", "Top-3"
+    );
     for seg in &result.segments {
         let cell = |rank: usize| -> String {
             seg.explanations
@@ -62,4 +67,28 @@ fn main() {
             );
         }
     }
+
+    // Analyst follow-ups against the cached cube: which sectors shifted
+    // *relative to their own weight*?
+    let relative = session
+        .explain(
+            &request
+                .with_diff_metric(DiffMetric::RelativeChange)
+                .with_top_m(1),
+        )
+        .expect("explainable");
+    println!(
+        "\nrelative-change view (cube from cache: {}):",
+        relative.stats.cube_from_cache
+    );
+    for seg in &relative.segments {
+        if let Some(top) = seg.explanations.first() {
+            println!("  {} ~ {}: {}", seg.start_time, seg.end_time, top.label);
+        }
+    }
+    let stats = session.stats();
+    println!(
+        "\nsession: {} requests answered by {} cube ({} cache hits)",
+        stats.requests, stats.cubes_built, stats.cube_cache_hits
+    );
 }

@@ -1,12 +1,13 @@
 //! Real-time explanation (paper §8): stream a KPI in chunks and refresh
 //! the evolving explanations incrementally — the settled past keeps its
-//! cut points, the fresh tail is segmented at full resolution.
+//! cut points, the fresh tail is segmented at full resolution, and the
+//! session extends its explanation cube in O(new rows) per chunk instead
+//! of re-aggregating all history.
 //!
 //! Run with `cargo run --release --example streaming_explain`.
 
 use tsexplain::{
-    AggQuery, Datum, Field, Optimizations, Schema, StreamingExplainer, TsExplain,
-    TsExplainConfig,
+    AggQuery, Datum, ExplainRequest, Field, Optimizations, Schema, StreamingExplainer,
 };
 
 /// A three-phase KPI: NY drives days 0..20, CA 20..40, TX 40..60.
@@ -21,7 +22,11 @@ fn rows_for(range: std::ops::Range<i64>) -> Vec<Vec<Datum>> {
         } else {
             144.0
         };
-        let tx = if t <= 40 { 9.0 } else { 9.0 + 8.0 * (t - 40) as f64 };
+        let tx = if t <= 40 {
+            9.0
+        } else {
+            9.0 + 8.0 * (t - 40) as f64
+        };
         for (s, v) in [("NY", ny), ("CA", ca), ("TX", tx)] {
             rows.push(vec![Datum::Attr(t.into()), Datum::from(s), Datum::from(v)]);
         }
@@ -36,13 +41,14 @@ fn main() {
         Field::measure("v"),
     ])
     .expect("valid schema");
-    let engine = TsExplain::new(
-        TsExplainConfig::new(["state"]).with_optimizations(Optimizations::none()),
-    );
-    let mut streaming = StreamingExplainer::new(engine, schema, AggQuery::sum("t", "v"));
+    let request = ExplainRequest::new(["state"]).with_optimizations(Optimizations::none());
+    let mut streaming =
+        StreamingExplainer::new(request, schema, AggQuery::sum("t", "v")).expect("valid query");
 
     for (chunk, range) in [(1, 0..25i64), (2, 25..45), (3, 45..60)] {
-        streaming.append_rows(rows_for(range));
+        streaming
+            .append_rows(rows_for(range))
+            .expect("tail-ordered rows");
         let result = streaming.refresh().expect("explainable");
         println!(
             "after chunk {chunk}: n = {}, K = {}, candidate positions = {}",
@@ -57,6 +63,11 @@ fn main() {
             println!("    {} ~ {}: {}", seg.start_time, seg.end_time, top);
         }
     }
+    let stats = streaming.stats();
     println!("\nEach refresh reuses the previous cut points as candidates,");
     println!("so the DP only works at full resolution on the new tail.");
+    println!(
+        "Session cache: {} cube built, {} incremental refreshes, {} full rebuilds.",
+        stats.cubes_built, stats.cube_refreshes, stats.rebuilds
+    );
 }

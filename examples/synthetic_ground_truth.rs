@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example synthetic_ground_truth`.
 
-use tsexplain::{Optimizations, Segmentation, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations, Segmentation};
 use tsexplain_baselines::{bottom_up, fluss, nnsegment};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 use tsexplain_eval::distance_percent;
@@ -25,13 +25,14 @@ fn main() {
 
     // TSExplain with the oracle K (the Fig. 10 protocol).
     let workload = dataset.workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::none())
-            .with_fixed_k(k),
-    );
-    let result = engine
-        .explain(&workload.relation, &workload.query)
+    let mut session = ExplainSession::new(workload.relation.clone(), workload.query.clone())
+        .expect("valid workload");
+    let result = session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(k),
+        )
         .expect("explainable");
     let ours = result.segmentation.clone();
 

@@ -2,7 +2,7 @@
 //! guess-and-verify is exact; filter and sketching may approximate, but
 //! the end-to-end variance must stay within a whisker of Vanilla's.
 
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_cube::{CubeConfig, ExplanationCube};
 use tsexplain_datagen::{covid_deaths, sp500, synthetic};
 use tsexplain_diff::{CascadingAnalysts, DiffMetric, GuessVerify};
@@ -14,8 +14,7 @@ fn guess_verify_is_exact_on_sp500_segments() {
     let cube = ExplanationCube::build(
         &workload.relation,
         &workload.query,
-        &CubeConfig::new(workload.explain_by.iter().map(String::as_str))
-            .with_filter_ratio(0.001),
+        &CubeConfig::new(workload.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001),
     )
     .unwrap();
     let mut ca = CascadingAnalysts::new(&cube, DiffMetric::AbsoluteChange, 3);
@@ -55,15 +54,17 @@ fn optimization_bundles_preserve_result_quality() {
         ..Default::default()
     });
     let workload = dataset.workload();
-    let query = &workload.query;
+    let mut session =
+        ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
 
-    let run = |optimizations: Optimizations| {
-        let engine = TsExplain::new(
-            TsExplainConfig::new(workload.explain_by.clone())
-                .with_optimizations(optimizations)
-                .with_fixed_k(5),
-        );
-        engine.explain(&workload.relation, query).unwrap()
+    let mut run = |optimizations: Optimizations| {
+        session
+            .explain(
+                &ExplainRequest::new(workload.explain_by.clone())
+                    .with_optimizations(optimizations)
+                    .with_fixed_k(5),
+            )
+            .unwrap()
     };
     let vanilla = run(Optimizations::none());
     let optimized = run(Optimizations::all());
@@ -103,13 +104,16 @@ fn optimization_bundles_preserve_result_quality() {
 fn filter_reduces_candidates_without_losing_headline_explanations() {
     let data = covid_deaths::generate(0);
     let workload = data.workload();
-    let run = |optimizations: Optimizations| {
-        let engine = TsExplain::new(
-            TsExplainConfig::new(workload.explain_by.clone())
-                .with_optimizations(optimizations)
-                .with_fixed_k(2),
-        );
-        engine.explain(&workload.relation, &workload.query).unwrap()
+    let mut session =
+        ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
+    let mut run = |optimizations: Optimizations| {
+        session
+            .explain(
+                &ExplainRequest::new(workload.explain_by.clone())
+                    .with_optimizations(optimizations)
+                    .with_fixed_k(2),
+            )
+            .unwrap()
     };
     let vanilla = run(Optimizations::none());
     let filtered = run(Optimizations::filter_only());
@@ -132,13 +136,16 @@ fn sketching_reduces_candidate_positions_and_ca_calls() {
         ..Default::default()
     });
     let workload = dataset.workload();
-    let run = |optimizations: Optimizations| {
-        let engine = TsExplain::new(
-            TsExplainConfig::new(workload.explain_by.clone())
-                .with_optimizations(optimizations)
-                .with_fixed_k(dataset.ground_truth_k()),
-        );
-        engine.explain(&workload.relation, &workload.query).unwrap()
+    let mut session =
+        ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
+    let mut run = |optimizations: Optimizations| {
+        session
+            .explain(
+                &ExplainRequest::new(workload.explain_by.clone())
+                    .with_optimizations(optimizations)
+                    .with_fixed_k(dataset.ground_truth_k()),
+            )
+            .unwrap()
     };
     let vanilla = run(Optimizations::none());
     let sketched = run(Optimizations::o2());

@@ -2,15 +2,16 @@
 //! relation → cube → Cascading Analysts → K-Segmentation → evolving
 //! explanations, with the paper's narrative as the oracle.
 
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_datagen::{covid, covid_deaths, sp500};
 
+/// Registers a workload in a fresh serving session.
+fn session_for(workload: &tsexplain_datagen::Workload) -> ExplainSession {
+    ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap()
+}
+
 /// Collects all explanation labels of segments overlapping `[lo, hi]`.
-fn labels_in_range(
-    result: &tsexplain::ExplainResult,
-    lo: usize,
-    hi: usize,
-) -> Vec<String> {
+fn labels_in_range(result: &tsexplain::ExplainResult, lo: usize, hi: usize) -> Vec<String> {
     result
         .segments
         .iter()
@@ -23,11 +24,13 @@ fn labels_in_range(
 fn covid_total_narrative() {
     let data = covid::generate(0);
     let workload = data.total_workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::all()),
-    );
-    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    let mut session = session_for(&workload);
+    let result = session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::all()),
+        )
+        .unwrap();
 
     // The paper reports K = 6 for this series; the elbow must land nearby.
     assert!(
@@ -56,12 +59,14 @@ fn covid_total_narrative() {
 fn covid_daily_smoothed_pipeline_runs_interactively() {
     let data = covid::generate(0);
     let workload = data.daily_workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::all())
-            .with_smoothing(7),
-    );
-    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    let mut session = session_for(&workload);
+    let result = session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::all())
+                .with_smoothing(7),
+        )
+        .unwrap();
     assert!((4..=10).contains(&result.chosen_k));
     // Every segment of a K-segmentation is non-degenerate and labelled.
     for seg in &result.segments {
@@ -94,12 +99,18 @@ fn covid_daily_smoothed_pipeline_runs_interactively() {
 fn sp500_crash_attribution() {
     let data = sp500::generate(0);
     let workload = data.workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::all()),
+    let mut session = session_for(&workload);
+    let result = session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::all()),
+        )
+        .unwrap();
+    assert!(
+        (3..=7).contains(&result.chosen_k),
+        "K = {}",
+        result.chosen_k
     );
-    let result = engine.explain(&workload.relation, &workload.query).unwrap();
-    assert!((3..=7).contains(&result.chosen_k), "K = {}", result.chosen_k);
 
     // Locate the crash window (2020-02-19 .. 2020-03-23) in point indices.
     let day_of = |date: &str| -> usize {
@@ -143,13 +154,15 @@ fn time_varying_attribute_case_study() {
     // the age-wise and vaccination-wise partitions tie on total γ.
     let data = covid_deaths::generate(0);
     let workload = data.workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::none())
-            .with_fixed_k(2)
-            .with_top_m(1),
-    );
-    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    let mut session = session_for(&workload);
+    let result = session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(2)
+                .with_top_m(1),
+        )
+        .unwrap();
     assert_eq!(result.segments.len(), 2);
     let early_top = &result.segments[0].explanations[0].label;
     let late_top = &result.segments[1].explanations[0].label;
@@ -167,13 +180,22 @@ fn time_varying_attribute_case_study() {
 fn latency_breakdown_accounts_for_all_modules() {
     let data = covid::generate(0);
     let workload = data.total_workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::all()),
-    );
-    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    let mut session = session_for(&workload);
+    let request =
+        ExplainRequest::new(workload.explain_by.clone()).with_optimizations(Optimizations::all());
+    let result = session.explain(&request).unwrap();
     assert!(result.latency.precompute.as_nanos() > 0);
     assert!(result.latency.cascading.as_nanos() > 0);
     assert!(result.latency.segmentation.as_nanos() > 0);
     assert!(result.stats.ca_calls > 0);
+
+    // A second request on the same session skips the precompute module.
+    let cached = session.explain(&request).unwrap();
+    assert!(cached.stats.cube_from_cache);
+    assert!(
+        cached.latency.precompute < result.latency.precompute,
+        "cache hit precompute {:?} vs cold {:?}",
+        cached.latency.precompute,
+        result.latency.precompute
+    );
 }

@@ -2,8 +2,8 @@
 //! seasonal decomposition feeding the explainer.
 
 use tsexplain::{
-    classical_decompose, AggQuery, Datum, Field, Optimizations, Relation, Schema,
-    StreamingExplainer, TsExplain, TsExplainConfig,
+    classical_decompose, AggQuery, Datum, ExplainRequest, ExplainSession, Field, Optimizations,
+    Relation, Schema, StreamingExplainer,
 };
 
 fn schema() -> Schema {
@@ -20,26 +20,30 @@ fn rows_for(range: std::ops::Range<i64>) -> Vec<Vec<Datum>> {
     let mut rows = Vec::new();
     for t in range {
         let ny = if t <= 15 { 10.0 * t as f64 } else { 150.0 };
-        let ca = if t <= 15 { 5.0 } else { 5.0 + 12.0 * (t - 15) as f64 };
+        let ca = if t <= 15 {
+            5.0
+        } else {
+            5.0 + 12.0 * (t - 15) as f64
+        };
         rows.push(vec![Datum::Attr(t.into()), "NY".into(), ny.into()]);
         rows.push(vec![Datum::Attr(t.into()), "CA".into(), ca.into()]);
     }
     rows
 }
 
-fn engine() -> TsExplain {
-    TsExplain::new(TsExplainConfig::new(["state"]).with_optimizations(Optimizations::none()))
+fn request() -> ExplainRequest {
+    ExplainRequest::new(["state"]).with_optimizations(Optimizations::none())
 }
 
 #[test]
 fn streaming_replay_matches_batch() {
-    let mut batch = StreamingExplainer::new(engine(), schema(), AggQuery::sum("t", "v"));
-    batch.append_rows(rows_for(0..30));
+    let mut batch = StreamingExplainer::new(request(), schema(), AggQuery::sum("t", "v")).unwrap();
+    batch.append_rows(rows_for(0..30)).unwrap();
     let full = batch.refresh().unwrap();
 
-    let mut live = StreamingExplainer::new(engine(), schema(), AggQuery::sum("t", "v"));
+    let mut live = StreamingExplainer::new(request(), schema(), AggQuery::sum("t", "v")).unwrap();
     for chunk in [0..10i64, 10..18, 18..25, 25..30] {
-        live.append_rows(rows_for(chunk));
+        live.append_rows(rows_for(chunk)).unwrap();
         live.refresh().unwrap();
     }
     let replayed = live.refresh().unwrap();
@@ -53,8 +57,8 @@ fn streaming_replay_matches_batch() {
 
 #[test]
 fn streaming_keeps_top_explanations_current() {
-    let mut live = StreamingExplainer::new(engine(), schema(), AggQuery::sum("t", "v"));
-    live.append_rows(rows_for(0..12));
+    let mut live = StreamingExplainer::new(request(), schema(), AggQuery::sum("t", "v")).unwrap();
+    live.append_rows(rows_for(0..12)).unwrap();
     let early = live.refresh().unwrap();
     // Only the NY phase is visible so far.
     assert!(early
@@ -62,7 +66,7 @@ fn streaming_keeps_top_explanations_current() {
         .iter()
         .all(|s| s.explanations[0].label == "state=NY"));
 
-    live.append_rows(rows_for(12..30));
+    live.append_rows(rows_for(12..30)).unwrap();
     let later = live.refresh().unwrap();
     let last = later.segments.last().unwrap();
     assert_eq!(last.explanations[0].label, "state=CA");
@@ -80,7 +84,11 @@ fn seasonal_trend_feeds_the_explainer() {
     for t in 0..n {
         let season = 8.0 * ((t % period) as f64 / period as f64 * std::f64::consts::TAU).sin();
         let ny = if t <= 24 { 4.0 * t as f64 } else { 96.0 };
-        let ca = if t <= 24 { 2.0 } else { 2.0 + 6.0 * (t - 24) as f64 };
+        let ca = if t <= 24 {
+            2.0
+        } else {
+            2.0 + 6.0 * (t - 24) as f64
+        };
         b.push_row(vec![
             Datum::Attr(t.into()),
             "NY".into(),
@@ -106,20 +114,14 @@ fn seasonal_trend_feeds_the_explainer() {
     let decomposition = classical_decompose(&ts.values, period as usize).unwrap();
     for t in 0..(n as usize - period as usize) {
         assert!(
-            (decomposition.seasonal[t] - decomposition.seasonal[t + period as usize]).abs()
-                < 1e-9
+            (decomposition.seasonal[t] - decomposition.seasonal[t + period as usize]).abs() < 1e-9
         );
     }
 
     // Explaining the raw (seasonal) series still finds the regime change,
     // because the explanation signal lives in the slices, not the shape.
-    let result = TsExplain::new(
-        TsExplainConfig::new(["state"])
-            .with_optimizations(Optimizations::none())
-            .with_fixed_k(2),
-    )
-    .explain(&relation, &query)
-    .unwrap();
+    let mut session = ExplainSession::new(relation, query).unwrap();
+    let result = session.explain(&request().with_fixed_k(2)).unwrap();
     let cut = result.segmentation.cuts()[0];
     assert!((22..=26).contains(&cut), "cut at {cut}");
 }

@@ -2,7 +2,7 @@
 //! with the oracle K, TSExplain's cuts must land near the true cuts on
 //! clean data, and the `tse` objective must prefer the ground truth.
 
-use tsexplain::{Optimizations, Segmentation, TsExplain, TsExplainConfig, VarianceMetric};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations, Segmentation, VarianceMetric};
 use tsexplain_cube::{CubeConfig, ExplanationCube};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 use tsexplain_diff::{DiffMetric, TopExplStrategy};
@@ -11,13 +11,14 @@ use tsexplain_segment::SegmentationContext;
 
 fn explain_with_oracle_k(dataset: &SyntheticDataset) -> Segmentation {
     let workload = dataset.workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::none())
-            .with_fixed_k(dataset.ground_truth_k()),
-    );
-    engine
-        .explain(&workload.relation, &workload.query)
+    let mut session =
+        ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
+    session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::none())
+                .with_fixed_k(dataset.ground_truth_k()),
+        )
         .unwrap()
         .segmentation
 }
@@ -69,12 +70,8 @@ fn ground_truth_ranks_first_among_samples_on_clean_data() {
         ..SyntheticConfig::default()
     });
     let relation = dataset.to_relation();
-    let cube = ExplanationCube::build(
-        &relation,
-        &dataset.query(),
-        &CubeConfig::new(["category"]),
-    )
-    .unwrap();
+    let cube = ExplanationCube::build(&relation, &dataset.query(), &CubeConfig::new(["category"]))
+        .unwrap();
     let mut ctx = SegmentationContext::new(
         &cube,
         DiffMetric::AbsoluteChange,
@@ -83,8 +80,7 @@ fn ground_truth_ranks_first_among_samples_on_clean_data() {
         VarianceMetric::Tse,
     );
     let mut objective = CachedObjective::new(&mut ctx);
-    let gt = Segmentation::new(dataset.config.n_points, dataset.ground_truth_cuts.clone())
-        .unwrap();
+    let gt = Segmentation::new(dataset.config.n_points, dataset.ground_truth_cuts.clone()).unwrap();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
     let samples: Vec<Segmentation> = (0..500)
         .map(|_| random_segmentation(&mut rng, dataset.config.n_points, gt.k()))
@@ -101,11 +97,14 @@ fn auto_k_lands_near_ground_truth_k_on_clean_data() {
         ..SyntheticConfig::default()
     });
     let workload = dataset.workload();
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::none()),
-    );
-    let result = engine.explain(&workload.relation, &workload.query).unwrap();
+    let mut session =
+        ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
+    let result = session
+        .explain(
+            &ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::none()),
+        )
+        .unwrap();
     let gt_k = dataset.ground_truth_k();
     assert!(
         result.chosen_k.abs_diff(gt_k) <= 2,

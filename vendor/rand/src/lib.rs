@@ -1,0 +1,334 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements exactly the deterministic subset of the rand 0.9 API that the
+//! TSExplain workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], the [`RngExt`] sampling helpers
+//! (`random`, `random_range`, `random_bool`) and
+//! [`seq::index::sample`]. Everything is pure Rust with no dependencies and
+//! fully reproducible across platforms — which is all the seeded workload
+//! generators require (see `tsexplain-datagen`'s DESIGN notes).
+//!
+//! It is **not** a cryptographic or statistically audited generator; the
+//! core is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014), which passes the
+//! moment checks the workspace's tests perform.
+
+/// The low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Marker trait mirroring `rand::Rng`; every [`RngCore`] is an [`Rng`].
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension methods for sampling typed values, mirroring the inherent
+/// sampling API of `rand 0.9`'s `Rng`.
+pub trait RngExt: Rng {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the type).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from their "standard" distribution via [`RngExt::random`].
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64 + 1;
+                // span == 0 only when the range covers the whole u64 domain.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = hi.wrapping_sub(lo) as u64 + 1;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u: f64 = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u: f32 = f32::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        let u: f64 = f64::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64.
+    ///
+    /// Unlike the real `rand::rngs::StdRng` this makes **no** algorithm-
+    /// stability disclaimers — the sequence for a given seed is part of the
+    /// workspace's reproducibility contract (seeded dataset generators).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain reference implementation).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related sampling.
+pub mod seq {
+    /// Index sampling (mirrors `rand::seq::index`).
+    pub mod index {
+        use crate::Rng;
+
+        /// A set of sampled indices (mirrors `rand::seq::index::IndexVec`).
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The sampled indices in selection order.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+                self.0.iter()
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` uniformly,
+        /// via a partial Fisher–Yates shuffle.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from {length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::index::sample;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let i = rng.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.random_range(5i64..=9);
+            assert!((5..=9).contains(&j));
+            let f = rng.random_range(-2.0f64..4.5);
+            assert!((-2.0..4.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let v = sample(&mut rng, 20, 7).into_vec();
+            assert_eq!(v.len(), 7);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "indices must be distinct");
+            assert!(v.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn full_sample_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v = sample(&mut rng, 9, 9).into_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..9).collect::<Vec<_>>());
+    }
+}

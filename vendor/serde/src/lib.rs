@@ -1,0 +1,422 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) framework.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the serialization contract the TSExplain workspace needs to
+//! move requests and responses across a service boundary: a JSON-shaped
+//! [`Value`] tree plus [`Serialize`]/[`Deserialize`] traits that convert to
+//! and from it. The sibling `serde_json` stand-in supplies the actual text
+//! encoding ([`serde_json::to_string`]/[`serde_json::from_str`]).
+//!
+//! Differences from real serde, by design:
+//!
+//! * no derive macros — the workspace hand-implements the traits for its
+//!   response types (they are few and stable),
+//! * the data model is a concrete tree ([`Value`]) rather than a visitor
+//!   pair, which is all a JSON boundary requires,
+//! * unrepresentable numbers (`NaN`, `±inf`) serialize as `null`, matching
+//!   `serde_json`'s lossy default.
+//!
+//! [`serde_json::to_string`]: ../serde_json/fn.to_string.html
+//! [`serde_json::from_str`]: ../serde_json/fn.from_str.html
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A JSON-shaped document tree — the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`, like `serde_json`'s arbitrary
+    /// precision off mode).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// The member of an object by key, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if any.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// True for JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Deserializes a required object member, with a path-aware error.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, Error> {
+        let member = self
+            .get(key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))?;
+        T::deserialize(member).map_err(|e| e.contextualize(key))
+    }
+
+    /// A short name for the value's JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A serialization or deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the error with the field it occurred under.
+    pub fn contextualize(self, field: &str) -> Self {
+        Error {
+            message: format!("in field `{field}`: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a document tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion back from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a document tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::new(format!("expected boolean, got {}", value.type_name())))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, got {}", value.type_name())))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let x = value.as_f64().ok_or_else(|| {
+                    Error::new(format!("expected number, got {}", value.type_name()))
+                })?;
+                if x.fract() != 0.0 {
+                    return Err(Error::new(format!("expected integer, got {x}")));
+                }
+                if x < <$t>::MIN as f64 || x > <$t>::MAX as f64 {
+                    return Err(Error::new(format!(
+                        "integer {x} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new(format!("expected string, got {}", value.type_name())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::new(format!("expected array, got {}", value.type_name())))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(value).map(Some)
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(Error::new("expected a two-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| Error::new(format!("expected object, got {}", value.type_name())))?;
+        map.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        // Matches real serde's {secs, nanos} encoding of Duration.
+        Value::object([
+            ("secs", Value::Number(self.as_secs() as f64)),
+            ("nanos", Value::Number(self.subsec_nanos() as f64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let secs: u64 = value.field("secs")?;
+        let nanos: u32 = value.field("nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(u32::deserialize(&7u32.serialize()), Ok(7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        assert!(f64::NAN.serialize().is_null());
+        assert!(f64::INFINITY.serialize().is_null());
+    }
+
+    #[test]
+    fn integers_reject_fractions_and_overflow() {
+        assert!(u8::deserialize(&Value::Number(1.5)).is_err());
+        assert!(u8::deserialize(&Value::Number(300.0)).is_err());
+        assert!(u8::deserialize(&Value::Number(255.0)).is_ok());
+        assert!(i64::deserialize(&Value::Number(-3.0)).is_ok());
+        assert!(usize::deserialize(&Value::Number(-1.0)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::deserialize(&o.serialize()), Ok(None));
+        let p = (4usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::deserialize(&p.serialize()), Ok(p));
+    }
+
+    #[test]
+    fn duration_matches_serde_encoding() {
+        let d = Duration::new(3, 250);
+        let v = d.serialize();
+        assert_eq!(v.get("secs").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("nanos").and_then(Value::as_f64), Some(250.0));
+        assert_eq!(Duration::deserialize(&v), Ok(d));
+    }
+
+    #[test]
+    fn field_errors_carry_context() {
+        let v = Value::object([("k", Value::String("x".into()))]);
+        let err = v.field::<u32>("k").unwrap_err();
+        assert!(err.to_string().contains("`k`"));
+        let err = v.field::<u32>("missing").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}
