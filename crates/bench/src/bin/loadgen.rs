@@ -1,0 +1,242 @@
+//! `loadgen`: a concurrent load generator for the tsx-server HTTP
+//! subsystem.
+//!
+//! Boots a server in-process (or targets `--addr` of an already-running
+//! one), registers one shared dataset plus one per-client tenant, then
+//! fires a mixed explain/append workload from N concurrent clients over
+//! keep-alive connections and reports throughput, per-operation latency
+//! percentiles, and the server's eviction/cache counters.
+//!
+//! ```text
+//! cargo run --release --bin loadgen -- [--clients 8] [--rounds 30]
+//!     [--workers 4] [--budget-mb 8] [--points 100] [--addr HOST:PORT]
+//! ```
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use tsexplain::{DiffMetric, ExplainRequest};
+use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
+use tsexplain_server::{Client, Server, ServerConfig, ServerHandle};
+
+struct Args {
+    clients: usize,
+    rounds: usize,
+    workers: usize,
+    budget_mb: usize,
+    points: usize,
+    addr: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            clients: 8,
+            rounds: 30,
+            workers: 4,
+            budget_mb: 8,
+            points: 100,
+            addr: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = take("--clients").max(1),
+            "--rounds" => args.rounds = take("--rounds").max(1),
+            "--workers" => args.workers = take("--workers").max(1),
+            "--budget-mb" => args.budget_mb = take("--budget-mb"), // 0 = evict always
+            "--points" => args.points = take("--points").max(20),
+            "--addr" => args.addr = Some(it.next().expect("--addr needs HOST:PORT")),
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// The rotating explain mix: differing K, top-m, metric, smoothing and
+/// window, so both cube keys and snapshots churn.
+fn request(i: usize, points: usize) -> ExplainRequest {
+    let base = ExplainRequest::new(["category"]);
+    match i % 5 {
+        0 => base,
+        1 => base.with_fixed_k(3),
+        2 => base
+            .with_top_m(1)
+            .with_diff_metric(DiffMetric::RelativeChange),
+        3 => base.with_smoothing(5),
+        _ => base.with_time_range(0i64, (points / 2) as i64),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let data = SyntheticDataset::generate(SyntheticConfig {
+        n_points: args.points,
+        seed: 42,
+        ..SyntheticConfig::default()
+    });
+
+    // Target: an in-process server unless --addr points elsewhere.
+    let mut owned: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &args.addr {
+        Some(addr) => addr.parse().expect("--addr must be HOST:PORT"),
+        None => {
+            let handle = Server::bind(ServerConfig {
+                workers: args.workers,
+                memory_budget: args.budget_mb * 1024 * 1024,
+                ..ServerConfig::default()
+            })
+            .expect("bind an ephemeral port");
+            let addr = handle.local_addr();
+            owned = Some(handle);
+            addr
+        }
+    };
+    println!(
+        "loadgen: {} clients x {} rounds against http://{addr} \
+         ({} workers, {} MiB budget, {} points)",
+        args.clients, args.rounds, args.workers, args.budget_mb, args.points
+    );
+
+    // The shared tenant everyone explains.
+    let schema = data.schema();
+    let query = data.query();
+    let rows = data.rows_between(0, args.points);
+    let mut setup = Client::new(addr);
+    let shared = setup
+        .register(&schema, &query, &rows)
+        .expect("register the shared dataset")
+        .dataset_id;
+
+    // Fire. Each client owns one connection, one private tenant, and a
+    // deterministic mixed workload.
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let schema = schema.clone();
+            let query = query.clone();
+            let data = data.clone();
+            let rounds = args.rounds;
+            let points = args.points;
+            std::thread::spawn(move || -> Vec<(&'static str, Duration)> {
+                let mut lat = Vec::with_capacity(rounds * 2 + 2);
+                let mut client = Client::new(addr);
+                let head = points / 2;
+                let t0 = Instant::now();
+                let own = client
+                    .register(&schema, &query, &data.rows_between(0, head))
+                    .expect("register a private tenant")
+                    .dataset_id;
+                lat.push(("register", t0.elapsed()));
+                // Stream the remaining history in across the rounds.
+                let tail: Vec<usize> = (head..points).collect();
+                let chunk = (tail.len() / rounds.min(tail.len()).max(1)).max(1);
+                let mut fed = head;
+                for round in 0..rounds {
+                    let t0 = Instant::now();
+                    client
+                        .explain(shared, &request(c + round, points))
+                        .expect("shared explain");
+                    lat.push(("explain(shared)", t0.elapsed()));
+                    if fed < points {
+                        let hi = (fed + chunk).min(points);
+                        let t0 = Instant::now();
+                        client
+                            .append_rows(own, &data.rows_between(fed, hi))
+                            .expect("append");
+                        lat.push(("append(own)", t0.elapsed()));
+                        fed = hi;
+                    }
+                    let t0 = Instant::now();
+                    client
+                        .explain(own, &request(round, points))
+                        .expect("own explain");
+                    lat.push(("explain(own)", t0.elapsed()));
+                }
+                lat
+            })
+        })
+        .collect();
+
+    let mut all: Vec<(&'static str, Duration)> = Vec::new();
+    for worker in workers {
+        all.extend(worker.join().expect("client thread panicked"));
+    }
+    let wall = started.elapsed();
+
+    // Report: throughput + per-op latency percentiles.
+    let total = all.len();
+    println!(
+        "\n{} requests in {:.2?} -> {:.0} req/s over {} concurrent clients\n",
+        total,
+        wall,
+        total as f64 / wall.as_secs_f64(),
+        args.clients
+    );
+    println!(
+        "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "operation", "count", "p50", "p90", "p99", "max"
+    );
+    for op in ["register", "explain(shared)", "explain(own)", "append(own)"] {
+        let mut lats: Vec<Duration> = all
+            .iter()
+            .filter(|(o, _)| *o == op)
+            .map(|(_, d)| *d)
+            .collect();
+        if lats.is_empty() {
+            continue;
+        }
+        lats.sort_unstable();
+        println!(
+            "{:<16} {:>7} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
+            op,
+            lats.len(),
+            percentile(&lats, 50.0),
+            percentile(&lats, 90.0),
+            percentile(&lats, 99.0),
+            lats[lats.len() - 1],
+        );
+    }
+
+    // Server-side counters: cache pressure and eviction activity.
+    let metrics = setup.metrics().expect("metrics");
+    let registry = metrics.get("registry").cloned().unwrap_or(Value::Null);
+    let totals = registry.get("totals").cloned().unwrap_or(Value::Null);
+    let read = |v: &Value, k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    println!(
+        "\nserver: datasets={} cached_cubes={} cache={:.1} MiB / budget={:.1} MiB",
+        read(&registry, "datasets"),
+        read(&registry, "cached_cubes"),
+        read(&registry, "cache_bytes") / (1024.0 * 1024.0),
+        read(&registry, "memory_budget") / (1024.0 * 1024.0),
+    );
+    println!(
+        "        requests={} cubes_built={} cache_hits={} refreshes={} evictions={}",
+        read(&totals, "requests"),
+        read(&totals, "cubes_built"),
+        read(&totals, "cube_cache_hits"),
+        read(&totals, "cube_refreshes"),
+        read(&totals, "cube_evictions"),
+    );
+
+    drop(setup);
+    if let Some(mut handle) = owned.take() {
+        handle.shutdown();
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64) * p / 100.0).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}

@@ -66,6 +66,14 @@
 //! reuse. Both the batch session and the streaming wrapper implement
 //! [`Explainer`], so serving code can treat them uniformly.
 //!
+//! For serving many datasets from one process, [`SessionRegistry`] hosts a
+//! thread-safe multi-tenant map of sessions: per-tenant interior locking
+//! (one tenant's rebuild never blocks another's cache hit) and a global
+//! LRU-by-bytes cube eviction policy under a configurable memory budget
+//! (each session also enforces a local budget, default
+//! [`DEFAULT_CUBE_CACHE_BUDGET`]). The `tsexplain-server` crate serves the
+//! registry over HTTP/JSON.
+//!
 //! The pre-session entry point [`TsExplain::explain`] remains as a
 //! compatibility shim (one-shot session per call) and is slated for
 //! deprecation; hold a session instead whenever more than one query hits
@@ -84,6 +92,7 @@ mod engine;
 mod error;
 mod latency;
 mod recommend;
+mod registry;
 mod request;
 mod result;
 mod seasonal;
@@ -97,14 +106,18 @@ pub use engine::TsExplain;
 pub use error::TsExplainError;
 pub use latency::LatencyBreakdown;
 pub use recommend::{recommend_explain_by, AttributeScore};
+pub use registry::{
+    DatasetId, DatasetSnapshot, RegistryError, RegistryStats, SessionRegistry,
+    DEFAULT_REGISTRY_BUDGET,
+};
 pub use request::{ExplainRequest, InvalidRequest};
 pub use result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 pub use seasonal::{classical_decompose, Decomposition};
-pub use session::{ExplainSession, Explainer, SessionStats};
+pub use session::{ExplainSession, Explainer, SessionStats, DEFAULT_CUBE_CACHE_BUDGET};
 pub use streaming::StreamingExplainer;
 
 // Curated re-exports so downstream users need only this crate.
-pub use tsexplain_cube::{CubeConfig, ExplanationCube, IncrementalCube};
+pub use tsexplain_cube::{CubeConfig, CubeError, ExplanationCube, IncrementalCube};
 pub use tsexplain_diff::{diff_two_relations, DiffMetric, Effect};
 pub use tsexplain_relation::{
     AggFn, AggQuery, AggState, AttrValue, Conjunction, Datum, Field, MeasureExpr, Predicate,

@@ -1,0 +1,525 @@
+//! The multi-tenant session registry — the shared state behind a serving
+//! process.
+//!
+//! A server hosts many datasets at once; each is an [`ExplainSession`]
+//! owned by one tenant. The registry is the thread-safe map from
+//! [`DatasetId`] to session with two properties a naive
+//! `Mutex<HashMap<…>>` lacks:
+//!
+//! * **per-tenant interior locking** — the map itself is behind an
+//!   `RwLock` held only long enough to clone a session handle, and each
+//!   session sits behind its own `Mutex`. One tenant's cube rebuild never
+//!   blocks another tenant's cache hit.
+//! * **a global memory budget** — every session shares the registry's LRU
+//!   clock, so cube recency is comparable *across* tenants. After any
+//!   explain or append the registry sums the per-session cache estimates
+//!   ([`ExplainSession::cache_bytes`], built on
+//!   `ExplanationCube::approx_bytes`) and evicts globally
+//!   least-recently-used cubes until the total fits the budget. Evicted
+//!   cubes keep serving correctly — the next request rebuilds them.
+//!
+//! The registry never holds two session locks at once, so tenant
+//! operations cannot deadlock against eviction.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use tsexplain_relation::{AggQuery, Datum, Relation};
+
+use crate::error::TsExplainError;
+use crate::request::ExplainRequest;
+use crate::result::ExplainResult;
+use crate::session::{ExplainSession, SessionStats};
+
+/// Default global cube-memory budget for a registry: 1 GiB.
+pub const DEFAULT_REGISTRY_BUDGET: usize = 1024 * 1024 * 1024;
+
+/// Opaque handle to a registered dataset (tenant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(u64);
+
+impl DatasetId {
+    /// The raw id, as it appears in URLs (`/datasets/{id}/…`).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw id (e.g. parsed out of a URL). The id
+    /// is not checked here; lookups return
+    /// [`RegistryError::UnknownDataset`] for ids the registry never issued.
+    pub fn from_u64(id: u64) -> Self {
+        DatasetId(id)
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Errors surfaced by registry operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegistryError {
+    /// No dataset with this id is registered (never issued, or removed).
+    UnknownDataset(DatasetId),
+    /// The underlying session rejected the operation.
+    Session(TsExplainError),
+    /// A tenant's lock was poisoned by a panic in a previous holder; the
+    /// tenant must be re-registered.
+    Poisoned(DatasetId),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownDataset(id) => write!(f, "unknown dataset {id}"),
+            RegistryError::Session(e) => write!(f, "{e}"),
+            RegistryError::Poisoned(id) => {
+                write!(f, "dataset {id} is poisoned by an earlier panic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TsExplainError> for RegistryError {
+    fn from(e: TsExplainError) -> Self {
+        RegistryError::Session(e)
+    }
+}
+
+/// A point-in-time view of one tenant's session counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DatasetSnapshot {
+    /// The session's serving counters.
+    pub stats: SessionStats,
+    /// Distinct timestamps registered so far.
+    pub n_points: usize,
+    /// Prepared cubes currently cached.
+    pub cached_cubes: usize,
+    /// Approximate bytes held by the tenant's cube cache.
+    pub cache_bytes: usize,
+}
+
+/// Aggregate registry counters (the `/metrics` payload's registry half).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Registered datasets.
+    pub datasets: usize,
+    /// Prepared cubes cached across all tenants.
+    pub cached_cubes: usize,
+    /// Approximate bytes held across all tenants' cube caches.
+    pub cache_bytes: usize,
+    /// The global memory budget the registry evicts against.
+    pub memory_budget: usize,
+    /// Sum of every tenant's session counters.
+    pub totals: SessionStats,
+}
+
+/// Thread-safe multi-tenant map of [`ExplainSession`]s (see module docs).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<u64, Arc<Mutex<ExplainSession>>>>,
+    next_id: AtomicU64,
+    /// The LRU clock shared by every hosted session.
+    clock: Arc<AtomicU64>,
+    memory_budget: usize,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry with the default global memory budget.
+    pub fn new() -> Self {
+        SessionRegistry::with_memory_budget(DEFAULT_REGISTRY_BUDGET)
+    }
+
+    /// An empty registry evicting against `budget` bytes of cube cache
+    /// across all tenants.
+    pub fn with_memory_budget(budget: usize) -> Self {
+        SessionRegistry {
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            clock: Arc::new(AtomicU64::new(0)),
+            memory_budget: budget,
+        }
+    }
+
+    /// The global memory budget in bytes.
+    pub fn memory_budget(&self) -> usize {
+        self.memory_budget
+    }
+
+    /// Registers a relation + query as a new tenant and returns its id.
+    pub fn register(
+        &self,
+        relation: Relation,
+        query: AggQuery,
+    ) -> Result<DatasetId, TsExplainError> {
+        let mut session = ExplainSession::new(relation, query)?;
+        // One tenant alone must also respect the global budget, and all
+        // tenants must stamp recency from the same clock.
+        session.set_cache_budget(self.memory_budget);
+        session.set_cache_clock(Arc::clone(&self.clock));
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .write()
+            .expect("registry map lock poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        Ok(DatasetId(id))
+    }
+
+    /// Removes a tenant, dropping its session and caches. Returns whether
+    /// the id was registered.
+    pub fn remove(&self, id: DatasetId) -> bool {
+        self.sessions
+            .write()
+            .expect("registry map lock poisoned")
+            .remove(&id.0)
+            .is_some()
+    }
+
+    /// Ids of all registered datasets, ascending.
+    pub fn ids(&self) -> Vec<DatasetId> {
+        let mut ids: Vec<DatasetId> = self
+            .sessions
+            .read()
+            .expect("registry map lock poisoned")
+            .keys()
+            .map(|&id| DatasetId(id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .read()
+            .expect("registry map lock poisoned")
+            .len()
+    }
+
+    /// True when no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The session handle for `id`. The map lock is released before the
+    /// handle is returned; callers lock the session itself.
+    pub fn session(&self, id: DatasetId) -> Result<Arc<Mutex<ExplainSession>>, RegistryError> {
+        self.sessions
+            .read()
+            .expect("registry map lock poisoned")
+            .get(&id.0)
+            .cloned()
+            .ok_or(RegistryError::UnknownDataset(id))
+    }
+
+    /// Answers one explain request against tenant `id`, then enforces the
+    /// global memory budget.
+    pub fn explain(
+        &self,
+        id: DatasetId,
+        request: &ExplainRequest,
+    ) -> Result<ExplainResult, RegistryError> {
+        let handle = self.session(id)?;
+        let result = {
+            let mut session = handle.lock().map_err(|_| RegistryError::Poisoned(id))?;
+            session.explain(request)?
+        };
+        self.enforce_global_budget();
+        Ok(result)
+    }
+
+    /// Appends raw rows (schema order) to tenant `id`, then enforces the
+    /// global memory budget.
+    pub fn append_rows(&self, id: DatasetId, rows: Vec<Vec<Datum>>) -> Result<(), RegistryError> {
+        let handle = self.session(id)?;
+        {
+            let mut session = handle.lock().map_err(|_| RegistryError::Poisoned(id))?;
+            session.append_rows(rows)?;
+        }
+        self.enforce_global_budget();
+        Ok(())
+    }
+
+    /// A snapshot of tenant `id`'s counters.
+    pub fn dataset_stats(&self, id: DatasetId) -> Result<DatasetSnapshot, RegistryError> {
+        let handle = self.session(id)?;
+        let session = handle.lock().map_err(|_| RegistryError::Poisoned(id))?;
+        Ok(DatasetSnapshot {
+            stats: session.stats(),
+            n_points: session.n_points(),
+            cached_cubes: session.cached_cubes(),
+            cache_bytes: session.cache_bytes(),
+        })
+    }
+
+    /// Aggregate counters across all tenants. Poisoned tenants are skipped
+    /// (their caches are unreachable anyway).
+    pub fn stats(&self) -> RegistryStats {
+        let handles = self.handles();
+        let mut out = RegistryStats {
+            datasets: handles.len(),
+            memory_budget: self.memory_budget,
+            ..RegistryStats::default()
+        };
+        for (_, handle) in handles {
+            let Ok(session) = handle.lock() else { continue };
+            out.cached_cubes += session.cached_cubes();
+            out.cache_bytes += session.cache_bytes();
+            let s = session.stats();
+            out.totals.requests += s.requests;
+            out.totals.cubes_built += s.cubes_built;
+            out.totals.cube_cache_hits += s.cube_cache_hits;
+            out.totals.cube_refreshes += s.cube_refreshes;
+            out.totals.rows_appended += s.rows_appended;
+            out.totals.rebuilds += s.rebuilds;
+            out.totals.cube_evictions += s.cube_evictions;
+        }
+        out
+    }
+
+    /// A stable snapshot of `(id, handle)` pairs, map lock released.
+    fn handles(&self) -> Vec<(u64, Arc<Mutex<ExplainSession>>)> {
+        self.sessions
+            .read()
+            .expect("registry map lock poisoned")
+            .iter()
+            .map(|(&id, h)| (id, Arc::clone(h)))
+            .collect()
+    }
+
+    /// Evicts globally least-recently-used cubes (one at a time, locking
+    /// one tenant at a time) until the summed cache estimate fits the
+    /// budget. The globally newest cube is never evicted, so the request
+    /// that just ran cannot thrash its own cube out.
+    ///
+    /// Every lock here is a `try_lock`: a tenant busy serving a request
+    /// (its cubes are hot anyway) is simply skipped, so this sweep never
+    /// parks behind another tenant's in-flight rebuild — the registry's
+    /// "one tenant's rebuild never blocks another's cache hit" property
+    /// holds through eviction too. Concurrent tenants may touch cubes
+    /// between the scan and the eviction; the policy is deliberately
+    /// approximate — at worst a near-LRU entry is evicted or an eviction
+    /// is deferred to the next request, which only costs a rebuild.
+    fn enforce_global_budget(&self) {
+        loop {
+            let handles = self.handles();
+            let mut total_bytes = 0usize;
+            let mut total_cubes = 0usize;
+            let mut oldest: Option<(u64, u64)> = None; // (stamp, tenant id)
+            for (id, handle) in &handles {
+                let Ok(session) = handle.try_lock() else {
+                    continue;
+                };
+                total_bytes += session.cache_bytes();
+                total_cubes += session.cached_cubes();
+                if let Some(stamp) = session.lru_stamp() {
+                    if oldest.is_none_or(|(s, _)| stamp < s) {
+                        oldest = Some((stamp, *id));
+                    }
+                }
+            }
+            if total_bytes <= self.memory_budget || total_cubes <= 1 {
+                return;
+            }
+            let Some((_, victim)) = oldest else { return };
+            let Some((_, handle)) = handles.iter().find(|(id, _)| *id == victim) else {
+                return;
+            };
+            let Ok(mut session) = handle.try_lock() else {
+                return;
+            };
+            if session.evict_lru_one().is_none() {
+                return;
+            }
+        }
+    }
+}
+
+// The whole point of the registry is to be shared across worker threads;
+// keep that property checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExplainSession>();
+    assert_send_sync::<SessionRegistry>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+    use tsexplain_relation::{Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::dimension("t"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap()
+    }
+
+    fn rows_for(range: std::ops::Range<i64>) -> Vec<Vec<Datum>> {
+        let mut rows = Vec::new();
+        for t in range {
+            let ny = if t <= 10 { 8.0 * t as f64 } else { 80.0 };
+            let ca = if t <= 10 {
+                2.0
+            } else {
+                2.0 + 9.0 * (t - 10) as f64
+            };
+            rows.push(vec![Datum::Attr(t.into()), "NY".into(), ny.into()]);
+            rows.push(vec![Datum::Attr(t.into()), "CA".into(), ca.into()]);
+        }
+        rows
+    }
+
+    fn relation(range: std::ops::Range<i64>) -> Relation {
+        let mut b = Relation::builder(schema());
+        for row in rows_for(range) {
+            b.push_row(row).unwrap();
+        }
+        b.finish()
+    }
+
+    fn request() -> ExplainRequest {
+        ExplainRequest::new(["state"]).with_optimizations(Optimizations::none())
+    }
+
+    #[test]
+    fn register_explain_append_round_trip() {
+        let registry = SessionRegistry::new();
+        let id = registry
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        let first = registry.explain(id, &request()).unwrap();
+        assert_eq!(first.stats.n_points, 12);
+        registry.append_rows(id, rows_for(12..21)).unwrap();
+        let second = registry.explain(id, &request()).unwrap();
+        assert_eq!(second.stats.n_points, 21);
+        // Matches a standalone session over the same history.
+        let mut solo = ExplainSession::new(relation(0..21), AggQuery::sum("t", "v")).unwrap();
+        let batch = solo.explain(&request()).unwrap();
+        assert_eq!(second.segmentation, batch.segmentation);
+        assert_eq!(second.aggregate, batch.aggregate);
+        let snap = registry.dataset_stats(id).unwrap();
+        assert_eq!(snap.stats.requests, 2);
+        assert_eq!(snap.n_points, 21);
+        assert!(snap.cache_bytes > 0);
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_ids_are_stable() {
+        let registry = SessionRegistry::new();
+        let a = registry
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        let b = registry
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(registry.ids(), vec![a, b]);
+        let ra = registry.explain(a, &request()).unwrap();
+        let rb = registry.explain(b, &request()).unwrap();
+        assert_eq!(ra.stats.n_points, 12);
+        assert_eq!(rb.stats.n_points, 21);
+        assert!(registry.remove(a));
+        assert!(!registry.remove(a));
+        assert!(matches!(
+            registry.explain(a, &request()),
+            Err(RegistryError::UnknownDataset(_))
+        ));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn unknown_and_invalid_requests_map_to_distinct_errors() {
+        let registry = SessionRegistry::new();
+        let ghost = DatasetId::from_u64(999);
+        assert!(matches!(
+            registry.explain(ghost, &request()),
+            Err(RegistryError::UnknownDataset(id)) if id == ghost
+        ));
+        let id = registry
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        assert!(matches!(
+            registry.explain(id, &ExplainRequest::new(["nope"])),
+            Err(RegistryError::Session(TsExplainError::InvalidRequest(_)))
+        ));
+    }
+
+    #[test]
+    fn global_budget_evicts_across_tenants_by_recency() {
+        // Budget sized so the two tenants' cubes cannot all stay resident.
+        let probe = SessionRegistry::new();
+        let pid = probe
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        probe.explain(pid, &request()).unwrap();
+        let one_cube = probe.stats().cache_bytes;
+        assert!(one_cube > 0);
+
+        let registry = SessionRegistry::with_memory_budget(one_cube + one_cube / 2);
+        let a = registry
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        let b = registry
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        registry.explain(a, &request()).unwrap();
+        // B's build pushes the total past the budget: A's cube (older) is
+        // evicted, B's survives.
+        registry.explain(b, &request()).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.totals.cube_evictions, 1);
+        assert_eq!(registry.dataset_stats(a).unwrap().cached_cubes, 0);
+        assert_eq!(registry.dataset_stats(b).unwrap().cached_cubes, 1);
+        // A keeps serving — rebuilt on demand, evicting B in turn.
+        let again = registry.explain(a, &request()).unwrap();
+        assert_eq!(again.stats.n_points, 21);
+        assert_eq!(registry.dataset_stats(a).unwrap().stats.cubes_built, 2);
+        assert_eq!(registry.stats().totals.cube_evictions, 2);
+    }
+
+    #[test]
+    fn stats_aggregate_over_tenants() {
+        let registry = SessionRegistry::new();
+        let a = registry
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        let b = registry
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        registry.explain(a, &request()).unwrap();
+        registry.explain(a, &request()).unwrap();
+        registry.explain(b, &request()).unwrap();
+        registry.append_rows(b, rows_for(12..14)).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.datasets, 2);
+        assert_eq!(stats.totals.requests, 3);
+        assert_eq!(stats.totals.cubes_built, 2);
+        assert_eq!(stats.totals.cube_cache_hits, 1);
+        assert_eq!(stats.totals.rows_appended, 4);
+        assert_eq!(stats.memory_budget, DEFAULT_REGISTRY_BUDGET);
+        assert!(stats.cache_bytes > 0);
+    }
+}

@@ -17,6 +17,7 @@
 //! back to a transparent full rebuild.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,6 +58,10 @@ pub struct SessionStats {
     pub rows_appended: u64,
     /// Full rebuilds forced by restated history.
     pub rebuilds: u64,
+    /// Cached cubes evicted to respect the cache byte budget (locally or by
+    /// a registry's global policy). Evicted keys keep serving correctly —
+    /// the next request for one rebuilds it.
+    pub cube_evictions: u64,
 }
 
 /// A cached cube: the incremental enumeration state plus the finalized
@@ -69,9 +74,24 @@ pub struct SessionStats {
 struct CacheEntry {
     inc: IncrementalCube,
     snapshots: HashMap<usize, Arc<ExplanationCube>>,
+    /// Logical LRU stamp of the last request served from this entry, drawn
+    /// from the session's (possibly registry-shared) clock.
+    last_used: u64,
+    /// Approximate bytes held: incremental state + finalized snapshots.
+    bytes: usize,
 }
 
 impl CacheEntry {
+    fn new(inc: IncrementalCube, last_used: u64) -> Self {
+        let bytes = inc.approx_bytes();
+        CacheEntry {
+            inc,
+            snapshots: HashMap::new(),
+            last_used,
+            bytes,
+        }
+    }
+
     /// Finalizes (or returns) the snapshot for `smoothing`.
     fn snapshot(
         &mut self,
@@ -86,7 +106,19 @@ impl CacheEntry {
         }
         let cube = Arc::new(cube);
         self.snapshots.insert(smoothing, Arc::clone(&cube));
+        self.recount_bytes();
         Ok((cube, false))
+    }
+
+    /// Recomputes the entry's byte estimate after a structural change
+    /// (snapshot added/dropped, rows appended).
+    fn recount_bytes(&mut self) {
+        self.bytes = self.inc.approx_bytes()
+            + self
+                .snapshots
+                .values()
+                .map(|c| c.approx_bytes())
+                .sum::<usize>();
     }
 }
 
@@ -108,7 +140,17 @@ pub struct ExplainSession {
     /// The largest timestamp seen so far.
     last_time: Option<AttrValue>,
     stats: SessionStats,
+    /// Byte budget for the cube cache; the least-recently-used entries are
+    /// evicted when the cache grows past it (the entry serving the current
+    /// request is never evicted, so a single oversized cube still serves).
+    cache_budget: usize,
+    /// LRU clock. Sessions owned by a [`crate::SessionRegistry`] share one
+    /// clock so recency is comparable across tenants.
+    clock: Arc<AtomicU64>,
 }
+
+/// Default cube-cache byte budget per session: 256 MiB.
+pub const DEFAULT_CUBE_CACHE_BUDGET: usize = 256 * 1024 * 1024;
 
 impl ExplainSession {
     /// Registers `relation` and `query`, validating that the query's time
@@ -134,7 +176,85 @@ impl ExplainSession {
             n_points,
             last_time,
             stats: SessionStats::default(),
+            cache_budget: DEFAULT_CUBE_CACHE_BUDGET,
+            clock: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Sets the cube-cache byte budget (builder style); see
+    /// [`ExplainSession::set_cache_budget`].
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.set_cache_budget(bytes);
+        self
+    }
+
+    /// Sets the cube-cache byte budget and immediately enforces it. The
+    /// cache never proactively drops the most recent entry below budget —
+    /// a single cube larger than the budget stays resident until a newer
+    /// entry displaces it.
+    pub fn set_cache_budget(&mut self, bytes: usize) {
+        self.cache_budget = bytes;
+        self.enforce_budget(None);
+    }
+
+    /// The cube-cache byte budget.
+    pub fn cache_budget(&self) -> usize {
+        self.cache_budget
+    }
+
+    /// Approximate bytes currently held by the cube cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.cubes.values().map(|e| e.bytes).sum()
+    }
+
+    /// The LRU stamp of the least-recently-used cached cube, if any — what
+    /// a multi-tenant registry compares across sessions sharing a clock.
+    pub fn lru_stamp(&self) -> Option<u64> {
+        self.cubes.values().map(|e| e.last_used).min()
+    }
+
+    /// Evicts the least-recently-used cached cube, returning its
+    /// approximate size. The evicted key keeps serving correctly: the next
+    /// request for it rebuilds the cube from the session's data.
+    pub fn evict_lru_one(&mut self) -> Option<usize> {
+        let key = self
+            .cubes
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())?;
+        let freed = self.cubes.remove(&key).map(|e| e.bytes)?;
+        self.stats.cube_evictions += 1;
+        Some(freed)
+    }
+
+    /// Replaces the LRU clock (a registry shares one clock across all its
+    /// sessions so global eviction can compare recency between tenants).
+    pub(crate) fn set_cache_clock(&mut self, clock: Arc<AtomicU64>) {
+        self.clock = clock;
+    }
+
+    /// Evicts LRU entries until the cache fits the budget. `protect` (the
+    /// entry serving the current request) is never evicted.
+    fn enforce_budget(&mut self, protect: Option<&CubeCacheKey>) {
+        while self.cache_bytes() > self.cache_budget {
+            let victim = self
+                .cubes
+                .iter()
+                .filter(|(k, _)| Some(*k) != protect)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(key) => {
+                    self.cubes.remove(&key);
+                    self.stats.cube_evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The registered query.
@@ -262,6 +382,7 @@ impl ExplainSession {
                     break;
                 }
                 entry.snapshots.clear();
+                entry.recount_bytes();
             }
             if !all_applied {
                 self.stats.rebuilds += 1;
@@ -276,6 +397,7 @@ impl ExplainSession {
                 }
             }
             self.tail.extend(rows);
+            self.enforce_budget(None);
             Ok(())
         } else {
             // Restated or out-of-order history: rebuild from scratch.
@@ -354,14 +476,17 @@ impl ExplainSession {
         cube_config.filter_ratio = request.optimizations().filter_ratio;
         let key = cube_config.cache_key();
         let smoothing = request.smoothing_window().max(1);
+        let stamp = self.tick();
 
         if let Some(entry) = self.cubes.get_mut(&key) {
+            entry.last_used = stamp;
             let (cube, was_ready) = entry.snapshot(smoothing)?;
             if was_ready {
                 self.stats.cube_cache_hits += 1;
             } else {
                 self.stats.cube_refreshes += 1;
             }
+            self.enforce_budget(Some(&key));
             return Ok((cube, was_ready));
         }
 
@@ -393,12 +518,10 @@ impl ExplainSession {
             }
         }
         self.stats.cubes_built += 1;
-        let mut entry = CacheEntry {
-            inc,
-            snapshots: HashMap::new(),
-        };
+        let mut entry = CacheEntry::new(inc, stamp);
         let (cube, _) = entry.snapshot(smoothing)?;
-        self.cubes.insert(key, entry);
+        self.cubes.insert(key.clone(), entry);
+        self.enforce_budget(Some(&key));
         Ok((cube, false))
     }
 
@@ -776,6 +899,75 @@ mod tests {
         assert_eq!(s.cached_cubes(), 0);
         s.explain(&base_request()).unwrap();
         assert_eq!(s.stats().cubes_built, 2);
+    }
+
+    #[test]
+    fn tight_budget_evicts_lru_cube_and_rebuilds_on_demand() {
+        let mut s = session();
+        let full = s.explain(&base_request()).unwrap(); // cube A
+        let a_bytes = s.cache_bytes();
+        assert!(a_bytes > 0);
+        // Budget admits exactly one cube: building B must evict A (the
+        // LRU entry), never B itself (it serves the current request).
+        s.set_cache_budget(a_bytes);
+        s.explain(&base_request().with_max_order(1)).unwrap(); // cube B
+        assert_eq!(s.cached_cubes(), 1);
+        assert_eq!(s.stats().cube_evictions, 1);
+        // The evicted key keeps serving correctly: a rebuild, not an error.
+        let again = s.explain(&base_request()).unwrap();
+        assert_eq!(s.stats().cubes_built, 3);
+        assert_eq!(again.segmentation, full.segmentation);
+        assert_eq!(again.aggregate, full.aggregate);
+        assert_eq!(s.stats().cube_evictions, 2, "B was LRU this time");
+    }
+
+    #[test]
+    fn eviction_follows_recency_not_insertion_order() {
+        let mut s = session();
+        s.explain(&base_request()).unwrap(); // A
+        s.explain(&base_request().with_max_order(1)).unwrap(); // B
+        s.explain(&base_request()).unwrap(); // touch A → B is now LRU
+        assert_eq!(s.stats().cube_cache_hits, 1);
+        let bytes = s.cache_bytes();
+        s.set_cache_budget(bytes - 1); // exactly one entry must go
+        assert_eq!(s.cached_cubes(), 1);
+        assert_eq!(s.stats().cube_evictions, 1);
+        // A survived (recently touched): asking for it again is a hit.
+        s.explain(&base_request()).unwrap();
+        assert_eq!(s.stats().cube_cache_hits, 2);
+        assert_eq!(s.stats().cubes_built, 2, "A was never rebuilt");
+    }
+
+    #[test]
+    fn zero_budget_caches_at_most_the_serving_cube() {
+        let mut s = session().with_cache_budget(0);
+        let r1 = s.explain(&base_request()).unwrap();
+        // The cube serving the current request is never evicted, so the
+        // same key still hits…
+        let r2 = s.explain(&base_request()).unwrap();
+        assert_eq!(s.cached_cubes(), 1);
+        // …but any other key displaces it immediately.
+        s.explain(&base_request().with_max_order(1)).unwrap();
+        assert_eq!(s.cached_cubes(), 1);
+        assert_eq!(s.stats().cube_evictions, 1);
+        s.explain(&base_request()).unwrap();
+        assert_eq!(s.stats().cubes_built, 3);
+        assert_eq!(s.stats().cube_evictions, 2);
+        assert_eq!(r1.segmentation, r2.segmentation);
+        assert_eq!(r1.aggregate, r2.aggregate);
+    }
+
+    #[test]
+    fn cache_bytes_track_appends() {
+        let mut s = ExplainSession::new(relation(0..12), AggQuery::sum("t", "v")).unwrap();
+        s.explain(&base_request()).unwrap();
+        let before = s.cache_bytes();
+        s.append_rows(rows_for(12..21)).unwrap();
+        s.explain(&base_request()).unwrap();
+        assert!(
+            s.cache_bytes() > before,
+            "appended rows must grow the estimate"
+        );
     }
 
     #[test]

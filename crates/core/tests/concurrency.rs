@@ -1,0 +1,200 @@
+//! Concurrency acceptance for the multi-tenant [`SessionRegistry`]: one
+//! registry wrapped in an `Arc`, hammered from many threads with
+//! interleaved `explain` and `append_rows` calls under a deliberately
+//! tight global memory budget (so cross-tenant evictions churn throughout
+//! the run), must produce results identical to a single-threaded replay —
+//! no torn cubes, no poisoned locks.
+
+use std::sync::Arc;
+
+use serde::{Serialize, Value};
+use tsexplain::{
+    AggQuery, Datum, DiffMetric, ExplainRequest, ExplainSession, Optimizations, Relation, Schema,
+    SessionRegistry,
+};
+use tsexplain_relation::Field;
+
+const THREADS: usize = 8;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("state"),
+        Field::measure("v"),
+    ])
+    .unwrap()
+}
+
+/// Deterministic three-phase rows; `salt` differentiates tenants so every
+/// thread owns a genuinely different dataset.
+fn rows_for(range: std::ops::Range<i64>, salt: u64) -> Vec<Vec<Datum>> {
+    let s = salt as f64;
+    let mut rows = Vec::new();
+    for t in range {
+        let ny = if t <= 10 {
+            (8.0 + s) * t as f64
+        } else {
+            80.0 + s
+        };
+        let ca = if t <= 10 {
+            2.0 + s
+        } else if t <= 20 {
+            2.0 + s + 9.0 * (t - 10) as f64
+        } else {
+            92.0 + s
+        };
+        let tx = if t <= 20 {
+            5.0
+        } else {
+            5.0 + (10.0 + s) * (t - 20) as f64
+        };
+        for (state, v) in [("NY", ny), ("CA", ca), ("TX", tx)] {
+            rows.push(vec![
+                Datum::Attr(t.into()),
+                Datum::from(state),
+                Datum::from(v),
+            ]);
+        }
+    }
+    rows
+}
+
+fn relation(range: std::ops::Range<i64>, salt: u64) -> Relation {
+    let mut b = Relation::builder(schema());
+    for row in rows_for(range, salt) {
+        b.push_row(row).unwrap();
+    }
+    b.finish()
+}
+
+/// The rotating per-thread request mix (differing cube keys and knobs, so
+/// eviction pressure is real).
+fn request(i: usize) -> ExplainRequest {
+    let base = ExplainRequest::new(["state"]).with_optimizations(Optimizations::none());
+    match i % 4 {
+        0 => base,
+        1 => base.with_fixed_k(2),
+        2 => base.with_max_order(1),
+        _ => base
+            .with_top_m(1)
+            .with_diff_metric(DiffMetric::RelativeChange),
+    }
+}
+
+/// A result with its nondeterministic parts removed: latency timings and
+/// the cache-provenance flag (eviction churn legitimately flips whether an
+/// answer came from a cached cube — never what the answer is).
+fn canonical(result: &impl Serialize) -> Value {
+    let mut value = serde_json::to_value(result);
+    if let Value::Object(map) = &mut value {
+        map.remove("latency");
+        if let Some(Value::Object(stats)) = map.get_mut("stats") {
+            stats.remove("cube_from_cache");
+        }
+    }
+    value
+}
+
+#[test]
+fn concurrent_explains_and_appends_match_single_threaded_replay() {
+    // Budget ≈ a couple of cubes: with 1 + THREADS tenants and 3 cube keys
+    // per tenant in play, eviction runs constantly.
+    let probe = {
+        let mut s = ExplainSession::new(relation(0..21, 0), AggQuery::sum("t", "v")).unwrap();
+        s.explain(&request(0)).unwrap();
+        s.cache_bytes()
+    };
+    let registry = Arc::new(SessionRegistry::with_memory_budget(probe * 2));
+
+    // A shared read-mostly tenant every thread queries…
+    let shared = registry
+        .register(relation(0..30, 99), AggQuery::sum("t", "v"))
+        .unwrap();
+    // …plus one tenant per thread, fed by interleaved appends.
+    let own: Vec<_> = (0..THREADS)
+        .map(|i| {
+            registry
+                .register(relation(0..12, i as u64), AggQuery::sum("t", "v"))
+                .unwrap()
+        })
+        .collect();
+
+    // Single-threaded references, computed before any concurrency starts.
+    let shared_reference: Vec<Value> = (0..4)
+        .map(|i| {
+            let mut s = ExplainSession::new(relation(0..30, 99), AggQuery::sum("t", "v")).unwrap();
+            canonical(&s.explain(&request(i)).unwrap())
+        })
+        .collect();
+
+    let threads: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            let shared_reference = shared_reference.clone();
+            let own = own[i];
+            std::thread::spawn(move || {
+                // Interleave: probe the shared tenant, grow the own tenant,
+                // explain the own tenant — repeatedly, with rotating knobs.
+                for round in 0..3 {
+                    for (k, reference) in shared_reference.iter().enumerate() {
+                        let got = registry.explain(shared, &request(k)).unwrap();
+                        assert_eq!(
+                            &canonical(&got),
+                            reference,
+                            "thread {i}: shared tenant diverged (round {round}, request {k})"
+                        );
+                    }
+                    let lo = 12 + round * 3;
+                    registry
+                        .append_rows(own, rows_for(lo as i64..(lo + 3) as i64, i as u64))
+                        .unwrap();
+                    registry.explain(own, &request(i)).unwrap();
+                    registry.explain(own, &request(i + 1)).unwrap();
+                }
+                // The final answer over the fully-grown own tenant.
+                registry.explain(own, &request(0)).unwrap()
+            })
+        })
+        .collect();
+
+    let finals: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("no thread may panic (poisoned locks)"))
+        .collect();
+
+    // Every tenant's concurrent result equals a cold single-threaded
+    // replay over the same history.
+    for (i, concurrent) in finals.iter().enumerate() {
+        let mut replay =
+            ExplainSession::new(relation(0..21, i as u64), AggQuery::sum("t", "v")).unwrap();
+        let expected = replay.explain(&request(0)).unwrap();
+        assert_eq!(
+            canonical(concurrent),
+            canonical(&expected),
+            "tenant {i}: concurrent result != single-threaded replay"
+        );
+    }
+
+    // The registry survived: every tenant still answers, stats aggregate,
+    // and the eviction budget actually bit during the run.
+    let stats = registry.stats();
+    assert_eq!(stats.datasets, 1 + THREADS);
+    assert_eq!(
+        stats.totals.requests,
+        (THREADS * (3 * 4 + 3 * 2 + 1)) as u64,
+        "every explain must be accounted"
+    );
+    assert!(
+        stats.totals.cube_evictions > 0,
+        "the tight budget must have forced evictions"
+    );
+    assert!(
+        stats.cache_bytes <= probe * 2 + probe,
+        "cache near budget after quiescence (got {}, budget {})",
+        stats.cache_bytes,
+        probe * 2
+    );
+    for id in registry.ids() {
+        registry.dataset_stats(id).unwrap();
+    }
+}

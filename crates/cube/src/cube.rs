@@ -283,6 +283,38 @@ impl ExplanationCube {
         self.subtree_selectable = subtree;
     }
 
+    /// Approximate heap + inline footprint of this cube in bytes (see
+    /// [`crate::mem`]'s module docs) — the unit a byte-budgeted cube cache
+    /// accounts and evicts in.
+    ///
+    /// Deterministic for identical state and monotone in the data: more
+    /// points, candidates or dictionary entries never shrink the estimate.
+    pub fn approx_bytes(&self) -> usize {
+        use crate::mem::*;
+        use std::mem::size_of;
+        let series: usize = self.series.iter().map(|s| state_series_bytes(s)).sum();
+        let index: usize = self
+            .index
+            .keys()
+            .map(|e| explanation_bytes(e) + size_of::<ExplId>() + MAP_ENTRY_OVERHEAD)
+            .sum();
+        size_of::<Self>()
+            + attr_values_bytes(&self.timestamps)
+            + state_series_bytes(&self.total)
+            + self.attr_names.iter().map(String::len).sum::<usize>()
+            + self.dicts.iter().map(dictionary_bytes).sum::<usize>()
+            + self
+                .explanations
+                .iter()
+                .map(explanation_bytes)
+                .sum::<usize>()
+            + series
+            + self.selectable.len()
+            + self.subtree_selectable.len()
+            + trie_bytes(&self.trie)
+            + index
+    }
+
     /// Number of points `n` in the aggregated time series.
     pub fn n_points(&self) -> usize {
         self.timestamps.len()
@@ -745,6 +777,25 @@ mod tests {
                 .with_max_order(1)
                 .cache_key()
         );
+    }
+
+    #[test]
+    fn approx_bytes_is_positive_stable_and_monotone() {
+        let cube = sample_cube(CubeConfig::new(["state", "pack"]));
+        let bytes = cube.approx_bytes();
+        assert!(bytes > 0);
+        // Stable: identical state gives an identical estimate.
+        assert_eq!(
+            bytes,
+            sample_cube(CubeConfig::new(["state", "pack"])).approx_bytes()
+        );
+        // Monotone: a lower-order cube over the same data holds fewer
+        // candidates and must not cost more.
+        let smaller = sample_cube(CubeConfig::new(["state", "pack"]).with_max_order(1));
+        assert!(smaller.approx_bytes() < bytes);
+        // A time slice drops points and must not cost more.
+        let sliced = cube.slice_time(0, 1, None).unwrap();
+        assert!(sliced.approx_bytes() < bytes);
     }
 
     #[test]

@@ -192,6 +192,63 @@ impl IncrementalCube {
         self.rows_ingested
     }
 
+    /// Approximate heap + inline footprint of the incremental enumeration
+    /// state in bytes (see [`crate::mem`]'s module docs). Together with
+    /// [`crate::ExplanationCube::approx_bytes`] on finalized snapshots this
+    /// is what a byte-budgeted cube cache accounts per entry.
+    pub fn approx_bytes(&self) -> usize {
+        use crate::mem::*;
+        use std::mem::size_of;
+        let dicts: usize = self
+            .dict_values
+            .iter()
+            .map(|values| attr_values_bytes(values))
+            .sum::<usize>()
+            + self
+                .dict_index
+                .iter()
+                .flat_map(|index| index.keys())
+                .map(|v| attr_value_bytes(v) + size_of::<u32>() + MAP_ENTRY_OVERHEAD)
+                .sum::<usize>();
+        let groups: usize = self
+            .groups
+            .iter()
+            .flat_map(|g| g.keys())
+            .map(|key| {
+                size_of::<Vec<u32>>()
+                    + key.len() * size_of::<u32>()
+                    + size_of::<ExplId>()
+                    + MAP_ENTRY_OVERHEAD
+            })
+            .sum();
+        size_of::<Self>()
+            + attr_values_bytes(&self.timestamps)
+            + self
+                .time_index
+                .keys()
+                .map(|t| attr_value_bytes(t) + size_of::<u32>() + MAP_ENTRY_OVERHEAD)
+                .sum::<usize>()
+            + self.attr_names.iter().map(String::len).sum::<usize>()
+            + dicts
+            + self
+                .subsets
+                .iter()
+                .map(|s| size_of::<Vec<u16>>() + s.len() * size_of::<u16>())
+                .sum::<usize>()
+            + groups
+            + self
+                .explanations
+                .iter()
+                .map(explanation_bytes)
+                .sum::<usize>()
+            + self
+                .series
+                .iter()
+                .map(|s| state_series_bytes(s))
+                .sum::<usize>()
+            + state_series_bytes(&self.total)
+    }
+
     /// The timestamps of the series so far, in time order.
     pub fn timestamps(&self) -> &[AttrValue] {
         &self.timestamps
@@ -565,6 +622,27 @@ mod tests {
             .find(|&e| snap.label(e) == "state=AK")
             .expect("AK candidate exists");
         assert_eq!(snap.value_series(ak), vec![0.0, 0.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_appended_data() {
+        let query = AggQuery::sum("t", "v");
+        let mut inc =
+            IncrementalCube::from_relation(&relation_of(&sample_rows(0..4)), &query, &config())
+                .unwrap();
+        let before = inc.approx_bytes();
+        assert!(before > 0);
+        inc.append_batch(
+            &sample_rows(4..12)
+                .iter()
+                .map(|r| append_row_of(r))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(
+            inc.approx_bytes() > before,
+            "appends must grow the estimate"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ mod enumerate;
 mod error;
 mod explanation;
 mod incremental;
+mod mem;
 mod trie;
 
 pub use cube::{CubeCacheKey, CubeConfig, ExplanationCube};

@@ -143,13 +143,10 @@ impl SyntheticDataset {
     /// the series value as a SUM measure the aggregated series is
     /// identical, so [`SyntheticDataset::query`] uses `SUM(sales)`.
     pub fn to_relation(&self) -> Relation {
-        let schema = Schema::new(vec![
-            Field::dimension("T"),
-            Field::dimension("category"),
-            Field::measure("sales"),
-        ])
-        .expect("static schema");
-        let mut b = Relation::builder(schema);
+        // Category-major row order, kept bit-for-bit as it has always
+        // been: row order seeds candidate-enumeration order, so changing
+        // it could silently reshuffle tie-breaks in downstream results.
+        let mut b = Relation::builder(self.schema());
         for (c, series) in self.noisy_series.iter().enumerate() {
             for (t, &v) in series.iter().enumerate() {
                 b.push_row(vec![
@@ -161,6 +158,37 @@ impl SyntheticDataset {
             }
         }
         b.finish()
+    }
+
+    /// The `(T, category, sales)` schema of [`SyntheticDataset::to_relation`].
+    pub fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Field::dimension("T"),
+            Field::dimension("category"),
+            Field::measure("sales"),
+        ])
+        .expect("static schema")
+    }
+
+    /// Raw rows (schema order) for timestamps `[lo, hi)`, in time-major
+    /// order — the single source of truth for replaying this dataset into
+    /// `ExplainSession::append_rows` or a serving wire protocol in
+    /// windowed chunks (tail appends require non-decreasing timestamps,
+    /// which [`SyntheticDataset::to_relation`]'s category-major order
+    /// would violate).
+    pub fn rows_between(&self, lo: usize, hi: usize) -> Vec<Vec<Datum>> {
+        let hi = hi.min(self.config.n_points);
+        let mut rows = Vec::new();
+        for t in lo..hi {
+            for (c, series) in self.noisy_series.iter().enumerate() {
+                rows.push(vec![
+                    Datum::Attr((t as i64).into()),
+                    Datum::from(self.categories[c].as_str()),
+                    Datum::from(series[t]),
+                ]);
+            }
+        }
+        rows
     }
 
     /// The aggregated-time-series query for this dataset.

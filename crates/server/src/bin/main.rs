@@ -1,0 +1,73 @@
+//! The `tsx-server` binary: serve the TSExplain HTTP/JSON API.
+//!
+//! ```text
+//! tsx-server [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--max-body-mb MB]
+//! ```
+//!
+//! Serves until killed. `--addr 127.0.0.1:0` picks an ephemeral port and
+//! prints it, which is what scripts and CI use.
+
+use std::process::ExitCode;
+
+use tsexplain_server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return usage("--workers needs a positive integer"),
+            },
+            "--budget-mb" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(mb) => config.memory_budget = mb * 1024 * 1024,
+                None => return usage("--budget-mb needs a size in MiB"),
+            },
+            "--max-body-mb" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(mb) => config.max_body_bytes = mb * 1024 * 1024,
+                None => return usage("--max-body-mb needs a size in MiB"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tsx-server: the TSExplain HTTP/JSON serving subsystem\n\n\
+                     USAGE: tsx-server [--addr HOST:PORT] [--workers N] \
+                     [--budget-mb MB] [--max-body-mb MB]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let workers = config.workers;
+    let budget = config.memory_budget;
+    match Server::bind(config) {
+        Ok(handle) => {
+            println!(
+                "tsx-server listening on http://{} ({} workers, {} MiB cube budget)",
+                handle.local_addr(),
+                workers,
+                budget / (1024 * 1024),
+            );
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tsx-server: bind failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("tsx-server: {message} (see --help)");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,221 @@
+//! A tiny blocking HTTP/JSON client speaking the tsx-server wire
+//! protocol — the same types the server serializes, so a response read
+//! here deserializes into exactly what an in-process session returns.
+//!
+//! One client owns one keep-alive connection (re-established on demand),
+//! so a loop of requests pays one TCP handshake.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize, Value};
+use tsexplain::{AggQuery, Datum, ExplainRequest, ExplainResult, Schema};
+
+use crate::error::ApiError;
+use crate::http::{read_response, ReadError, Response};
+use crate::wire::{encode_rows, AppendAck, AppendRowsBody, DatasetCreated, RegisterDataset};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, write, read, or a malformed
+    /// response).
+    Transport(String),
+    /// The server answered with an error body.
+    Api(ApiError),
+    /// The server answered 2xx but the body did not decode as expected.
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Api(e) => {
+                write!(f, "server error {} ({}): {}", e.status, e.kind, e.message)
+            }
+            ClientError::Decode(m) => write!(f, "undecodable response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking wire-protocol client bound to one server address.
+pub struct Client {
+    addr: SocketAddr,
+    connection: Option<TcpStream>,
+    read_timeout: Duration,
+}
+
+impl Client {
+    /// A client for the server at `addr` (no connection made yet).
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            connection: None,
+            read_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Registers a dataset; returns its id.
+    pub fn register(
+        &mut self,
+        schema: &Schema,
+        query: &AggQuery,
+        rows: &[Vec<Datum>],
+    ) -> Result<DatasetCreated, ClientError> {
+        let body = RegisterDataset {
+            schema: schema.clone(),
+            query: query.clone(),
+            rows: encode_rows(rows),
+        };
+        self.call("POST", "/datasets", Some(&body.serialize()))
+            .and_then(decode)
+    }
+
+    /// Appends rows to a dataset.
+    pub fn append_rows(
+        &mut self,
+        dataset_id: u64,
+        rows: &[Vec<Datum>],
+    ) -> Result<AppendAck, ClientError> {
+        let body = AppendRowsBody {
+            rows: encode_rows(rows),
+        };
+        self.call(
+            "POST",
+            &format!("/datasets/{dataset_id}/rows"),
+            Some(&body.serialize()),
+        )
+        .and_then(decode)
+    }
+
+    /// Runs one explain request, decoded into the engine's result type.
+    pub fn explain(
+        &mut self,
+        dataset_id: u64,
+        request: &ExplainRequest,
+    ) -> Result<ExplainResult, ClientError> {
+        self.explain_value(dataset_id, request).and_then(|v| {
+            ExplainResult::deserialize(&v).map_err(|e| ClientError::Decode(e.to_string()))
+        })
+    }
+
+    /// Runs one explain request, returning the raw JSON document — what
+    /// byte-level comparisons against in-process results use.
+    pub fn explain_value(
+        &mut self,
+        dataset_id: u64,
+        request: &ExplainRequest,
+    ) -> Result<Value, ClientError> {
+        self.call(
+            "POST",
+            &format!("/datasets/{dataset_id}/explain"),
+            Some(&request.serialize()),
+        )
+    }
+
+    /// One tenant's stats document.
+    pub fn stats(&mut self, dataset_id: u64) -> Result<Value, ClientError> {
+        self.call("GET", &format!("/datasets/{dataset_id}/stats"), None)
+    }
+
+    /// The server's metrics document.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.call("GET", "/metrics", None)
+    }
+
+    /// Removes a dataset.
+    pub fn remove(&mut self, dataset_id: u64) -> Result<(), ClientError> {
+        self.call("DELETE", &format!("/datasets/{dataset_id}"), None)
+            .map(|_| ())
+    }
+
+    /// Sends one request, reusing (or re-establishing) the connection, and
+    /// returns the decoded 2xx body. Error statuses become
+    /// [`ClientError::Api`].
+    ///
+    /// Retry policy: the only failure retried is a *clean close of a
+    /// reused connection* — the server's idle timeout reaping a pooled
+    /// connection before the request was read. Anything else (a fresh
+    /// connection failing, a half-written exchange) is surfaced, never
+    /// resent: blindly replaying a non-idempotent POST such as an append
+    /// could ingest rows twice.
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<Value, ClientError> {
+        let encoded = body.map(|v| serde_json::to_string(v).expect("request bodies encode"));
+        let reused = self.connection.is_some();
+        match self.try_call(method, path, encoded.as_deref()) {
+            Ok(response) => finish(response),
+            Err(ReadError::ConnectionClosed) if reused => {
+                self.connection = None;
+                match self.try_call(method, path, encoded.as_deref()) {
+                    Ok(response) => finish(response),
+                    Err(e) => {
+                        self.connection = None;
+                        Err(ClientError::Transport(e.to_string()))
+                    }
+                }
+            }
+            Err(e) => {
+                // The connection's state is unknown; drop it either way.
+                self.connection = None;
+                Err(ClientError::Transport(e.to_string()))
+            }
+        }
+    }
+
+    fn try_call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ReadError> {
+        use std::io::Write;
+        if self.connection.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            self.connection = Some(stream);
+        }
+        let stream = self.connection.as_mut().expect("just ensured");
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: tsx\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        read_response(&mut reader)
+    }
+}
+
+fn finish(response: Response) -> Result<Value, ClientError> {
+    let text = String::from_utf8(response.body)
+        .map_err(|_| ClientError::Decode("non-UTF-8 body".into()))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| ClientError::Decode(e.to_string()))?;
+    if (200..300).contains(&response.status) {
+        Ok(value)
+    } else {
+        match ApiError::deserialize(&value) {
+            Ok(e) => Err(ClientError::Api(e)),
+            Err(_) => Err(ClientError::Decode(format!(
+                "status {} with unexpected body {text}",
+                response.status
+            ))),
+        }
+    }
+}
+
+fn decode<T: Deserialize>(value: Value) -> Result<T, ClientError> {
+    T::deserialize(&value).map_err(|e| ClientError::Decode(e.to_string()))
+}

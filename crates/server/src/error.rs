@@ -1,0 +1,152 @@
+//! Structured error mapping: engine and registry failures become 4xx/5xx
+//! JSON bodies with a stable machine-readable `kind`.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use tsexplain::{CubeError, RegistryError, TsExplainError};
+
+use crate::http::Response;
+
+/// A failed API call: the HTTP status plus a JSON body
+/// `{"status", "kind", "message"}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// The HTTP status code.
+    pub status: u16,
+    /// A stable, machine-readable error class.
+    pub kind: String,
+    /// A human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error from parts.
+    pub fn new(status: u16, kind: impl Into<String>, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            kind: kind.into(),
+            message: message.into(),
+        }
+    }
+
+    /// 400 for unparsable or structurally invalid payloads.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError::new(400, "bad_request", message)
+    }
+
+    /// 404 for paths that route nowhere.
+    pub fn not_found(path: &str) -> Self {
+        ApiError::new(404, "not_found", format!("no route for {path}"))
+    }
+
+    /// 405 for a known path with the wrong method.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        ApiError::new(
+            405,
+            "method_not_allowed",
+            format!("{method} is not supported on {path}"),
+        )
+    }
+
+    /// 413 for bodies over the configured limit.
+    pub fn payload_too_large(limit: usize) -> Self {
+        ApiError::new(
+            413,
+            "payload_too_large",
+            format!("request body exceeds the {limit}-byte limit"),
+        )
+    }
+
+    /// 500 for bugs (worker panics, poisoned locks).
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError::new(500, "internal", message)
+    }
+
+    /// The JSON response for this error.
+    pub fn into_response(self) -> Response {
+        let status = self.status;
+        Response::json(
+            status,
+            serde_json::to_string(&self).expect("error bodies always encode"),
+        )
+    }
+}
+
+impl From<TsExplainError> for ApiError {
+    fn from(e: TsExplainError) -> Self {
+        match &e {
+            // The client's request (or row payload) is at fault.
+            TsExplainError::InvalidRequest(_) => {
+                ApiError::new(400, "invalid_request", e.to_string())
+            }
+            TsExplainError::Relation(_) => ApiError::new(400, "invalid_rows", e.to_string()),
+            // Asking before any data arrived is a state conflict, not a
+            // malformed request: the same call succeeds after appends.
+            TsExplainError::Cube(CubeError::EmptyInput) => {
+                ApiError::new(409, "no_data", e.to_string())
+            }
+            TsExplainError::SeriesTooShort(_) => {
+                ApiError::new(409, "series_too_short", e.to_string())
+            }
+            _ => ApiError::internal(e.to_string()),
+        }
+    }
+}
+
+impl From<RegistryError> for ApiError {
+    fn from(e: RegistryError) -> Self {
+        match e {
+            RegistryError::UnknownDataset(id) => {
+                ApiError::new(404, "unknown_dataset", format!("unknown dataset {id}"))
+            }
+            RegistryError::Session(inner) => inner.into(),
+            RegistryError::Poisoned(_) => ApiError::internal(e.to_string()),
+        }
+    }
+}
+
+impl Serialize for ApiError {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("status", self.status.serialize()),
+            ("kind", self.kind.serialize()),
+            ("message", self.message.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ApiError {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(ApiError {
+            status: value.field("status")?,
+            kind: value.field("kind")?,
+            message: value.field("message")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain::InvalidRequest;
+
+    #[test]
+    fn engine_errors_map_to_stable_statuses() {
+        let e: ApiError = TsExplainError::InvalidRequest(InvalidRequest::EmptyExplainBy).into();
+        assert_eq!((e.status, e.kind.as_str()), (400, "invalid_request"));
+        let e: ApiError = TsExplainError::Cube(CubeError::EmptyInput).into();
+        assert_eq!((e.status, e.kind.as_str()), (409, "no_data"));
+        let e: ApiError = RegistryError::UnknownDataset(tsexplain::DatasetId::from_u64(9)).into();
+        assert_eq!((e.status, e.kind.as_str()), (404, "unknown_dataset"));
+        assert!(e.message.contains('9'));
+    }
+
+    #[test]
+    fn error_bodies_roundtrip_as_json() {
+        let e = ApiError::bad_request("missing field `rows`");
+        let response = e.clone().into_response();
+        assert_eq!(response.status, 400);
+        let text = String::from_utf8(response.body).unwrap();
+        let back: ApiError = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+    }
+}

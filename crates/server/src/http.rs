@@ -1,0 +1,335 @@
+//! A small, dependency-free HTTP/1.1 codec over blocking streams.
+//!
+//! Exactly the subset the tsx-server wire protocol needs: request/response
+//! framing with `Content-Length` bodies, case-insensitive headers,
+//! keep-alive by default (HTTP/1.1 semantics) and hard limits on header
+//! and body sizes so a misbehaving client cannot balloon a worker. No
+//! chunked transfer, no TLS, no pipelining — requests on one connection
+//! are handled strictly in order.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Default upper bound on request bodies (servers may configure less).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Why reading a message from a connection stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between messages — the
+    /// normal end of a keep-alive conversation, not an error to report.
+    ConnectionClosed,
+    /// The bytes on the wire are not the HTTP subset this codec speaks.
+    Malformed(String),
+    /// The head or body exceeded its size limit.
+    TooLarge {
+        /// What overflowed: `"head"` or `"body"`.
+        what: &'static str,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The underlying transport failed mid-message.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::ConnectionClosed => write!(f, "connection closed"),
+            ReadError::Malformed(m) => write!(f, "malformed message: {m}"),
+            ReadError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the {limit}-byte limit")
+            }
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one request from a buffered connection.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ReadError> {
+    let mut lines = read_head(reader)?;
+    let request_line = lines.remove(0);
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+    let headers = parse_headers(&lines)?;
+    let content_length = content_length(&headers)?;
+    if content_length > max_body {
+        // Drain nothing: the caller answers 413 and closes the connection.
+        return Err(ReadError::TooLarge {
+            what: "body",
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body,
+    })
+}
+
+/// One HTTP response about to be written (or just parsed by a client).
+#[derive(Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The body bytes (JSON for every tsx-server endpoint).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from already-encoded text.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Writes the response, flagging whether the connection stays open.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Reads one response from a buffered connection (the client half).
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ReadError> {
+    let mut lines = read_head(reader)?;
+    let status_line = lines.remove(0);
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(ReadError::Malformed(format!(
+            "bad status line {status_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| ReadError::Malformed(format!("bad status code {code:?}")))?;
+    let headers = parse_headers(&lines)?;
+    let mut body = vec![0u8; content_length(&headers)?];
+    reader.read_exact(&mut body)?;
+    Ok(Response { status, body })
+}
+
+/// Reads the head block (request/status line + headers) as trimmed lines.
+fn read_head<R: BufRead>(reader: &mut R) -> Result<Vec<String>, ReadError> {
+    use std::io::Read;
+    let mut lines = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut raw = Vec::new();
+        // Cap the read *inside* the line: a peer streaming newline-free
+        // bytes must hit the head limit, not balloon this buffer.
+        let n = reader
+            .by_ref()
+            .take((MAX_HEAD_BYTES + 1 - total) as u64)
+            .read_until(b'\n', &mut raw)?;
+        if n == 0 {
+            return if lines.is_empty() && total == 0 {
+                Err(ReadError::ConnectionClosed)
+            } else {
+                Err(ReadError::Malformed("truncated head".into()))
+            };
+        }
+        total += n;
+        if total > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge {
+                what: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let line =
+            String::from_utf8(raw).map_err(|_| ReadError::Malformed("non-UTF-8 head".into()))?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            if lines.is_empty() {
+                // Tolerate stray blank lines before the request line.
+                continue;
+            }
+            return Ok(lines);
+        }
+        lines.push(line.to_string());
+    }
+}
+
+fn parse_headers(lines: &[String]) -> Result<Vec<(String, String)>, ReadError> {
+    lines
+        .iter()
+        .map(|line| {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ReadError::Malformed(format!("bad header {line:?}")))?;
+            Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect()
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, ReadError> {
+    match headers.iter().find(|(n, _)| n == "content-length") {
+        None => Ok(0),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}"))),
+    }
+}
+
+/// The canonical reason phrase for the status codes tsx-server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(text.as_bytes()), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /datasets/7/explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/datasets/7/explain");
+        assert_eq!(req.body, b"{\"a\"");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn strips_query_strings_and_honours_connection_close() {
+        let req = parse("GET /metrics?verbose=1 HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_connection_closed() {
+        assert!(matches!(parse(""), Err(ReadError::ConnectionClosed)));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_upfront() {
+        let e = read_request(
+            &mut BufReader::new("POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n".as_bytes()),
+            10,
+        )
+        .unwrap_err();
+        assert!(matches!(e, ReadError::TooLarge { what: "body", .. }));
+    }
+
+    #[test]
+    fn newline_free_floods_hit_the_head_limit_not_memory() {
+        // A head with no \n at all must be cut off at MAX_HEAD_BYTES, not
+        // buffered indefinitely.
+        let flood = "x".repeat(MAX_HEAD_BYTES * 4);
+        let e = parse(&flood).unwrap_err();
+        assert!(matches!(e, ReadError::TooLarge { what: "head", .. }), "{e}");
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_codec() {
+        let mut wire = Vec::new();
+        Response::json(201, "{\"ok\":true}".into())
+            .write_to(&mut wire, true)
+            .unwrap();
+        let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back.status, 201);
+        assert_eq!(back.body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+}

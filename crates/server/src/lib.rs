@@ -1,0 +1,59 @@
+//! # tsx-server
+//!
+//! A dependency-free, multi-threaded HTTP/1.1 + JSON serving subsystem
+//! over the TSExplain session registry: the process boundary that turns
+//! the library into a deployable service.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             TcpListener (acceptor thread)
+//!                  │ accepted connections
+//!                  ▼
+//!           WorkerPool (N threads)  ── keep-alive HTTP/1.1 codec
+//!                  │ parsed requests
+//!                  ▼
+//!               router  ── JSON wire protocol (serde layer)
+//!                  │
+//!                  ▼
+//!          SessionRegistry (tsexplain)
+//!           per-tenant Mutex<ExplainSession>
+//!           global LRU-by-bytes cube eviction
+//! ```
+//!
+//! ## Endpoints
+//!
+//! * `POST /datasets` — register a relation + aggregation query; returns
+//!   the dataset (tenant) id.
+//! * `POST /datasets/{id}/rows` — streaming append.
+//! * `POST /datasets/{id}/explain` — an [`tsexplain::ExplainRequest`]
+//!   body; returns the [`tsexplain::ExplainResult`] as JSON, identical to
+//!   what an in-process session produces.
+//! * `GET /datasets/{id}/stats` — per-tenant session counters.
+//! * `DELETE /datasets/{id}` — drop a tenant.
+//! * `GET /metrics` — server + registry counters (cache bytes, evictions,
+//!   response classes).
+//! * `GET /healthz` — liveness.
+//!
+//! Errors map to structured 4xx/5xx JSON bodies (see [`ApiError`]):
+//! invalid requests and malformed rows are 400s, unknown datasets 404s,
+//! explaining an empty dataset a 409, oversized bodies 413s, engine bugs
+//! 500s (worker panics are caught and answered, never fatal).
+//!
+//! The [`Client`] speaks the same protocol for tests, examples and the
+//! `loadgen` benchmark; the `tsx-server` binary wraps [`Server`] with
+//! flags for the address, worker count and memory budget.
+
+mod client;
+mod error;
+pub mod http;
+mod pool;
+mod router;
+mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use error::ApiError;
+pub use pool::WorkerPool;
+pub use router::handle;
+pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics, ServerShared};

@@ -1,0 +1,111 @@
+//! A fixed-size worker thread pool over an `mpsc` job queue.
+//!
+//! The acceptor thread pushes accepted connections; each worker pops one
+//! and owns it for the whole keep-alive conversation. Dropping the
+//! [`WorkerPool`] closes the queue, and `join` waits for workers to finish
+//! their in-flight connections — the shutdown path needs no signalling
+//! beyond the channel's own disconnect semantics.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A pool of `n` identical workers draining a job queue.
+pub struct WorkerPool<J: Send + 'static> {
+    sender: Option<Sender<J>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `n` workers, each running `work` on every job it pops.
+    pub fn new<F>(n: usize, work: F) -> Self
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let (sender, receiver) = channel::<J>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let work = Arc::new(work);
+        let workers = (0..n.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let work = Arc::clone(&work);
+                std::thread::Builder::new()
+                    .name(format!("tsx-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the pop itself.
+                        let job = {
+                            let Ok(guard) = receiver.lock() else { return };
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => work(job),
+                            Err(_) => return, // queue closed: shut down
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Enqueues a job; returns it back if the pool already shut down.
+    pub fn submit(&self, job: J) -> Result<(), J> {
+        match &self.sender {
+            Some(sender) => sender.send(job).map_err(|e| e.0),
+            None => Err(job),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queue and waits for every worker to drain and exit.
+    pub fn join(mut self) {
+        self.sender.take(); // disconnect: workers exit after the backlog
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_across_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&counter);
+        let pool = WorkerPool::new(4, move |n: usize| {
+            seen.fetch_add(n, Ordering::SeqCst);
+        });
+        assert_eq!(pool.size(), 4);
+        for n in 1..=100 {
+            pool.submit(n).unwrap();
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0, |_: ()| {});
+        assert_eq!(pool.size(), 1);
+        pool.join();
+    }
+}

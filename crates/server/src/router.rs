@@ -1,0 +1,154 @@
+//! Route dispatch: paths + methods to registry operations.
+//!
+//! | Method | Path                     | Body               | Response            |
+//! |--------|--------------------------|--------------------|---------------------|
+//! | POST   | `/datasets`              | `RegisterDataset`  | `DatasetCreated`    |
+//! | POST   | `/datasets/{id}/rows`    | `AppendRowsBody`   | `AppendAck`         |
+//! | POST   | `/datasets/{id}/explain` | `ExplainRequest`   | `ExplainResult`     |
+//! | GET    | `/datasets/{id}/stats`   | —                  | stats JSON          |
+//! | DELETE | `/datasets/{id}`         | —                  | `{"removed": true}` |
+//! | GET    | `/metrics`               | —                  | metrics JSON        |
+//! | GET    | `/healthz`               | —                  | `{"status": "ok"}`  |
+//!
+//! Every error — parse failure, unknown id, invalid request, worker panic —
+//! maps through [`ApiError`] to a 4xx/5xx JSON body.
+
+use serde::{Deserialize, Serialize, Value};
+use tsexplain::{DatasetId, ExplainRequest, Relation};
+
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+use crate::server::ServerShared;
+use crate::wire::{
+    decode_rows, stats_body, AppendAck, AppendRowsBody, DatasetCreated, RegisterDataset,
+};
+
+/// Dispatches one request against the shared server state.
+pub fn handle(shared: &ServerShared, request: &Request) -> Response {
+    match route(shared, request) {
+        Ok(response) => response,
+        Err(e) => e.into_response(),
+    }
+}
+
+fn route(shared: &ServerShared, request: &Request) -> Result<Response, ApiError> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("POST", ["datasets"]) => register(shared, &request.body),
+        ("POST", ["datasets", id, "rows"]) => append(shared, parse_id(id)?, &request.body),
+        ("POST", ["datasets", id, "explain"]) => explain(shared, parse_id(id)?, &request.body),
+        ("GET", ["datasets", id, "stats"]) => stats(shared, parse_id(id)?),
+        ("DELETE", ["datasets", id]) => remove(shared, parse_id(id)?),
+        ("GET", ["metrics"]) => Ok(json_ok(200, &shared.metrics_value())),
+        ("GET", ["healthz"]) => Ok(json_ok(
+            200,
+            &Value::object([("status", Value::String("ok".into()))]),
+        )),
+        // Known paths with the wrong verb get a 405, everything else 404.
+        (_, ["datasets"]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+            Err(ApiError::method_not_allowed(method, &request.path))
+        }
+        (_, ["datasets", ..]) if segments.len() <= 3 => {
+            Err(ApiError::method_not_allowed(method, &request.path))
+        }
+        _ => Err(ApiError::not_found(&request.path)),
+    }
+}
+
+fn parse_id(raw: &str) -> Result<DatasetId, ApiError> {
+    raw.parse::<u64>()
+        .map(DatasetId::from_u64)
+        .map_err(|_| ApiError::bad_request(format!("dataset id {raw:?} is not an integer")))
+}
+
+fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| ApiError::bad_request(e.to_string()))
+}
+
+fn json_ok<T: Serialize + ?Sized>(status: u16, payload: &T) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(payload).expect("response bodies always encode"),
+    )
+}
+
+fn register(shared: &ServerShared, body: &[u8]) -> Result<Response, ApiError> {
+    let spec: RegisterDataset = parse_body(body)?;
+    let rows = decode_rows(&spec.schema, &spec.rows)?;
+    let n_rows = rows.len();
+    let mut builder = Relation::builder(spec.schema);
+    for row in rows {
+        builder
+            .push_row(row)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    }
+    let id = shared
+        .registry
+        .register(builder.finish(), spec.query)
+        .map_err(ApiError::from)?;
+    let n_points = shared
+        .registry
+        .dataset_stats(id)
+        .map(|s| s.n_points)
+        .unwrap_or(0);
+    Ok(json_ok(
+        201,
+        &DatasetCreated {
+            dataset_id: id.as_u64(),
+            n_rows,
+            n_points,
+        },
+    ))
+}
+
+fn append(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
+    let spec: AppendRowsBody = parse_body(body)?;
+    // Row decoding needs the tenant's schema.
+    let schema = {
+        let handle = shared.registry.session(id).map_err(ApiError::from)?;
+        let session = handle
+            .lock()
+            .map_err(|_| ApiError::internal(format!("dataset {id} is poisoned")))?;
+        session.schema().clone()
+    };
+    let rows = decode_rows(&schema, &spec.rows)?;
+    let appended = rows.len();
+    shared
+        .registry
+        .append_rows(id, rows)
+        .map_err(ApiError::from)?;
+    let n_points = shared
+        .registry
+        .dataset_stats(id)
+        .map(|s| s.n_points)
+        .unwrap_or(0);
+    Ok(json_ok(200, &AppendAck { appended, n_points }))
+}
+
+fn explain(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
+    let request: ExplainRequest = parse_body(body)?;
+    let result = shared
+        .registry
+        .explain(id, &request)
+        .map_err(ApiError::from)?;
+    Ok(json_ok(200, &result))
+}
+
+fn stats(shared: &ServerShared, id: DatasetId) -> Result<Response, ApiError> {
+    let snapshot = shared.registry.dataset_stats(id).map_err(ApiError::from)?;
+    Ok(json_ok(200, &stats_body(&snapshot)))
+}
+
+fn remove(shared: &ServerShared, id: DatasetId) -> Result<Response, ApiError> {
+    if shared.registry.remove(id) {
+        Ok(json_ok(
+            200,
+            &Value::object([("removed", Value::Bool(true))]),
+        ))
+    } else {
+        Err(tsexplain::RegistryError::UnknownDataset(id).into())
+    }
+}

@@ -1,0 +1,315 @@
+//! The server proper: listener, acceptor thread, worker pool, metrics,
+//! graceful shutdown.
+//!
+//! ```no_run
+//! use tsexplain_server::{Server, ServerConfig};
+//!
+//! let handle = Server::bind(ServerConfig::default()).unwrap();
+//! println!("tsx-server listening on http://{}", handle.local_addr());
+//! handle.join(); // serve until shutdown() is called from another thread
+//! ```
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Serialize, Value};
+use tsexplain::{SessionRegistry, DEFAULT_REGISTRY_BUDGET};
+
+use crate::error::ApiError;
+use crate::http::{self, ReadError};
+use crate::pool::WorkerPool;
+use crate::router;
+
+/// Tunables of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The address to bind; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Global cube-memory budget handed to the [`SessionRegistry`].
+    pub memory_budget: usize,
+    /// Per-request body limit.
+    pub max_body_bytes: usize,
+    /// Read timeout per connection — the keep-alive idle cap, and the
+    /// longest a shutdown waits for idle connections to drain.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            memory_budget: DEFAULT_REGISTRY_BUDGET,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Server-level counters (the `/metrics` payload's HTTP half).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests answered with a response (including the 400/413 rejections
+    /// of unparsable messages, which also count as `protocol_errors`).
+    requests: AtomicU64,
+    /// Responses by class.
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    /// Connections accepted.
+    connections: AtomicU64,
+    /// Requests that never parsed (protocol garbage, oversized).
+    protocol_errors: AtomicU64,
+    /// Worker panics converted to 500s.
+    panics: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn observe(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by every worker: the tenant registry plus counters.
+#[derive(Debug)]
+pub struct ServerShared {
+    /// The multi-tenant session registry behind every endpoint.
+    pub registry: SessionRegistry,
+    /// HTTP-level counters.
+    pub metrics: ServerMetrics,
+    workers: usize,
+}
+
+impl ServerShared {
+    /// The `/metrics` JSON document: HTTP counters + registry counters.
+    pub fn metrics_value(&self) -> Value {
+        let m = &self.metrics;
+        let r = self.registry.stats();
+        Value::object([
+            (
+                "server",
+                Value::object([
+                    ("workers", self.workers.serialize()),
+                    (
+                        "connections",
+                        m.connections.load(Ordering::Relaxed).serialize(),
+                    ),
+                    ("requests", m.requests.load(Ordering::Relaxed).serialize()),
+                    (
+                        "responses",
+                        Value::object([
+                            ("2xx", m.responses_2xx.load(Ordering::Relaxed).serialize()),
+                            ("4xx", m.responses_4xx.load(Ordering::Relaxed).serialize()),
+                            ("5xx", m.responses_5xx.load(Ordering::Relaxed).serialize()),
+                        ]),
+                    ),
+                    (
+                        "protocol_errors",
+                        m.protocol_errors.load(Ordering::Relaxed).serialize(),
+                    ),
+                    ("panics", m.panics.load(Ordering::Relaxed).serialize()),
+                ]),
+            ),
+            (
+                "registry",
+                Value::object([
+                    ("datasets", r.datasets.serialize()),
+                    ("cached_cubes", r.cached_cubes.serialize()),
+                    ("cache_bytes", r.cache_bytes.serialize()),
+                    ("memory_budget", r.memory_budget.serialize()),
+                    ("totals", crate::wire::session_stats_value(&r.totals)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The serving subsystem: a bound listener draining into a worker pool.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts accepting. Returns immediately; the
+    /// acceptor and workers run on background threads until
+    /// [`ServerHandle::shutdown`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            registry: SessionRegistry::with_memory_budget(config.memory_budget),
+            metrics: ServerMetrics::default(),
+            workers: config.workers.max(1),
+        });
+        let stopping = Arc::new(AtomicBool::new(false));
+
+        let pool = {
+            let shared = Arc::clone(&shared);
+            let stopping = Arc::clone(&stopping);
+            let config = config.clone();
+            WorkerPool::new(config.workers, move |stream: TcpStream| {
+                serve_connection(&shared, stream, &config, &stopping);
+            })
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("tsx-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => {
+                                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                                if pool.submit(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    // Dropping the pool closes the queue and joins workers.
+                    pool.join();
+                })?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            stopping,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// A running server: address, shared state, and the shutdown switch.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (registry + metrics) — useful for in-process
+    /// assertions in tests and benches.
+    pub fn shared(&self) -> &ServerShared {
+        &self.shared
+    }
+
+    /// Stops accepting, drains in-flight connections and joins every
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking `incoming()` with a no-op
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (another thread must call
+    /// [`ServerHandle::shutdown`], or the process runs forever — the
+    /// standalone binary's serving mode).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One keep-alive conversation: parse, dispatch, respond, repeat. The
+/// conversation ends at client close, protocol error, idle timeout, or
+/// server shutdown (checked between requests; in-flight requests always
+/// get their response).
+fn serve_connection(
+    shared: &ServerShared,
+    stream: TcpStream,
+    config: &ServerConfig,
+    stopping: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader, config.max_body_bytes) {
+            Ok(request) => request,
+            Err(ReadError::ConnectionClosed) => return,
+            Err(ReadError::TooLarge { limit, .. }) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = ApiError::payload_too_large(limit).into_response();
+                shared.metrics.observe(response.status);
+                let _ = response.write_to(&mut writer, false);
+                return;
+            }
+            Err(ReadError::Malformed(m)) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let response =
+                    ApiError::bad_request(format!("malformed HTTP: {m}")).into_response();
+                shared.metrics.observe(response.status);
+                let _ = response.write_to(&mut writer, false);
+                return;
+            }
+            Err(ReadError::Io(_)) => {
+                // A transport failure or the keep-alive idle timeout
+                // reaping a quiet connection — routine connection
+                // lifecycle, not client garbage; no counter.
+                return;
+            }
+        };
+        let keep_alive = !request.wants_close() && !stopping.load(Ordering::SeqCst);
+        // A panic in the engine must cost one 500, not a worker thread.
+        let response = match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
+            Ok(response) => response,
+            Err(_) => {
+                shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                ApiError::internal("worker panicked while handling the request").into_response()
+            }
+        };
+        shared.metrics.observe(response.status);
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Serving TSExplain over HTTP: boot `tsx-server` in-process, register a
+//! dataset with a tiny client speaking the same wire types, stream new
+//! rows in, and compare explanations before and after.
+//!
+//! Run with `cargo run --example server_quickstart`.
+
+use tsexplain::{AggQuery, Datum, ExplainRequest, Field, Schema};
+use tsexplain_server::{Client, Server, ServerConfig};
+
+/// Three states, three phases: NY drives growth early, CA mid, TX late.
+fn rows(range: std::ops::Range<i64>) -> Vec<Vec<Datum>> {
+    let mut rows = Vec::new();
+    for t in range {
+        let ny = if t <= 10 { 8.0 * t as f64 } else { 80.0 };
+        let ca = if t <= 10 {
+            2.0
+        } else if t <= 20 {
+            2.0 + 9.0 * (t - 10) as f64
+        } else {
+            92.0
+        };
+        let tx = if t <= 20 {
+            5.0
+        } else {
+            5.0 + 10.0 * (t - 20) as f64
+        };
+        for (state, v) in [("NY", ny), ("CA", ca), ("TX", tx)] {
+            rows.push(vec![
+                Datum::Attr(t.into()),
+                Datum::from(state),
+                Datum::from(v),
+            ]);
+        }
+    }
+    rows
+}
+
+fn main() {
+    // Boot the serving subsystem on an ephemeral port: a worker pool over
+    // a session registry with a (deliberately small) 8 MiB cube budget.
+    let handle = Server::bind(ServerConfig {
+        workers: 2,
+        memory_budget: 8 * 1024 * 1024,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    println!("tsx-server listening on http://{}\n", handle.local_addr());
+
+    // A client speaking the same wire types the engine serializes.
+    let mut client = Client::new(handle.local_addr());
+    let schema = Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("state"),
+        Field::measure("cases"),
+    ])
+    .expect("static schema");
+    let created = client
+        .register(&schema, &AggQuery::sum("t", "cases"), &rows(0..21))
+        .expect("register the dataset");
+    println!(
+        "registered dataset {} ({} rows, {} points)",
+        created.dataset_id, created.n_rows, created.n_points
+    );
+
+    // Ask over HTTP. The response is the engine's own ExplainResult.
+    let request = ExplainRequest::new(["state"]);
+    let result = client
+        .explain(created.dataset_id, &request)
+        .expect("explain over HTTP");
+    println!("\nexplanations over [0, 20]:");
+    for seg in &result.segments {
+        let labels: Vec<&str> = seg.explanations.iter().map(|e| e.label.as_str()).collect();
+        println!(
+            "  [{:>2}, {:>2}]  {}",
+            seg.start_time,
+            seg.end_time,
+            labels.join(", ")
+        );
+    }
+
+    // Stream ten more days in and ask again: the cached cube is extended
+    // incrementally, never rebuilt.
+    let ack = client
+        .append_rows(created.dataset_id, &rows(21..31))
+        .expect("stream rows");
+    let result = client
+        .explain(created.dataset_id, &request)
+        .expect("explain after append");
+    println!("\nexplanations after streaming to t={}:", ack.n_points - 1);
+    for seg in &result.segments {
+        let labels: Vec<&str> = seg.explanations.iter().map(|e| e.label.as_str()).collect();
+        println!(
+            "  [{:>2}, {:>2}]  {}",
+            seg.start_time,
+            seg.end_time,
+            labels.join(", ")
+        );
+    }
+
+    // The /metrics document exposes both server and cache counters.
+    let metrics = client.metrics().expect("metrics");
+    println!(
+        "\n/metrics: {}",
+        serde_json::to_string_pretty(&metrics).expect("encode")
+    );
+}

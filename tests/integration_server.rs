@@ -1,0 +1,252 @@
+//! End-to-end acceptance of the HTTP serving subsystem: a booted
+//! `tsx-server` must answer register/append/explain/stats/metrics over the
+//! wire with responses identical (modulo latency timings) to what an
+//! in-process [`ExplainSession`] produces, map failures to structured
+//! 4xx/5xx bodies, and survive concurrent clients.
+
+use serde::Value;
+use tsexplain::{Datum, DiffMetric, ExplainRequest, ExplainSession, Optimizations, Relation};
+use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
+use tsexplain_server::{Client, ClientError, Server, ServerConfig};
+
+/// The synthetic paper corpus dataset this whole test serves.
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(SyntheticConfig {
+        n_points: 60,
+        seed: 7,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn relation_until(data: &SyntheticDataset, hi: usize) -> Relation {
+    let mut b = Relation::builder(data.schema());
+    for row in data.rows_between(0, hi) {
+        b.push_row(row).unwrap();
+    }
+    b.finish()
+}
+
+fn requests() -> Vec<ExplainRequest> {
+    let base = ExplainRequest::new(["category"]).with_optimizations(Optimizations::none());
+    vec![
+        base.clone(),
+        base.clone().with_fixed_k(3),
+        base.clone()
+            .with_top_m(1)
+            .with_diff_metric(DiffMetric::RelativeChange),
+        base.clone().with_smoothing(5),
+        base.with_time_range(10i64, 40i64),
+    ]
+}
+
+/// Serializes a result with the latency block removed — wall-clock timings
+/// are the one legitimately nondeterministic part of a response.
+fn canonical(result_value: &Value) -> Value {
+    match result_value {
+        Value::Object(map) => {
+            let mut map = map.clone();
+            map.remove("latency");
+            Value::Object(map)
+        }
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn http_responses_equal_in_process_results() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+
+    // Wire side: register over HTTP with the first 40 timestamps.
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 40))
+        .unwrap();
+    assert_eq!(created.n_points, 40);
+    assert_eq!(created.n_rows, 40 * data.categories.len());
+
+    // In-process side: the same data and the same request sequence.
+    let mut session = ExplainSession::new(relation_until(&data, 40), data.query()).unwrap();
+
+    for (i, request) in requests().iter().enumerate() {
+        let wire = client.explain_value(created.dataset_id, request).unwrap();
+        let local = session.explain(request).unwrap();
+        assert_eq!(
+            canonical(&wire),
+            canonical(&serde_json::to_value(&local)),
+            "request #{i} diverged between HTTP and in-process"
+        );
+    }
+
+    // Streaming append over HTTP, mirrored locally, stays identical.
+    let ack = client
+        .append_rows(created.dataset_id, &data.rows_between(40, 60))
+        .unwrap();
+    assert_eq!(ack.n_points, 60);
+    session.append_rows(data.rows_between(40, 60)).unwrap();
+    let request = requests().remove(0);
+    let wire = client.explain_value(created.dataset_id, &request).unwrap();
+    let local = session.explain(&request).unwrap();
+    assert_eq!(canonical(&wire), canonical(&serde_json::to_value(&local)));
+
+    // The decoded result is the engine's own type, not a lookalike.
+    let decoded = client.explain(created.dataset_id, &request).unwrap();
+    assert_eq!(decoded.segmentation, local.segmentation);
+    assert_eq!(decoded.chosen_k, local.chosen_k);
+    assert_eq!(decoded.aggregate, local.aggregate);
+
+    // Stats reflect the shared history: registration + appends + explains.
+    let stats = client.stats(created.dataset_id).unwrap();
+    assert_eq!(stats.get("n_points").and_then(Value::as_f64), Some(60.0));
+    let session_stats = stats.get("session").cloned().unwrap();
+    assert_eq!(
+        session_stats.get("rows_appended").and_then(Value::as_f64),
+        Some((20 * data.categories.len()) as f64)
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn errors_map_to_structured_statuses() {
+    let mut handle = Server::bind(ServerConfig::default()).unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+
+    // Unknown dataset → 404 with a machine-readable kind.
+    let err = client.explain_value(999, &requests()[0]).unwrap_err();
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!(e.status, 404);
+            assert_eq!(e.kind, "unknown_dataset");
+        }
+        other => panic!("expected an API error, got {other}"),
+    }
+
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 20))
+        .unwrap();
+
+    // Invalid explain request → 400 invalid_request.
+    let err = client
+        .explain_value(created.dataset_id, &ExplainRequest::new(["nope"]))
+        .unwrap_err();
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!((e.status, e.kind.as_str()), (400, "invalid_request"));
+            assert!(e.message.contains("nope"));
+        }
+        other => panic!("expected an API error, got {other}"),
+    }
+
+    // Malformed rows → 400 naming the offending row.
+    let err = client
+        .append_rows(
+            created.dataset_id,
+            &[vec![Datum::Attr(99i64.into())]], // wrong arity
+        )
+        .unwrap_err();
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!(e.status, 400);
+            assert!(e.message.contains("row 0"), "{}", e.message);
+        }
+        other => panic!("expected an API error, got {other}"),
+    }
+
+    // Registering an empty dataset then explaining → 409 no_data.
+    let empty = client.register(&data.schema(), &data.query(), &[]).unwrap();
+    let err = client
+        .explain_value(empty.dataset_id, &requests()[0])
+        .unwrap_err();
+    match err {
+        ClientError::Api(e) => assert_eq!((e.status, e.kind.as_str()), (409, "no_data")),
+        other => panic!("expected an API error, got {other}"),
+    }
+
+    // DELETE then use → 404.
+    client.remove(created.dataset_id).unwrap();
+    let err = client.stats(created.dataset_id).unwrap_err();
+    match err {
+        ClientError::Api(e) => assert_eq!(e.status, 404),
+        other => panic!("expected an API error, got {other}"),
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_count_requests_and_cache_state() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 30))
+        .unwrap();
+    for request in requests().iter().take(3) {
+        client.explain(created.dataset_id, request).unwrap();
+    }
+    let _ = client.explain_value(999, &requests()[0]); // one 404
+
+    let metrics = client.metrics().unwrap();
+    let server = metrics.get("server").cloned().unwrap();
+    let registry = metrics.get("registry").cloned().unwrap();
+    let responses = server.get("responses").cloned().unwrap();
+    let n2xx = responses.get("2xx").and_then(Value::as_f64).unwrap();
+    let n4xx = responses.get("4xx").and_then(Value::as_f64).unwrap();
+    assert!(n2xx >= 4.0, "register + 3 explains: {n2xx}");
+    assert!(n4xx >= 1.0);
+    assert_eq!(registry.get("datasets").and_then(Value::as_f64), Some(1.0));
+    let totals = registry.get("totals").cloned().unwrap();
+    assert_eq!(totals.get("requests").and_then(Value::as_f64), Some(3.0));
+    assert!(registry.get("cache_bytes").and_then(Value::as_f64).unwrap() > 0.0);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+    let addr = handle.local_addr();
+    let request = requests().remove(0);
+    // Warm the cube cache first: every thread's answer is then a cache
+    // hit, byte-identical to this reference (including its stats block).
+    client.explain_value(created.dataset_id, &request).unwrap();
+    let reference = canonical(&client.explain_value(created.dataset_id, &request).unwrap());
+
+    let joins: Vec<_> = (0..8)
+        .map(|_| {
+            let request = request.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                for _ in 0..5 {
+                    let answer = client.explain_value(created.dataset_id, &request).unwrap();
+                    assert_eq!(canonical(&answer), reference);
+                }
+            })
+        })
+        .collect();
+    for join in joins {
+        join.join().expect("no client thread may panic");
+    }
+    drop(client); // close the keep-alive connection so shutdown drains fast
+    handle.shutdown();
+}
