@@ -38,6 +38,25 @@ pub fn corrected_arc_curve(nn_index: &[usize], w: usize) -> Vec<f64> {
     cac
 }
 
+/// The per-`k` half of FLUSS: extracts the `k − 1` lowest CAC minima with
+/// a `5·w` exclusion zone and maps them to interior cut positions
+/// (subsequence positions shifted by w/2 to the window centre, over a
+/// series of `n` points). Shared by [`fluss`] and the auto-K
+/// `FlussSegmenter` adapter, which reuses one CAC across every `k`.
+pub(crate) fn fluss_cuts_from_cac(cac: &[f64], k: usize, w: usize, n: usize) -> Vec<usize> {
+    if k <= 1 {
+        return Vec::new();
+    }
+    let minima = select_extrema(cac, k - 1, 5 * w, false);
+    let mut cuts: Vec<usize> = minima
+        .into_iter()
+        .map(|i| (i + w / 2).clamp(1, n - 2))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
 /// FLUSS semantic segmentation (paper ref. 9): matrix profile index → corrected arc
 /// curve → iterative extraction of the `k − 1` lowest CAC minima with a
 /// `5·w` exclusion zone. Returns interior cut positions (subsequence
@@ -50,14 +69,7 @@ pub fn fluss(series: &[f64], k: usize, w: usize) -> Vec<usize> {
     }
     let (_, nn_index) = matrix_profile_index(series, w);
     let cac = corrected_arc_curve(&nn_index, w);
-    let minima = select_extrema(&cac, k - 1, 5 * w, false);
-    let mut cuts: Vec<usize> = minima
-        .into_iter()
-        .map(|i| (i + w / 2).clamp(1, n - 2))
-        .collect();
-    cuts.sort_unstable();
-    cuts.dedup();
-    cuts
+    fluss_cuts_from_cac(&cac, k, w, n)
 }
 
 #[cfg(test)]

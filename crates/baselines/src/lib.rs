@@ -16,13 +16,21 @@
 //!
 //! Each returns interior cut positions compatible with
 //! `tsexplain_segment::Segmentation`.
+//!
+//! The [`adapters`] module additionally wraps each baseline into the
+//! [`tsexplain_segment::Segmenter`] strategy boundary
+//! ([`BottomUpSegmenter`], [`FlussSegmenter`], [`NnSegmentSegmenter`]), so
+//! all of them are selectable per-request through the serving API next to
+//! the paper's explanation-aware DP.
 
+mod adapters;
 mod bottom_up;
 mod common;
 mod fluss;
 mod matrix_profile;
 mod nnsegment;
 
+pub use adapters::{BottomUpSegmenter, FlussSegmenter, NnSegmentSegmenter};
 pub use bottom_up::bottom_up;
 pub use common::{interpolation_sse, znormalized_distance};
 pub use fluss::{corrected_arc_curve, fluss};

@@ -17,12 +17,31 @@ pub fn nnsegment(series: &[f64], k: usize, w: usize) -> Vec<usize> {
     if k == 1 || n < 2 * w + 1 {
         return Vec::new();
     }
-    // score[i] for split position i ∈ [w, n − w].
+    nnsegment_cuts_from_scores(&nnsegment_scores(series, w), k, w)
+}
+
+/// The precompute half of NNSegment: the adjacent-window dissimilarity
+/// `score[i]` for every split position `i ∈ [w, n − w]` (other positions
+/// are `-inf`). Requires `n ≥ 2w + 1`. Shared by [`nnsegment`] and the
+/// auto-K `NnSegmentSegmenter` adapter, which reuses one score vector
+/// across every `k`.
+pub(crate) fn nnsegment_scores(series: &[f64], w: usize) -> Vec<f64> {
+    let n = series.len();
     let mut scores = vec![f64::NEG_INFINITY; n];
     for i in w..=n - w {
         scores[i] = znormalized_distance(&series[i - w..i], &series[i..i + w]);
     }
-    let mut cuts = select_extrema(&scores, k - 1, w, true);
+    scores
+}
+
+/// The per-`k` half of NNSegment: greedily takes the `k − 1`
+/// highest-scoring interior positions with a `w` exclusion zone.
+pub(crate) fn nnsegment_cuts_from_scores(scores: &[f64], k: usize, w: usize) -> Vec<usize> {
+    let n = scores.len();
+    if k <= 1 {
+        return Vec::new();
+    }
+    let mut cuts = select_extrema(scores, k - 1, w, true);
     cuts.retain(|&c| c > 0 && c < n - 1);
     cuts
 }

@@ -1,9 +1,13 @@
 //! Criterion bench: end-to-end `explain()` under the Fig. 15 optimization
-//! bundles (Vanilla / w filter / O1 / O2 / O1+O2).
+//! bundles (Vanilla / w filter / O1 / O2 / O1+O2), plus the four
+//! segmentation strategies on one dataset (baseline-vs-DP pipeline cost).
+//!
+//! Each iteration invalidates the session's cube cache first, so the
+//! measured cost is precompute + pipeline — the one-shot serving cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{default_window_for, ExplainRequest, ExplainSession, Optimizations, SegmenterSpec};
 use tsexplain_datagen::{covid, liquor, sp500, Workload};
 
 fn bench_bundles(c: &mut Criterion, workload: &Workload, bundles: &[(&str, Optimizations)]) {
@@ -11,12 +15,46 @@ fn bench_bundles(c: &mut Criterion, workload: &Workload, bundles: &[(&str, Optim
     group.sample_size(10);
     for (name, optimizations) in bundles {
         group.bench_function(*name, |b| {
-            let engine = TsExplain::new(
-                TsExplainConfig::new(workload.explain_by.clone())
-                    .with_optimizations(*optimizations),
-            );
+            let request =
+                ExplainRequest::new(workload.explain_by.clone()).with_optimizations(*optimizations);
+            let mut session =
+                ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
             b.iter(|| {
-                let result = engine.explain(&workload.relation, &workload.query).unwrap();
+                session.invalidate();
+                let result = session.explain(&request).unwrap();
+                black_box(result.chosen_k)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Per-strategy serving cost over a warm cube: what a `/compare` fan-out
+/// pays per strategy after the shared precompute.
+fn bench_strategies(c: &mut Criterion, workload: &Workload) {
+    let mut group = c.benchmark_group(format!("segmenter/{}", workload.name));
+    group.sample_size(10);
+    let n = workload
+        .relation
+        .dim_column(workload.query.time_attr())
+        .map(|c| c.dict().len())
+        .unwrap_or(100);
+    let window = default_window_for(n);
+    for spec in [
+        SegmenterSpec::Dp,
+        SegmenterSpec::BottomUp,
+        SegmenterSpec::fluss(window),
+        SegmenterSpec::nnsegment(window),
+    ] {
+        group.bench_function(spec.name(), |b| {
+            let request = ExplainRequest::new(workload.explain_by.clone())
+                .with_optimizations(Optimizations::all())
+                .with_segmenter(spec);
+            let mut session =
+                ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
+            session.explain(&request).unwrap(); // warm the cube
+            b.iter(|| {
+                let result = session.explain(&request).unwrap();
                 black_box(result.chosen_k)
             })
         });
@@ -35,6 +73,7 @@ fn benches(c: &mut Criterion) {
     let covid_data = covid::generate(0);
     bench_bundles(c, &covid_data.total_workload(), &all);
     bench_bundles(c, &sp500::generate(0).workload(), &all);
+    bench_strategies(c, &sp500::generate(0).workload());
     // Liquor's vanilla run takes seconds; bench only the optimized bundles.
     let optimized = [
         ("o1", Optimizations::o1()),

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 
 fn benches(c: &mut Criterion) {
@@ -21,11 +21,12 @@ fn benches(c: &mut Criterion) {
         let workload = dataset.workload();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
-            let engine = TsExplain::new(
-                TsExplainConfig::new(w.explain_by.clone()).with_optimizations(Optimizations::all()),
-            );
+            let request =
+                ExplainRequest::new(w.explain_by.clone()).with_optimizations(Optimizations::all());
+            let mut session = ExplainSession::new(w.relation.clone(), w.query.clone()).unwrap();
             b.iter(|| {
-                let result = engine.explain(&w.relation, &w.query).unwrap();
+                session.invalidate();
+                let result = session.explain(&request).unwrap();
                 black_box(result.chosen_k)
             })
         });

@@ -3,22 +3,22 @@
 //! contributor flips from `vaccinated=NO` to `age-group=50+` around
 //! week 31.
 
-use tsexplain::{Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainSession, Optimizations};
 use tsexplain_datagen::covid_deaths;
 
 fn main() {
     let data = covid_deaths::generate(0);
     let workload = data.workload();
 
+    // One session serves both readings of the figure from one cube.
+    let mut session = ExplainSession::new(workload.relation.clone(), workload.query.clone())
+        .expect("workload registers");
+
     // Fig. 18 plots a single contributor per segment → m = 1.
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::none())
-            .with_top_m(1),
-    );
-    let result = engine
-        .explain(&workload.relation, &workload.query)
-        .expect("explainable");
+    let base = ExplainRequest::new(workload.explain_by.clone())
+        .with_optimizations(Optimizations::none())
+        .with_top_m(1);
+    let result = session.explain(&base).expect("explainable");
 
     println!(
         "Figure 18 — weekly total deaths by age-group × vaccinated (n = {}, ε = {})",
@@ -34,16 +34,12 @@ fn main() {
         println!("  week {} ~ {}: {}", seg.start_time, seg.end_time, top);
     }
 
-    // The two-segment reading of the paper.
-    let engine = TsExplain::new(
-        TsExplainConfig::new(workload.explain_by.clone())
-            .with_optimizations(Optimizations::none())
-            .with_top_m(1)
-            .with_fixed_k(2),
+    // The two-segment reading of the paper (served from the cached cube).
+    let result = session.explain(&base.with_fixed_k(2)).expect("explainable");
+    assert!(
+        result.stats.cube_from_cache,
+        "second request reuses the cube"
     );
-    let result = engine
-        .explain(&workload.relation, &workload.query)
-        .expect("explainable");
     println!("\nwith K = 2 (the paper's figure):");
     for seg in &result.segments {
         let top = seg

@@ -7,16 +7,23 @@
 //! keep-alive connections and reports throughput, per-operation latency
 //! percentiles, and the server's eviction/cache counters.
 //!
+//! `--segmenter` selects the segmentation strategy the explain mix runs
+//! (`dp`, `bottom_up`, `fluss`, `nnsegment`), or `all` to rotate through
+//! every strategy; explain latencies are reported *per strategy*
+//! (p50/p90/p99), so the bench trajectory can track baseline-vs-DP
+//! serving cost side by side.
+//!
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--rounds 30]
 //!     [--workers 4] [--budget-mb 8] [--points 100] [--addr HOST:PORT]
+//!     [--segmenter dp|bottom_up|fluss|nnsegment|all]
 //! ```
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use serde::Value;
-use tsexplain::{DiffMetric, ExplainRequest};
+use tsexplain::{default_window_for, DiffMetric, ExplainRequest, SegmenterSpec};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 use tsexplain_server::{Client, Server, ServerConfig, ServerHandle};
 
@@ -27,6 +34,7 @@ struct Args {
     budget_mb: usize,
     points: usize,
     addr: Option<String>,
+    segmenter: String,
 }
 
 impl Default for Args {
@@ -38,6 +46,7 @@ impl Default for Args {
             budget_mb: 8,
             points: 100,
             addr: None,
+            segmenter: "dp".into(),
         }
     }
 }
@@ -58,10 +67,29 @@ fn parse_args() -> Args {
             "--budget-mb" => args.budget_mb = take("--budget-mb"), // 0 = evict always
             "--points" => args.points = take("--points").max(20),
             "--addr" => args.addr = Some(it.next().expect("--addr needs HOST:PORT")),
+            "--segmenter" => args.segmenter = it.next().expect("--segmenter needs a strategy name"),
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
     args
+}
+
+/// The strategy rotation the explain mix cycles through. The window is
+/// sized for the *sliced* horizon, since the mix includes a half-range
+/// windowed request.
+fn strategy_mix(name: &str, points: usize) -> Vec<SegmenterSpec> {
+    let window = default_window_for(points / 2);
+    match name {
+        "dp" => vec![SegmenterSpec::Dp],
+        "bottom_up" => vec![SegmenterSpec::BottomUp],
+        "fluss" => vec![SegmenterSpec::fluss(window)],
+        "nnsegment" => vec![SegmenterSpec::nnsegment(window)],
+        "all" => SegmenterSpec::all_with_window(window).to_vec(),
+        other => panic!(
+            "unknown --segmenter {other:?} \
+             (expected dp, bottom_up, fluss, nnsegment or all)"
+        ),
+    }
 }
 
 /// The rotating explain mix: differing K, top-m, metric, smoothing and
@@ -81,6 +109,7 @@ fn request(i: usize, points: usize) -> ExplainRequest {
 
 fn main() {
     let args = parse_args();
+    let strategies = strategy_mix(&args.segmenter, args.points);
     let data = SyntheticDataset::generate(SyntheticConfig {
         n_points: args.points,
         seed: 42,
@@ -105,8 +134,8 @@ fn main() {
     };
     println!(
         "loadgen: {} clients x {} rounds against http://{addr} \
-         ({} workers, {} MiB budget, {} points)",
-        args.clients, args.rounds, args.workers, args.budget_mb, args.points
+         ({} workers, {} MiB budget, {} points, segmenter {})",
+        args.clients, args.rounds, args.workers, args.budget_mb, args.points, args.segmenter
     );
 
     // The shared tenant everyone explains.
@@ -120,16 +149,17 @@ fn main() {
         .dataset_id;
 
     // Fire. Each client owns one connection, one private tenant, and a
-    // deterministic mixed workload.
+    // deterministic mixed workload rotating through the strategy mix.
     let started = Instant::now();
     let workers: Vec<_> = (0..args.clients)
         .map(|c| {
             let schema = schema.clone();
             let query = query.clone();
             let data = data.clone();
+            let strategies = strategies.clone();
             let rounds = args.rounds;
             let points = args.points;
-            std::thread::spawn(move || -> Vec<(&'static str, Duration)> {
+            std::thread::spawn(move || -> Vec<(String, Duration)> {
                 let mut lat = Vec::with_capacity(rounds * 2 + 2);
                 let mut client = Client::new(addr);
                 let head = points / 2;
@@ -138,44 +168,46 @@ fn main() {
                     .register(&schema, &query, &data.rows_between(0, head))
                     .expect("register a private tenant")
                     .dataset_id;
-                lat.push(("register", t0.elapsed()));
+                lat.push(("register".to_string(), t0.elapsed()));
                 // Stream the remaining history in across the rounds.
                 let tail: Vec<usize> = (head..points).collect();
                 let chunk = (tail.len() / rounds.min(tail.len()).max(1)).max(1);
                 let mut fed = head;
                 for round in 0..rounds {
+                    let spec = strategies[(c + round) % strategies.len()];
+                    let shared_request = request(c + round, points).with_segmenter(spec);
                     let t0 = Instant::now();
                     client
-                        .explain(shared, &request(c + round, points))
+                        .explain(shared, &shared_request)
                         .expect("shared explain");
-                    lat.push(("explain(shared)", t0.elapsed()));
+                    lat.push((format!("explain(shared,{})", spec.name()), t0.elapsed()));
                     if fed < points {
                         let hi = (fed + chunk).min(points);
                         let t0 = Instant::now();
                         client
                             .append_rows(own, &data.rows_between(fed, hi))
                             .expect("append");
-                        lat.push(("append(own)", t0.elapsed()));
+                        lat.push(("append(own)".to_string(), t0.elapsed()));
                         fed = hi;
                     }
+                    let own_spec = strategies[round % strategies.len()];
+                    let own_request = request(round, points).with_segmenter(own_spec);
                     let t0 = Instant::now();
-                    client
-                        .explain(own, &request(round, points))
-                        .expect("own explain");
-                    lat.push(("explain(own)", t0.elapsed()));
+                    client.explain(own, &own_request).expect("own explain");
+                    lat.push((format!("explain(own,{})", own_spec.name()), t0.elapsed()));
                 }
                 lat
             })
         })
         .collect();
 
-    let mut all: Vec<(&'static str, Duration)> = Vec::new();
+    let mut all: Vec<(String, Duration)> = Vec::new();
     for worker in workers {
         all.extend(worker.join().expect("client thread panicked"));
     }
     let wall = started.elapsed();
 
-    // Report: throughput + per-op latency percentiles.
+    // Report: throughput + per-op (and per-strategy) latency percentiles.
     let total = all.len();
     println!(
         "\n{} requests in {:.2?} -> {:.0} req/s over {} concurrent clients\n",
@@ -185,13 +217,20 @@ fn main() {
         args.clients
     );
     println!(
-        "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "{:<26} {:>7} {:>10} {:>10} {:>10} {:>10}",
         "operation", "count", "p50", "p90", "p99", "max"
     );
-    for op in ["register", "explain(shared)", "explain(own)", "append(own)"] {
+    let mut ops: Vec<&str> = Vec::new();
+    for (op, _) in &all {
+        if !ops.contains(&op.as_str()) {
+            ops.push(op);
+        }
+    }
+    ops.sort_unstable();
+    for op in ops {
         let mut lats: Vec<Duration> = all
             .iter()
-            .filter(|(o, _)| *o == op)
+            .filter(|(o, _)| o == op)
             .map(|(_, d)| *d)
             .collect();
         if lats.is_empty() {
@@ -199,7 +238,7 @@ fn main() {
         }
         lats.sort_unstable();
         println!(
-            "{:<16} {:>7} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
+            "{:<26} {:>7} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
             op,
             lats.len(),
             percentile(&lats, 50.0),

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use tsexplain::{ExplainResult, Optimizations, TsExplain, TsExplainConfig};
+use tsexplain::{ExplainRequest, ExplainResult, ExplainSession, Optimizations};
 use tsexplain_baselines::{bottom_up, fluss, nnsegment};
 use tsexplain_cube::{CubeConfig, ExplanationCube};
 use tsexplain_datagen::Workload;
@@ -41,14 +41,21 @@ pub fn explain_with(
     fixed_k: Option<usize>,
     smoothing: usize,
 ) -> ExplainResult {
-    let mut config = TsExplainConfig::new(workload.explain_by.clone())
+    let mut request = ExplainRequest::new(workload.explain_by.clone())
         .with_optimizations(optimizations)
         .with_smoothing(smoothing);
     if let Some(k) = fixed_k {
-        config = config.with_fixed_k(k);
+        request = request.with_fixed_k(k);
     }
-    TsExplain::new(config)
-        .explain(&workload.relation, &workload.query)
+    explain_request(workload, &request)
+}
+
+/// Answers one request against a one-shot session over the workload — the
+/// harness's end-to-end entry point (precompute + pipeline per call).
+pub fn explain_request(workload: &Workload, request: &ExplainRequest) -> ExplainResult {
+    ExplainSession::new(workload.relation.clone(), workload.query.clone())
+        .expect("workload registers")
+        .explain(request)
         .expect("workload must be explainable")
 }
 

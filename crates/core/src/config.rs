@@ -1,24 +1,4 @@
-use tsexplain_diff::DiffMetric;
-use tsexplain_segment::{SketchConfig, VarianceMetric};
-
-/// How the number of segments K is chosen.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum KSelection {
-    /// Pick K automatically with the elbow method over `1..=max_k`
-    /// (paper §6; K capped at 20 for user-perception reasons).
-    Auto {
-        /// Upper bound on K (paper default: 20).
-        max_k: usize,
-    },
-    /// Use exactly this K.
-    Fixed(usize),
-}
-
-impl Default for KSelection {
-    fn default() -> Self {
-        KSelection::Auto { max_k: 20 }
-    }
-}
+use tsexplain_segment::SketchConfig;
 
 /// The three speed optimizations of §5.3 / §7.5, independently toggleable
 /// exactly as in the paper's Fig. 15 ablation
@@ -85,111 +65,9 @@ impl Default for Optimizations {
     }
 }
 
-/// Full engine configuration. Defaults follow the paper: m = 3, β̄ = 3,
-/// absolute-change, the `tse` variance, elbow-selected K ≤ 20, all
-/// optimizations on, no smoothing.
-#[derive(Clone, Debug)]
-pub struct TsExplainConfig {
-    /// Explain-by attributes A (user-supplied domain knowledge, §7.1).
-    pub explain_by: Vec<String>,
-    /// Number of explanations per segment m (paper default 3).
-    pub top_m: usize,
-    /// Maximum explanation order β̄ (paper default 3).
-    pub max_order: usize,
-    /// Difference metric γ.
-    pub diff_metric: DiffMetric,
-    /// Within-segment variance design.
-    pub variance_metric: VarianceMetric,
-    /// K selection policy.
-    pub k: KSelection,
-    /// Speed optimizations.
-    pub optimizations: Optimizations,
-    /// Centered moving-average window applied to the cube before
-    /// explaining (`<= 1` = off; §7.4 "for very fuzzy datasets").
-    pub smoothing_window: usize,
-}
-
-impl TsExplainConfig {
-    /// A configuration with the paper's defaults for the given explain-by
-    /// attributes.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(explain_by: I) -> Self {
-        TsExplainConfig {
-            explain_by: explain_by.into_iter().map(Into::into).collect(),
-            top_m: 3,
-            max_order: 3,
-            diff_metric: DiffMetric::AbsoluteChange,
-            variance_metric: VarianceMetric::Tse,
-            k: KSelection::default(),
-            optimizations: Optimizations::default(),
-            smoothing_window: 1,
-        }
-    }
-
-    /// Sets m.
-    pub fn with_top_m(mut self, m: usize) -> Self {
-        self.top_m = m;
-        self
-    }
-
-    /// Sets β̄.
-    pub fn with_max_order(mut self, order: usize) -> Self {
-        self.max_order = order;
-        self
-    }
-
-    /// Sets the difference metric.
-    pub fn with_diff_metric(mut self, metric: DiffMetric) -> Self {
-        self.diff_metric = metric;
-        self
-    }
-
-    /// Sets the variance metric.
-    pub fn with_variance_metric(mut self, metric: VarianceMetric) -> Self {
-        self.variance_metric = metric;
-        self
-    }
-
-    /// Fixes K.
-    pub fn with_fixed_k(mut self, k: usize) -> Self {
-        self.k = KSelection::Fixed(k);
-        self
-    }
-
-    /// Sets the elbow cap.
-    pub fn with_max_k(mut self, max_k: usize) -> Self {
-        self.k = KSelection::Auto { max_k };
-        self
-    }
-
-    /// Sets the optimization bundle.
-    pub fn with_optimizations(mut self, optimizations: Optimizations) -> Self {
-        self.optimizations = optimizations;
-        self
-    }
-
-    /// Sets the smoothing window.
-    pub fn with_smoothing(mut self, window: usize) -> Self {
-        self.smoothing_window = window;
-        self
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn defaults_match_paper() {
-        let c = TsExplainConfig::new(["state"]);
-        assert_eq!(c.top_m, 3);
-        assert_eq!(c.max_order, 3);
-        assert_eq!(c.diff_metric, DiffMetric::AbsoluteChange);
-        assert_eq!(c.variance_metric, VarianceMetric::Tse);
-        assert_eq!(c.k, KSelection::Auto { max_k: 20 });
-        assert_eq!(c.optimizations.filter_ratio, Some(0.001));
-        assert_eq!(c.optimizations.guess_and_verify, Some(30));
-        assert!(c.optimizations.sketching.is_some());
-    }
 
     #[test]
     fn optimization_presets() {
@@ -198,17 +76,6 @@ mod tests {
         assert!(Optimizations::o1().sketching.is_none());
         assert!(Optimizations::o2().sketching.is_some());
         assert!(Optimizations::o2().guess_and_verify.is_none());
-    }
-
-    #[test]
-    fn builder_methods_chain() {
-        let c = TsExplainConfig::new(["a", "b"])
-            .with_top_m(5)
-            .with_fixed_k(4)
-            .with_smoothing(7);
-        assert_eq!(c.top_m, 5);
-        assert_eq!(c.k, KSelection::Fixed(4));
-        assert_eq!(c.smoothing_window, 7);
-        assert_eq!(c.explain_by, vec!["a", "b"]);
+        assert_eq!(Optimizations::default(), Optimizations::all());
     }
 }

@@ -74,10 +74,17 @@
 //! [`DEFAULT_CUBE_CACHE_BUDGET`]). The `tsexplain-server` crate serves the
 //! registry over HTTP/JSON.
 //!
-//! The pre-session entry point [`TsExplain::explain`] remains as a
-//! compatibility shim (one-shot session per call) and is slated for
-//! deprecation; hold a session instead whenever more than one query hits
-//! the same data.
+//! ## Pluggable segmentation strategies
+//!
+//! The paper's central comparison (§7.2) pits the explanation-aware DP
+//! against shape-only baselines. [`SegmenterSpec`] makes the strategy a
+//! per-request, serializable parameter — `ExplainRequest::new([...])
+//! .with_segmenter(SegmenterSpec::BottomUp)` runs bottom-up (likewise
+//! FLUSS and NNSegment, each with a validated window) through the *same*
+//! cube-backed explanation stage as the DP, and
+//! [`ExplainResult::strategy`] records which strategy answered. Cube cache
+//! keys are strategy-independent, so all four strategies share one cube
+//! per session.
 //!
 //! The pipeline (paper Fig. 7) is: **(a)** precompute the per-explanation
 //! series cube, **(b)** derive top-m non-overlapping explanations per
@@ -87,22 +94,20 @@
 //! individually toggleable via [`Optimizations`].
 
 mod config;
-mod elbow;
-mod engine;
 mod error;
 mod latency;
+mod pipeline;
 mod recommend;
 mod registry;
 mod request;
 mod result;
 mod seasonal;
+mod segmenter;
 mod serde_impls;
 mod session;
 mod streaming;
 
-pub use config::{KSelection, Optimizations, TsExplainConfig};
-pub use elbow::elbow_k;
-pub use engine::TsExplain;
+pub use config::Optimizations;
 pub use error::TsExplainError;
 pub use latency::LatencyBreakdown;
 pub use recommend::{recommend_explain_by, AttributeScore};
@@ -113,6 +118,7 @@ pub use registry::{
 pub use request::{ExplainRequest, InvalidRequest};
 pub use result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 pub use seasonal::{classical_decompose, Decomposition};
+pub use segmenter::{default_window_for, SegmenterSpec, STRATEGIES};
 pub use session::{ExplainSession, Explainer, SessionStats, DEFAULT_CUBE_CACHE_BUDGET};
 pub use streaming::StreamingExplainer;
 
@@ -123,4 +129,7 @@ pub use tsexplain_relation::{
     AggFn, AggQuery, AggState, AttrValue, Conjunction, Datum, Field, MeasureExpr, Predicate,
     Relation, Schema,
 };
-pub use tsexplain_segment::{Segmentation, SketchConfig, VarianceMetric};
+pub use tsexplain_segment::{
+    elbow_k, DpSegmenter, KSelection, Segmentation, Segmenter, SegmenterOutcome, SketchConfig,
+    VarianceMetric,
+};

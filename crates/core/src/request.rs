@@ -2,18 +2,19 @@
 //!
 //! A [`crate::ExplainSession`] registers a relation and an aggregation
 //! query once; every subsequent question an analyst asks — different K,
-//! different top-m, a different difference metric, a restricted time window
-//! — is an [`ExplainRequest`]. Requests are cheap values, validated
-//! upfront ([`InvalidRequest`]), and serializable, so they can cross a
-//! service boundary as JSON.
+//! different top-m, a different difference metric, a restricted time window,
+//! a different segmentation strategy — is an [`ExplainRequest`]. Requests
+//! are cheap values, validated upfront ([`InvalidRequest`]), and
+//! serializable, so they can cross a service boundary as JSON.
 
 use std::fmt;
 
 use tsexplain_diff::DiffMetric;
 use tsexplain_relation::{AttrValue, ColumnType, Schema};
-use tsexplain_segment::{SketchConfig, VarianceMetric};
+use tsexplain_segment::{KSelection, SketchConfig, VarianceMetric};
 
-use crate::config::{KSelection, Optimizations, TsExplainConfig};
+use crate::config::Optimizations;
+use crate::segmenter::SegmenterSpec;
 
 /// A rejected [`ExplainRequest`], detected before any pipeline work runs.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +55,18 @@ pub enum InvalidRequest {
     /// The session's query references a measure column that does not
     /// exist.
     UnknownMeasure(String),
+    /// A window-parameterized segmentation strategy (FLUSS, NNSegment)
+    /// was given a window the strategy cannot run with: below 2, or too
+    /// large for the (possibly time-sliced) series.
+    SegmenterWindow {
+        /// The strategy's wire name.
+        strategy: String,
+        /// The rejected window.
+        window: usize,
+        /// The series length it was checked against (0 when rejected
+        /// before the series length is known).
+        n: usize,
+    },
 }
 
 impl fmt::Display for InvalidRequest {
@@ -102,6 +115,24 @@ impl fmt::Display for InvalidRequest {
             InvalidRequest::UnknownMeasure(m) => {
                 write!(f, "measure column {m:?} does not exist in the relation")
             }
+            InvalidRequest::SegmenterWindow {
+                strategy,
+                window,
+                n,
+            } => {
+                if *n == 0 {
+                    write!(
+                        f,
+                        "segmenter {strategy:?} window {window} is too small (min 2)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "segmenter {strategy:?} window {window} is too large for a \
+                         series of {n} points"
+                    )
+                }
+            }
         }
     }
 }
@@ -110,9 +141,10 @@ impl std::error::Error for InvalidRequest {}
 
 /// One explanation query against a registered session (see module docs).
 ///
-/// Construction follows the builder idiom of [`TsExplainConfig`], with the
-/// paper's defaults: m = 3, β̄ = 3, absolute-change, `tse` variance,
-/// elbow-selected K ≤ 20, all optimizations, no smoothing, full horizon.
+/// Construction follows the builder idiom, with the paper's defaults:
+/// m = 3, β̄ = 3, absolute-change, `tse` variance, elbow-selected K ≤ 20,
+/// all optimizations, no smoothing, full horizon, the explanation-aware DP
+/// segmenter.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExplainRequest {
     explain_by: Vec<String>,
@@ -124,27 +156,24 @@ pub struct ExplainRequest {
     optimizations: Optimizations,
     smoothing_window: usize,
     time_range: Option<(AttrValue, AttrValue)>,
+    segmenter: SegmenterSpec,
 }
 
 impl ExplainRequest {
     /// A request with the paper's defaults for the given explain-by
     /// attributes.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(explain_by: I) -> Self {
-        ExplainRequest::from_config(&TsExplainConfig::new(explain_by))
-    }
-
-    /// Lifts a legacy [`TsExplainConfig`] into a request (full horizon).
-    pub fn from_config(config: &TsExplainConfig) -> Self {
         ExplainRequest {
-            explain_by: config.explain_by.clone(),
-            top_m: config.top_m,
-            max_order: config.max_order,
-            diff_metric: config.diff_metric,
-            variance_metric: config.variance_metric,
-            k: config.k,
-            optimizations: config.optimizations,
-            smoothing_window: config.smoothing_window,
+            explain_by: explain_by.into_iter().map(Into::into).collect(),
+            top_m: 3,
+            max_order: 3,
+            diff_metric: DiffMetric::AbsoluteChange,
+            variance_metric: VarianceMetric::Tse,
+            k: KSelection::default(),
+            optimizations: Optimizations::default(),
+            smoothing_window: 1,
             time_range: None,
+            segmenter: SegmenterSpec::default(),
         }
     }
 
@@ -193,6 +222,13 @@ impl ExplainRequest {
     /// Sets the pre-explanation smoothing window (`<= 1` = off).
     pub fn with_smoothing(mut self, window: usize) -> Self {
         self.smoothing_window = window;
+        self
+    }
+
+    /// Selects the segmentation strategy (default:
+    /// [`SegmenterSpec::Dp`], the paper's explanation-aware DP).
+    pub fn with_segmenter(mut self, segmenter: SegmenterSpec) -> Self {
+        self.segmenter = segmenter;
         self
     }
 
@@ -254,15 +290,21 @@ impl ExplainRequest {
         self.smoothing_window
     }
 
+    /// The segmentation strategy.
+    pub fn segmenter(&self) -> SegmenterSpec {
+        self.segmenter
+    }
+
     /// The time-range restriction, if any.
     pub fn time_range(&self) -> Option<&(AttrValue, AttrValue)> {
         self.time_range.as_ref()
     }
 
     /// Validates everything checkable without the series length: explain-by
-    /// attributes against the relation's schema, structural knobs, and K
-    /// being nonzero. `K ≤ n − 1` and the time window's population are
-    /// checked by the session once the series length is known.
+    /// attributes against the relation's schema, structural knobs, K being
+    /// nonzero, and the segmenter's window being at least 2. `K ≤ n − 1`
+    /// and window-vs-length feasibility are checked by the session once
+    /// the series length is known ([`ExplainRequest::validate_for_series`]).
     pub fn validate(&self, schema: &Schema, time_attr: &str) -> Result<(), InvalidRequest> {
         if self.explain_by.is_empty() {
             return Err(InvalidRequest::EmptyExplainBy);
@@ -293,18 +335,19 @@ impl ExplainRequest {
             }
             _ => {}
         }
-        Ok(())
+        self.segmenter.validate()
     }
 
-    /// Checks a fixed K against the (possibly window-restricted) series
-    /// length: an `n`-point series admits at most `n − 1` segments.
-    pub(crate) fn validate_k(&self, n: usize) -> Result<(), InvalidRequest> {
+    /// Checks the request against the (possibly window-restricted) series
+    /// length: a fixed K admits at most `n − 1` segments, and a
+    /// window-parameterized strategy must fit the series.
+    pub(crate) fn validate_for_series(&self, n: usize) -> Result<(), InvalidRequest> {
         if let KSelection::Fixed(k) = self.k {
             if k > n.saturating_sub(1) {
                 return Err(InvalidRequest::InfeasibleK { k, n });
             }
         }
-        Ok(())
+        self.segmenter.validate_for_series(n)
     }
 
     /// The sketch configuration, when O2 is enabled.
@@ -337,14 +380,18 @@ mod tests {
     }
 
     #[test]
-    fn defaults_mirror_config() {
+    fn defaults_match_paper() {
         let r = ExplainRequest::new(["state"]);
-        let c = TsExplainConfig::new(["state"]);
-        assert_eq!(r.top_m(), c.top_m);
-        assert_eq!(r.max_order(), c.max_order);
-        assert_eq!(r.diff_metric(), c.diff_metric);
-        assert_eq!(r.k_selection(), c.k);
+        assert_eq!(r.top_m(), 3);
+        assert_eq!(r.max_order(), 3);
+        assert_eq!(r.diff_metric(), DiffMetric::AbsoluteChange);
+        assert_eq!(r.variance_metric(), VarianceMetric::Tse);
+        assert_eq!(r.k_selection(), KSelection::Auto { max_k: 20 });
         assert_eq!(r.time_range(), None);
+        assert_eq!(r.segmenter(), SegmenterSpec::Dp);
+        assert_eq!(r.optimizations().filter_ratio, Some(0.001));
+        assert_eq!(r.optimizations().guess_and_verify, Some(30));
+        assert!(r.optimizations().sketching.is_some());
     }
 
     #[test]
@@ -353,10 +400,12 @@ mod tests {
             .with_top_m(5)
             .with_fixed_k(4)
             .with_diff_metric(DiffMetric::RelativeChange)
+            .with_segmenter(SegmenterSpec::fluss(12))
             .with_time_range("2020-01-01", "2020-06-30");
         assert_eq!(r.top_m(), 5);
         assert_eq!(r.k_selection(), KSelection::Fixed(4));
         assert_eq!(r.diff_metric(), DiffMetric::RelativeChange);
+        assert_eq!(r.segmenter(), SegmenterSpec::fluss(12));
         assert!(r.time_range().is_some());
         assert_eq!(r.with_full_horizon().time_range(), None);
     }
@@ -420,17 +469,53 @@ mod tests {
     }
 
     #[test]
+    fn validation_catches_degenerate_windows() {
+        let s = schema();
+        for spec in [SegmenterSpec::fluss(0), SegmenterSpec::nnsegment(1)] {
+            let err = ExplainRequest::new(["state"])
+                .with_segmenter(spec)
+                .validate(&s, "date")
+                .unwrap_err();
+            assert!(
+                matches!(err, InvalidRequest::SegmenterWindow { n: 0, .. }),
+                "{spec}: {err:?}"
+            );
+        }
+        assert!(ExplainRequest::new(["state"])
+            .with_segmenter(SegmenterSpec::fluss(2))
+            .validate(&s, "date")
+            .is_ok());
+    }
+
+    #[test]
     fn k_feasibility_against_series_length() {
         let r = ExplainRequest::new(["state"]).with_fixed_k(29);
-        assert!(r.validate_k(30).is_ok());
+        assert!(r.validate_for_series(30).is_ok());
         let r = ExplainRequest::new(["state"]).with_fixed_k(30);
         assert_eq!(
-            r.validate_k(30),
+            r.validate_for_series(30),
             Err(InvalidRequest::InfeasibleK { k: 30, n: 30 })
         );
         // Auto K is clamped, never infeasible.
         let r = ExplainRequest::new(["state"]).with_max_k(500);
-        assert!(r.validate_k(30).is_ok());
+        assert!(r.validate_for_series(30).is_ok());
+    }
+
+    #[test]
+    fn window_feasibility_against_series_length() {
+        let r = ExplainRequest::new(["state"]).with_segmenter(SegmenterSpec::fluss(10));
+        assert!(r.validate_for_series(22).is_ok());
+        assert_eq!(
+            r.validate_for_series(20),
+            Err(InvalidRequest::SegmenterWindow {
+                strategy: "fluss".into(),
+                window: 10,
+                n: 20
+            })
+        );
+        // An exclusion zone spanning the series is rejected for NNSegment.
+        let r = ExplainRequest::new(["state"]).with_segmenter(SegmenterSpec::nnsegment(30));
+        assert!(r.validate_for_series(30).is_err());
     }
 
     #[test]
@@ -447,5 +532,12 @@ mod tests {
         }
         .to_string()
         .contains("fewer than two points"));
+        assert!(InvalidRequest::SegmenterWindow {
+            strategy: "fluss".into(),
+            window: 40,
+            n: 30
+        }
+        .to_string()
+        .contains("too large"));
     }
 }

@@ -63,6 +63,9 @@ pub struct PipelineStats {
 /// The full output of one `explain()` call.
 #[derive(Clone, Debug)]
 pub struct ExplainResult {
+    /// Wire name of the segmentation strategy that produced this result
+    /// (`"dp"`, `"bottom_up"`, `"fluss"`, `"nnsegment"`).
+    pub strategy: String,
     /// The chosen segmentation scheme.
     pub segmentation: Segmentation,
     /// The chosen K (elbow-selected or fixed).
@@ -149,6 +152,7 @@ mod tests {
 
     fn sample() -> ExplainResult {
         ExplainResult {
+            strategy: "dp".into(),
             segmentation: Segmentation::new(5, vec![2]).unwrap(),
             chosen_k: 2,
             k_variance_curve: vec![(1, 3.0), (2, 1.0)],

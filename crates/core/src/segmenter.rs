@@ -1,0 +1,228 @@
+//! The serializable segmentation-strategy selector of the serving API.
+//!
+//! The paper's central comparison (§7.2) pits the explanation-aware DP
+//! against three shape-only baselines. [`SegmenterSpec`] makes that choice
+//! a first-class, wire-crossable request parameter: every
+//! [`crate::ExplainRequest`] names its strategy, the session runs whatever
+//! was asked against the *same* cached cube (cube cache keys are
+//! strategy-independent), and [`crate::ExplainResult::strategy`] records
+//! which one produced the answer. Per-strategy parameters (the FLUSS /
+//! NNSegment windows) are validated upfront, before any pipeline work.
+
+use std::fmt;
+
+use tsexplain_baselines::{BottomUpSegmenter, FlussSegmenter, NnSegmentSegmenter};
+use tsexplain_segment::{DpSegmenter, Segmenter};
+
+use crate::request::InvalidRequest;
+
+/// Which segmentation strategy a request runs (default: the paper's DP).
+///
+/// Window-parameterized strategies carry their window here, so a spec is
+/// self-contained and serializable (`{"strategy": "fluss", "window": 12}`
+/// on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SegmenterSpec {
+    /// The explanation-aware K-Segmentation DP (paper §5) — the default.
+    #[default]
+    Dp,
+    /// Bottom-up piecewise-linear approximation (paper ref. 21).
+    BottomUp,
+    /// FLUSS semantic segmentation (paper ref. 9) with subsequence window
+    /// `w` (needs `n ≥ 2w + 2`).
+    Fluss {
+        /// Subsequence window length.
+        window: usize,
+    },
+    /// The NNSegment / LimeSegment approximation (paper ref. 42) with
+    /// adjacent-window length and exclusion zone `w` (needs `n ≥ 2w + 1`).
+    NnSegment {
+        /// Adjacent-window length.
+        window: usize,
+    },
+}
+
+/// The four strategy names, in the paper's order (DP first) — what a
+/// `/compare` fan-out runs.
+pub const STRATEGIES: [&str; 4] = ["dp", "bottom_up", "fluss", "nnsegment"];
+
+impl SegmenterSpec {
+    /// The FLUSS spec with window `w`.
+    pub fn fluss(window: usize) -> Self {
+        SegmenterSpec::Fluss { window }
+    }
+
+    /// The NNSegment spec with window `w`.
+    pub fn nnsegment(window: usize) -> Self {
+        SegmenterSpec::NnSegment { window }
+    }
+
+    /// All four strategies sharing one explicit `window` — THE fan-out
+    /// set (`/compare`, `loadgen --segmenter all`), in [`STRATEGIES`]
+    /// order.
+    pub fn all_with_window(window: usize) -> [SegmenterSpec; 4] {
+        [
+            SegmenterSpec::Dp,
+            SegmenterSpec::BottomUp,
+            SegmenterSpec::fluss(window),
+            SegmenterSpec::nnsegment(window),
+        ]
+    }
+
+    /// All four strategies for a series of `n` points, windows auto-sized
+    /// via [`default_window_for`].
+    pub fn all_for(n: usize) -> [SegmenterSpec; 4] {
+        SegmenterSpec::all_with_window(default_window_for(n))
+    }
+
+    /// The stable wire name (`"dp"`, `"bottom_up"`, `"fluss"`,
+    /// `"nnsegment"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SegmenterSpec::Dp => "dp",
+            SegmenterSpec::BottomUp => "bottom_up",
+            SegmenterSpec::Fluss { .. } => "fluss",
+            SegmenterSpec::NnSegment { .. } => "nnsegment",
+        }
+    }
+
+    /// The window parameter, for strategies that have one.
+    pub fn window(&self) -> Option<usize> {
+        match self {
+            SegmenterSpec::Fluss { window } | SegmenterSpec::NnSegment { window } => Some(*window),
+            _ => None,
+        }
+    }
+
+    /// Whether the strategy cuts only at candidate positions (the DP), as
+    /// opposed to segmenting the full-resolution aggregate. Sketch
+    /// selection (O2) is only worth computing for the former.
+    pub fn uses_candidate_positions(&self) -> bool {
+        matches!(self, SegmenterSpec::Dp)
+    }
+
+    /// Structural validation that needs no series length: a window, where
+    /// present, must be at least 2.
+    pub(crate) fn validate(&self) -> Result<(), InvalidRequest> {
+        match self.window() {
+            Some(w) if w < 2 => Err(InvalidRequest::SegmenterWindow {
+                strategy: self.name().to_string(),
+                window: w,
+                n: 0,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Validates the window against the (possibly time-sliced) series
+    /// length `n`: FLUSS needs `n ≥ 2w + 2` (two non-overlapping
+    /// subsequences plus a boundary), NNSegment `n ≥ 2w + 1` (two adjacent
+    /// windows around an interior split) — below that the strategy cannot
+    /// propose a single cut and the request is rejected upfront.
+    pub(crate) fn validate_for_series(&self, n: usize) -> Result<(), InvalidRequest> {
+        let feasible = match self {
+            SegmenterSpec::Dp | SegmenterSpec::BottomUp => true,
+            SegmenterSpec::Fluss { window } => n >= 2 * window + 2,
+            SegmenterSpec::NnSegment { window } => n > 2 * window,
+        };
+        if feasible {
+            Ok(())
+        } else {
+            Err(InvalidRequest::SegmenterWindow {
+                strategy: self.name().to_string(),
+                window: self.window().unwrap_or(0),
+                n,
+            })
+        }
+    }
+
+    /// Instantiates the strategy behind the spec.
+    pub fn build(&self) -> Box<dyn Segmenter> {
+        match *self {
+            SegmenterSpec::Dp => Box::new(DpSegmenter),
+            SegmenterSpec::BottomUp => Box::new(BottomUpSegmenter),
+            SegmenterSpec::Fluss { window } => Box::new(FlussSegmenter { window }),
+            SegmenterSpec::NnSegment { window } => Box::new(NnSegmentSegmenter { window }),
+        }
+    }
+}
+
+impl fmt::Display for SegmenterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.window() {
+            Some(w) => write!(f, "{}(window={w})", self.name()),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// A serviceable default window for the window-parameterized strategies on
+/// an `n`-point series: `clamp(n / 8, 2, 25)`. Always feasible for
+/// `n ≥ 6` under both strategies' length requirements.
+pub fn default_window_for(n: usize) -> usize {
+    (n / 8).clamp(2, 25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_windows() {
+        assert_eq!(SegmenterSpec::default(), SegmenterSpec::Dp);
+        assert_eq!(SegmenterSpec::Dp.name(), "dp");
+        assert_eq!(SegmenterSpec::fluss(9).window(), Some(9));
+        assert_eq!(SegmenterSpec::BottomUp.window(), None);
+        assert_eq!(
+            SegmenterSpec::nnsegment(4).to_string(),
+            "nnsegment(window=4)"
+        );
+        let names: Vec<&str> = SegmenterSpec::all_for(64)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(names, STRATEGIES);
+    }
+
+    #[test]
+    fn structural_window_validation() {
+        assert!(SegmenterSpec::fluss(1).validate().is_err());
+        assert!(SegmenterSpec::nnsegment(0).validate().is_err());
+        assert!(SegmenterSpec::fluss(2).validate().is_ok());
+        assert!(SegmenterSpec::Dp.validate().is_ok());
+    }
+
+    #[test]
+    fn series_length_window_validation() {
+        // FLUSS: n ≥ 2w + 2.
+        assert!(SegmenterSpec::fluss(10).validate_for_series(22).is_ok());
+        assert!(SegmenterSpec::fluss(10).validate_for_series(21).is_err());
+        // NNSegment: n ≥ 2w + 1.
+        assert!(SegmenterSpec::nnsegment(10).validate_for_series(21).is_ok());
+        assert!(SegmenterSpec::nnsegment(10)
+            .validate_for_series(20)
+            .is_err());
+        // Window-free strategies never fail here.
+        assert!(SegmenterSpec::Dp.validate_for_series(2).is_ok());
+        assert!(SegmenterSpec::BottomUp.validate_for_series(2).is_ok());
+    }
+
+    #[test]
+    fn default_windows_are_always_feasible() {
+        for n in 6..500 {
+            let w = default_window_for(n);
+            assert!(
+                SegmenterSpec::fluss(w).validate_for_series(n).is_ok(),
+                "n={n}"
+            );
+            assert!(SegmenterSpec::nnsegment(w).validate_for_series(n).is_ok());
+        }
+    }
+
+    #[test]
+    fn build_produces_the_named_strategy() {
+        for spec in SegmenterSpec::all_for(40) {
+            assert_eq!(spec.build().name(), spec.name());
+        }
+    }
+}

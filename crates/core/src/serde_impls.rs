@@ -3,16 +3,33 @@
 //! service boundary as JSON.
 //!
 //! Deserialized responses are structurally revalidated where it matters —
-//! a [`Segmentation`] re-runs its invariant checks on the way in — and the
-//! encoding is stable: plain objects with snake_case members, enums as
-//! their paper-facing names.
+//! a [`Segmentation`](tsexplain_segment::Segmentation) re-runs its
+//! invariant checks on the way in — and the encoding is stable: plain
+//! objects with snake_case members, enums as their paper-facing names.
+//! Requests deserialize *default-tolerantly*: only `explain_by` is
+//! required, every other member falls back to the paper's default when
+//! absent — `{"explain_by": ["state"]}` is a complete wire request, and
+//! `{"explain_by": ["state"], "segmenter": {"strategy": "fluss",
+//! "window": 12}}` selects a baseline strategy.
 
 use serde::{Deserialize, Error, Serialize, Value};
 
-use crate::config::{KSelection, Optimizations};
+use tsexplain_segment::KSelection;
+
+use crate::config::Optimizations;
 use crate::latency::LatencyBreakdown;
 use crate::request::ExplainRequest;
 use crate::result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
+use crate::segmenter::SegmenterSpec;
+
+/// Deserializes an optional object member, substituting `default` when the
+/// member is absent or JSON `null` — the request layer's tolerance rule.
+fn field_or<T: Deserialize>(value: &Value, key: &str, default: T) -> Result<T, Error> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(member) => T::deserialize(member).map_err(|e| e.contextualize(key)),
+    }
+}
 
 impl Serialize for LatencyBreakdown {
     fn serialize(&self) -> Value {
@@ -111,6 +128,7 @@ impl Deserialize for SegmentExplanation {
 impl Serialize for ExplainResult {
     fn serialize(&self) -> Value {
         Value::object([
+            ("strategy", self.strategy.serialize()),
             ("segmentation", self.segmentation.serialize()),
             ("chosen_k", self.chosen_k.serialize()),
             ("k_variance_curve", self.k_variance_curve.serialize()),
@@ -127,6 +145,8 @@ impl Serialize for ExplainResult {
 impl Deserialize for ExplainResult {
     fn deserialize(value: &Value) -> Result<Self, Error> {
         Ok(ExplainResult {
+            // Results predating the strategy field default to the DP.
+            strategy: field_or(value, "strategy", "dp".to_string())?,
             segmentation: value.field("segmentation")?,
             chosen_k: value.field("chosen_k")?,
             k_variance_curve: value.field("k_variance_curve")?,
@@ -137,35 +157,6 @@ impl Deserialize for ExplainResult {
             latency: value.field("latency")?,
             stats: value.field("stats")?,
         })
-    }
-}
-
-impl Serialize for KSelection {
-    fn serialize(&self) -> Value {
-        match self {
-            KSelection::Auto { max_k } => Value::object([
-                ("mode", Value::String("auto".into())),
-                ("max_k", max_k.serialize()),
-            ]),
-            KSelection::Fixed(k) => Value::object([
-                ("mode", Value::String("fixed".into())),
-                ("k", k.serialize()),
-            ]),
-        }
-    }
-}
-
-impl Deserialize for KSelection {
-    fn deserialize(value: &Value) -> Result<Self, Error> {
-        match value.get("mode").and_then(Value::as_str) {
-            Some("auto") => Ok(KSelection::Auto {
-                max_k: value.field("max_k")?,
-            }),
-            Some("fixed") => Ok(KSelection::Fixed(value.field("k")?)),
-            _ => Err(Error::new(
-                "expected K selection mode \"auto\" or \"fixed\"",
-            )),
-        }
     }
 }
 
@@ -189,6 +180,39 @@ impl Deserialize for Optimizations {
     }
 }
 
+impl Serialize for SegmenterSpec {
+    fn serialize(&self) -> Value {
+        let mut members = vec![("strategy", Value::String(self.name().into()))];
+        if let Some(w) = self.window() {
+            members.push(("window", w.serialize()));
+        }
+        Value::object(members)
+    }
+}
+
+impl Deserialize for SegmenterSpec {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let name = value
+            .get("strategy")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::new("expected a segmenter object with a \"strategy\" member"))?;
+        match name {
+            "dp" => Ok(SegmenterSpec::Dp),
+            "bottom_up" => Ok(SegmenterSpec::BottomUp),
+            "fluss" => Ok(SegmenterSpec::Fluss {
+                window: value.field("window")?,
+            }),
+            "nnsegment" => Ok(SegmenterSpec::NnSegment {
+                window: value.field("window")?,
+            }),
+            other => Err(Error::new(format!(
+                "unknown segmentation strategy {other:?} \
+                 (expected \"dp\", \"bottom_up\", \"fluss\" or \"nnsegment\")"
+            ))),
+        }
+    }
+}
+
 impl Serialize for ExplainRequest {
     fn serialize(&self) -> Value {
         Value::object([
@@ -201,6 +225,7 @@ impl Serialize for ExplainRequest {
             ("optimizations", self.optimizations().serialize()),
             ("smoothing_window", self.smoothing_window().serialize()),
             ("time_range", self.time_range().serialize()),
+            ("segmenter", self.segmenter().serialize()),
         ])
     }
 }
@@ -208,21 +233,30 @@ impl Serialize for ExplainRequest {
 impl Deserialize for ExplainRequest {
     fn deserialize(value: &Value) -> Result<Self, Error> {
         let explain_by: Vec<String> = value.field("explain_by")?;
+        let defaults = ExplainRequest::new(Vec::<String>::new());
         let mut request = ExplainRequest::new(explain_by)
-            .with_top_m(value.field("top_m")?)
-            .with_max_order(value.field("max_order")?)
-            .with_diff_metric(value.field("diff_metric")?)
-            .with_variance_metric(value.field("variance_metric")?)
-            .with_optimizations(value.field("optimizations")?)
-            .with_smoothing(value.field("smoothing_window")?);
-        request = match value.field::<KSelection>("k")? {
+            .with_top_m(field_or(value, "top_m", defaults.top_m())?)
+            .with_max_order(field_or(value, "max_order", defaults.max_order())?)
+            .with_diff_metric(field_or(value, "diff_metric", defaults.diff_metric())?)
+            .with_variance_metric(field_or(
+                value,
+                "variance_metric",
+                defaults.variance_metric(),
+            )?)
+            .with_optimizations(field_or(value, "optimizations", defaults.optimizations())?)
+            .with_smoothing(field_or(
+                value,
+                "smoothing_window",
+                defaults.smoothing_window(),
+            )?)
+            .with_segmenter(field_or(value, "segmenter", defaults.segmenter())?);
+        request = match field_or(value, "k", defaults.k_selection())? {
             KSelection::Auto { max_k } => request.with_max_k(max_k),
             KSelection::Fixed(k) => request.with_fixed_k(k),
         };
-        if let Some((start, end)) = value
-            .field::<Option<(tsexplain_relation::AttrValue, tsexplain_relation::AttrValue)>>(
-                "time_range",
-            )?
+        if let Some((start, end)) = field_or::<
+            Option<(tsexplain_relation::AttrValue, tsexplain_relation::AttrValue)>,
+        >(value, "time_range", None)?
         {
             request = request.with_time_range(start, end);
         }
@@ -233,7 +267,6 @@ impl Deserialize for ExplainRequest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TsExplainConfig;
     use std::time::Duration;
     use tsexplain_diff::{DiffMetric, Effect};
     use tsexplain_relation::AttrValue;
@@ -241,6 +274,7 @@ mod tests {
 
     fn sample_result() -> ExplainResult {
         ExplainResult {
+            strategy: "dp".into(),
             segmentation: Segmentation::new(5, vec![2]).unwrap(),
             chosen_k: 2,
             k_variance_curve: vec![(1, 3.0), (2, 1.0)],
@@ -281,6 +315,7 @@ mod tests {
         let result = sample_result();
         let json = serde_json::to_string(&result).unwrap();
         let back: ExplainResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.strategy, result.strategy);
         assert_eq!(back.segmentation, result.segmentation);
         assert_eq!(back.chosen_k, result.chosen_k);
         assert_eq!(back.k_variance_curve, result.k_variance_curve);
@@ -306,6 +341,7 @@ mod tests {
             "\"chosen_k\": 2",
             "\"cube_from_cache\": true",
             "\"effect\": \"+\"",
+            "\"strategy\": \"dp\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -320,6 +356,7 @@ mod tests {
             .with_fixed_k(4)
             .with_smoothing(7)
             .with_optimizations(Optimizations::o1())
+            .with_segmenter(SegmenterSpec::nnsegment(6))
             .with_time_range("2020-01-01", "2020-06-30");
         let json = serde_json::to_string(&request).unwrap();
         let back: ExplainRequest = serde_json::from_str(&json).unwrap();
@@ -328,10 +365,70 @@ mod tests {
 
     #[test]
     fn default_request_roundtrips() {
-        let request = ExplainRequest::from_config(&TsExplainConfig::new(["a"]));
+        let request = ExplainRequest::new(["a"]);
         let back: ExplainRequest =
             serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
         assert_eq!(back, request);
+    }
+
+    #[test]
+    fn segmenter_specs_roundtrip() {
+        for spec in [
+            SegmenterSpec::Dp,
+            SegmenterSpec::BottomUp,
+            SegmenterSpec::fluss(12),
+            SegmenterSpec::nnsegment(8),
+        ] {
+            let back = SegmenterSpec::deserialize(&spec.serialize()).unwrap();
+            assert_eq!(back, spec);
+        }
+        // Window-free strategies omit the member entirely.
+        assert!(serde_json::to_string(&SegmenterSpec::Dp)
+            .unwrap()
+            .contains("\"strategy\":\"dp\""));
+        assert!(!serde_json::to_string(&SegmenterSpec::BottomUp)
+            .unwrap()
+            .contains("window"));
+    }
+
+    #[test]
+    fn segmenter_spec_rejects_garbage() {
+        let unknown = Value::object([("strategy", Value::String("kmeans".into()))]);
+        assert!(SegmenterSpec::deserialize(&unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("kmeans"));
+        // A windowed strategy without its window is incomplete.
+        let missing = Value::object([("strategy", Value::String("fluss".into()))]);
+        assert!(SegmenterSpec::deserialize(&missing)
+            .unwrap_err()
+            .to_string()
+            .contains("window"));
+        assert!(SegmenterSpec::deserialize(&Value::String("dp".into())).is_err());
+    }
+
+    #[test]
+    fn minimal_wire_requests_fall_back_to_defaults() {
+        let minimal: ExplainRequest = serde_json::from_str(r#"{"explain_by": ["state"]}"#).unwrap();
+        assert_eq!(minimal, ExplainRequest::new(["state"]));
+        let with_strategy: ExplainRequest = serde_json::from_str(
+            r#"{"explain_by": ["state"], "segmenter": {"strategy": "fluss", "window": 12}}"#,
+        )
+        .unwrap();
+        assert_eq!(with_strategy.segmenter(), SegmenterSpec::fluss(12));
+        assert_eq!(with_strategy.top_m(), 3);
+        // explain_by itself stays required.
+        assert!(serde_json::from_str::<ExplainRequest>("{}").is_err());
+    }
+
+    #[test]
+    fn results_without_a_strategy_field_default_to_dp() {
+        let mut value = serde_json::to_value(&sample_result());
+        if let Value::Object(map) = &mut value {
+            map.remove("strategy");
+        }
+        let back = ExplainResult::deserialize(&value).unwrap();
+        assert_eq!(back.strategy, "dp");
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! the explanation cube — and cheap per-query modules (Cascading
 //! Analysts plus K-Segmentation). An interactive analyst exploits exactly that split:
 //! they register a dataset once and then iterate on K, top-m, difference
-//! metric or time window, none of which invalidate the cube. The legacy
-//! [`crate::TsExplain::explain`] entry point rebuilt the cube on every
-//! call; [`ExplainSession`] instead owns a keyed cache of prepared cubes
+//! metric, time window or segmentation strategy, none of which invalidate
+//! the cube. [`ExplainSession`] owns a keyed cache of prepared cubes
 //! (keyed by explain-by set, max order and filter ratio, with finalized
 //! snapshots kept per smoothing window) and answers requests against it.
+//! Cache keys are deliberately *strategy-independent*: the DP and every
+//! §7.2 baseline adapter share one cube, so a `/compare` fan-out pays
+//! precompute once.
 //!
 //! Appending rows ([`ExplainSession::append_rows`]) extends every cached
 //! cube *incrementally at the tail* (`O(new rows)`), which is what makes
@@ -28,8 +30,8 @@ use tsexplain_relation::{
     AggQuery, AttrValue, Column, ColumnType, Datum, Relation, RelationError, Schema,
 };
 
-use crate::engine::explain_cube_request;
 use crate::error::TsExplainError;
+use crate::pipeline::explain_cube_request;
 use crate::request::{ExplainRequest, InvalidRequest};
 use crate::result::ExplainResult;
 
@@ -708,6 +710,22 @@ mod tests {
         assert!(r2.stats.cube_from_cache && r3.stats.cube_from_cache);
         assert_eq!(r2.chosen_k, 3);
         assert!(r3.segments.iter().all(|seg| seg.explanations.len() <= 1));
+    }
+
+    #[test]
+    fn all_strategies_share_one_cached_cube() {
+        use crate::segmenter::SegmenterSpec;
+        let mut s = session();
+        for spec in SegmenterSpec::all_for(21) {
+            let result = s.explain(&base_request().with_segmenter(spec)).unwrap();
+            assert_eq!(result.strategy, spec.name());
+        }
+        assert_eq!(
+            s.stats().cubes_built,
+            1,
+            "cube cache keys must be strategy-independent"
+        );
+        assert_eq!(s.stats().cube_cache_hits, 3);
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Property-based tests for the engine: result validity on arbitrary
-//! workloads, elbow sanity, and optimization-equivalence.
+//! Property-based tests for the serving pipeline: result validity on
+//! arbitrary workloads, elbow sanity, optimization-equivalence, and
+//! strategy-dispatch invariants.
 
 use proptest::prelude::*;
 use tsexplain::{
-    elbow_k, AggQuery, Datum, Field, KSelection, Optimizations, Relation, Schema, TsExplain,
-    TsExplainConfig,
+    elbow_k, AggQuery, Datum, ExplainRequest, ExplainSession, Field, KSelection, Optimizations,
+    Relation, Schema, SegmenterSpec,
 };
 
 fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
@@ -30,15 +31,21 @@ fn build(rows: &[(u8, u8, f64)]) -> Relation {
     b.finish()
 }
 
+fn explain(
+    rel: &Relation,
+    request: &ExplainRequest,
+) -> Result<tsexplain::ExplainResult, tsexplain::TsExplainError> {
+    ExplainSession::new(rel.clone(), AggQuery::sum("t", "v"))?.explain(request)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// `explain` produces a structurally valid result on any workload with
+    /// A session produces a structurally valid result on any workload with
     /// at least two timestamps.
     #[test]
     fn explain_result_is_valid(rows in rows_strategy()) {
         let rel = build(&rows);
-        let query = AggQuery::sum("t", "v");
         let n = match rel.dim_column("t") {
             Ok(col) => col.dict().len(),
             Err(_) => return Ok(()),
@@ -46,10 +53,9 @@ proptest! {
         if n < 2 {
             return Ok(());
         }
-        let engine = TsExplain::new(
-            TsExplainConfig::new(["a"]).with_optimizations(Optimizations::none()),
-        );
-        let result = engine.explain(&rel, &query).unwrap();
+        let request = ExplainRequest::new(["a"]).with_optimizations(Optimizations::none());
+        let result = explain(&rel, &request).unwrap();
+        prop_assert_eq!(result.strategy.as_str(), "dp");
         prop_assert_eq!(result.stats.n_points, n);
         prop_assert_eq!(result.segments.len(), result.chosen_k);
         prop_assert_eq!(result.segmentation.k(), result.chosen_k);
@@ -79,7 +85,6 @@ proptest! {
     #[test]
     fn o1_does_not_change_results(rows in rows_strategy(), k in 2usize..5) {
         let rel = build(&rows);
-        let query = AggQuery::sum("t", "v");
         let n = match rel.dim_column("t") {
             Ok(col) => col.dict().len(),
             Err(_) => return Ok(()),
@@ -88,12 +93,12 @@ proptest! {
             return Ok(());
         }
         let run = |optimizations: Optimizations| {
-            TsExplain::new(
-                TsExplainConfig::new(["a"])
+            explain(
+                &rel,
+                &ExplainRequest::new(["a"])
                     .with_optimizations(optimizations)
                     .with_fixed_k(k),
             )
-            .explain(&rel, &query)
             .unwrap()
         };
         let vanilla = run(Optimizations::none());
@@ -104,6 +109,77 @@ proptest! {
         });
         prop_assert_eq!(vanilla.segmentation.cuts(), o1.segmentation.cuts());
         prop_assert!((vanilla.total_variance - o1.total_variance).abs() < 1e-9);
+    }
+
+    /// The default request (no explicit segmenter) and an explicitly
+    /// DP-flagged request serialize to byte-identical results modulo
+    /// latency — the shim-era behaviour is exactly the default spec.
+    #[test]
+    fn default_spec_is_the_dp(rows in rows_strategy()) {
+        let rel = build(&rows);
+        let n = match rel.dim_column("t") {
+            Ok(col) => col.dict().len(),
+            Err(_) => return Ok(()),
+        };
+        if n < 2 {
+            return Ok(());
+        }
+        let base = ExplainRequest::new(["a"]).with_optimizations(Optimizations::none());
+        prop_assert_eq!(base.segmenter(), SegmenterSpec::Dp);
+        let implicit = explain(&rel, &base).unwrap();
+        let explicit = explain(&rel, &base.clone().with_segmenter(SegmenterSpec::Dp)).unwrap();
+        let canonical = |r: &tsexplain::ExplainResult| {
+            let mut v = serde_json::to_value(r);
+            if let serde::Value::Object(map) = &mut v {
+                map.remove("latency");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        prop_assert_eq!(canonical(&implicit), canonical(&explicit));
+    }
+
+    /// Every strategy yields a structurally valid scheme through the same
+    /// pipeline, and the DP's objective is never beaten at equal K.
+    #[test]
+    fn strategies_are_interchangeable(rows in rows_strategy(), k in 2usize..4) {
+        let rel = build(&rows);
+        let n = match rel.dim_column("t") {
+            Ok(col) => col.dict().len(),
+            Err(_) => return Ok(()),
+        };
+        // Window-parameterized strategies need room (n ≥ 2·2 + 2).
+        if n < k + 1 || n < 6 {
+            return Ok(());
+        }
+        let base = ExplainRequest::new(["a"])
+            .with_optimizations(Optimizations::none())
+            .with_fixed_k(k);
+        let dp = explain(&rel, &base).unwrap();
+        for spec in [
+            SegmenterSpec::BottomUp,
+            SegmenterSpec::fluss(2),
+            SegmenterSpec::nnsegment(2),
+        ] {
+            let result = explain(&rel, &base.clone().with_segmenter(spec)).unwrap();
+            prop_assert_eq!(result.strategy.as_str(), spec.name());
+            prop_assert_eq!(result.segments.len(), result.chosen_k);
+            prop_assert!(result.chosen_k <= k);
+            prop_assert!(result.total_variance.is_finite());
+            // A strategy may settle on fewer segments than requested (e.g.
+            // FLUSS deduplicating minima); compare the DP at the *same*
+            // segment count — where it is optimal by construction.
+            if let Some(&(_, dp_at_k)) = dp
+                .k_variance_curve
+                .iter()
+                .find(|&&(curve_k, _)| curve_k == result.chosen_k)
+            {
+                prop_assert!(
+                    dp_at_k <= result.total_variance + 1e-9,
+                    "dp {} beaten by {} at {}",
+                    dp_at_k, spec.name(), result.total_variance
+                );
+            }
+        }
     }
 
     /// The elbow picks a K present on the curve for any decreasing curve.
@@ -123,7 +199,6 @@ proptest! {
     #[test]
     fn fixed_k_honoured(rows in rows_strategy(), k in 1usize..6) {
         let rel = build(&rows);
-        let query = AggQuery::sum("t", "v");
         let n = match rel.dim_column("t") {
             Ok(col) => col.dict().len(),
             Err(_) => return Ok(()),
@@ -131,11 +206,11 @@ proptest! {
         if n < 2 || k > n - 1 {
             return Ok(());
         }
-        let config = TsExplainConfig::new(["a"])
+        let request = ExplainRequest::new(["a"])
             .with_optimizations(Optimizations::none())
             .with_fixed_k(k);
-        prop_assert_eq!(config.k, KSelection::Fixed(k));
-        let result = TsExplain::new(config).explain(&rel, &query).unwrap();
+        prop_assert_eq!(request.k_selection(), KSelection::Fixed(k));
+        let result = explain(&rel, &request).unwrap();
         prop_assert_eq!(result.chosen_k, k);
     }
 }

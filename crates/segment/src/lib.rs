@@ -19,13 +19,21 @@
 //!   phase-I run whose cut positions become the candidate cut set of the
 //!   full pipeline.
 //! * [`Segmentation`] — a validated K-segmentation scheme.
+//! * [`Segmenter`] — the pluggable strategy boundary: [`DpSegmenter`] (the
+//!   paper's DP, the default) and the `tsexplain-baselines` adapters all
+//!   produce a [`SegmenterOutcome`] the explanation stage consumes, so the
+//!   pipeline can "explain any segmentation".
+//! * [`elbow_k`] — Kneedle-style elbow selection over a K-cost curve (§6),
+//!   shared by every strategy's auto-K path.
 
 mod context;
 mod cost;
 mod dp;
+mod elbow;
 mod error;
 mod ndcg;
 mod scheme;
+mod segmenter;
 mod serde_impls;
 mod sketch;
 mod variance;
@@ -33,8 +41,12 @@ mod variance;
 pub use context::{SegmentationContext, StageTimers};
 pub use cost::CostMatrix;
 pub use dp::{k_segmentation, DpResult};
+pub use elbow::elbow_k;
 pub use error::SegmentError;
 pub use ndcg::{ndcg, ExplainedSegment};
 pub use scheme::Segmentation;
+pub use segmenter::{
+    shape_segmenter_outcome, DpSegmenter, KSelection, Segmenter, SegmenterOutcome,
+};
 pub use sketch::{select_sketch, SketchConfig};
 pub use variance::{object_centroid_distance, object_pair_distance, VarianceMetric};

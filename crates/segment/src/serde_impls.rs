@@ -7,8 +7,38 @@
 use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::scheme::Segmentation;
+use crate::segmenter::KSelection;
 use crate::sketch::SketchConfig;
 use crate::variance::VarianceMetric;
+
+impl Serialize for KSelection {
+    fn serialize(&self) -> Value {
+        match self {
+            KSelection::Auto { max_k } => Value::object([
+                ("mode", Value::String("auto".into())),
+                ("max_k", max_k.serialize()),
+            ]),
+            KSelection::Fixed(k) => Value::object([
+                ("mode", Value::String("fixed".into())),
+                ("k", k.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for KSelection {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.get("mode").and_then(Value::as_str) {
+            Some("auto") => Ok(KSelection::Auto {
+                max_k: value.field("max_k")?,
+            }),
+            Some("fixed") => Ok(KSelection::Fixed(value.field("k")?)),
+            _ => Err(Error::new(
+                "expected K selection mode \"auto\" or \"fixed\"",
+            )),
+        }
+    }
+}
 
 impl Serialize for Segmentation {
     fn serialize(&self) -> Value {
@@ -90,6 +120,14 @@ mod tests {
             assert_eq!(VarianceMetric::deserialize(&m.serialize()), Ok(m));
         }
         assert!(VarianceMetric::deserialize(&Value::String("nope".into())).is_err());
+    }
+
+    #[test]
+    fn k_selection_roundtrips() {
+        for k in [KSelection::Auto { max_k: 12 }, KSelection::Fixed(4)] {
+            assert_eq!(KSelection::deserialize(&k.serialize()), Ok(k));
+        }
+        assert!(KSelection::deserialize(&Value::String("auto".into())).is_err());
     }
 
     #[test]

@@ -14,7 +14,10 @@ use tsexplain::{AggQuery, Datum, ExplainRequest, ExplainResult, Schema};
 
 use crate::error::ApiError;
 use crate::http::{read_response, ReadError, Response};
-use crate::wire::{encode_rows, AppendAck, AppendRowsBody, DatasetCreated, RegisterDataset};
+use crate::wire::{
+    encode_rows, AppendAck, AppendRowsBody, CompareBody, CompareResponse, DatasetCreated,
+    RegisterDataset,
+};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -114,6 +117,36 @@ impl Client {
             "POST",
             &format!("/datasets/{dataset_id}/explain"),
             Some(&request.serialize()),
+        )
+    }
+
+    /// Fans one request across every segmentation strategy
+    /// (`POST /datasets/{id}/compare`), decoded into the typed response.
+    pub fn compare(
+        &mut self,
+        dataset_id: u64,
+        request: &ExplainRequest,
+        window: Option<usize>,
+    ) -> Result<CompareResponse, ClientError> {
+        self.compare_value(dataset_id, request, window)
+            .and_then(decode)
+    }
+
+    /// Like [`Client::compare`], returning the raw JSON document.
+    pub fn compare_value(
+        &mut self,
+        dataset_id: u64,
+        request: &ExplainRequest,
+        window: Option<usize>,
+    ) -> Result<Value, ClientError> {
+        let body = CompareBody {
+            request: request.clone(),
+            window,
+        };
+        self.call(
+            "POST",
+            &format!("/datasets/{dataset_id}/compare"),
+            Some(&body.serialize()),
         )
     }
 

@@ -28,7 +28,11 @@
 //! * `POST /datasets/{id}/rows` — streaming append.
 //! * `POST /datasets/{id}/explain` — an [`tsexplain::ExplainRequest`]
 //!   body; returns the [`tsexplain::ExplainResult`] as JSON, identical to
-//!   what an in-process session produces.
+//!   what an in-process session produces. The request's `segmenter` member
+//!   selects the segmentation strategy (the DP or any §7.2 baseline).
+//! * `POST /datasets/{id}/compare` — fan one request out across all four
+//!   segmentation strategies; returns side-by-side results with
+//!   `tsexplain-eval` distance/rank metrics.
 //! * `GET /datasets/{id}/stats` — per-tenant session counters.
 //! * `DELETE /datasets/{id}` — drop a tenant.
 //! * `GET /metrics` — server + registry counters (cache bytes, evictions,

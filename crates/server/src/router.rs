@@ -5,22 +5,30 @@
 //! | POST   | `/datasets`              | `RegisterDataset`  | `DatasetCreated`    |
 //! | POST   | `/datasets/{id}/rows`    | `AppendRowsBody`   | `AppendAck`         |
 //! | POST   | `/datasets/{id}/explain` | `ExplainRequest`   | `ExplainResult`     |
+//! | POST   | `/datasets/{id}/compare` | `CompareBody`      | `CompareResponse`   |
 //! | GET    | `/datasets/{id}/stats`   | —                  | stats JSON          |
 //! | DELETE | `/datasets/{id}`         | —                  | `{"removed": true}` |
 //! | GET    | `/metrics`               | —                  | metrics JSON        |
 //! | GET    | `/healthz`               | —                  | `{"status": "ok"}`  |
 //!
+//! `/compare` fans one base request out across every segmentation strategy
+//! (the paper's §7.2 harness): the DP plus the three shape baselines run
+//! against the tenant's shared cube, and the response carries side-by-side
+//! results with `tsexplain-eval` distance/rank metrics.
+//!
 //! Every error — parse failure, unknown id, invalid request, worker panic —
 //! maps through [`ApiError`] to a 4xx/5xx JSON body.
 
 use serde::{Deserialize, Serialize, Value};
-use tsexplain::{DatasetId, ExplainRequest, Relation};
+use tsexplain::{default_window_for, DatasetId, ExplainRequest, Relation, SegmenterSpec};
+use tsexplain_eval::{distance_percent, rank_ascending};
 
 use crate::error::ApiError;
 use crate::http::{Request, Response};
 use crate::server::ServerShared;
 use crate::wire::{
-    decode_rows, stats_body, AppendAck, AppendRowsBody, DatasetCreated, RegisterDataset,
+    decode_rows, stats_body, AppendAck, AppendRowsBody, CompareBody, CompareResponse,
+    DatasetCreated, RegisterDataset, StrategyComparison,
 };
 
 /// Dispatches one request against the shared server state.
@@ -38,6 +46,7 @@ fn route(shared: &ServerShared, request: &Request) -> Result<Response, ApiError>
         ("POST", ["datasets"]) => register(shared, &request.body),
         ("POST", ["datasets", id, "rows"]) => append(shared, parse_id(id)?, &request.body),
         ("POST", ["datasets", id, "explain"]) => explain(shared, parse_id(id)?, &request.body),
+        ("POST", ["datasets", id, "compare"]) => compare(shared, parse_id(id)?, &request.body),
         ("GET", ["datasets", id, "stats"]) => stats(shared, parse_id(id)?),
         ("DELETE", ["datasets", id]) => remove(shared, parse_id(id)?),
         ("GET", ["metrics"]) => Ok(json_ok(200, &shared.metrics_value())),
@@ -135,6 +144,55 @@ fn explain(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response
         .explain(id, &request)
         .map_err(ApiError::from)?;
     Ok(json_ok(200, &result))
+}
+
+/// Fans one request across every segmentation strategy against one
+/// tenant. The DP runs first and is the distance reference; all four
+/// strategies hit the tenant's shared cube (cache keys are
+/// strategy-independent), so precompute is paid at most once.
+fn compare(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
+    let spec: CompareBody = parse_body(body)?;
+    // The window-free DP runs first; its result reports the series length
+    // the request actually explained (after any time-range slicing), which
+    // is the length the auto-sized baseline window must fit.
+    let dp = shared
+        .registry
+        .explain(id, &spec.request.clone().with_segmenter(SegmenterSpec::Dp))
+        .map_err(ApiError::from)?;
+    let window = spec
+        .window
+        .unwrap_or_else(|| default_window_for(dp.stats.n_points));
+    let mut results = vec![dp];
+    for s in SegmenterSpec::all_with_window(window).into_iter().skip(1) {
+        results.push(
+            shared
+                .registry
+                .explain(id, &spec.request.clone().with_segmenter(s))
+                .map_err(ApiError::from)?,
+        );
+    }
+
+    let reference_cuts = results[0].segmentation.cuts().to_vec();
+    let objectives: Vec<f64> = results.iter().map(|r| r.total_variance).collect();
+    let ranks = rank_ascending(&objectives);
+    let strategies = results
+        .into_iter()
+        .zip(ranks)
+        .map(|(result, objective_rank)| StrategyComparison {
+            strategy: result.strategy.clone(),
+            distance_percent_vs_dp: distance_percent(&result.segmentation, &reference_cuts),
+            objective_rank,
+            result,
+        })
+        .collect();
+    Ok(json_ok(
+        200,
+        &CompareResponse {
+            reference: "dp".into(),
+            window,
+            strategies,
+        },
+    ))
 }
 
 fn stats(shared: &ServerShared, id: DatasetId) -> Result<Response, ApiError> {

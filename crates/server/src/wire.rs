@@ -14,7 +14,10 @@
 //! offending row index in the message.
 
 use serde::{Deserialize, Error, Serialize, Value};
-use tsexplain::{AggQuery, AttrValue, DatasetSnapshot, Datum, Schema, SessionStats};
+use tsexplain::{
+    AggQuery, AttrValue, DatasetSnapshot, Datum, ExplainRequest, ExplainResult, Schema,
+    SessionStats,
+};
 use tsexplain_relation::ColumnType;
 
 use crate::error::ApiError;
@@ -129,6 +132,117 @@ impl Deserialize for AppendAck {
         Ok(AppendAck {
             appended: value.field("appended")?,
             n_points: value.field("n_points")?,
+        })
+    }
+}
+
+/// `POST /datasets/{id}/compare` request body: the base request to fan
+/// out across every segmentation strategy, plus an optional shared window
+/// for the window-parameterized strategies. When absent, the window is
+/// auto-sized from the length the request actually explains — the
+/// time-sliced horizon, not the full dataset — which keeps windowed
+/// compares feasible whenever that horizon has at least 6 points (below
+/// that, FLUSS/NNSegment cannot run and the compare is a 400). Any
+/// `segmenter` member inside the base request is ignored — the fan-out
+/// overrides it per strategy.
+#[derive(Debug)]
+pub struct CompareBody {
+    /// The base explain request (strategy member ignored).
+    pub request: ExplainRequest,
+    /// Shared FLUSS/NNSegment window override.
+    pub window: Option<usize>,
+}
+
+impl Deserialize for CompareBody {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(CompareBody {
+            request: value.field("request")?,
+            window: match value.get("window") {
+                None | Some(Value::Null) => None,
+                Some(w) => Some(usize::deserialize(w).map_err(|e| e.contextualize("window"))?),
+            },
+        })
+    }
+}
+
+impl Serialize for CompareBody {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("request", self.request.serialize()),
+            ("window", self.window.serialize()),
+        ])
+    }
+}
+
+/// One strategy's row in a `/compare` response: the full result plus the
+/// cross-strategy evaluation metrics.
+#[derive(Debug)]
+pub struct StrategyComparison {
+    /// The strategy's wire name.
+    pub strategy: String,
+    /// The paper's `distance percent (%)` between this strategy's cuts and
+    /// the DP reference's (0 for the DP itself; §7.3's metric).
+    pub distance_percent_vs_dp: f64,
+    /// 1-based ascending rank of this strategy's explanation-aware
+    /// objective among all compared strategies (min-rank ties; rank 1 =
+    /// lowest `total_variance`).
+    pub objective_rank: f64,
+    /// The strategy's full explain result.
+    pub result: ExplainResult,
+}
+
+impl Serialize for StrategyComparison {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("strategy", self.strategy.serialize()),
+            (
+                "distance_percent_vs_dp",
+                self.distance_percent_vs_dp.serialize(),
+            ),
+            ("objective_rank", self.objective_rank.serialize()),
+            ("result", self.result.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for StrategyComparison {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(StrategyComparison {
+            strategy: value.field("strategy")?,
+            distance_percent_vs_dp: value.field("distance_percent_vs_dp")?,
+            objective_rank: value.field("objective_rank")?,
+            result: value.field("result")?,
+        })
+    }
+}
+
+/// `POST /datasets/{id}/compare` response body.
+#[derive(Debug)]
+pub struct CompareResponse {
+    /// The strategy the distance metric is measured against (`"dp"`).
+    pub reference: String,
+    /// The window the window-parameterized strategies ran with.
+    pub window: usize,
+    /// Per-strategy results, in [`tsexplain::STRATEGIES`] order.
+    pub strategies: Vec<StrategyComparison>,
+}
+
+impl Serialize for CompareResponse {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("reference", self.reference.serialize()),
+            ("window", self.window.serialize()),
+            ("strategies", self.strategies.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for CompareResponse {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(CompareResponse {
+            reference: value.field("reference")?,
+            window: value.field("window")?,
+            strategies: value.field("strategies")?,
         })
     }
 }

@@ -112,6 +112,104 @@ fn http_responses_equal_in_process_results() {
 }
 
 #[test]
+fn compare_fans_out_across_all_strategies() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+    let request = requests().remove(0);
+
+    // Warm the cube, then take a cache-hit reference for the DP.
+    client.explain_value(created.dataset_id, &request).unwrap();
+    let reference = canonical(&client.explain_value(created.dataset_id, &request).unwrap());
+
+    let comparison = client.compare(created.dataset_id, &request, None).unwrap();
+    assert_eq!(comparison.reference, "dp");
+    assert!(comparison.window >= 2);
+    let names: Vec<&str> = comparison
+        .strategies
+        .iter()
+        .map(|s| s.strategy.as_str())
+        .collect();
+    assert_eq!(names, tsexplain::STRATEGIES.to_vec());
+
+    // The DP row is byte-identical (modulo latency) to a plain /explain
+    // and is its own distance reference.
+    let dp = &comparison.strategies[0];
+    assert_eq!(dp.distance_percent_vs_dp, 0.0);
+    assert_eq!(
+        canonical(&serde_json::to_value(&dp.result)),
+        reference,
+        "/compare's dp row diverged from /explain"
+    );
+    // Metrics are well-formed: ranks are a 1-based permutation with ties,
+    // distances are finite and nonnegative.
+    for row in &comparison.strategies {
+        assert!(row.distance_percent_vs_dp >= 0.0);
+        assert!(row.distance_percent_vs_dp.is_finite());
+        assert!((1.0..=4.0).contains(&row.objective_rank));
+        assert_eq!(row.result.strategy, row.strategy);
+    }
+    assert!(comparison
+        .strategies
+        .iter()
+        .any(|row| row.objective_rank == 1.0));
+
+    // All four strategies shared the tenant's one cube.
+    let stats = client.stats(created.dataset_id).unwrap();
+    let session_stats = stats.get("session").cloned().unwrap();
+    assert_eq!(
+        session_stats.get("cubes_built").and_then(Value::as_f64),
+        Some(1.0)
+    );
+
+    // An explicit window is honoured; an infeasible one is a 400.
+    let windowed = client
+        .compare(created.dataset_id, &request, Some(5))
+        .unwrap();
+    assert_eq!(windowed.window, 5);
+
+    // A time-sliced compare auto-sizes its window from the *sliced*
+    // horizon: 16 points admit only small windows, and the fan-out must
+    // still answer with all four strategies rather than 400.
+    let sliced = client
+        .compare(
+            created.dataset_id,
+            &request.clone().with_time_range(10i64, 25i64),
+            None,
+        )
+        .unwrap();
+    assert_eq!(sliced.strategies.len(), 4);
+    assert!(
+        2 * sliced.window + 2 <= 16,
+        "window {} must fit the 16-point slice",
+        sliced.window
+    );
+    assert!(sliced
+        .strategies
+        .iter()
+        .all(|row| row.result.stats.n_points == 16));
+    let err = client
+        .compare_value(created.dataset_id, &request, Some(40))
+        .unwrap_err();
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!((e.status, e.kind.as_str()), (400, "invalid_request"));
+            assert!(e.message.contains("window"), "{}", e.message);
+        }
+        other => panic!("expected an API error, got {other}"),
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
 fn errors_map_to_structured_statuses() {
     let mut handle = Server::bind(ServerConfig::default()).unwrap();
     let data = dataset();
