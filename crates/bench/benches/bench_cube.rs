@@ -1,9 +1,11 @@
 //! Criterion bench: cube construction (pipeline module a) per workload,
-//! with and without the support filter.
+//! with and without the support filter, plus the intra-query parallel
+//! build at several thread counts (the speedup dimension; answers are
+//! byte-identical by the parallel layer's determinism contract).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tsexplain_cube::{CubeConfig, ExplanationCube};
+use tsexplain_cube::{CubeConfig, ExplanationCube, ParallelCtx};
 use tsexplain_datagen::{covid, liquor, sp500, Workload};
 
 fn bench_build(c: &mut Criterion, workload: &Workload, filtered: bool) {
@@ -25,12 +27,35 @@ fn bench_build(c: &mut Criterion, workload: &Workload, filtered: bool) {
     });
 }
 
+/// The parallel build dimension: the same cube at 1 / 2 / 4 worker
+/// threads. Candidate enumeration fans the independent attribute subsets
+/// across the workers, so the speedup needs a multi-attribute explain-by
+/// set — liquor's (Table 6's densest) is the reference.
+fn bench_build_threads(c: &mut Criterion, workload: &Workload) {
+    let config =
+        CubeConfig::new(workload.explain_by.iter().map(String::as_str)).with_filter_ratio(0.001);
+    for threads in [1usize, 2, 4] {
+        let ctx = ParallelCtx::new(threads);
+        let label = format!("cube_build/{}/threads={threads}", workload.name);
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                let cube =
+                    ExplanationCube::build_with(&workload.relation, &workload.query, &config, &ctx)
+                        .unwrap();
+                black_box(cube.n_candidates())
+            })
+        });
+    }
+}
+
 fn benches(c: &mut Criterion) {
     let covid_data = covid::generate(0);
     bench_build(c, &covid_data.total_workload(), false);
     bench_build(c, &covid_data.total_workload(), true);
     bench_build(c, &sp500::generate(0).workload(), true);
-    bench_build(c, &liquor::generate(0).workload(), true);
+    let liquor_workload = liquor::generate(0).workload();
+    bench_build(c, &liquor_workload, true);
+    bench_build_threads(c, &liquor_workload);
 }
 
 criterion_group! {

@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tsexplain::{default_window_for, ExplainRequest, ExplainSession, Optimizations, SegmenterSpec};
+use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 use tsexplain_datagen::{covid, liquor, sp500, Workload};
 
 fn bench_bundles(c: &mut Criterion, workload: &Workload, bundles: &[(&str, Optimizations)]) {
@@ -62,6 +63,44 @@ fn bench_strategies(c: &mut Criterion, workload: &Workload) {
     group.finish();
 }
 
+/// The intra-query parallelism dimension of `segmenter/*`: every strategy
+/// on the scalability dataset at 1 / 2 / 4 worker threads, warm cube, so
+/// the measured delta is the segment-side fan-out (cost matrix rows, DP
+/// layers, auto-K scoring). Answers are byte-identical at any thread
+/// count — the parallel layer's determinism contract — so this measures
+/// speedup, never drift.
+fn bench_parallel_strategies(c: &mut Criterion) {
+    let dataset = SyntheticDataset::generate(SyntheticConfig {
+        n_points: 400,
+        snr_db: Some(35.0),
+        min_segment_len: 20,
+        seed: 0,
+        ..SyntheticConfig::default()
+    });
+    let workload = dataset.workload();
+    let window = default_window_for(400);
+    for threads in [1usize, 2, 4] {
+        let mut group = c.benchmark_group(format!("segmenter/scalability/threads={threads}"));
+        group.sample_size(10);
+        for spec in SegmenterSpec::all_with_window(window) {
+            group.bench_function(spec.name(), |b| {
+                let request = ExplainRequest::new(workload.explain_by.clone())
+                    .with_optimizations(Optimizations::all())
+                    .with_segmenter(spec)
+                    .with_threads(threads);
+                let mut session =
+                    ExplainSession::new(workload.relation.clone(), workload.query.clone()).unwrap();
+                session.explain(&request).unwrap(); // warm the cube
+                b.iter(|| {
+                    let result = session.explain(&request).unwrap();
+                    black_box(result.chosen_k)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn benches(c: &mut Criterion) {
     let all = [
         ("vanilla", Optimizations::none()),
@@ -74,6 +113,7 @@ fn benches(c: &mut Criterion) {
     bench_bundles(c, &covid_data.total_workload(), &all);
     bench_bundles(c, &sp500::generate(0).workload(), &all);
     bench_strategies(c, &sp500::generate(0).workload());
+    bench_parallel_strategies(c);
     // Liquor's vanilla run takes seconds; bench only the optimized bundles.
     let optimized = [
         ("o1", Optimizations::o1()),

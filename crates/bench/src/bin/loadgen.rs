@@ -13,10 +13,15 @@
 //! (p50/p90/p99), so the bench trajectory can track baseline-vs-DP
 //! serving cost side by side.
 //!
+//! `--threads` sets the in-process server's intra-query parallelism
+//! default (0 = machine default): with the determinism contract, the
+//! per-strategy latency percentiles at different `--threads` settings are
+//! directly comparable — same answers, different wall-clock.
+//!
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--rounds 30]
 //!     [--workers 4] [--budget-mb 8] [--points 100] [--addr HOST:PORT]
-//!     [--segmenter dp|bottom_up|fluss|nnsegment|all]
+//!     [--segmenter dp|bottom_up|fluss|nnsegment|all] [--threads N]
 //! ```
 
 use std::net::SocketAddr;
@@ -35,6 +40,7 @@ struct Args {
     points: usize,
     addr: Option<String>,
     segmenter: String,
+    threads: Option<usize>,
 }
 
 impl Default for Args {
@@ -47,6 +53,7 @@ impl Default for Args {
             points: 100,
             addr: None,
             segmenter: "dp".into(),
+            threads: None,
         }
     }
 }
@@ -68,6 +75,7 @@ fn parse_args() -> Args {
             "--points" => args.points = take("--points").max(20),
             "--addr" => args.addr = Some(it.next().expect("--addr needs HOST:PORT")),
             "--segmenter" => args.segmenter = it.next().expect("--segmenter needs a strategy name"),
+            "--threads" => args.threads = Some(take("--threads")),
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -124,6 +132,7 @@ fn main() {
             let handle = Server::bind(ServerConfig {
                 workers: args.workers,
                 memory_budget: args.budget_mb * 1024 * 1024,
+                threads: args.threads,
                 ..ServerConfig::default()
             })
             .expect("bind an ephemeral port");
@@ -134,8 +143,16 @@ fn main() {
     };
     println!(
         "loadgen: {} clients x {} rounds against http://{addr} \
-         ({} workers, {} MiB budget, {} points, segmenter {})",
-        args.clients, args.rounds, args.workers, args.budget_mb, args.points, args.segmenter
+         ({} workers, {} MiB budget, {} points, segmenter {}, threads {})",
+        args.clients,
+        args.rounds,
+        args.workers,
+        args.budget_mb,
+        args.points,
+        args.segmenter,
+        args.threads
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "default".into()),
     );
 
     // The shared tenant everyone explains.
@@ -159,9 +176,16 @@ fn main() {
             let strategies = strategies.clone();
             let rounds = args.rounds;
             let points = args.points;
+            let threads = args.threads;
             std::thread::spawn(move || -> Vec<(String, Duration)> {
                 let mut lat = Vec::with_capacity(rounds * 2 + 2);
                 let mut client = Client::new(addr);
+                // `--threads` rides on every request so it also reaches an
+                // external `--addr` server, not only the in-process one.
+                let with_threads = |request: ExplainRequest| match threads {
+                    Some(t) => request.with_threads(t),
+                    None => request,
+                };
                 let head = points / 2;
                 let t0 = Instant::now();
                 let own = client
@@ -175,7 +199,8 @@ fn main() {
                 let mut fed = head;
                 for round in 0..rounds {
                     let spec = strategies[(c + round) % strategies.len()];
-                    let shared_request = request(c + round, points).with_segmenter(spec);
+                    let shared_request =
+                        with_threads(request(c + round, points).with_segmenter(spec));
                     let t0 = Instant::now();
                     client
                         .explain(shared, &shared_request)
@@ -191,7 +216,7 @@ fn main() {
                         fed = hi;
                     }
                     let own_spec = strategies[round % strategies.len()];
-                    let own_request = request(round, points).with_segmenter(own_spec);
+                    let own_request = with_threads(request(round, points).with_segmenter(own_spec));
                     let t0 = Instant::now();
                     client.explain(own, &own_request).expect("own explain");
                     lat.push((format!("explain(own,{})", own_spec.name()), t0.elapsed()));

@@ -1,8 +1,26 @@
 use std::time::Duration;
 
+/// Per-stage intra-query parallelism instrumentation: how many worker
+/// threads the request's [`tsexplain_parallel::ParallelCtx`] ran with and
+/// how much of each stage's wall-clock was spent inside parallel fan-out
+/// regions. Parallel and sequential execution are byte-identical by
+/// contract, so these timings are pure observability — they report where
+/// the speedup comes from, never affect what is computed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelTimings {
+    /// Worker threads of the request's parallel context (1 = sequential).
+    pub threads: usize,
+    /// Of `cascading`: wall-clock inside parallel fan-out regions (the
+    /// unit-object top-m derivation).
+    pub cascading: Duration,
+    /// Of `segmentation`: wall-clock inside parallel fan-out regions (cost
+    /// matrix rows, DP layers, auto-K scheme scoring).
+    pub segmentation: Duration,
+}
+
 /// Wall-clock breakdown of one `explain()` call into the paper's three
 /// pipeline modules (Fig. 15): precomputation (a), Cascading Analysts (b)
-/// and K-Segmentation (c).
+/// and K-Segmentation (c), plus the parallel-execution share of (b)/(c).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyBreakdown {
     /// Module (a): cube construction (group-bys, candidate enumeration,
@@ -12,12 +30,20 @@ pub struct LatencyBreakdown {
     pub cascading: Duration,
     /// Module (c): distances, variances, DP and elbow selection.
     pub segmentation: Duration,
+    /// Intra-query parallelism instrumentation.
+    pub parallel: ParallelTimings,
 }
 
 impl LatencyBreakdown {
     /// End-to-end latency.
     pub fn total(&self) -> Duration {
         self.precompute + self.cascading + self.segmentation
+    }
+
+    /// Wall-clock spent inside parallel fan-out regions (a subset of
+    /// [`LatencyBreakdown::total`]).
+    pub fn parallel_total(&self) -> Duration {
+        self.parallel.cascading + self.parallel.segmentation
     }
 }
 
@@ -44,8 +70,14 @@ mod tests {
             precompute: Duration::from_millis(5),
             cascading: Duration::from_millis(10),
             segmentation: Duration::from_millis(2),
+            parallel: ParallelTimings {
+                threads: 4,
+                cascading: Duration::from_millis(8),
+                segmentation: Duration::from_millis(1),
+            },
         };
         assert_eq!(l.total(), Duration::from_millis(17));
+        assert_eq!(l.parallel_total(), Duration::from_millis(9));
         let s = l.to_string();
         assert!(s.contains("precompute"));
     }

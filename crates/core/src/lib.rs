@@ -109,7 +109,7 @@ mod streaming;
 
 pub use config::Optimizations;
 pub use error::TsExplainError;
-pub use latency::LatencyBreakdown;
+pub use latency::{LatencyBreakdown, ParallelTimings};
 pub use recommend::{recommend_explain_by, AttributeScore};
 pub use registry::{
     DatasetId, DatasetSnapshot, RegistryError, RegistryStats, SessionRegistry,
@@ -119,8 +119,14 @@ pub use request::{ExplainRequest, InvalidRequest};
 pub use result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 pub use seasonal::{classical_decompose, Decomposition};
 pub use segmenter::{default_window_for, SegmenterSpec, STRATEGIES};
-pub use session::{ExplainSession, Explainer, SessionStats, DEFAULT_CUBE_CACHE_BUDGET};
+pub use session::{
+    ExplainSession, Explainer, PreparedCube, SessionStats, DEFAULT_CUBE_CACHE_BUDGET,
+};
 pub use streaming::StreamingExplainer;
+
+// The intra-query parallel execution layer (deterministic chunk-ordered
+// fan-out; `TSX_THREADS`, `ExplainRequest::with_threads`).
+pub use tsexplain_parallel::{ParallelCtx, MAX_DEFAULT_THREADS, THREADS_ENV};
 
 // Curated re-exports so downstream users need only this crate.
 pub use tsexplain_cube::{CubeConfig, CubeError, ExplanationCube, IncrementalCube};

@@ -43,13 +43,15 @@ pub(crate) fn explain_cube_request(
         Some(initial_guess) => TopExplStrategy::GuessVerify { initial_guess },
         None => TopExplStrategy::Exact,
     };
+    let parallel = request.parallel_ctx();
     let mut ctx = SegmentationContext::new(
         cube,
         request.diff_metric(),
         request.top_m(),
         strategy,
         request.variance_metric(),
-    );
+    )
+    .with_parallel(parallel);
 
     let spec = request.segmenter();
     let positions: Vec<usize> = match forced_positions {
@@ -89,6 +91,11 @@ pub(crate) fn explain_cube_request(
         precompute: Default::default(),
         cascading: timers.cascading,
         segmentation: timers.segmentation + outcome.solve_time,
+        parallel: crate::latency::ParallelTimings {
+            threads: parallel.threads(),
+            cascading: timers.par_cascading,
+            segmentation: timers.par_segmentation,
+        },
     };
     let stats = PipelineStats {
         epsilon: cube.n_candidates(),

@@ -31,7 +31,7 @@ use tsexplain_relation::{AggQuery, Datum, Relation};
 use crate::error::TsExplainError;
 use crate::request::ExplainRequest;
 use crate::result::ExplainResult;
-use crate::session::{ExplainSession, SessionStats};
+use crate::session::{ExplainSession, PreparedCube, SessionStats};
 
 /// Default global cube-memory budget for a registry: 1 GiB.
 pub const DEFAULT_REGISTRY_BUDGET: usize = 1024 * 1024 * 1024;
@@ -245,6 +245,26 @@ impl SessionRegistry {
         };
         self.enforce_global_budget();
         Ok(result)
+    }
+
+    /// Prepares tenant `id`'s cube for `request` under **one** lock hold
+    /// and returns it as a lock-free [`PreparedCube`] — the batching
+    /// primitive behind a multi-strategy fan-out (`/compare`): lock once,
+    /// then run every strategy concurrently against the shared cube
+    /// without touching the tenant again. Enforces the global memory
+    /// budget on the way out, like [`SessionRegistry::explain`].
+    pub fn prepare(
+        &self,
+        id: DatasetId,
+        request: &ExplainRequest,
+    ) -> Result<PreparedCube, RegistryError> {
+        let handle = self.session(id)?;
+        let prepared = {
+            let mut session = handle.lock().map_err(|_| RegistryError::Poisoned(id))?;
+            session.prepare(request)?
+        };
+        self.enforce_global_budget();
+        Ok(prepared)
     }
 
     /// Appends raw rows (schema order) to tenant `id`, then enforces the

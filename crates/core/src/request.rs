@@ -10,6 +10,7 @@
 use std::fmt;
 
 use tsexplain_diff::DiffMetric;
+use tsexplain_parallel::ParallelCtx;
 use tsexplain_relation::{AttrValue, ColumnType, Schema};
 use tsexplain_segment::{KSelection, SketchConfig, VarianceMetric};
 
@@ -157,6 +158,11 @@ pub struct ExplainRequest {
     smoothing_window: usize,
     time_range: Option<(AttrValue, AttrValue)>,
     segmenter: SegmenterSpec,
+    /// Intra-query worker threads; `None` defers to the process default
+    /// (`TSX_THREADS` / the machine). Results are byte-identical at any
+    /// setting — the determinism contract of `tsexplain-parallel` — so
+    /// this is a performance knob, never a correctness one.
+    threads: Option<usize>,
 }
 
 impl ExplainRequest {
@@ -174,6 +180,7 @@ impl ExplainRequest {
             smoothing_window: 1,
             time_range: None,
             segmenter: SegmenterSpec::default(),
+            threads: None,
         }
     }
 
@@ -248,6 +255,34 @@ impl ExplainRequest {
     pub fn with_full_horizon(mut self) -> Self {
         self.time_range = None;
         self
+    }
+
+    /// Sets the intra-query worker thread count (`0` = machine default;
+    /// clamped by the parallel layer). The answer is byte-identical at any
+    /// thread count; only latency changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Reverts to the process-default thread count (`TSX_THREADS`).
+    pub fn with_default_threads(mut self) -> Self {
+        self.threads = None;
+        self
+    }
+
+    /// The explicit thread-count override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The parallel execution context this request runs under: the
+    /// explicit override when set, the process default otherwise.
+    pub fn parallel_ctx(&self) -> ParallelCtx {
+        match self.threads {
+            Some(t) => ParallelCtx::new(t),
+            None => ParallelCtx::from_env(),
+        }
     }
 
     /// The explain-by attributes A.

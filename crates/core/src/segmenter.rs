@@ -103,7 +103,7 @@ impl SegmenterSpec {
 
     /// Structural validation that needs no series length: a window, where
     /// present, must be at least 2.
-    pub(crate) fn validate(&self) -> Result<(), InvalidRequest> {
+    pub fn validate(&self) -> Result<(), InvalidRequest> {
         match self.window() {
             Some(w) if w < 2 => Err(InvalidRequest::SegmenterWindow {
                 strategy: self.name().to_string(),

@@ -17,7 +17,7 @@ use serde::{Deserialize, Error, Serialize, Value};
 use tsexplain_segment::KSelection;
 
 use crate::config::Optimizations;
-use crate::latency::LatencyBreakdown;
+use crate::latency::{LatencyBreakdown, ParallelTimings};
 use crate::request::ExplainRequest;
 use crate::result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 use crate::segmenter::SegmenterSpec;
@@ -31,12 +31,33 @@ fn field_or<T: Deserialize>(value: &Value, key: &str, default: T) -> Result<T, E
     }
 }
 
+impl Serialize for ParallelTimings {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("threads", self.threads.serialize()),
+            ("cascading", self.cascading.serialize()),
+            ("segmentation", self.segmentation.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ParallelTimings {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(ParallelTimings {
+            threads: value.field("threads")?,
+            cascading: value.field("cascading")?,
+            segmentation: value.field("segmentation")?,
+        })
+    }
+}
+
 impl Serialize for LatencyBreakdown {
     fn serialize(&self) -> Value {
         Value::object([
             ("precompute", self.precompute.serialize()),
             ("cascading", self.cascading.serialize()),
             ("segmentation", self.segmentation.serialize()),
+            ("parallel", self.parallel.serialize()),
         ])
     }
 }
@@ -47,6 +68,9 @@ impl Deserialize for LatencyBreakdown {
             precompute: value.field("precompute")?,
             cascading: value.field("cascading")?,
             segmentation: value.field("segmentation")?,
+            // Results predating the parallel layer carry no block; a
+            // sequential default keeps old payloads decodable.
+            parallel: field_or(value, "parallel", ParallelTimings::default())?,
         })
     }
 }
@@ -226,6 +250,7 @@ impl Serialize for ExplainRequest {
             ("smoothing_window", self.smoothing_window().serialize()),
             ("time_range", self.time_range().serialize()),
             ("segmenter", self.segmenter().serialize()),
+            ("threads", self.threads().serialize()),
         ])
     }
 }
@@ -250,6 +275,9 @@ impl Deserialize for ExplainRequest {
                 defaults.smoothing_window(),
             )?)
             .with_segmenter(field_or(value, "segmenter", defaults.segmenter())?);
+        if let Some(threads) = field_or::<Option<usize>>(value, "threads", None)? {
+            request = request.with_threads(threads);
+        }
         request = match field_or(value, "k", defaults.k_selection())? {
             KSelection::Auto { max_k } => request.with_max_k(max_k),
             KSelection::Fixed(k) => request.with_fixed_k(k),
@@ -298,6 +326,11 @@ mod tests {
                 precompute: Duration::from_micros(1500),
                 cascading: Duration::from_micros(250),
                 segmentation: Duration::from_micros(40),
+                parallel: ParallelTimings {
+                    threads: 4,
+                    cascading: Duration::from_micros(200),
+                    segmentation: Duration::from_micros(10),
+                },
             },
             stats: PipelineStats {
                 epsilon: 3,

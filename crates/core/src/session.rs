@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tsexplain_cube::{
     AppendRow, CubeCacheKey, CubeConfig, CubeError, ExplanationCube, IncrementalCube,
@@ -302,6 +302,22 @@ impl ExplainSession {
         request: &ExplainRequest,
         positions: Option<Vec<usize>>,
     ) -> Result<ExplainResult, TsExplainError> {
+        let prepared = self.prepare(request)?;
+        prepared.explain_with_positions(request, positions)
+    }
+
+    /// Validates `request` against the session and returns its prepared
+    /// (possibly time-sliced) cube as a lock-free handle — everything a
+    /// multi-strategy fan-out needs from the session, acquired under **one**
+    /// lock hold.
+    ///
+    /// This is the batching primitive behind the server's `/compare`: the
+    /// tenant is locked once to prepare, then the four strategies run
+    /// [`PreparedCube::explain`] concurrently on a worker pool, each
+    /// against the same shared cube (cube cache keys are
+    /// strategy-independent). Counts as one request in
+    /// [`SessionStats::requests`].
+    pub fn prepare(&mut self, request: &ExplainRequest) -> Result<PreparedCube, TsExplainError> {
         self.stats.requests += 1;
         request
             .validate(&self.schema, self.query.time_attr())
@@ -313,12 +329,11 @@ impl ExplainSession {
             None => cube,
             Some((start, end)) => Arc::new(self.slice_cube(&cube, request, start, end)?),
         };
-        let precompute = acquire_start.elapsed();
-
-        let mut result = explain_cube_request(&cube, request, positions)?;
-        result.latency.precompute = precompute;
-        result.stats.cube_from_cache = from_cache;
-        Ok(result)
+        Ok(PreparedCube {
+            cube,
+            from_cache,
+            precompute: acquire_start.elapsed(),
+        })
     }
 
     /// Appends raw rows (schema order). New timestamps must not precede
@@ -502,7 +517,9 @@ impl ExplainSession {
             // A rebuild drops cached cubes, but on this path the cache was
             // already missing this key; other keys are rebuilt on demand.
         }
-        let mut inc = IncrementalCube::from_relation(&self.base, &self.query, &cube_config)?;
+        let par = request.parallel_ctx();
+        let mut inc =
+            IncrementalCube::from_relation_with(&self.base, &self.query, &cube_config, &par)?;
         if !self.tail.is_empty() {
             let encoded = encode_rows(&self.schema, &self.query, request.explain_by(), &self.tail)?;
             if let Err(e) = inc.append_batch(&encoded) {
@@ -512,8 +529,12 @@ impl ExplainSession {
                         // after out-of-order appends): fold them in.
                         self.stats.rebuilds += 1;
                         self.rebuild_base()?;
-                        inc =
-                            IncrementalCube::from_relation(&self.base, &self.query, &cube_config)?;
+                        inc = IncrementalCube::from_relation_with(
+                            &self.base,
+                            &self.query,
+                            &cube_config,
+                            &par,
+                        )?;
                     }
                     other => return Err(other.into()),
                 }
@@ -562,6 +583,60 @@ impl ExplainSession {
 impl Explainer for ExplainSession {
     fn explain(&mut self, request: &ExplainRequest) -> Result<ExplainResult, TsExplainError> {
         ExplainSession::explain(self, request)
+    }
+}
+
+/// A request's prepared cube, detached from its session (see
+/// [`ExplainSession::prepare`]): the shared snapshot plus the precompute
+/// metadata every answer derived from it reports.
+///
+/// `Send + Sync` by construction (the cube is immutable behind an `Arc`),
+/// so a fan-out can hand one `PreparedCube` to many worker threads without
+/// touching the session again — no per-strategy re-locking, no lock held
+/// across pipeline work.
+#[derive(Clone, Debug)]
+pub struct PreparedCube {
+    cube: Arc<ExplanationCube>,
+    from_cache: bool,
+    precompute: Duration,
+}
+
+impl PreparedCube {
+    /// Number of points of the (possibly time-sliced) series the cube
+    /// answers over — what window auto-sizing must fit.
+    pub fn n_points(&self) -> usize {
+        self.cube.n_points()
+    }
+
+    /// Whether the cube came from an up-to-date cached snapshot.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// The prepared cube itself.
+    pub fn cube(&self) -> &ExplanationCube {
+        &self.cube
+    }
+
+    /// Answers `request` against the prepared cube. The request must ask
+    /// the same cube-shaping knobs the cube was prepared with (explain-by,
+    /// max order, filter, smoothing, time range) — a fan-out varies only
+    /// per-strategy knobs on a shared base request. Thread-safe: `&self`.
+    pub fn explain(&self, request: &ExplainRequest) -> Result<ExplainResult, TsExplainError> {
+        self.explain_with_positions(request, None)
+    }
+
+    /// [`PreparedCube::explain`] with restricted candidate cut positions
+    /// (the streaming hook).
+    pub fn explain_with_positions(
+        &self,
+        request: &ExplainRequest,
+        positions: Option<Vec<usize>>,
+    ) -> Result<ExplainResult, TsExplainError> {
+        let mut result = explain_cube_request(&self.cube, request, positions)?;
+        result.latency.precompute = self.precompute;
+        result.stats.cube_from_cache = self.from_cache;
+        Ok(result)
     }
 }
 

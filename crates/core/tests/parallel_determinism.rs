@@ -1,0 +1,163 @@
+//! The parallel layer's determinism contract as a property: for random
+//! relations, random request knobs and thread counts in {1, 2, 8}, a
+//! parallel `ExplainResult` serializes **identically** to the sequential
+//! (`threads = 1`) run — for every `SegmenterSpec`. Byte-equality of the
+//! serialized form (latency stripped — wall-clock is the one legitimately
+//! nondeterministic field) is deliberately the strongest possible check:
+//! cuts, chosen K, the K-variance curve, every γ, every series value and
+//! every pipeline counter must survive the fan-out bit-for-bit.
+
+use proptest::prelude::*;
+use serde::Value;
+use tsexplain::{
+    AggQuery, Datum, ExplainRequest, ExplainSession, Field, Optimizations, Relation, Schema,
+    SegmenterSpec,
+};
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, f64)>> {
+    // (time, attr a, attr b, measure): two explain-by attributes so cube
+    // enumeration has several independent subsets to fan out.
+    proptest::collection::vec((0u8..24, 0u8..4, 0u8..3, -20.0f64..50.0), 40..160)
+}
+
+fn build(rows: &[(u8, u8, u8, f64)]) -> Relation {
+    let schema = Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("a"),
+        Field::dimension("b"),
+        Field::measure("v"),
+    ])
+    .unwrap();
+    let mut builder = Relation::builder(schema);
+    for &(t, a, b, v) in rows {
+        builder
+            .push_row(vec![
+                Datum::Attr((t as i64).into()),
+                Datum::Attr((a as i64).into()),
+                Datum::Attr((b as i64).into()),
+                Datum::from(v),
+            ])
+            .unwrap();
+    }
+    builder.finish()
+}
+
+/// Serializes a result with the latency block removed — wall-clock (and
+/// the thread count recorded inside it) is the only part of a response
+/// allowed to differ across thread counts.
+fn canonical(result: &tsexplain::ExplainResult) -> String {
+    let mut value = serde_json::to_value(result);
+    if let Value::Object(map) = &mut value {
+        map.remove("latency");
+    }
+    serde_json::to_string(&value).unwrap()
+}
+
+fn n_points(rel: &Relation) -> usize {
+    rel.dim_column("t").map(|c| c.dict().len()).unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The determinism contract, quantified over workloads, knobs,
+    /// strategies and thread counts.
+    #[test]
+    fn parallel_results_serialize_identically_to_sequential(
+        rows in rows_strategy(),
+        optimized in 0u8..2,
+        top_m in 1usize..4,
+        max_order in 1usize..3,
+    ) {
+        let rel = build(&rows);
+        let n = n_points(&rel);
+        if n < 8 {
+            return Ok(());
+        }
+        let optimizations = if optimized == 1 {
+            Optimizations::all()
+        } else {
+            Optimizations::none()
+        };
+        let window = tsexplain::default_window_for(n);
+        for spec in SegmenterSpec::all_with_window(window) {
+            let request = ExplainRequest::new(["a", "b"])
+                .with_optimizations(optimizations)
+                .with_top_m(top_m)
+                .with_max_order(max_order)
+                .with_segmenter(spec);
+            if request.validate(rel.schema(), "t").is_err() {
+                continue;
+            }
+            // Fresh sessions per thread count: the cube build itself must
+            // be thread-count-independent too, not just the pipeline.
+            let mut sequential =
+                ExplainSession::new(rel.clone(), AggQuery::sum("t", "v")).unwrap();
+            let reference = match sequential.explain(&request.clone().with_threads(1)) {
+                Ok(result) => canonical(&result),
+                // Infeasible on this workload (e.g. window vs a short
+                // series): the rejection must be thread-count-independent.
+                Err(_) => {
+                    for threads in [2usize, 8] {
+                        let mut s =
+                            ExplainSession::new(rel.clone(), AggQuery::sum("t", "v")).unwrap();
+                        prop_assert!(
+                            s.explain(&request.clone().with_threads(threads)).is_err(),
+                            "{spec}: sequential rejected but threads={threads} answered"
+                        );
+                    }
+                    continue;
+                }
+            };
+            for threads in [2usize, 8] {
+                let mut session =
+                    ExplainSession::new(rel.clone(), AggQuery::sum("t", "v")).unwrap();
+                let result = session
+                    .explain(&request.clone().with_threads(threads))
+                    .unwrap();
+                prop_assert_eq!(
+                    &canonical(&result),
+                    &reference,
+                    "{} diverged at threads={}",
+                    spec,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Streaming sessions keep the contract too: appends extend cached
+    /// cubes incrementally, and a parallel refresh must equal a sequential
+    /// one over the same history.
+    #[test]
+    fn parallel_streaming_refresh_matches_sequential(rows in rows_strategy()) {
+        let rel = build(&rows);
+        if n_points(&rel) < 8 {
+            return Ok(());
+        }
+        let request = ExplainRequest::new(["a"]).with_optimizations(Optimizations::none());
+        let run = |threads: usize| {
+            let mut session = ExplainSession::new(rel.clone(), AggQuery::sum("t", "v")).unwrap();
+            let warm = session
+                .explain(&request.clone().with_threads(threads))
+                .unwrap();
+            // A tail append past the horizon, then a refreshed answer.
+            session
+                .append_rows(vec![vec![
+                    Datum::Attr(200i64.into()),
+                    Datum::Attr(0i64.into()),
+                    Datum::Attr(0i64.into()),
+                    Datum::from(7.5),
+                ]])
+                .unwrap();
+            let refreshed = session
+                .explain(&request.clone().with_threads(threads))
+                .unwrap();
+            (canonical(&warm), canonical(&refreshed))
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&run(threads), &reference, "threads={}", threads);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 
+use tsexplain_parallel::ParallelCtx;
 use tsexplain_relation::{AggFn, AggQuery, AggState, AttrValue, Dictionary, Relation};
 
 use crate::enumerate::enumerate;
@@ -106,8 +107,23 @@ pub struct ExplanationCube {
 }
 
 impl ExplanationCube {
-    /// Builds the cube for `query` over `rel` with `config`.
+    /// Builds the cube for `query` over `rel` with `config`, using the
+    /// process-default parallel context (`TSX_THREADS`; see
+    /// [`ExplanationCube::build_with`]).
     pub fn build(rel: &Relation, query: &AggQuery, config: &CubeConfig) -> Result<Self, CubeError> {
+        ExplanationCube::build_with(rel, query, config, &ParallelCtx::from_env())
+    }
+
+    /// Builds the cube with an explicit parallel context: candidate
+    /// enumeration fans the independent attribute subsets across `par`'s
+    /// workers with chunk-ordered reduction, so the cube is byte-identical
+    /// at any thread count.
+    pub fn build_with(
+        rel: &Relation,
+        query: &AggQuery,
+        config: &CubeConfig,
+        par: &ParallelCtx,
+    ) -> Result<Self, CubeError> {
         if config.explain_by.is_empty() {
             return Err(CubeError::NoExplainBy);
         }
@@ -144,7 +160,14 @@ impl ExplanationCube {
         }
 
         let max_order = config.max_order.min(config.explain_by.len());
-        let en = enumerate(time_col.codes(), n_times, &attr_codes, &measures, max_order);
+        let en = enumerate(
+            time_col.codes(),
+            n_times,
+            &attr_codes,
+            &measures,
+            max_order,
+            par,
+        );
         Ok(ExplanationCube::assemble(
             time_col.dict().values().to_vec(),
             query.agg(),

@@ -23,9 +23,11 @@
 
 use std::collections::HashMap;
 
+use tsexplain_parallel::ParallelCtx;
 use tsexplain_relation::{AggFn, AggQuery, AggState, AttrValue, Dictionary, Relation};
 
 use crate::cube::{CubeConfig, ExplanationCube};
+use crate::enumerate::{enumerate_subsets, enumerate_with_groups};
 use crate::error::CubeError;
 use crate::explanation::{ExplId, Explanation};
 
@@ -60,11 +62,26 @@ pub struct IncrementalCube {
 impl IncrementalCube {
     /// Seeds an incremental cube from a materialized relation — the fast
     /// path for session construction, using the relation's columnar codes
-    /// directly (same cost as one batch build).
+    /// directly (same cost as one batch build) and the process-default
+    /// parallel context.
     pub fn from_relation(
         rel: &Relation,
         query: &AggQuery,
         config: &CubeConfig,
+    ) -> Result<Self, CubeError> {
+        IncrementalCube::from_relation_with(rel, query, config, &ParallelCtx::from_env())
+    }
+
+    /// Seeds an incremental cube with an explicit parallel context: the
+    /// per-subset enumeration fans out across `par`'s workers exactly like
+    /// [`ExplanationCube::build_with`], and the resulting state (group
+    /// maps, explanation order, series) is byte-identical at any thread
+    /// count.
+    pub fn from_relation_with(
+        rel: &Relation,
+        query: &AggQuery,
+        config: &CubeConfig,
+        par: &ParallelCtx,
     ) -> Result<Self, CubeError> {
         validate_config(config, query)?;
         if rel.is_empty() {
@@ -98,33 +115,24 @@ impl IncrementalCube {
 
         let subsets = enumerate_subsets(config.explain_by.len(), config.max_order);
         let n_rows = time_col.codes().len();
-        let mut groups: Vec<HashMap<Vec<u32>, ExplId>> = vec![HashMap::new(); subsets.len()];
-        let mut explanations: Vec<Explanation> = Vec::new();
-        let mut series: Vec<Vec<AggState>> = Vec::new();
 
-        // Mirrors the batch enumerator exactly (subset-major, row-minor),
-        // so a snapshot of a freshly seeded incremental cube is
-        // structurally identical to `ExplanationCube::build`.
-        for (si, attrs) in subsets.iter().enumerate() {
-            let mut key = vec![0u32; attrs.len()];
-            for row in 0..n_rows {
-                for (i, &a) in attrs.iter().enumerate() {
-                    key[i] = attr_codes[a as usize][row];
-                }
-                let id = match groups[si].get(&key) {
-                    Some(&id) => id,
-                    None => {
-                        let id = explanations.len() as ExplId;
-                        groups[si].insert(key.clone(), id);
-                        let preds = attrs.iter().copied().zip(key.iter().copied()).collect();
-                        explanations.push(Explanation::new(preds));
-                        series.push(vec![AggState::ZERO; n_times]);
-                        id
-                    }
-                };
-                series[id as usize][time_col.codes()[row] as usize].observe(measures[row]);
-            }
-        }
+        // The shared per-subset enumerator (subset-major, row-minor, each
+        // subset an independent worker task) mirrors the batch builder
+        // exactly, so a snapshot of a freshly seeded incremental cube is
+        // structurally identical to `ExplanationCube::build` — at any
+        // thread count.
+        let (groups, explanations, series) = enumerate_with_groups(
+            &subsets,
+            time_col.codes(),
+            n_times,
+            &attr_codes,
+            &measures,
+            par,
+        );
+        debug_assert_eq!(
+            explanations.len(),
+            groups.iter().map(HashMap::len).sum::<usize>()
+        );
 
         Ok(IncrementalCube {
             config: config.clone(),
@@ -392,22 +400,6 @@ fn validate_config(config: &CubeConfig, query: &AggQuery) -> Result<(), CubeErro
     Ok(())
 }
 
-/// All non-empty attribute subsets with `|S| <= max_order`, in the batch
-/// enumerator's mask order.
-fn enumerate_subsets(n_attrs: usize, max_order: usize) -> Vec<Vec<u16>> {
-    let max_order = max_order.min(n_attrs);
-    let mut subsets = Vec::new();
-    for mask in 1u32..(1u32 << n_attrs) {
-        let attrs: Vec<u16> = (0..n_attrs as u16)
-            .filter(|&a| mask & (1 << a) != 0)
-            .collect();
-        if attrs.len() <= max_order {
-            subsets.push(attrs);
-        }
-    }
-    subsets
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +517,33 @@ mod tests {
                 .unwrap_or_else(|| panic!("label {label} missing from snapshot"));
             assert_eq!(snap.value_series(ours), full.value_series(e), "{label}");
             assert_eq!(snap.is_selectable(ours), full.is_selectable(e), "{label}");
+        }
+    }
+
+    #[test]
+    fn parallel_seed_is_byte_identical_to_sequential() {
+        let rows = sample_rows(0..10);
+        let rel = relation_of(&rows);
+        let query = AggQuery::sum("t", "v");
+        let seq = IncrementalCube::from_relation_with(
+            &rel,
+            &query,
+            &config(),
+            &ParallelCtx::sequential(),
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let par = IncrementalCube::from_relation_with(
+                &rel,
+                &query,
+                &config(),
+                &ParallelCtx::new(threads),
+            )
+            .unwrap();
+            assert_eq!(par.explanations, seq.explanations, "t={threads}");
+            assert_eq!(par.series, seq.series, "t={threads}");
+            assert_eq!(par.groups, seq.groups, "t={threads}");
+            assert_eq!(par.total, seq.total, "t={threads}");
         }
     }
 

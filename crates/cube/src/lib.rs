@@ -33,3 +33,4 @@ pub use error::CubeError;
 pub use explanation::{ExplId, Explanation};
 pub use incremental::{AppendRow, IncrementalCube};
 pub use trie::{DrillTrie, NodeId, ROOT_NODE};
+pub use tsexplain_parallel::ParallelCtx;

@@ -2,21 +2,46 @@ use std::time::{Duration, Instant};
 
 use tsexplain_cube::ExplanationCube;
 use tsexplain_diff::{DiffMetric, ScoreContext, TopExplEngine, TopExplStrategy};
+use tsexplain_parallel::ParallelCtx;
 
 use crate::cost::CostMatrix;
 use crate::ndcg::ExplainedSegment;
 use crate::scheme::Segmentation;
 use crate::variance::{object_centroid_distance, object_pair_distance, VarianceMetric};
 
+/// Below this many unit objects the object-top derivation runs inline —
+/// spawn cost would dwarf the work. Deterministic in the input size, so
+/// the parallel/sequential boundary never depends on scheduling.
+const PAR_MIN_OBJECTS: usize = 32;
+
+/// Below this many candidate positions the cost matrix runs inline.
+const PAR_MIN_POSITIONS: usize = 16;
+
+/// Below this many points a scheme-scoring batch runs inline.
+const PAR_MIN_SCORING_POINTS: usize = 32;
+
 /// Wall-clock accumulators for the two segment-side pipeline stages the
 /// paper's latency breakdown separates (Fig. 15): the Cascading Analysts
 /// module (b) and the distance/variance/DP module (c).
+///
+/// The `par_*` fields record the portion of each stage spent inside
+/// [`ParallelCtx`] fan-out regions (also included in the stage totals), so
+/// callers can report how much of a stage actually ran across the worker
+/// set. A parallel region's whole wall-clock is attributed to the stage
+/// that owns the region — a parallel cost-matrix region counts under
+/// `segmentation` even for the centroid top-m derivations inside it
+/// (worker wall-clocks overlap, so a per-module split is not meaningful
+/// there); sequential runs keep the exact per-module attribution.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimers {
     /// Time spent deriving top-m explanations (module b).
     pub cascading: Duration,
     /// Time spent on distances, variances and the DP (module c).
     pub segmentation: Duration,
+    /// Of `cascading`: wall-clock inside parallel fan-out regions.
+    pub par_cascading: Duration,
+    /// Of `segmentation`: wall-clock inside parallel fan-out regions.
+    pub par_segmentation: Duration,
 }
 
 /// Orchestrates segment explanation and cost computation: caches the unit
@@ -28,12 +53,19 @@ pub struct SegmentationContext<'a> {
     engine: TopExplEngine<'a>,
     diff_metric: DiffMetric,
     metric: VarianceMetric,
+    strategy: TopExplStrategy,
+    parallel: ParallelCtx,
     object_tops: Option<Vec<ExplainedSegment>>,
     timers: StageTimers,
+    /// Top-m derivations performed by per-worker engines inside parallel
+    /// regions; [`SegmentationContext::ca_calls`] adds them to the main
+    /// engine's counter so the total is thread-count-independent.
+    extra_calls: u64,
 }
 
 impl<'a> SegmentationContext<'a> {
-    /// Builds a context over `cube`.
+    /// Builds a context over `cube` with the process-default parallel
+    /// context (override with [`SegmentationContext::with_parallel`]).
     pub fn new(
         cube: &'a ExplanationCube,
         diff_metric: DiffMetric,
@@ -45,9 +77,26 @@ impl<'a> SegmentationContext<'a> {
             engine: TopExplEngine::new(cube, diff_metric, m, strategy),
             diff_metric,
             metric,
+            strategy,
+            parallel: ParallelCtx::from_env(),
             object_tops: None,
             timers: StageTimers::default(),
+            extra_calls: 0,
         }
+    }
+
+    /// Sets the parallel execution context (builder style). Results are
+    /// byte-identical at any thread count — the determinism contract of
+    /// `tsexplain-parallel` — so this only changes how fast the costs are
+    /// computed, never what they are.
+    pub fn with_parallel(mut self, parallel: ParallelCtx) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The parallel execution context in use.
+    pub fn parallel(&self) -> ParallelCtx {
+        self.parallel
     }
 
     /// The underlying cube.
@@ -75,9 +124,10 @@ impl<'a> SegmentationContext<'a> {
         self.timers
     }
 
-    /// Number of top-m derivations performed so far.
+    /// Number of top-m derivations performed so far (main engine plus the
+    /// per-worker engines of parallel regions).
     pub fn ca_calls(&self) -> u64 {
-        self.engine.calls()
+        self.engine.calls() + self.extra_calls
     }
 
     /// Derives (and times) the top-m explanations of an arbitrary segment.
@@ -88,17 +138,40 @@ impl<'a> SegmentationContext<'a> {
         ExplainedSegment::new(seg, top)
     }
 
-    /// Ensures the unit-object top lists are cached.
+    /// Ensures the unit-object top lists are cached. The per-object
+    /// derivations are mutually independent, so large inputs fan out over
+    /// the parallel context (chunk-ordered, byte-identical to sequential).
     fn ensure_objects(&mut self) {
-        if self.object_tops.is_none() {
-            let n = self.n_points();
-            let start = Instant::now();
-            let tops: Vec<ExplainedSegment> = (0..n.saturating_sub(1))
-                .map(|x| ExplainedSegment::new((x, x + 1), self.engine.top_m((x, x + 1))))
-                .collect();
-            self.timers.cascading += start.elapsed();
-            self.object_tops = Some(tops);
+        if self.object_tops.is_some() {
+            return;
         }
+        let count = self.n_points().saturating_sub(1);
+        let start = Instant::now();
+        let tops: Vec<ExplainedSegment> =
+            if self.parallel.is_sequential() || count < PAR_MIN_OBJECTS {
+                (0..count)
+                    .map(|x| ExplainedSegment::new((x, x + 1), self.engine.top_m((x, x + 1))))
+                    .collect()
+            } else {
+                let cube = self.engine.cube();
+                let (diff, m, strategy) = (self.diff_metric, self.engine.m(), self.strategy);
+                let parts = self.parallel.run_chunks(count, |range| {
+                    let mut engine = TopExplEngine::new(cube, diff, m, strategy);
+                    let tops: Vec<ExplainedSegment> = range
+                        .map(|x| ExplainedSegment::new((x, x + 1), engine.top_m((x, x + 1))))
+                        .collect();
+                    vec![(tops, engine.calls())]
+                });
+                let mut tops = Vec::with_capacity(count);
+                for (part, calls) in parts {
+                    tops.extend(part);
+                    self.extra_calls += calls;
+                }
+                self.timers.par_cascading += start.elapsed();
+                tops
+            };
+        self.timers.cascading += start.elapsed();
+        self.object_tops = Some(tops);
     }
 
     /// The cached top-explanations of unit object `[p_x, p_{x+1}]`.
@@ -131,18 +204,66 @@ impl<'a> SegmentationContext<'a> {
             _ => CostMatrix::dense(n_pos),
         };
 
-        for pi in 0..n_pos {
-            for pj in pi + 1..n_pos {
-                let (a, b) = (positions[pi], positions[pj]);
-                if let Some(max_len) = max_len_points {
-                    if b - a > max_len {
-                        break; // spans only grow with pj
+        if self.parallel.is_sequential() || n_pos < PAR_MIN_POSITIONS {
+            for pi in 0..n_pos {
+                for pj in pi + 1..n_pos {
+                    let (a, b) = (positions[pi], positions[pj]);
+                    if let Some(max_len) = max_len_points {
+                        if b - a > max_len {
+                            break; // spans only grow with pj
+                        }
                     }
+                    let cost = self.segment_cost((a, b));
+                    matrix.set(pi, pj, cost);
                 }
-                let cost = self.segment_cost((a, b));
+            }
+            return matrix;
+        }
+
+        // Parallel path: one matrix row per `pi`, rows fanned across the
+        // worker chunks. Each worker owns a private top-m engine (top-m
+        // derivations are call-independent), every cell's cost is computed
+        // by the same [`raw_segment_cost`] the sequential path uses, and
+        // the rows are written back in row order — byte-identical output.
+        let start = Instant::now();
+        let cube = self.engine.cube();
+        let objects = self.object_tops.as_ref().expect("cached");
+        let (diff, metric, m, strategy) = (
+            self.diff_metric,
+            self.metric,
+            self.engine.m(),
+            self.strategy,
+        );
+        let rows: Vec<(Vec<(usize, f64)>, u64)> = self.parallel.run_chunks(n_pos, |range| {
+            let mut engine = TopExplEngine::new(cube, diff, m, strategy);
+            range
+                .map(|pi| {
+                    let before = engine.calls();
+                    let mut cells = Vec::new();
+                    for pj in pi + 1..n_pos {
+                        let (a, b) = (positions[pi], positions[pj]);
+                        if let Some(max_len) = max_len_points {
+                            if b - a > max_len {
+                                break; // spans only grow with pj
+                            }
+                        }
+                        let (cost, _) =
+                            raw_segment_cost(cube, diff, metric, objects, &mut engine, (a, b));
+                        cells.push((pj, cost));
+                    }
+                    (cells, engine.calls() - before)
+                })
+                .collect()
+        });
+        for (pi, (cells, calls)) in rows.into_iter().enumerate() {
+            self.extra_calls += calls;
+            for (pj, cost) in cells {
                 matrix.set(pi, pj, cost);
             }
         }
+        let elapsed = start.elapsed();
+        self.timers.segmentation += elapsed;
+        self.timers.par_segmentation += elapsed;
         matrix
     }
 
@@ -155,40 +276,27 @@ impl<'a> SegmentationContext<'a> {
     pub fn segment_cost(&mut self, seg: (usize, usize)) -> f64 {
         let (a, b) = seg;
         debug_assert!(a < b);
-        let len = b - a;
-        if len == 1 {
+        if b - a == 1 {
             return 0.0; // a single object is its own centroid
         }
         self.ensure_objects();
-        if self.metric.is_all_pair() {
-            let start = Instant::now();
-            let ctx = ScoreContext::new(self.engine.cube(), self.diff_metric);
-            let objects = self.object_tops.as_ref().expect("cached");
-            let mut sum = 0.0;
-            for x in a..b {
-                for y in x + 1..b {
-                    sum += object_pair_distance(&ctx, &objects[x], &objects[y], self.metric);
-                }
-            }
-            // AVG over the l² ordered pairs (diagonal is 0, symmetric pairs
-            // counted twice), scaled by |P| = l.
-            let l = len as f64;
-            let cost = l * (2.0 * sum / (l * l));
-            self.timers.segmentation += start.elapsed();
-            cost
-        } else {
-            let centroid = self.explained(seg);
-            let start = Instant::now();
-            let ctx = ScoreContext::new(self.engine.cube(), self.diff_metric);
-            let objects = self.object_tops.as_ref().expect("cached");
-            let mut cost = 0.0;
-            #[allow(clippy::needless_range_loop)] // point indices, not iteration
-            for x in a..b {
-                cost += object_centroid_distance(&ctx, &objects[x], &centroid, self.metric);
-            }
-            self.timers.segmentation += start.elapsed();
-            cost
-        }
+        let start = Instant::now();
+        let cube = self.engine.cube();
+        let objects = self.object_tops.as_ref().expect("cached");
+        let (cost, centroid_time) = raw_segment_cost(
+            cube,
+            self.diff_metric,
+            self.metric,
+            objects,
+            &mut self.engine,
+            seg,
+        );
+        // Preserve the module attribution of the latency breakdown
+        // (Fig. 15): centroid top-m derivation is Cascading-Analysts work
+        // (module b), distances are segmentation work (module c).
+        self.timers.cascading += centroid_time;
+        self.timers.segmentation += start.elapsed().saturating_sub(centroid_time);
+        cost
     }
 
     /// The paper's objective (Problem 1): `Σ_i |P_i| · var(P_i)` of a
@@ -199,6 +307,104 @@ impl<'a> SegmentationContext<'a> {
             .into_iter()
             .map(|seg| self.segment_cost(seg))
             .sum()
+    }
+
+    /// Scores many schemes at once — the auto-K candidate sweep of the
+    /// shape-strategy driver. Schemes are mutually independent, so large
+    /// batches fan out across the parallel context, each worker scoring
+    /// its chunk with a private top-m engine; the returned vector is in
+    /// input order and byte-identical to scoring sequentially.
+    pub fn objective_batch(&mut self, schemes: &[Segmentation]) -> Vec<f64> {
+        if self.parallel.is_sequential()
+            || schemes.len() < 2
+            || self.n_points() < PAR_MIN_SCORING_POINTS
+        {
+            return schemes.iter().map(|s| self.objective(s)).collect();
+        }
+        self.ensure_objects();
+        let start = Instant::now();
+        let cube = self.engine.cube();
+        let objects = self.object_tops.as_ref().expect("cached");
+        let (diff, metric, m, strategy) = (
+            self.diff_metric,
+            self.metric,
+            self.engine.m(),
+            self.strategy,
+        );
+        let parts: Vec<(f64, u64)> = self.parallel.run_chunks(schemes.len(), |range| {
+            let mut engine = TopExplEngine::new(cube, diff, m, strategy);
+            range
+                .map(|i| {
+                    let before = engine.calls();
+                    let cost: f64 = schemes[i]
+                        .segments()
+                        .into_iter()
+                        .map(|seg| {
+                            raw_segment_cost(cube, diff, metric, objects, &mut engine, seg).0
+                        })
+                        .sum();
+                    (cost, engine.calls() - before)
+                })
+                .collect()
+        });
+        let mut out = Vec::with_capacity(schemes.len());
+        for (cost, calls) in parts {
+            out.push(cost);
+            self.extra_calls += calls;
+        }
+        let elapsed = start.elapsed();
+        self.timers.segmentation += elapsed;
+        self.timers.par_segmentation += elapsed;
+        out
+    }
+}
+
+/// The DP cost `|P| · var(P)` of one segment under `metric` — the one
+/// implementation both the sequential [`SegmentationContext::segment_cost`]
+/// and every parallel worker share, so parallel costs cannot drift from
+/// sequential ones. Returns the cost plus the wall-clock spent deriving
+/// the centroid's top-m list (module-b work, so sequential callers can
+/// attribute it to the cascading timer).
+///
+/// For the centroid structure (Eq. 7) this is the *sum* of
+/// object↔centroid distances (the centroid's top-m list is derived on
+/// `engine`); for the all-pair structure (Eq. 10) it is `|P|` times the
+/// average over all ordered object pairs.
+fn raw_segment_cost(
+    cube: &ExplanationCube,
+    diff_metric: DiffMetric,
+    metric: VarianceMetric,
+    objects: &[ExplainedSegment],
+    engine: &mut TopExplEngine<'_>,
+    seg: (usize, usize),
+) -> (f64, Duration) {
+    let (a, b) = seg;
+    let len = b - a;
+    if len == 1 {
+        return (0.0, Duration::default()); // a single object is its own centroid
+    }
+    let ctx = ScoreContext::new(cube, diff_metric);
+    if metric.is_all_pair() {
+        let mut sum = 0.0;
+        for x in a..b {
+            for y in x + 1..b {
+                sum += object_pair_distance(&ctx, &objects[x], &objects[y], metric);
+            }
+        }
+        // AVG over the l² ordered pairs (diagonal is 0, symmetric pairs
+        // counted twice), scaled by |P| = l.
+        let l = len as f64;
+        (l * (2.0 * sum / (l * l)), Duration::default())
+    } else {
+        let centroid_start = Instant::now();
+        let centroid = ExplainedSegment::new(seg, engine.top_m(seg));
+        let centroid_time = centroid_start.elapsed();
+        let mut cost = 0.0;
+        #[allow(clippy::needless_range_loop)] // point indices, not iteration
+        for x in a..b {
+            cost += object_centroid_distance(&ctx, &objects[x], &centroid, metric);
+        }
+        (cost, centroid_time)
     }
 }
 
@@ -334,5 +540,88 @@ mod tests {
         let mut ctx = context(&cube, VarianceMetric::Tse);
         let _ = ctx.segment_cost((0, 6));
         assert!(ctx.ca_calls() > 0);
+    }
+
+    /// A wider fixture (40 points, above every parallel threshold) so the
+    /// parallel paths genuinely fan out.
+    fn wide_cube() -> ExplanationCube {
+        let schema = Schema::new(vec![
+            Field::dimension("d"),
+            Field::dimension("state"),
+            Field::measure("v"),
+        ])
+        .unwrap();
+        let mut b = Relation::builder(schema);
+        for t in 0..40i64 {
+            let ny = if t < 20 { 3.0 * t as f64 } else { 60.0 };
+            let ca = if t < 20 {
+                4.0
+            } else {
+                4.0 + 5.0 * (t - 20) as f64
+            };
+            for (s, v) in [("NY", ny), ("CA", ca)] {
+                b.push_row(vec![Datum::Attr(t.into()), Datum::from(s), Datum::from(v)])
+                    .unwrap();
+            }
+        }
+        ExplanationCube::build(
+            &b.finish(),
+            &AggQuery::sum("d", "v"),
+            &CubeConfig::new(["state"]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_costs_and_calls_match_sequential_exactly() {
+        let cube = wide_cube();
+        let positions: Vec<usize> = (0..cube.n_points()).collect();
+        for metric in [VarianceMetric::Tse, VarianceMetric::AllPair] {
+            let mut seq = context(&cube, metric).with_parallel(ParallelCtx::sequential());
+            let reference = seq.compute_costs(&positions, None);
+            for threads in [2, 8] {
+                let mut par = context(&cube, metric).with_parallel(ParallelCtx::new(threads));
+                let got = par.compute_costs(&positions, None);
+                for a in 0..positions.len() {
+                    for b in a + 1..positions.len() {
+                        let (r, g) = (reference.get(a, b), got.get(a, b));
+                        assert!(
+                            r == g || (r.is_infinite() && g.is_infinite()),
+                            "{metric} t={threads} cell ({a},{b}): {r} vs {g}"
+                        );
+                    }
+                }
+                assert_eq!(par.ca_calls(), seq.ca_calls(), "{metric} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_objective_batch_matches_sequential() {
+        let cube = wide_cube();
+        let n = cube.n_points();
+        let schemes: Vec<Segmentation> = (1..=8)
+            .map(|k| Segmentation::new(n, (1..k).map(|i| i * n / k).collect::<Vec<_>>()).unwrap())
+            .collect();
+        let mut seq = context(&cube, VarianceMetric::Tse).with_parallel(ParallelCtx::sequential());
+        let reference = seq.objective_batch(&schemes);
+        for threads in [2, 8] {
+            let mut par =
+                context(&cube, VarianceMetric::Tse).with_parallel(ParallelCtx::new(threads));
+            assert_eq!(par.objective_batch(&schemes), reference, "t={threads}");
+            assert_eq!(par.ca_calls(), seq.ca_calls(), "t={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_timers_record_fanout_regions() {
+        let cube = wide_cube();
+        let positions: Vec<usize> = (0..cube.n_points()).collect();
+        let mut ctx = context(&cube, VarianceMetric::Tse).with_parallel(ParallelCtx::new(4));
+        let _ = ctx.compute_costs(&positions, None);
+        let timers = ctx.timers();
+        assert!(timers.par_segmentation <= timers.segmentation);
+        assert!(timers.par_segmentation.as_nanos() > 0);
+        assert!(timers.par_cascading <= timers.cascading);
     }
 }

@@ -1,5 +1,10 @@
+use tsexplain_parallel::ParallelCtx;
+
 use crate::cost::CostMatrix;
 use crate::error::SegmentError;
+
+/// Below this many cells per K-layer the DP recurrence runs inline.
+const PAR_MIN_LAYER_CELLS: usize = 64;
 
 /// The output of the K-Segmentation dynamic program (Eq. 11): optimal total
 /// costs `D(n, k)` and back-pointers for every `k` up to the cap, computed
@@ -85,7 +90,22 @@ impl DpResult {
 /// Positions are the matrix's candidate cut positions; every segment spans
 /// at least one position step. When the matrix is banded, transitions are
 /// restricted to the band, giving the `O(L · n · K)` sketch-phase bound.
+///
+/// Runs sequentially; [`k_segmentation_with`] fans each K-layer's rows
+/// across a [`ParallelCtx`] and is byte-identical by construction.
 pub fn k_segmentation(costs: &CostMatrix, k_max: usize) -> DpResult {
+    k_segmentation_with(costs, k_max, &ParallelCtx::sequential())
+}
+
+/// [`k_segmentation`] with an explicit parallel context.
+///
+/// The recurrence is layer-sequential in `k`, but within one layer every
+/// cell `D(j, k)` reads only layer `k − 1`, so the cells of a layer are
+/// mutually independent: they are fanned across the worker chunks and
+/// written back in `j` order. Each cell's inner minimization keeps the
+/// sequential loop order (first-minimum tie-breaking), so the resulting
+/// costs *and* back-pointers are byte-identical at any thread count.
+pub fn k_segmentation_with(costs: &CostMatrix, k_max: usize, par: &ParallelCtx) -> DpResult {
     let n_pos = costs.n_pos();
     assert!(n_pos >= 2, "need at least two positions");
     let k_max = k_max.max(1).min(n_pos - 1);
@@ -97,7 +117,7 @@ pub fn k_segmentation(costs: &CostMatrix, k_max: usize) -> DpResult {
         d[j * stride + 1] = costs.get(0, j);
     }
     for k in 2..=k_max {
-        for j in k..n_pos {
+        let cell = |j: usize, d: &[f64]| -> (f64, u32) {
             let lo = match costs.band() {
                 Some(band) => j.saturating_sub(band).max(k - 1),
                 None => k - 1,
@@ -115,8 +135,25 @@ pub fn k_segmentation(costs: &CostMatrix, k_max: usize) -> DpResult {
                     arg = jp as u32;
                 }
             }
-            d[j * stride + k] = best;
-            prev[j * stride + k] = arg;
+            (best, arg)
+        };
+        let n_cells = n_pos - k;
+        if par.is_sequential() || n_cells < PAR_MIN_LAYER_CELLS {
+            for j in k..n_pos {
+                let (best, arg) = cell(j, &d);
+                d[j * stride + k] = best;
+                prev[j * stride + k] = arg;
+            }
+        } else {
+            let d_read = &d;
+            let layer: Vec<(f64, u32)> = par.run_chunks(n_cells, |range| {
+                range.map(|off| cell(k + off, d_read)).collect()
+            });
+            for (off, (best, arg)) in layer.into_iter().enumerate() {
+                let j = k + off;
+                d[j * stride + k] = best;
+                prev[j * stride + k] = arg;
+            }
         }
     }
 
@@ -273,6 +310,43 @@ mod tests {
             dp.cuts(5),
             Err(SegmentError::InfeasibleK { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_dp_matches_sequential_costs_and_backpointers() {
+        // A cost surface with near-ties so first-minimum tie-breaking is
+        // actually exercised, over enough positions to cross the parallel
+        // layer threshold.
+        let n = 80;
+        let mut costs = CostMatrix::dense(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let len = (j - i) as f64;
+                costs.set(
+                    i,
+                    j,
+                    (len - 4.0).abs() + ((i * 7 + j * 3) % 5) as f64 * 0.25,
+                );
+            }
+        }
+        let seq = k_segmentation(&costs, 20);
+        for threads in [2, 8] {
+            let par = k_segmentation_with(&costs, 20, &ParallelCtx::new(threads));
+            for k in 1..=20 {
+                let (a, b) = (seq.total_cost(k), par.total_cost(k));
+                assert!(
+                    a == b || (a.is_infinite() && b.is_infinite()),
+                    "t={threads} k={k}: {a} vs {b}"
+                );
+                if a.is_finite() {
+                    assert_eq!(
+                        seq.cuts(k).unwrap(),
+                        par.cuts(k).unwrap(),
+                        "t={threads} k={k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

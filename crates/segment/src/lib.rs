@@ -40,7 +40,7 @@ mod variance;
 
 pub use context::{SegmentationContext, StageTimers};
 pub use cost::CostMatrix;
-pub use dp::{k_segmentation, DpResult};
+pub use dp::{k_segmentation, k_segmentation_with, DpResult};
 pub use elbow::elbow_k;
 pub use error::SegmentError;
 pub use ndcg::{ndcg, ExplainedSegment};
@@ -49,4 +49,5 @@ pub use segmenter::{
     shape_segmenter_outcome, DpSegmenter, KSelection, Segmenter, SegmenterOutcome,
 };
 pub use sketch::{select_sketch, SketchConfig};
+pub use tsexplain_parallel::ParallelCtx;
 pub use variance::{object_centroid_distance, object_pair_distance, VarianceMetric};

@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use crate::context::SegmentationContext;
-use crate::dp::k_segmentation;
+use crate::dp::k_segmentation_with;
 use crate::elbow::elbow_k;
 use crate::error::SegmentError;
 use crate::scheme::Segmentation;
@@ -101,7 +101,7 @@ impl Segmenter for DpSegmenter {
             KSelection::Auto { max_k } => max_k.min(positions.len() - 1).max(1),
             KSelection::Fixed(k) => k,
         };
-        let dp = k_segmentation(&costs, k_cap);
+        let dp = k_segmentation_with(&costs, k_cap, &ctx.parallel());
         let curve = dp.k_variance_curve();
         let chosen_k = match k {
             KSelection::Auto { .. } => elbow_k(&curve),
@@ -154,17 +154,19 @@ pub fn shape_segmenter_outcome(
         KSelection::Auto { max_k } => {
             let cap = max_k.min(n - 1).max(1);
             let mut solve_time = Duration::default();
-            let mut curve = Vec::with_capacity(cap);
             let mut schemes = Vec::with_capacity(cap);
+            // Proposals stay sequential (proposers memoize shared state —
+            // matrix profiles, z-normed scores — across the sweep); the
+            // explanation-aware scoring of the proposed schemes is the
+            // expensive half and fans out across the parallel context.
             for k in 1..=cap {
                 let start = Instant::now();
                 let cuts = propose(&series, k);
                 solve_time += start.elapsed();
-                let segmentation = Segmentation::new(n, cuts)?;
-                let cost = ctx.objective(&segmentation);
-                curve.push((k, cost));
-                schemes.push(segmentation);
+                schemes.push(Segmentation::new(n, cuts)?);
             }
+            let costs = ctx.objective_batch(&schemes);
+            let curve: Vec<(usize, f64)> = (1..=cap).zip(costs).collect();
             let chosen = elbow_k(&curve);
             let idx = curve
                 .iter()

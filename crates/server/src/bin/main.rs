@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! tsx-server [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--max-body-mb MB]
+//!            [--threads N]
 //! ```
+//!
+//! `--threads` sets the default intra-query parallelism for requests that
+//! carry no `threads` member of their own (0 = machine default; results
+//! are byte-identical at any setting).
 //!
 //! Serves until killed. `--addr 127.0.0.1:0` picks an ephemeral port and
 //! prints it, which is what scripts and CI use.
@@ -35,11 +40,15 @@ fn main() -> ExitCode {
                 Some(mb) => config.max_body_bytes = mb * 1024 * 1024,
                 None => return usage("--max-body-mb needs a size in MiB"),
             },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.threads = Some(n),
+                None => return usage("--threads needs a thread count (0 = machine default)"),
+            },
             "--help" | "-h" => {
                 println!(
                     "tsx-server: the TSExplain HTTP/JSON serving subsystem\n\n\
                      USAGE: tsx-server [--addr HOST:PORT] [--workers N] \
-                     [--budget-mb MB] [--max-body-mb MB]"
+                     [--budget-mb MB] [--max-body-mb MB] [--threads N]"
                 );
                 return ExitCode::SUCCESS;
             }

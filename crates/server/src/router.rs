@@ -20,7 +20,9 @@
 //! maps through [`ApiError`] to a 4xx/5xx JSON body.
 
 use serde::{Deserialize, Serialize, Value};
-use tsexplain::{default_window_for, DatasetId, ExplainRequest, Relation, SegmenterSpec};
+use tsexplain::{
+    default_window_for, DatasetId, ExplainRequest, Relation, SegmenterSpec, TsExplainError,
+};
 use tsexplain_eval::{distance_percent, rank_ascending};
 
 use crate::error::ApiError;
@@ -137,39 +139,74 @@ fn append(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response,
     Ok(json_ok(200, &AppendAck { appended, n_points }))
 }
 
+/// Applies the server-wide `--threads` default to requests that carry no
+/// explicit thread count of their own.
+fn with_thread_default(shared: &ServerShared, request: ExplainRequest) -> ExplainRequest {
+    match (request.threads(), shared.threads) {
+        (None, Some(t)) => request.with_threads(t),
+        _ => request,
+    }
+}
+
 fn explain(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
-    let request: ExplainRequest = parse_body(body)?;
+    let request = with_thread_default(shared, parse_body::<ExplainRequest>(body)?);
     let result = shared
         .registry
         .explain(id, &request)
         .map_err(ApiError::from)?;
+    shared.metrics.observe_latency(&result.latency);
     Ok(json_ok(200, &result))
 }
 
 /// Fans one request across every segmentation strategy against one
-/// tenant. The DP runs first and is the distance reference; all four
-/// strategies hit the tenant's shared cube (cache keys are
-/// strategy-independent), so precompute is paid at most once.
+/// tenant: the tenant is locked **once** to prepare its shared cube (cache
+/// keys are strategy-independent, so precompute is paid at most once and
+/// the session is never re-locked per strategy), then the four strategies
+/// run concurrently across the request's parallel context. Chunk-ordered
+/// reduction keeps the response byte-identical at any thread count.
 fn compare(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
     let spec: CompareBody = parse_body(body)?;
-    // The window-free DP runs first; its result reports the series length
-    // the request actually explained (after any time-range slicing), which
-    // is the length the auto-sized baseline window must fit.
-    let dp = shared
+    let base = with_thread_default(shared, spec.request.clone());
+    // One lock hold: validate + acquire (or build) the tenant's cube. The
+    // prepared cube reports the series length the request actually
+    // explains (after any time-range slicing), which is the length the
+    // auto-sized baseline window must fit.
+    let prepared = shared
         .registry
-        .explain(id, &spec.request.clone().with_segmenter(SegmenterSpec::Dp))
+        .prepare(id, &base.clone().with_segmenter(SegmenterSpec::Dp))
         .map_err(ApiError::from)?;
     let window = spec
         .window
-        .unwrap_or_else(|| default_window_for(dp.stats.n_points));
-    let mut results = vec![dp];
-    for s in SegmenterSpec::all_with_window(window).into_iter().skip(1) {
-        results.push(
-            shared
-                .registry
-                .explain(id, &spec.request.clone().with_segmenter(s))
-                .map_err(ApiError::from)?,
-        );
+        .unwrap_or_else(|| default_window_for(prepared.n_points()));
+    let specs = SegmenterSpec::all_with_window(window);
+    // Window structural validity (≥ 2) is schema-free per-strategy state
+    // the prepared path no longer re-validates per request; check it once
+    // here so an explicit `"window": 1` is a 400, not a degenerate run.
+    for s in &specs {
+        s.validate()
+            .map_err(|e| ApiError::from(TsExplainError::InvalidRequest(e)))?;
+    }
+
+    // Lock released: run the fan-out across the parallel context, every
+    // strategy reading the same immutable cube snapshot. The request's
+    // thread budget is *split*, not multiplied: `outer` workers run the
+    // strategies and each strategy's pipeline gets the remaining share,
+    // so a `--threads 8` compare spawns ~8 threads total, not 32.
+    // Determinism makes the split a pure scheduling choice — the response
+    // is byte-identical however the budget is divided.
+    let total_threads = base.parallel_ctx().threads();
+    let outer = total_threads.min(specs.len()).max(1);
+    let inner = (total_threads / outer).max(1);
+    let strategy_base = base.clone().with_threads(inner);
+    let outcomes = tsexplain::ParallelCtx::new(outer).map(specs.len(), |i| {
+        prepared.explain(&strategy_base.clone().with_segmenter(specs[i]))
+    });
+    shared.metrics.observe_fanout(outer);
+    let mut results = Vec::with_capacity(specs.len());
+    for outcome in outcomes {
+        let result = outcome.map_err(ApiError::from)?;
+        shared.metrics.observe_latency(&result.latency);
+        results.push(result);
     }
 
     let reference_cuts = results[0].segmentation.cuts().to_vec();

@@ -39,6 +39,12 @@ pub struct ServerConfig {
     /// Read timeout per connection — the keep-alive idle cap, and the
     /// longest a shutdown waits for idle connections to drain.
     pub read_timeout: Duration,
+    /// Default intra-query worker threads applied to requests that carry
+    /// no explicit `threads` member (`tsx-server --threads`). `None`
+    /// defers to the process default (`TSX_THREADS` / the machine).
+    /// Results are byte-identical at any setting — the parallel layer's
+    /// determinism contract.
+    pub threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +57,7 @@ impl Default for ServerConfig {
             memory_budget: DEFAULT_REGISTRY_BUDGET,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(5),
+            threads: None,
         }
     }
 }
@@ -71,6 +78,15 @@ pub struct ServerMetrics {
     protocol_errors: AtomicU64,
     /// Worker panics converted to 500s.
     panics: AtomicU64,
+    /// Cumulative engine wall-clock of answered explains (nanoseconds),
+    /// summed from each result's `LatencyBreakdown::total`.
+    explain_nanos: AtomicU64,
+    /// Of `explain_nanos`: wall-clock spent inside intra-query parallel
+    /// fan-out regions — the observable share of the parallel layer.
+    parallel_nanos: AtomicU64,
+    /// Explain/compare answers produced by a parallel context (threads
+    /// > 1).
+    parallel_explains: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -83,6 +99,30 @@ impl ServerMetrics {
         };
         class.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Accumulates one answered explain's latency breakdown (router-side;
+    /// includes every `/compare` strategy row).
+    pub(crate) fn observe_latency(&self, latency: &tsexplain::LatencyBreakdown) {
+        self.explain_nanos
+            .fetch_add(latency.total().as_nanos() as u64, Ordering::Relaxed);
+        self.parallel_nanos.fetch_add(
+            latency.parallel_total().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        if latency.parallel.threads > 1 {
+            self.parallel_explains.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a `/compare` strategy fan-out of `width` concurrent
+    /// workers — the cross-strategy half of the parallelism, which the
+    /// per-row latency blocks (reporting each strategy's *inner* thread
+    /// share) would otherwise undercount.
+    pub(crate) fn observe_fanout(&self, width: usize) {
+        if width > 1 {
+            self.parallel_explains.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// State shared by every worker: the tenant registry plus counters.
@@ -93,6 +133,9 @@ pub struct ServerShared {
     /// HTTP-level counters.
     pub metrics: ServerMetrics,
     workers: usize,
+    /// The server-wide intra-query thread default (`--threads`), applied
+    /// by the router to requests without their own `threads` member.
+    pub(crate) threads: Option<usize>,
 }
 
 impl ServerShared {
@@ -123,6 +166,32 @@ impl ServerShared {
                         m.protocol_errors.load(Ordering::Relaxed).serialize(),
                     ),
                     ("panics", m.panics.load(Ordering::Relaxed).serialize()),
+                    (
+                        "parallel",
+                        Value::object([
+                            (
+                                "default_threads",
+                                match self.threads {
+                                    Some(t) => t.serialize(),
+                                    None => {
+                                        tsexplain::ParallelCtx::from_env().threads().serialize()
+                                    }
+                                },
+                            ),
+                            (
+                                "explain_nanos",
+                                m.explain_nanos.load(Ordering::Relaxed).serialize(),
+                            ),
+                            (
+                                "parallel_nanos",
+                                m.parallel_nanos.load(Ordering::Relaxed).serialize(),
+                            ),
+                            (
+                                "parallel_explains",
+                                m.parallel_explains.load(Ordering::Relaxed).serialize(),
+                            ),
+                        ]),
+                    ),
                 ]),
             ),
             (
@@ -153,6 +222,7 @@ impl Server {
             registry: SessionRegistry::with_memory_budget(config.memory_budget),
             metrics: ServerMetrics::default(),
             workers: config.workers.max(1),
+            threads: config.threads,
         });
         let stopping = Arc::new(AtomicBool::new(false));
 

@@ -1,0 +1,158 @@
+//! Robustness properties of the HTTP codec and the serving loop:
+//! arbitrary malformed request bytes — truncated heads, oversized bodies,
+//! lying `Content-Length`s, unsupported chunked framing, binary soup —
+//! must never panic a worker. Every connection ends in a 4xx/413 response
+//! or a clean close, and the server keeps answering afterwards.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tsexplain_server::http::{self, ReadError};
+use tsexplain_server::{Server, ServerConfig};
+
+/// A corpus of deliberately malformed request shapes, indexed by `shape`;
+/// `bytes` seeds the random parts.
+fn malformed_request(shape: u8, bytes: &[u8]) -> Vec<u8> {
+    let soup = String::from_utf8_lossy(bytes).into_owned();
+    match shape % 10 {
+        // Raw binary soup, no HTTP at all.
+        0 => bytes.to_vec(),
+        // Truncated head: a request line with no terminating blank line.
+        1 => format!("POST /datasets HTTP/1.1\r\nContent-Length: {}", bytes.len()).into_bytes(),
+        // Body shorter than its Content-Length claims (truncated body).
+        2 => format!("POST /datasets/1/explain HTTP/1.1\r\nContent-Length: 100000\r\n\r\n{soup}")
+            .into_bytes(),
+        // Oversized body: a claim far past the server's limit.
+        3 => b"POST /datasets HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n".to_vec(),
+        // Chunked transfer, which this codec deliberately does not speak:
+        // the chunk framing bytes arrive where the next head is expected.
+        4 => format!(
+            "POST /datasets HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\n{soup}\r\n0\r\n\r\n"
+        )
+        .into_bytes(),
+        // Non-numeric / negative Content-Length.
+        5 => format!("POST / HTTP/1.1\r\nContent-Length: {soup}x\r\n\r\n").into_bytes(),
+        // Headers without colons (colons stripped from the soup so the
+        // line cannot accidentally become a valid header).
+        6 => format!(
+            "GET /metrics HTTP/1.1\r\nno-colon-here {}\r\n\r\n",
+            soup.replace([':', '\r', '\n'], "")
+        )
+        .into_bytes(),
+        // Wrong protocol version.
+        7 => format!("GET /{soup} SPDY/3\r\n\r\n").into_bytes(),
+        // A head flood: newline-free bytes well past the head limit.
+        8 => vec![b'x'; http::MAX_HEAD_BYTES + 4096],
+        // Valid framing, garbage JSON body — must be a 400, not a panic.
+        _ => format!(
+            "POST /datasets HTTP/1.1\r\nContent-Length: {}\r\n\r\n{soup}",
+            soup.len()
+        )
+        .into_bytes(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The codec itself: any byte sequence parses or errors, never panics,
+    /// and a reported `TooLarge` never exceeds its configured limit.
+    #[test]
+    fn read_request_never_panics_on_arbitrary_bytes(
+        shape in 0u8..10,
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let wire = malformed_request(shape, &bytes);
+        let mut reader = BufReader::new(wire.as_slice());
+        match http::read_request(&mut reader, 4096) {
+            Ok(request) => {
+                // Anything that parses obeys the configured limits.
+                prop_assert!(request.body.len() <= 4096);
+            }
+            Err(
+                ReadError::ConnectionClosed
+                | ReadError::Malformed(_)
+                | ReadError::TooLarge { .. }
+                | ReadError::Io(_),
+            ) => {}
+        }
+    }
+}
+
+/// One live conversation: write `wire`, read whatever comes back. Returns
+/// the status codes of any well-formed responses received before the
+/// connection closed.
+fn exchange(addr: std::net::SocketAddr, wire: &[u8]) -> Vec<u16> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The peer may reset mid-write once it answers 4xx and closes; that is
+    // a clean outcome, not a failure.
+    let _ = stream.write_all(wire);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reader = BufReader::new(stream);
+    let mut statuses = Vec::new();
+    while let Ok(response) = http::read_response(&mut reader) {
+        statuses.push(response.status);
+    }
+    statuses
+}
+
+/// The serving loop: every malformed conversation ends in 4xx/413 or a
+/// clean close, no worker panics, and the server still answers `/healthz`.
+#[test]
+fn malformed_conversations_never_kill_workers() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 2,
+        max_body_bytes: 64 * 1024,
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    for shape in 0u8..10 {
+        for seed in [
+            b"".as_slice(),
+            b"{\"a\": [1, 2".as_slice(),
+            &[0xFF, 0x00, 0xC3, 0x28],
+        ] {
+            let wire = malformed_request(shape, seed);
+            for status in exchange(addr, &wire) {
+                assert!(
+                    (400..500).contains(&status),
+                    "shape {shape}: expected 4xx or clean close, got {status}"
+                );
+            }
+        }
+    }
+
+    // The server survived: health answers, no panics, no 5xx.
+    let healthz = exchange(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(
+        healthz,
+        vec![200],
+        "server must still answer after the fuzz"
+    );
+    let shared = handle.shared();
+    let metrics = shared.metrics_value();
+    let server = metrics.get("server").cloned().unwrap();
+    assert_eq!(
+        server.get("panics").and_then(serde::Value::as_f64),
+        Some(0.0),
+        "no worker may have panicked"
+    );
+    assert_eq!(
+        server
+            .get("responses")
+            .and_then(|r| r.get("5xx"))
+            .and_then(serde::Value::as_f64),
+        Some(0.0),
+        "malformed input must never become a 5xx"
+    );
+    handle.shutdown();
+}

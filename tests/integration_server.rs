@@ -40,7 +40,8 @@ fn requests() -> Vec<ExplainRequest> {
 }
 
 /// Serializes a result with the latency block removed — wall-clock timings
-/// are the one legitimately nondeterministic part of a response.
+/// (and the thread count recorded inside them) are the one legitimately
+/// nondeterministic part of a response.
 fn canonical(result_value: &Value) -> Value {
     match result_value {
         Value::Object(map) => {
@@ -50,6 +51,71 @@ fn canonical(result_value: &Value) -> Value {
         }
         other => other.clone(),
     }
+}
+
+/// [`canonical`] plus `stats.cube_from_cache` removed — eviction churn
+/// legitimately flips whether an answer came from a cached cube, never
+/// what the answer is.
+fn strip_cache_flag(value: &Value) -> Value {
+    let mut value = canonical(value);
+    if let Value::Object(map) = &mut value {
+        if let Some(Value::Object(stats)) = map.get("stats") {
+            let mut stats = stats.clone();
+            stats.remove("cube_from_cache");
+            map.insert("stats".into(), Value::Object(stats));
+        }
+    }
+    value
+}
+
+/// [`canonical_compare`] plus cube provenance stripped from every
+/// strategy row (the stress test's comparison under eviction churn).
+fn strip_compare(value: &Value) -> Value {
+    let mut value = canonical_compare(value);
+    if let Value::Object(map) = &mut value {
+        if let Some(Value::Array(rows)) = map.get("strategies").cloned() {
+            let rows = rows
+                .into_iter()
+                .map(|row| match row {
+                    Value::Object(mut row) => {
+                        if let Some(result) = row.remove("result") {
+                            row.insert("result".into(), strip_cache_flag(&result));
+                        }
+                        Value::Object(row)
+                    }
+                    other => other,
+                })
+                .collect();
+            map.insert("strategies".into(), Value::Array(rows));
+        }
+    }
+    value
+}
+
+/// Canonicalizes a `/compare` response: the latency block of every
+/// strategy row is removed, everything else — cuts, chosen K, curves,
+/// distances, ranks, stats — stays byte-comparable.
+fn canonical_compare(response: &Value) -> Value {
+    let Value::Object(map) = response else {
+        return response.clone();
+    };
+    let mut map = map.clone();
+    if let Some(Value::Array(rows)) = map.get("strategies").cloned() {
+        let rows = rows
+            .into_iter()
+            .map(|row| match row {
+                Value::Object(mut row) => {
+                    if let Some(result) = row.remove("result") {
+                        row.insert("result".into(), canonical(&result));
+                    }
+                    Value::Object(row)
+                }
+                other => other,
+            })
+            .collect();
+        map.insert("strategies".into(), Value::Array(rows));
+    }
+    Value::Object(map)
 }
 
 #[test]
@@ -205,6 +271,199 @@ fn compare_fans_out_across_all_strategies() {
         }
         other => panic!("expected an API error, got {other}"),
     }
+    drop(client);
+    handle.shutdown();
+}
+
+/// Golden acceptance of the parallel `/compare` fan-out: the canonical
+/// response (all four strategies' cuts, chosen K, K-variance curves,
+/// distance percents and objective ranks on the synthetic corpus dataset)
+/// is pinned byte-for-byte in `tests/golden_compare.jsonl` and must
+/// reproduce at thread counts 1, 2 and 8 — the determinism contract of
+/// the intra-query parallel layer, end-to-end through the server.
+///
+/// Regenerate after an intentional engine change with
+/// `TSX_REGEN_GOLDEN=1 cargo test --test integration_server golden`.
+#[test]
+fn golden_compare_response_reproduces_at_thread_counts_1_2_8() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+    let request = requests().remove(0);
+    // Warm the cube so every compare (any thread count) reports identical
+    // cache provenance.
+    client.explain_value(created.dataset_id, &request).unwrap();
+
+    let lines: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let value = client
+                .compare_value(
+                    created.dataset_id,
+                    &request.clone().with_threads(threads),
+                    None,
+                )
+                .unwrap();
+            serde_json::to_string(&canonical_compare(&value)).unwrap()
+        })
+        .collect();
+    assert_eq!(lines[0], lines[1], "threads=2 diverged from sequential");
+    assert_eq!(lines[0], lines[2], "threads=8 diverged from sequential");
+
+    if std::env::var("TSX_REGEN_GOLDEN").is_ok() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden_compare.jsonl"
+        );
+        std::fs::write(path, format!("{}\n", lines[0])).unwrap();
+        panic!("golden_compare.jsonl regenerated; rerun without TSX_REGEN_GOLDEN");
+    }
+    let golden = include_str!("golden_compare.jsonl")
+        .lines()
+        .next()
+        .expect("golden file has the canonical /compare JSON on line 1");
+    assert_eq!(
+        lines[0], golden,
+        "/compare response diverged from the pinned golden"
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+/// Concurrency stress: 8 keep-alive HTTP clients hammering `/explain` +
+/// `/compare` against a registry whose global budget admits ~2 cubes,
+/// with intra-query parallelism active (server default 2 threads) — the
+/// server worker pool and `ParallelCtx`'s scoped threads nest without
+/// deadlock, evictions churn and are counted, and every response matches
+/// a single-threaded (`threads = 1`) replay computed upfront.
+#[test]
+fn stress_parallel_clients_with_evictions_match_sequential_replay() {
+    let data = dataset();
+    // Size one cube by probing a throwaway server.
+    let probe = {
+        let mut handle = Server::bind(ServerConfig::default()).unwrap();
+        let mut client = Client::new(handle.local_addr());
+        let created = client
+            .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+            .unwrap();
+        client
+            .explain_value(created.dataset_id, &requests()[0])
+            .unwrap();
+        let stats = client.stats(created.dataset_id).unwrap();
+        let bytes = stats.get("cache_bytes").and_then(Value::as_f64).unwrap() as usize;
+        drop(client);
+        handle.shutdown();
+        bytes
+    };
+    assert!(probe > 0);
+
+    let mut handle = Server::bind(ServerConfig {
+        workers: 4,
+        memory_budget: probe * 2, // ~2 cubes: eviction pressure is real
+        threads: Some(2),         // intra-query parallelism active
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut client = Client::new(addr);
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+
+    // Three cube keys in play (default, max_order 1, smoothing) exceed
+    // the 2-cube budget; the rotation forces rebuild/eviction churn.
+    let mix: Vec<ExplainRequest> = vec![
+        requests()[0].clone(),
+        requests()[0].clone().with_max_order(1),
+        requests()[0].clone().with_smoothing(5),
+    ];
+
+    // Single-threaded replays, computed before any concurrency. Eviction
+    // churn legitimately flips cube provenance, so `cube_from_cache` is
+    // stripped along with latency (see `strip_cache_flag`).
+    let explain_refs: Vec<Value> = mix
+        .iter()
+        .map(|request| {
+            let value = client
+                .explain_value(created.dataset_id, &request.clone().with_threads(1))
+                .unwrap();
+            strip_cache_flag(&value)
+        })
+        .collect();
+    let compare_ref = strip_compare(
+        &client
+            .compare_value(
+                created.dataset_id,
+                &requests()[0].clone().with_threads(1),
+                None,
+            )
+            .unwrap(),
+    );
+
+    let joins: Vec<_> = (0..8)
+        .map(|i| {
+            let mix = mix.clone();
+            let explain_refs = explain_refs.clone();
+            let compare_ref = compare_ref.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                for round in 0..3 {
+                    let request = &mix[(i + round) % mix.len()];
+                    let got = client.explain_value(created.dataset_id, request).unwrap();
+                    assert_eq!(
+                        strip_cache_flag(&got),
+                        explain_refs[(i + round) % mix.len()],
+                        "client {i} round {round}: /explain diverged from replay"
+                    );
+                    let got = client
+                        .compare_value(created.dataset_id, &mix[0], None)
+                        .unwrap();
+                    assert_eq!(
+                        strip_compare(&got),
+                        compare_ref,
+                        "client {i} round {round}: /compare diverged from replay"
+                    );
+                }
+            })
+        })
+        .collect();
+    for join in joins {
+        join.join().expect("no client thread may panic");
+    }
+
+    // The tight budget must have bitten, and nothing broke doing so.
+    let metrics = client.metrics().unwrap();
+    let registry = metrics.get("registry").cloned().unwrap();
+    let totals = registry.get("totals").cloned().unwrap();
+    assert!(
+        totals
+            .get("cube_evictions")
+            .and_then(Value::as_f64)
+            .unwrap()
+            > 0.0,
+        "the 2-cube budget must have forced evictions"
+    );
+    let server = metrics.get("server").cloned().unwrap();
+    assert_eq!(server.get("panics").and_then(Value::as_f64), Some(0.0));
+    let responses = server.get("responses").cloned().unwrap();
+    assert_eq!(responses.get("5xx").and_then(Value::as_f64), Some(0.0));
+    // Parallel execution was genuinely active.
+    let parallel = server.get("parallel").cloned().unwrap();
+    assert!(
+        parallel
+            .get("parallel_explains")
+            .and_then(Value::as_f64)
+            .unwrap()
+            > 0.0,
+        "intra-query parallelism must have been active"
+    );
     drop(client);
     handle.shutdown();
 }
