@@ -198,7 +198,7 @@ mod tests {
         let outcome = BottomUpSegmenter
             .segment(&mut ctx, &positions, KSelection::Fixed(3))
             .unwrap();
-        let direct = crate::bottom_up(&cube.total_values(), 3);
+        let direct = crate::bottom_up(cube.total_values_slice(), 3);
         assert_eq!(outcome.segmentation.cuts(), direct.as_slice());
         assert_eq!(outcome.chosen_k, 3);
         assert_eq!(BottomUpSegmenter.name(), "bottom_up");
@@ -213,7 +213,7 @@ mod tests {
         let outcome = FlussSegmenter { window: w }
             .segment(&mut ctx, &positions, KSelection::Fixed(2))
             .unwrap();
-        let direct = crate::fluss(&cube.total_values(), 2, w);
+        let direct = crate::fluss(cube.total_values_slice(), 2, w);
         assert_eq!(outcome.segmentation.cuts(), direct.as_slice());
     }
 
@@ -226,7 +226,7 @@ mod tests {
         let outcome = NnSegmentSegmenter { window: w }
             .segment(&mut ctx, &positions, KSelection::Fixed(3))
             .unwrap();
-        let direct = crate::nnsegment(&cube.total_values(), 3, w);
+        let direct = crate::nnsegment(cube.total_values_slice(), 3, w);
         assert_eq!(outcome.segmentation.cuts(), direct.as_slice());
     }
 
@@ -237,7 +237,7 @@ mod tests {
         // the agreement over the whole feasible (w, k) grid, not just one
         // point, so a future edit to either half cannot silently diverge.
         let cube = cube();
-        let series = cube.total_values();
+        let series = cube.total_values_slice();
         let n = series.len();
         for w in 2..=6 {
             for k in 2..=5 {
@@ -247,7 +247,7 @@ mod tests {
                         .unwrap();
                     assert_eq!(
                         outcome.segmentation.cuts(),
-                        crate::fluss(&series, k, w).as_slice(),
+                        crate::fluss(series, k, w).as_slice(),
                         "fluss w={w} k={k}"
                     );
                 }
@@ -257,7 +257,7 @@ mod tests {
                         .unwrap();
                     assert_eq!(
                         outcome.segmentation.cuts(),
-                        crate::nnsegment(&series, k, w).as_slice(),
+                        crate::nnsegment(series, k, w).as_slice(),
                         "nnsegment w={w} k={k}"
                     );
                 }

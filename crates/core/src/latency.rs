@@ -18,9 +18,30 @@ pub struct ParallelTimings {
     pub segmentation: Duration,
 }
 
+/// Segment-cost memo instrumentation: how the request's
+/// [`tsexplain_segment::SegmentationContext`] cache performed. Like the
+/// parallel timings, the memo never changes what is computed — reported
+/// `ca_calls` stay the memo-independent workload metric — so these
+/// counters are the observability channel for the work it saved:
+/// `hits` is exactly the number of segment pricings (and, under a
+/// centroid variance metric, top-m derivations) the memo avoided.
+///
+/// They live in the latency block rather than `PipelineStats` because the
+/// stats block is pinned byte-for-byte by the golden acceptance files;
+/// the latency block is the response's designated non-pinned
+/// instrumentation area.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoCounters {
+    /// Segment-cost lookups served from the memo.
+    pub hits: u64,
+    /// Segment costs computed and inserted.
+    pub misses: u64,
+}
+
 /// Wall-clock breakdown of one `explain()` call into the paper's three
 /// pipeline modules (Fig. 15): precomputation (a), Cascading Analysts (b)
-/// and K-Segmentation (c), plus the parallel-execution share of (b)/(c).
+/// and K-Segmentation (c), plus the parallel-execution share of (b)/(c)
+/// and the segment-cost memo counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyBreakdown {
     /// Module (a): cube construction (group-bys, candidate enumeration,
@@ -32,6 +53,8 @@ pub struct LatencyBreakdown {
     pub segmentation: Duration,
     /// Intra-query parallelism instrumentation.
     pub parallel: ParallelTimings,
+    /// Segment-cost memo instrumentation.
+    pub memo: MemoCounters,
 }
 
 impl LatencyBreakdown {
@@ -75,9 +98,14 @@ mod tests {
                 cascading: Duration::from_millis(8),
                 segmentation: Duration::from_millis(1),
             },
+            memo: MemoCounters {
+                hits: 12,
+                misses: 3,
+            },
         };
         assert_eq!(l.total(), Duration::from_millis(17));
         assert_eq!(l.parallel_total(), Duration::from_millis(9));
+        assert_eq!(l.memo.hits, 12);
         let s = l.to_string();
         assert!(s.contains("precompute"));
     }

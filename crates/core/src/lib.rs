@@ -109,7 +109,7 @@ mod streaming;
 
 pub use config::Optimizations;
 pub use error::TsExplainError;
-pub use latency::{LatencyBreakdown, ParallelTimings};
+pub use latency::{LatencyBreakdown, MemoCounters, ParallelTimings};
 pub use recommend::{recommend_explain_by, AttributeScore};
 pub use registry::{
     DatasetId, DatasetSnapshot, RegistryError, RegistryStats, SessionRegistry,

@@ -96,6 +96,10 @@ pub(crate) fn explain_cube_request(
             cascading: timers.par_cascading,
             segmentation: timers.par_segmentation,
         },
+        memo: crate::latency::MemoCounters {
+            hits: ctx.memo_hits(),
+            misses: ctx.memo_misses(),
+        },
     };
     let stats = PipelineStats {
         epsilon: cube.n_candidates(),

@@ -17,7 +17,7 @@ use serde::{Deserialize, Error, Serialize, Value};
 use tsexplain_segment::KSelection;
 
 use crate::config::Optimizations;
-use crate::latency::{LatencyBreakdown, ParallelTimings};
+use crate::latency::{LatencyBreakdown, MemoCounters, ParallelTimings};
 use crate::request::ExplainRequest;
 use crate::result::{ExplainResult, ExplanationItem, PipelineStats, SegmentExplanation};
 use crate::segmenter::SegmenterSpec;
@@ -51,6 +51,24 @@ impl Deserialize for ParallelTimings {
     }
 }
 
+impl Serialize for MemoCounters {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("hits", self.hits.serialize()),
+            ("misses", self.misses.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for MemoCounters {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(MemoCounters {
+            hits: value.field("hits")?,
+            misses: value.field("misses")?,
+        })
+    }
+}
+
 impl Serialize for LatencyBreakdown {
     fn serialize(&self) -> Value {
         Value::object([
@@ -58,6 +76,7 @@ impl Serialize for LatencyBreakdown {
             ("cascading", self.cascading.serialize()),
             ("segmentation", self.segmentation.serialize()),
             ("parallel", self.parallel.serialize()),
+            ("memo", self.memo.serialize()),
         ])
     }
 }
@@ -68,9 +87,10 @@ impl Deserialize for LatencyBreakdown {
             precompute: value.field("precompute")?,
             cascading: value.field("cascading")?,
             segmentation: value.field("segmentation")?,
-            // Results predating the parallel layer carry no block; a
-            // sequential default keeps old payloads decodable.
+            // Results predating the parallel layer / the memo carry no
+            // such blocks; defaults keep old payloads decodable.
             parallel: field_or(value, "parallel", ParallelTimings::default())?,
+            memo: field_or(value, "memo", MemoCounters::default())?,
         })
     }
 }
@@ -331,6 +351,10 @@ mod tests {
                     cascading: Duration::from_micros(200),
                     segmentation: Duration::from_micros(10),
                 },
+                memo: MemoCounters {
+                    hits: 21,
+                    misses: 190,
+                },
             },
             stats: PipelineStats {
                 epsilon: 3,
@@ -356,6 +380,8 @@ mod tests {
         assert_eq!(back.timestamps, result.timestamps);
         assert_eq!(back.aggregate, result.aggregate);
         assert_eq!(back.latency.precompute, result.latency.precompute);
+        assert_eq!(back.latency.memo.hits, result.latency.memo.hits);
+        assert_eq!(back.latency.memo.misses, result.latency.memo.misses);
         assert_eq!(back.stats, result.stats);
         assert_eq!(back.segments.len(), 1);
         let seg = &back.segments[0];
@@ -462,6 +488,22 @@ mod tests {
         }
         let back = ExplainResult::deserialize(&value).unwrap();
         assert_eq!(back.strategy, "dp");
+    }
+
+    #[test]
+    fn results_without_a_memo_block_default_to_zero_counters() {
+        let mut value = serde_json::to_value(&sample_result());
+        if let Value::Object(map) = &mut value {
+            let mut latency = match map.get("latency") {
+                Some(Value::Object(l)) => l.clone(),
+                other => panic!("latency block missing: {other:?}"),
+            };
+            latency.remove("memo");
+            map.insert("latency".into(), Value::Object(latency));
+        }
+        let back = ExplainResult::deserialize(&value).unwrap();
+        assert_eq!(back.latency.memo.hits, 0);
+        assert_eq!(back.latency.memo.misses, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::enumerate::enumerate;
 use crate::error::CubeError;
 use crate::explanation::{ExplId, Explanation};
 use crate::trie::{DrillTrie, NodeId, ROOT_NODE};
+use crate::values::ValueMatrix;
 
 /// Configuration for building an [`ExplanationCube`].
 #[derive(Clone, Debug)]
@@ -96,6 +97,10 @@ pub struct ExplanationCube {
     dicts: Vec<Dictionary>,
     explanations: Vec<Explanation>,
     series: Vec<Vec<AggState>>,
+    /// Time-major pre-decoded values (see [`ValueMatrix`]): the columnar
+    /// dual of `series` the scoring hot loops scan. Rebuilt whenever the
+    /// states change; every value read goes through it.
+    values: ValueMatrix,
     selectable: Vec<bool>,
     /// Per node (explanations, then root in the last slot): whether the
     /// subtree rooted there contains any selectable explanation. Lets the
@@ -176,16 +181,23 @@ impl ExplanationCube {
             dicts,
             en.explanations,
             en.series,
+            None,
             config.filter_ratio,
             config.prune_redundant,
         ))
     }
 
     /// Finalizes a cube from raw enumeration output: optionally prunes
-    /// redundant conjunctions, builds the drill-down trie and the lookup
-    /// index, and applies the support filter. Shared by the batch
-    /// [`ExplanationCube::build`] path and [`crate::IncrementalCube`]
-    /// snapshots, so both produce structurally identical cubes.
+    /// redundant conjunctions, builds the drill-down trie, the lookup
+    /// index and the time-major [`ValueMatrix`], and applies the support
+    /// filter. Shared by the batch [`ExplanationCube::build`] path and
+    /// [`crate::IncrementalCube`] snapshots, so both produce structurally
+    /// identical cubes.
+    ///
+    /// `values` is an optional pre-decoded matrix maintained incrementally
+    /// by the caller; it is reused when (and only when) pruning kept every
+    /// candidate, otherwise the matrix is re-decoded from the pruned
+    /// series. Decoding is pure, so both paths yield bit-identical values.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         timestamps: Vec<AttrValue>,
@@ -195,6 +207,7 @@ impl ExplanationCube {
         dicts: Vec<Dictionary>,
         explanations: Vec<Explanation>,
         series: Vec<Vec<AggState>>,
+        values: Option<ValueMatrix>,
         filter_ratio: Option<f64>,
         prune: bool,
     ) -> Self {
@@ -202,6 +215,20 @@ impl ExplanationCube {
             prune_redundant(explanations, series)
         } else {
             (explanations, series)
+        };
+        let values = match values {
+            Some(v) if v.n_cols() == explanations.len() && v.n_rows() == timestamps.len() => {
+                debug_assert!(
+                    {
+                        let fresh = ValueMatrix::build(agg, &total, &series);
+                        (0..v.n_rows()).all(|t| v.row(t) == fresh.row(t))
+                            && v.totals() == fresh.totals()
+                    },
+                    "incrementally maintained ValueMatrix drifted from the states"
+                );
+                v
+            }
+            _ => ValueMatrix::build(agg, &total, &series),
         };
         let trie = DrillTrie::build(&explanations);
         let index = explanations
@@ -217,6 +244,7 @@ impl ExplanationCube {
             dicts,
             explanations,
             series,
+            values,
             selectable: Vec::new(),
             subtree_selectable: Vec::new(),
             trie,
@@ -252,6 +280,9 @@ impl ExplanationCube {
             dicts: self.dicts.clone(),
             explanations: self.explanations.clone(),
             series: self.series.iter().map(|s| s[lo..=hi].to_vec()).collect(),
+            // Rows are contiguous, so the slice is two memcpys — no
+            // re-decoding of the sliced states.
+            values: self.values.slice_rows(lo, hi),
             selectable: Vec::new(),
             subtree_selectable: Vec::new(),
             trie: self.trie.clone(),
@@ -332,6 +363,7 @@ impl ExplanationCube {
                 .map(explanation_bytes)
                 .sum::<usize>()
             + series
+            + self.values.approx_bytes()
             + self.selectable.len()
             + self.subtree_selectable.len()
             + trie_bytes(&self.trie)
@@ -369,14 +401,28 @@ impl ExplanationCube {
         self.total[t]
     }
 
-    /// The overall aggregate value at time index `t`.
+    /// The overall aggregate value at time index `t` (pre-decoded).
     pub fn total_value(&self, t: usize) -> f64 {
-        self.total[t].value(self.agg)
+        self.values.total(t)
     }
 
-    /// The whole overall value series.
+    /// The whole overall value series as an owned vector. Warm paths that
+    /// only need to *read* the series should prefer the allocation-free
+    /// [`ExplanationCube::total_values_slice`].
     pub fn total_values(&self) -> Vec<f64> {
-        (0..self.n_points()).map(|t| self.total_value(t)).collect()
+        self.values.totals().to_vec()
+    }
+
+    /// The whole overall value series, borrowed from the pre-decoded
+    /// matrix — no per-call allocation.
+    pub fn total_values_slice(&self) -> &[f64] {
+        self.values.totals()
+    }
+
+    /// The time-major pre-decoded value matrix (see [`ValueMatrix`]) — the
+    /// storage batched scorers scan row-wise.
+    pub fn values(&self) -> &ValueMatrix {
+        &self.values
     }
 
     /// Explanation `e`'s aggregate state at time index `t`.
@@ -384,9 +430,18 @@ impl ExplanationCube {
         self.series[e as usize][t]
     }
 
-    /// Explanation `e`'s aggregate value at time index `t`.
+    /// Explanation `e`'s aggregate value at time index `t` (pre-decoded;
+    /// bit-identical to `state(e, t).value(agg)`).
     pub fn value_at(&self, e: ExplId, t: usize) -> f64 {
-        self.series[e as usize][t].value(self.agg)
+        self.values.get(t, e as usize)
+    }
+
+    /// Explanation `e`'s whole value series, gathered into `out` (cleared
+    /// first) — the reusable-buffer variant of
+    /// [`ExplanationCube::value_series`].
+    pub fn value_series_into(&self, e: ExplId, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n_points()).map(|t| self.value_at(e, t)));
     }
 
     /// Explanation `e`'s whole value series.
@@ -432,6 +487,20 @@ impl ExplanationCube {
     /// Whether explanation `e` survived the support filter.
     pub fn is_selectable(&self, e: ExplId) -> bool {
         self.selectable[e as usize]
+    }
+
+    /// The support-filter bitmap over all candidates — what batched
+    /// scorers use to mask their scans.
+    pub fn selectable_mask(&self) -> &[bool] {
+        &self.selectable
+    }
+
+    /// The id of an explanation given its sorted `(attr, code)` predicate
+    /// pairs — the allocation-free twin of [`ExplanationCube::lookup`]
+    /// for callers that assemble candidate predicates in a scratch buffer.
+    pub fn lookup_preds(&self, preds: &[(u16, u32)]) -> Option<ExplId> {
+        debug_assert!(preds.windows(2).all(|w| w[0].0 < w[1].0));
+        self.index.get(preds).copied()
     }
 
     /// Whether any explanation in the subtree under `node` is selectable.
@@ -485,6 +554,8 @@ impl ExplanationCube {
         for s in &mut self.series {
             *s = smooth_series(s);
         }
+        // The states changed; re-decode the columnar view.
+        self.values = ValueMatrix::build(self.agg, &self.total, &self.series);
     }
 }
 
@@ -524,12 +595,18 @@ fn prune_redundant(
             })
         })
         .collect();
-    let mut kept_expl = Vec::new();
-    let mut kept_series = Vec::new();
-    for (i, k) in keep.iter().enumerate() {
-        if *k {
-            kept_expl.push(explanations[i].clone());
-            kept_series.push(series[i].clone());
+    if keep.iter().all(|&k| k) {
+        // Nothing pruned: hand the vectors back untouched so callers that
+        // maintain derived structures (the incremental value matrix) can
+        // reuse them.
+        return (explanations, series);
+    }
+    let mut kept_expl = Vec::with_capacity(keep.iter().filter(|&&k| k).count());
+    let mut kept_series = Vec::with_capacity(kept_expl.capacity());
+    for ((e, s), k) in explanations.into_iter().zip(series).zip(keep) {
+        if k {
+            kept_expl.push(e);
+            kept_series.push(s);
         }
     }
     (kept_expl, kept_series)

@@ -132,6 +132,16 @@ impl Explanation {
     }
 }
 
+impl std::borrow::Borrow<[(u16, u32)]> for Explanation {
+    /// Explanations hash and compare exactly like their sorted predicate
+    /// slices (the derived impls delegate to the inner `Vec`), so a
+    /// `HashMap<Explanation, _>` can be probed with a borrowed scratch
+    /// slice — no per-lookup allocation.
+    fn borrow(&self) -> &[(u16, u32)] {
+        &self.preds
+    }
+}
+
 impl fmt::Display for Explanation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.preds.is_empty() {

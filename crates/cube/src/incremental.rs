@@ -30,6 +30,7 @@ use crate::cube::{CubeConfig, ExplanationCube};
 use crate::enumerate::{enumerate_subsets, enumerate_with_groups};
 use crate::error::CubeError;
 use crate::explanation::{ExplId, Explanation};
+use crate::values::ValueMatrix;
 
 /// One raw appended observation: timestamp, explain-by values in the
 /// cube's attribute order, and the already-evaluated measure.
@@ -56,6 +57,11 @@ pub struct IncrementalCube {
     explanations: Vec<Explanation>,
     series: Vec<Vec<AggState>>,
     total: Vec<AggState>,
+    /// Time-major pre-decoded values, maintained incrementally: appends
+    /// re-decode only the touched rows (or rebuild when new candidates
+    /// appeared), and snapshots hand the matrix to the finalizer so the
+    /// common no-prune case skips the O(ε·n) re-decode entirely.
+    values: ValueMatrix,
     rows_ingested: usize,
 }
 
@@ -134,6 +140,7 @@ impl IncrementalCube {
             groups.iter().map(HashMap::len).sum::<usize>()
         );
 
+        let values = ValueMatrix::build(query.agg(), &total, &series);
         Ok(IncrementalCube {
             config: config.clone(),
             agg: query.agg(),
@@ -153,6 +160,7 @@ impl IncrementalCube {
             explanations,
             series,
             total,
+            values,
             rows_ingested: n_rows,
         })
     }
@@ -176,6 +184,7 @@ impl IncrementalCube {
             explanations: Vec::new(),
             series: Vec::new(),
             total: Vec::new(),
+            values: ValueMatrix::with_cols(0),
             rows_ingested: 0,
         })
     }
@@ -255,6 +264,7 @@ impl IncrementalCube {
                 .map(|s| state_series_bytes(s))
                 .sum::<usize>()
             + state_series_bytes(&self.total)
+            + self.values.approx_bytes()
     }
 
     /// The timestamps of the series so far, in time order.
@@ -302,6 +312,11 @@ impl IncrementalCube {
         }
 
         // ---- ingestion pass --------------------------------------------
+        let cols_before = self.explanations.len();
+        let rows_before = self.timestamps.len();
+        // Existing rows whose states this batch changes (appends at the
+        // current horizon); re-decoded after ingestion.
+        let mut touched_rows: Vec<usize> = Vec::new();
         for (time, attrs, measure) in rows {
             let tcode = match self.time_index.get(time) {
                 Some(&c) => c,
@@ -317,6 +332,9 @@ impl IncrementalCube {
                 }
             };
             let t = tcode as usize;
+            if t < rows_before && touched_rows.last() != Some(&t) {
+                touched_rows.push(t);
+            }
             self.total[t].observe(*measure);
 
             let codes: Vec<u32> = attrs
@@ -355,6 +373,27 @@ impl IncrementalCube {
             }
             self.rows_ingested += 1;
         }
+
+        // ---- columnar maintenance --------------------------------------
+        if self.explanations.len() != cols_before {
+            // New candidates widen every row; rebuild in one pass.
+            self.values = ValueMatrix::build(self.agg, &self.total, &self.series);
+        } else {
+            touched_rows.sort_unstable();
+            touched_rows.dedup();
+            for &t in &touched_rows {
+                self.values.redecode_row(
+                    t,
+                    self.agg,
+                    self.total[t],
+                    self.series.iter().map(|s| &s[t]),
+                );
+            }
+            for t in rows_before..self.timestamps.len() {
+                self.values
+                    .push_row(self.agg, self.total[t], self.series.iter().map(|s| s[t]));
+            }
+        }
         Ok(())
     }
 
@@ -376,6 +415,7 @@ impl IncrementalCube {
                 .collect(),
             self.explanations.clone(),
             self.series.clone(),
+            Some(self.values.clone()),
             self.config.filter_ratio,
             self.config.prune_redundant,
         ))

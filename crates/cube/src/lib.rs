@@ -27,6 +27,7 @@ mod explanation;
 mod incremental;
 mod mem;
 mod trie;
+mod values;
 
 pub use cube::{CubeCacheKey, CubeConfig, ExplanationCube};
 pub use error::CubeError;
@@ -34,3 +35,4 @@ pub use explanation::{ExplId, Explanation};
 pub use incremental::{AppendRow, IncrementalCube};
 pub use trie::{DrillTrie, NodeId, ROOT_NODE};
 pub use tsexplain_parallel::ParallelCtx;
+pub use values::ValueMatrix;

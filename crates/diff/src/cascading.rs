@@ -38,6 +38,10 @@ pub struct CascadingAnalysts<'a> {
     best: Vec<f64>,
     /// Grouped-knapsack scratch row.
     dp: Vec<f64>,
+    /// Per-segment γ scores over all candidates, filled once per `run` by
+    /// the batched scorer (entries outside the active selectable set are
+    /// 0.0 and never read as take-scores).
+    gammas: Vec<f64>,
 }
 
 impl<'a> CascadingAnalysts<'a> {
@@ -56,6 +60,7 @@ impl<'a> CascadingAnalysts<'a> {
             full_order,
             best: vec![0.0; (n + 1) * (m + 1)],
             dp: vec![0.0; m + 1],
+            gammas: vec![0.0; n],
         }
     }
 
@@ -87,6 +92,11 @@ impl<'a> CascadingAnalysts<'a> {
     /// Exact top-m plus the `Best[0..=m]` root scores.
     pub fn top_m_with_best(&mut self, seg: (usize, usize)) -> (TopExplanations, Vec<f64>) {
         let cube = self.ctx.cube();
+        // One linear, masked scan over the columnar rows replaces the
+        // per-node γ evaluations of the DP (bit-identical by the batched
+        // scorer's contract).
+        self.ctx
+            .gamma_all_masked(seg, Some(cube.selectable_mask()), &mut self.gammas);
         let order = std::mem::take(&mut self.full_order);
         let out = self.run(
             seg,
@@ -103,14 +113,18 @@ impl<'a> CascadingAnalysts<'a> {
     /// `order` must list every structurally included node children-first
     /// (descending explanation order); `structural[e]` marks inclusion
     /// (selected candidates *and* their ancestors); `allowed[e]` marks the
-    /// candidates that may actually be taken as explanations.
+    /// candidates that may actually be taken as explanations; `gammas`
+    /// holds γ for at least every allowed candidate (the caller's batched
+    /// scores — reused here so a guess round never rescores candidates).
     pub(crate) fn top_m_restricted(
         &mut self,
         seg: (usize, usize),
         order: &[ExplId],
         structural: &[bool],
         allowed: &[bool],
+        gammas: &[f64],
     ) -> (TopExplanations, Vec<f64>) {
+        self.gammas.copy_from_slice(gammas);
         self.run(
             seg,
             order,
@@ -140,9 +154,9 @@ impl<'a> CascadingAnalysts<'a> {
     {
         let trie = self.ctx.cube().trie();
         for &v in order {
-            self.solve_node(v, seg, trie, &include, &selectable);
+            self.solve_node(v, trie, &include, &selectable);
         }
-        self.solve_node_groups(ROOT_NODE, seg, trie, &include, false);
+        self.solve_node_groups(ROOT_NODE, trie, &include, false);
 
         let stride = self.m + 1;
         let root = self.slot(ROOT_NODE);
@@ -152,7 +166,6 @@ impl<'a> CascadingAnalysts<'a> {
         self.reconstruct(
             ROOT_NODE,
             self.m,
-            seg,
             trie,
             &include,
             &selectable,
@@ -161,28 +174,26 @@ impl<'a> CascadingAnalysts<'a> {
 
         let items = selected
             .into_iter()
-            .map(|id| {
-                let (gamma, effect) = self.ctx.gamma_effect(id, seg);
-                RankedExplanation { id, gamma, effect }
+            .map(|id| RankedExplanation {
+                id,
+                gamma: self.gammas[id as usize],
+                effect: self.ctx.effect(id, seg),
             })
             .collect();
         (TopExplanations::new(items), best_root)
     }
 
     /// Fills `best[v][*]` for a concrete explanation node.
-    fn solve_node<FI, FS>(
-        &mut self,
-        v: ExplId,
-        seg: (usize, usize),
-        trie: &DrillTrie,
-        include: &FI,
-        selectable: &FS,
-    ) where
+    fn solve_node<FI, FS>(&mut self, v: ExplId, trie: &DrillTrie, include: &FI, selectable: &FS)
+    where
         FI: Fn(ExplId) -> bool,
         FS: Fn(ExplId) -> bool,
     {
+        // The batched per-segment scores were filled before the DP walk;
+        // `selectable` still gates the take (a restricted run's buffer may
+        // score candidates outside its allowed set).
         let take_self = if selectable(v) {
-            self.ctx.gamma(v, seg)
+            self.gammas[v as usize]
         } else {
             0.0
         };
@@ -192,7 +203,7 @@ impl<'a> CascadingAnalysts<'a> {
         for q in 1..=self.m {
             self.best[base + q] = take_self;
         }
-        self.solve_node_groups(v, seg, trie, include, true);
+        self.solve_node_groups(v, trie, include, true);
     }
 
     /// Max-in the best drill-down dimension's knapsack at `node`.
@@ -202,7 +213,6 @@ impl<'a> CascadingAnalysts<'a> {
     fn solve_node_groups<FI>(
         &mut self,
         node: NodeId,
-        _seg: (usize, usize),
         trie: &DrillTrie,
         include: &FI,
         keep_existing: bool,
@@ -251,12 +261,10 @@ impl<'a> CascadingAnalysts<'a> {
     }
 
     /// Walks the DP back, emitting selected explanation ids.
-    #[allow(clippy::too_many_arguments)]
     fn reconstruct<FI, FS>(
         &self,
         node: NodeId,
         q: usize,
-        seg: (usize, usize),
         trie: &DrillTrie,
         include: &FI,
         selectable: &FS,
@@ -271,7 +279,7 @@ impl<'a> CascadingAnalysts<'a> {
             return;
         }
         if node != ROOT_NODE && q >= 1 && selectable(node) {
-            let gamma = self.ctx.gamma(node, seg);
+            let gamma = self.gammas[node as usize];
             if close(target, gamma) {
                 out.push(node);
                 return;
@@ -319,7 +327,7 @@ impl<'a> CascadingAnalysts<'a> {
                     }
                 }
                 if assigned > 0 {
-                    self.reconstruct(kid, assigned, seg, trie, include, selectable, out);
+                    self.reconstruct(kid, assigned, trie, include, selectable, out);
                 }
                 cap -= assigned;
             }

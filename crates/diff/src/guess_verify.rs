@@ -32,9 +32,14 @@ pub struct GuessVerifyStats {
 /// > restricted `Best[m]` dominates every such bound it is globally optimal;
 /// > otherwise m̄ doubles (paper: m̄₀ = 30 for m = 3).
 ///
-/// Owns its buffers so repeated derivations allocate only O(m̄) per round.
+/// Owns its buffers so a warm top-m derivation allocates nothing: the
+/// batched γ scores, the scored ranking, the restriction bitmaps, the
+/// ancestor scratch and the processing order are all reused across calls.
 pub struct GuessVerify {
     initial_guess: usize,
+    /// Batched γ over all candidates (masked to the selectable set),
+    /// filled once per segment and shared with the restricted CA runs.
+    gamma_buf: Vec<f64>,
     /// Scratch: (γ, id), sorted descending per segment.
     scored: Vec<(f64, ExplId)>,
     /// Structural-inclusion bitmap over all candidates.
@@ -45,6 +50,8 @@ pub struct GuessVerify {
     touched: Vec<ExplId>,
     /// Included nodes in children-first order, rebuilt per round.
     order: Vec<ExplId>,
+    /// Ancestor-predicate scratch for allocation-free trie lookups.
+    subset_buf: Vec<(u16, u32)>,
 }
 
 impl GuessVerify {
@@ -54,11 +61,13 @@ impl GuessVerify {
         let n = cube.n_candidates();
         GuessVerify {
             initial_guess,
+            gamma_buf: vec![0.0; n],
             scored: Vec::new(),
             structural: vec![false; n],
             allowed: vec![false; n],
             touched: Vec::new(),
             order: Vec::new(),
+            subset_buf: Vec::new(),
         }
     }
 
@@ -72,10 +81,14 @@ impl GuessVerify {
         let m = ca.m();
         let ctx: ScoreContext<'_> = ca.score_context();
 
+        // One linear masked scan over the columnar rows scores every
+        // selectable candidate; the buffer then feeds both the ranking and
+        // every restricted CA round (no rescoring per round).
+        ctx.gamma_all_masked(seg, Some(cube.selectable_mask()), &mut self.gamma_buf);
         self.scored.clear();
         for e in 0..cube.n_candidates() as ExplId {
             if cube.is_selectable(e) {
-                self.scored.push((ctx.gamma(e, seg), e));
+                self.scored.push((self.gamma_buf[e as usize], e));
             }
         }
         // Descending γ, ties by id, so χ = [E_r1, E_r2, …] is deterministic.
@@ -112,8 +125,13 @@ impl GuessVerify {
             }
             rounds += 1;
             self.build_restriction(cube, guess);
-            let (top, best) =
-                ca.top_m_restricted(seg, &self.order, &self.structural, &self.allowed);
+            let (top, best) = ca.top_m_restricted(
+                seg,
+                &self.order,
+                &self.structural,
+                &self.allowed,
+                &self.gamma_buf,
+            );
             if self.verified(&best, m, guess) {
                 return (
                     top,
@@ -153,14 +171,17 @@ impl GuessVerify {
                 if mask == (1 << k) - 1 {
                     continue; // `e` itself, already marked
                 }
-                let subset: Vec<(u16, u32)> = preds
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| mask & (1 << i) != 0)
-                    .map(|(_, &p)| p)
-                    .collect();
-                let ancestor = tsexplain_cube::Explanation::new(subset);
-                if let Some(aid) = cube.lookup(&ancestor) {
+                // Subsets of a sorted predicate list stay sorted, so the
+                // scratch buffer probes the cube index directly.
+                self.subset_buf.clear();
+                self.subset_buf.extend(
+                    preds
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, &p)| p),
+                );
+                if let Some(aid) = cube.lookup_preds(&self.subset_buf) {
                     self.mark_structural(cube, aid);
                 }
             }

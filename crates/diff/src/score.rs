@@ -1,4 +1,5 @@
 use tsexplain_cube::{ExplId, ExplanationCube};
+use tsexplain_relation::AggFn;
 
 use crate::metric::{DiffMetric, Effect};
 
@@ -79,6 +80,114 @@ impl<'a> ScoreContext<'a> {
     /// The change effect τ(E) over the segment (Definition 3.3).
     pub fn effect(&self, e: ExplId, seg: (usize, usize)) -> Effect {
         Effect::of(self.contribution(e, seg))
+    }
+
+    /// Batched γ: writes `gamma(e, seg)` for **every** candidate into
+    /// `out` (which must hold `n_candidates` slots). See
+    /// [`ScoreContext::gamma_all_masked`] for the contract.
+    pub fn gamma_all(&self, seg: (usize, usize), out: &mut [f64]) {
+        self.gamma_all_masked(seg, None, out);
+    }
+
+    /// Batched γ over the cube's columnar storage: `out[e]` is set to
+    /// `gamma(e, seg)` for every candidate with `mask[e]` (every candidate
+    /// when `mask` is `None`) and to `0.0` otherwise.
+    ///
+    /// **Bit-for-bit contract:** each written score is produced by the
+    /// same arithmetic, in the same order, as the scalar
+    /// [`ScoreContext::gamma`] — the only difference is that the
+    /// metric/aggregate dispatch is hoisted out of the loop and the
+    /// per-candidate values come from the cube's pre-decoded time-major
+    /// rows ([`tsexplain_cube::ValueMatrix`]) instead of per-access
+    /// `AggState::value` calls. AVG and VARIANCE contributions need full
+    /// state arithmetic (`remove` must see counts), so those paths walk
+    /// the states with the dispatch hoisted; SUM/COUNT contributions and
+    /// all share-based scores run on the contiguous rows.
+    pub fn gamma_all_masked(&self, seg: (usize, usize), mask: Option<&[bool]>, out: &mut [f64]) {
+        let (a, b) = seg;
+        debug_assert!(a < b, "segment endpoints must be ordered");
+        let cube = self.cube;
+        let n = cube.n_candidates();
+        debug_assert_eq!(out.len(), n, "output buffer must cover all candidates");
+        debug_assert!(mask.is_none_or(|m| m.len() == n));
+        let agg = cube.agg();
+        let row_a = cube.values().row(a);
+        let row_b = cube.values().row(b);
+        let keep = |e: usize| mask.is_none_or(|m| m[e]);
+
+        match self.metric {
+            DiffMetric::AbsoluteChange | DiffMetric::RelativeChange => {
+                let relative = self.metric == DiffMetric::RelativeChange;
+                match agg {
+                    // SUM/COUNT decode to the state's own field, so the
+                    // complement value `(total − slice).value(agg)` is
+                    // exactly `total_value − slice_value`: the whole
+                    // contribution runs on the two rows.
+                    AggFn::Sum | AggFn::Count => {
+                        let total_a = cube.total_value(a);
+                        let total_b = cube.total_value(b);
+                        let delta_with = total_b - total_a;
+                        for e in 0..n {
+                            if !keep(e) {
+                                out[e] = 0.0;
+                                continue;
+                            }
+                            let delta_without = (total_b - row_b[e]) - (total_a - row_a[e]);
+                            let contribution = delta_with - delta_without;
+                            out[e] = if relative {
+                                contribution.abs() / row_a[e].abs().max(1.0)
+                            } else {
+                                contribution.abs()
+                            };
+                        }
+                    }
+                    // AVG/VARIANCE complements are not value-derivable;
+                    // keep the state arithmetic, hoisting the dispatch.
+                    AggFn::Avg | AggFn::Variance => {
+                        let total_a = cube.total_state(a);
+                        let total_b = cube.total_state(b);
+                        let delta_with = total_b.value(agg) - total_a.value(agg);
+                        for e in 0..n {
+                            if !keep(e) {
+                                out[e] = 0.0;
+                                continue;
+                            }
+                            let id = e as ExplId;
+                            let delta_without = total_b.remove(cube.state(id, b)).value(agg)
+                                - total_a.remove(cube.state(id, a)).value(agg);
+                            let contribution = delta_with - delta_without;
+                            out[e] = if relative {
+                                contribution.abs() / row_a[e].abs().max(1.0)
+                            } else {
+                                contribution.abs()
+                            };
+                        }
+                    }
+                }
+            }
+            // Shares only need decoded values — row-based for every agg.
+            DiffMetric::RiskRatio => {
+                let total_a = cube.total_value(a).abs();
+                let total_b = cube.total_value(b).abs();
+                for e in 0..n {
+                    if !keep(e) {
+                        out[e] = 0.0;
+                        continue;
+                    }
+                    let share_a = if total_a <= 0.0 {
+                        SHARE_FLOOR
+                    } else {
+                        (row_a[e].abs() / total_a).max(SHARE_FLOOR)
+                    };
+                    let share_b = if total_b <= 0.0 {
+                        SHARE_FLOOR
+                    } else {
+                        (row_b[e].abs() / total_b).max(SHARE_FLOOR)
+                    };
+                    out[e] = (share_b / share_a).ln().abs();
+                }
+            }
+        }
     }
 
     /// `(γ, τ)` in one evaluation.

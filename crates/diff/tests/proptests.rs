@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use tsexplain_cube::{CubeConfig, ExplId, ExplanationCube};
 use tsexplain_diff::{CascadingAnalysts, DiffMetric, Effect, GuessVerify, ScoreContext};
-use tsexplain_relation::{AggQuery, Datum, Field, Relation, Schema};
+use tsexplain_relation::{AggFn, AggQuery, Datum, Field, MeasureExpr, Relation, Schema};
 
 /// Small two-attribute instances keep the brute-force subset oracle cheap.
 fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, f64)>> {
@@ -34,6 +34,35 @@ fn build_cube(rows: &[(u8, u8, u8, f64)]) -> ExplanationCube {
     ExplanationCube::build(
         &builder.finish(),
         &AggQuery::sum("t", "v"),
+        &CubeConfig::new(["a", "b"]).without_redundancy_pruning(),
+    )
+    .unwrap()
+}
+
+/// Builds the same relation as [`build_cube`] but under an arbitrary
+/// aggregate function — the bit-parity sweep covers every `AggFn`.
+fn build_cube_with_agg(rows: &[(u8, u8, u8, f64)], agg: AggFn) -> ExplanationCube {
+    let schema = Schema::new(vec![
+        Field::dimension("t"),
+        Field::dimension("a"),
+        Field::dimension("b"),
+        Field::measure("v"),
+    ])
+    .unwrap();
+    let mut builder = Relation::builder(schema);
+    for &(t, a, b, v) in rows {
+        builder
+            .push_row(vec![
+                Datum::Attr((t as i64).into()),
+                Datum::Attr((a as i64).into()),
+                Datum::Attr((b as i64).into()),
+                Datum::from(v),
+            ])
+            .unwrap();
+    }
+    ExplanationCube::build(
+        &builder.finish(),
+        &AggQuery::new("t", agg, MeasureExpr::column("v")),
         &CubeConfig::new(["a", "b"]).without_redundancy_pruning(),
     )
     .unwrap()
@@ -124,6 +153,52 @@ proptest! {
                     let contribution = ctx.contribution(e, seg);
                     prop_assert_eq!(ctx.effect(e, seg), Effect::of(contribution));
                 }
+            }
+        }
+    }
+
+    /// The columnar batched scorer is bit-for-bit identical to the scalar
+    /// scorer across every difference metric × aggregate function ×
+    /// random segment — the contract that lets every hot loop switch to
+    /// `gamma_all` without moving a single golden byte. Also pins the
+    /// masked variant: masked-out entries are exactly 0.0 and masked-in
+    /// entries match the unmasked scan.
+    #[test]
+    fn batched_gamma_matches_scalar_bitwise(
+        rows in rows_strategy(),
+        agg_idx in 0usize..4,
+        lo in 0usize..8,
+        span in 1usize..8,
+    ) {
+        let cube = build_cube_with_agg(&rows, AggFn::ALL[agg_idx]);
+        let n = cube.n_points();
+        if n < 2 {
+            return Ok(());
+        }
+        let a = lo % (n - 1);
+        let b = (a + 1 + span % (n - 1 - a).max(1)).min(n - 1);
+        let seg = (a, b);
+        let n_cand = cube.n_candidates();
+        // A nontrivial mask: every third candidate blocked.
+        let mask: Vec<bool> = (0..n_cand).map(|e| e % 3 != 2).collect();
+        for metric in DiffMetric::ALL {
+            let ctx = ScoreContext::new(&cube, metric);
+            let mut batched = vec![f64::NAN; n_cand];
+            ctx.gamma_all(seg, &mut batched);
+            for e in 0..n_cand as ExplId {
+                let scalar = ctx.gamma(e, seg);
+                prop_assert_eq!(
+                    batched[e as usize].to_bits(),
+                    scalar.to_bits(),
+                    "{} / {:?} seg {:?} candidate {}: batched {} vs scalar {}",
+                    metric, AggFn::ALL[agg_idx], seg, e, batched[e as usize], scalar
+                );
+            }
+            let mut masked = vec![f64::NAN; n_cand];
+            ctx.gamma_all_masked(seg, Some(&mask), &mut masked);
+            for e in 0..n_cand {
+                let expected = if mask[e] { batched[e] } else { 0.0 };
+                prop_assert_eq!(masked[e].to_bits(), expected.to_bits());
             }
         }
     }

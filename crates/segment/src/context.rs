@@ -1,3 +1,4 @@
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use tsexplain_cube::ExplanationCube;
@@ -16,6 +17,10 @@ const PAR_MIN_OBJECTS: usize = 32;
 
 /// Below this many candidate positions the cost matrix runs inline.
 const PAR_MIN_POSITIONS: usize = 16;
+
+/// One parallel cost-matrix row: `(pj, cost, served_from_memo)` cells plus
+/// the worker engine's derivation count for that row.
+type CostRow = (Vec<(usize, f64, bool)>, u64);
 
 /// Below this many points a scheme-scoring batch runs inline.
 const PAR_MIN_SCORING_POINTS: usize = 32;
@@ -61,6 +66,23 @@ pub struct SegmentationContext<'a> {
     /// regions; [`SegmentationContext::ca_calls`] adds them to the main
     /// engine's counter so the total is thread-count-independent.
     extra_calls: u64,
+    /// Segment-cost memo keyed by point-index pair `(a, b)` — one request
+    /// repeatedly prices the same segments (the auto-K proposal sweep, the
+    /// sketch band vs. the main DP, the final per-segment description),
+    /// and costs are pure functions of the segment, so every repeat is a
+    /// lookup instead of a fresh centroid derivation + distance scan.
+    memo: HashMap<(usize, usize), f64>,
+    /// Disabled via [`SegmentationContext::without_memo`] (testing /
+    /// apples-to-apples measurement); costs are identical either way.
+    memo_enabled: bool,
+    memo_hits: u64,
+    memo_misses: u64,
+    /// Centroid derivations *avoided* by memo hits. Added back into
+    /// [`SegmentationContext::ca_calls`] so that counter stays the
+    /// memo-independent workload metric the serving layer reports (and the
+    /// golden files pin); the derivations actually performed are
+    /// [`SegmentationContext::ca_derivations`].
+    hit_calls: u64,
 }
 
 impl<'a> SegmentationContext<'a> {
@@ -82,6 +104,11 @@ impl<'a> SegmentationContext<'a> {
             object_tops: None,
             timers: StageTimers::default(),
             extra_calls: 0,
+            memo: HashMap::new(),
+            memo_enabled: true,
+            memo_hits: 0,
+            memo_misses: 0,
+            hit_calls: 0,
         }
     }
 
@@ -97,6 +124,42 @@ impl<'a> SegmentationContext<'a> {
     /// The parallel execution context in use.
     pub fn parallel(&self) -> ParallelCtx {
         self.parallel
+    }
+
+    /// Disables the segment-cost memo (builder style). Costs and reported
+    /// `ca_calls` are identical either way — the memo only changes how
+    /// many derivations are actually performed — so this exists for tests
+    /// and for measuring the memo's effect.
+    pub fn without_memo(mut self) -> Self {
+        self.memo_enabled = false;
+        self
+    }
+
+    /// Whether the segment-cost memo is active (callers layering their
+    /// own caching — e.g. the eval study's `CachedObjective` — use this
+    /// to decide whether they must cache locally instead).
+    pub fn memo_enabled(&self) -> bool {
+        self.memo_enabled
+    }
+
+    /// Segment-cost lookups served from the memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Segment costs computed and inserted into the memo.
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
+    }
+
+    /// Records `n` memo hits, restoring the derivations the hits avoided
+    /// into the logical `ca_calls` metric (centroid metrics derive one
+    /// top-m list per computed segment cost; all-pair metrics derive none).
+    fn record_hits(&mut self, n: u64) {
+        self.memo_hits += n;
+        if !self.metric.is_all_pair() {
+            self.hit_calls += n;
+        }
     }
 
     /// The underlying cube.
@@ -124,9 +187,20 @@ impl<'a> SegmentationContext<'a> {
         self.timers
     }
 
-    /// Number of top-m derivations performed so far (main engine plus the
-    /// per-worker engines of parallel regions).
+    /// Number of top-m derivations the workload *requested* so far: the
+    /// main engine's count, plus the per-worker engines of parallel
+    /// regions, plus derivations served from the segment-cost memo. By
+    /// construction this is independent of both the thread count and the
+    /// memo — it is the deterministic workload-shape metric reported as
+    /// `PipelineStats::ca_calls`. The derivations actually performed are
+    /// [`SegmentationContext::ca_derivations`].
     pub fn ca_calls(&self) -> u64 {
+        self.engine.calls() + self.extra_calls + self.hit_calls
+    }
+
+    /// Number of top-m derivations actually performed (excludes memo
+    /// hits); `ca_calls − ca_derivations` is the work the memo saved.
+    pub fn ca_derivations(&self) -> u64 {
         self.engine.calls() + self.extra_calls
     }
 
@@ -225,16 +299,20 @@ impl<'a> SegmentationContext<'a> {
         // derivations are call-independent), every cell's cost is computed
         // by the same [`raw_segment_cost`] the sequential path uses, and
         // the rows are written back in row order — byte-identical output.
+        // Workers read (never write) the memo as it stood when the region
+        // opened; cells within one call are distinct, so this sees exactly
+        // the hits the sequential loop would.
         let start = Instant::now();
         let cube = self.engine.cube();
         let objects = self.object_tops.as_ref().expect("cached");
+        let memo = self.memo_enabled.then_some(&self.memo);
         let (diff, metric, m, strategy) = (
             self.diff_metric,
             self.metric,
             self.engine.m(),
             self.strategy,
         );
-        let rows: Vec<(Vec<(usize, f64)>, u64)> = self.parallel.run_chunks(n_pos, |range| {
+        let rows: Vec<CostRow> = self.parallel.run_chunks(n_pos, |range| {
             let mut engine = TopExplEngine::new(cube, diff, m, strategy);
             range
                 .map(|pi| {
@@ -247,9 +325,13 @@ impl<'a> SegmentationContext<'a> {
                                 break; // spans only grow with pj
                             }
                         }
+                        if let Some(&cost) = memo.and_then(|memo| memo.get(&(a, b))) {
+                            cells.push((pj, cost, true));
+                            continue;
+                        }
                         let (cost, _) =
                             raw_segment_cost(cube, diff, metric, objects, &mut engine, (a, b));
-                        cells.push((pj, cost));
+                        cells.push((pj, cost, false));
                     }
                     (cells, engine.calls() - before)
                 })
@@ -257,7 +339,16 @@ impl<'a> SegmentationContext<'a> {
         });
         for (pi, (cells, calls)) in rows.into_iter().enumerate() {
             self.extra_calls += calls;
-            for (pj, cost) in cells {
+            for (pj, cost, from_memo) in cells {
+                let seg = (positions[pi], positions[pj]);
+                if seg.1 - seg.0 > 1 {
+                    if from_memo {
+                        self.record_hits(1);
+                    } else if self.memo_enabled {
+                        self.memo.insert(seg, cost);
+                        self.memo_misses += 1;
+                    }
+                }
                 matrix.set(pi, pj, cost);
             }
         }
@@ -279,6 +370,12 @@ impl<'a> SegmentationContext<'a> {
         if b - a == 1 {
             return 0.0; // a single object is its own centroid
         }
+        if self.memo_enabled {
+            if let Some(&cost) = self.memo.get(&seg) {
+                self.record_hits(1);
+                return cost;
+            }
+        }
         self.ensure_objects();
         let start = Instant::now();
         let cube = self.engine.cube();
@@ -296,6 +393,10 @@ impl<'a> SegmentationContext<'a> {
         // (module b), distances are segmentation work (module c).
         self.timers.cascading += centroid_time;
         self.timers.segmentation += start.elapsed().saturating_sub(centroid_time);
+        if self.memo_enabled {
+            self.memo.insert(seg, cost);
+            self.memo_misses += 1;
+        }
         cost
     }
 
@@ -310,11 +411,100 @@ impl<'a> SegmentationContext<'a> {
     }
 
     /// Scores many schemes at once — the auto-K candidate sweep of the
-    /// shape-strategy driver. Schemes are mutually independent, so large
-    /// batches fan out across the parallel context, each worker scoring
-    /// its chunk with a private top-m engine; the returned vector is in
-    /// input order and byte-identical to scoring sequentially.
+    /// shape-strategy driver. The returned vector is in input order and
+    /// byte-identical to scoring each scheme with
+    /// [`SegmentationContext::objective`].
+    ///
+    /// With the memo on (the default), each *unique* segment across the
+    /// batch is priced exactly once — nested auto-K proposals share most
+    /// of their segments, which is where the sweep's redundant centroid
+    /// derivations used to go — and the unique set fans out across the
+    /// parallel context. Per-scheme sums then read the memo in input
+    /// order, so the summation order (and hence every f64 bit) matches
+    /// the unmemoized path.
     pub fn objective_batch(&mut self, schemes: &[Segmentation]) -> Vec<f64> {
+        if !self.memo_enabled {
+            return self.objective_batch_unmemoized(schemes);
+        }
+        // The unique segments the memo cannot answer yet, in first-seen
+        // order (deterministic fan-out chunking).
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut pending_set: HashSet<(usize, usize)> = HashSet::new();
+        for scheme in schemes {
+            for seg in scheme.segments() {
+                if seg.1 - seg.0 > 1 && !self.memo.contains_key(&seg) && pending_set.insert(seg) {
+                    pending.push(seg);
+                }
+            }
+        }
+        if self.parallel.is_sequential()
+            || pending.len() < 2
+            || self.n_points() < PAR_MIN_SCORING_POINTS
+        {
+            for &seg in &pending {
+                let _ = self.segment_cost(seg); // computes, inserts, counts the miss
+            }
+        } else {
+            self.ensure_objects();
+            let start = Instant::now();
+            let cube = self.engine.cube();
+            let objects = self.object_tops.as_ref().expect("cached");
+            let (diff, metric, m, strategy) = (
+                self.diff_metric,
+                self.metric,
+                self.engine.m(),
+                self.strategy,
+            );
+            let parts: Vec<(f64, u64)> = self.parallel.run_chunks(pending.len(), |range| {
+                let mut engine = TopExplEngine::new(cube, diff, m, strategy);
+                range
+                    .map(|i| {
+                        let before = engine.calls();
+                        let (cost, _) =
+                            raw_segment_cost(cube, diff, metric, objects, &mut engine, pending[i]);
+                        (cost, engine.calls() - before)
+                    })
+                    .collect()
+            });
+            for (&seg, (cost, calls)) in pending.iter().zip(parts) {
+                self.memo.insert(seg, cost);
+                self.memo_misses += 1;
+                self.extra_calls += calls;
+            }
+            let elapsed = start.elapsed();
+            self.timers.segmentation += elapsed;
+            self.timers.par_segmentation += elapsed;
+        }
+        // Each scheme's sum folds its segment costs in segment order —
+        // the same fold the unmemoized path performs. The first occurrence
+        // of a segment priced above was already charged as a miss; every
+        // other occurrence is a memo hit.
+        let mut charged = pending_set;
+        let mut out = Vec::with_capacity(schemes.len());
+        for scheme in schemes {
+            let mut sum = 0.0;
+            for seg in scheme.segments() {
+                let cost = if seg.1 - seg.0 == 1 {
+                    0.0
+                } else {
+                    let cost = self.memo[&seg];
+                    if !charged.remove(&seg) {
+                        self.record_hits(1);
+                    }
+                    cost
+                };
+                sum += cost;
+            }
+            out.push(sum);
+        }
+        out
+    }
+
+    /// The memo-off scoring path: every scheme prices every segment from
+    /// scratch (what `objective_batch` did before the memo existed) —
+    /// kept so disabling the memo reproduces the historical work profile
+    /// exactly, which is what the memo-invisibility tests compare against.
+    fn objective_batch_unmemoized(&mut self, schemes: &[Segmentation]) -> Vec<f64> {
         if self.parallel.is_sequential()
             || schemes.len() < 2
             || self.n_points() < PAR_MIN_SCORING_POINTS
@@ -611,6 +801,91 @@ mod tests {
             assert_eq!(par.objective_batch(&schemes), reference, "t={threads}");
             assert_eq!(par.ca_calls(), seq.ca_calls(), "t={threads}");
         }
+    }
+
+    /// Nested auto-K-style proposals: k−1 evenly spread cuts for every k,
+    /// so many segments recur across the sweep — the memo's target shape.
+    fn nested_schemes(n: usize, max_k: usize) -> Vec<Segmentation> {
+        (1..=max_k)
+            .map(|k| {
+                let cuts: Vec<usize> = (1..k)
+                    .map(|i| (i * n / k).clamp(1, n - 2))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                Segmentation::new(n, cuts).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn memo_is_invisible_in_costs_but_cuts_derivations() {
+        let cube = wide_cube();
+        let n = cube.n_points();
+        let schemes = nested_schemes(n, 8);
+        let mut with_memo = context(&cube, VarianceMetric::Tse);
+        let mut without = context(&cube, VarianceMetric::Tse).without_memo();
+        let memo_costs = with_memo.objective_batch(&schemes);
+        let plain_costs = without.objective_batch(&schemes);
+        // Bit-identical objectives...
+        for (a, b) in memo_costs.iter().zip(&plain_costs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // ...and an identical logical workload metric...
+        assert_eq!(with_memo.ca_calls(), without.ca_calls());
+        // ...while strictly fewer derivations were actually performed.
+        assert!(
+            with_memo.ca_derivations() < without.ca_derivations(),
+            "memo {} vs plain {}",
+            with_memo.ca_derivations(),
+            without.ca_derivations()
+        );
+        assert!(with_memo.memo_hits() > 0);
+        assert_eq!(without.memo_hits(), 0);
+        // Re-pricing a segment from the sweep is a pure hit.
+        let before = with_memo.ca_derivations();
+        let direct = with_memo.segment_cost(schemes[1].segments()[0]);
+        assert_eq!(
+            direct.to_bits(),
+            with_memo.memo[&schemes[1].segments()[0]].to_bits()
+        );
+        assert_eq!(with_memo.ca_derivations(), before);
+    }
+
+    #[test]
+    fn memo_counters_are_thread_count_independent() {
+        let cube = wide_cube();
+        let schemes = nested_schemes(cube.n_points(), 8);
+        let mut seq = context(&cube, VarianceMetric::Tse).with_parallel(ParallelCtx::sequential());
+        let reference = seq.objective_batch(&schemes);
+        for threads in [2, 8] {
+            let mut par =
+                context(&cube, VarianceMetric::Tse).with_parallel(ParallelCtx::new(threads));
+            let got = par.objective_batch(&schemes);
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={threads}");
+            }
+            assert_eq!(par.ca_calls(), seq.ca_calls(), "t={threads}");
+            assert_eq!(par.memo_hits(), seq.memo_hits(), "t={threads}");
+            assert_eq!(par.memo_misses(), seq.memo_misses(), "t={threads}");
+        }
+    }
+
+    #[test]
+    fn cost_matrix_populates_the_memo_for_later_pricing() {
+        let cube = cube();
+        let mut ctx = context(&cube, VarianceMetric::Tse);
+        let positions: Vec<usize> = (0..7).collect();
+        let _ = ctx.compute_costs(&positions, None);
+        let misses = ctx.memo_misses();
+        assert!(misses > 0);
+        let derivations = ctx.ca_derivations();
+        // Every multi-object span is now priced; re-asking costs nothing.
+        let _ = ctx.segment_cost((0, 6));
+        let _ = ctx.segment_cost((2, 5));
+        assert_eq!(ctx.ca_derivations(), derivations);
+        assert_eq!(ctx.memo_misses(), misses);
+        assert_eq!(ctx.memo_hits(), 2);
     }
 
     #[test]

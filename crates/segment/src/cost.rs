@@ -58,9 +58,11 @@ impl CostMatrix {
         }
     }
 
-    fn dense_index(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < j && j < self.n_pos);
-        i * (self.n_pos - 1) - i * (i.saturating_sub(1)) / 2 + (j - i - 1)
+    /// Row-major upper-triangular index — the one place the dense layout
+    /// formula lives; both accessors go through it.
+    fn dense_index(n_pos: usize, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < n_pos);
+        i * (n_pos - 1) - i * (i.saturating_sub(1)) / 2 + (j - i - 1)
     }
 
     /// The cost of the segment between positions `i` and `j` (`i < j`);
@@ -68,7 +70,7 @@ impl CostMatrix {
     pub fn get(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < j && j < self.n_pos);
         match &self.storage {
-            Storage::Dense(data) => data[self.dense_index(i, j)],
+            Storage::Dense(data) => data[Self::dense_index(self.n_pos, i, j)],
             Storage::Banded { band, data } => {
                 if j - i > *band {
                     f64::INFINITY
@@ -85,11 +87,9 @@ impl CostMatrix {
     /// Panics when a banded matrix is written outside its band.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         debug_assert!(i < j && j < self.n_pos);
+        let n_pos = self.n_pos;
         match &mut self.storage {
-            Storage::Dense(data) => {
-                let idx = i * (self.n_pos - 1) - i * (i.saturating_sub(1)) / 2 + (j - i - 1);
-                data[idx] = value;
-            }
+            Storage::Dense(data) => data[Self::dense_index(n_pos, i, j)] = value,
             Storage::Banded { band, data } => {
                 assert!(j - i <= *band, "write outside band: ({i}, {j}) band {band}");
                 data[i * *band + (j - i - 1)] = value;

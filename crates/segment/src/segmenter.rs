@@ -134,12 +134,14 @@ pub fn shape_segmenter_outcome(
     k: KSelection,
     mut propose: impl FnMut(&[f64], usize) -> Vec<usize>,
 ) -> Result<SegmenterOutcome, SegmentError> {
-    let series = ctx.cube().total_values();
+    // The cube outlives the context borrow, so the pre-decoded aggregate
+    // row is borrowed directly — no per-request series copy.
+    let series: &[f64] = ctx.cube().total_values_slice();
     let n = series.len();
     match k {
         KSelection::Fixed(k) => {
             let start = Instant::now();
-            let cuts = propose(&series, k);
+            let cuts = propose(series, k);
             let solve_time = start.elapsed();
             let segmentation = Segmentation::new(n, cuts)?;
             let cost = ctx.objective(&segmentation);
@@ -161,7 +163,7 @@ pub fn shape_segmenter_outcome(
             // expensive half and fans out across the parallel context.
             for k in 1..=cap {
                 let start = Instant::now();
-                let cuts = propose(&series, k);
+                let cuts = propose(series, k);
                 solve_time += start.elapsed();
                 schemes.push(Segmentation::new(n, cuts)?);
             }

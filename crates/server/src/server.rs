@@ -87,6 +87,12 @@ pub struct ServerMetrics {
     /// Explain/compare answers produced by a parallel context (threads
     /// > 1).
     parallel_explains: AtomicU64,
+    /// Segment-cost memo hits across all answered explains — repeat
+    /// pricings (and, under centroid metrics, top-m derivations) the
+    /// per-request memo served instead of recomputing.
+    memo_hits: AtomicU64,
+    /// Segment-cost memo misses (costs computed and cached).
+    memo_misses: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -112,6 +118,10 @@ impl ServerMetrics {
         if latency.parallel.threads > 1 {
             self.parallel_explains.fetch_add(1, Ordering::Relaxed);
         }
+        self.memo_hits
+            .fetch_add(latency.memo.hits, Ordering::Relaxed);
+        self.memo_misses
+            .fetch_add(latency.memo.misses, Ordering::Relaxed);
     }
 
     /// Records a `/compare` strategy fan-out of `width` concurrent
@@ -190,6 +200,13 @@ impl ServerShared {
                                 "parallel_explains",
                                 m.parallel_explains.load(Ordering::Relaxed).serialize(),
                             ),
+                        ]),
+                    ),
+                    (
+                        "memo",
+                        Value::object([
+                            ("hits", m.memo_hits.load(Ordering::Relaxed).serialize()),
+                            ("misses", m.memo_misses.load(Ordering::Relaxed).serialize()),
                         ]),
                     ),
                 ]),

@@ -565,6 +565,12 @@ fn metrics_count_requests_and_cache_state() {
     let totals = registry.get("totals").cloned().unwrap();
     assert_eq!(totals.get("requests").and_then(Value::as_f64), Some(3.0));
     assert!(registry.get("cache_bytes").and_then(Value::as_f64).unwrap() > 0.0);
+    // The segment-cost memo's traffic is aggregated server-wide: any
+    // priced explain records misses, and the default auto-K requests
+    // re-price their final segments, so hits accumulate too.
+    let memo = server.get("memo").cloned().unwrap();
+    assert!(memo.get("misses").and_then(Value::as_f64).unwrap() > 0.0);
+    assert!(memo.get("hits").and_then(Value::as_f64).unwrap() > 0.0);
     drop(client);
     handle.shutdown();
 }
