@@ -18,10 +18,16 @@
 //! per-strategy latency percentiles at different `--threads` settings are
 //! directly comparable — same answers, different wall-clock.
 //!
+//! `--data-dir` boots the in-process server on the durable storage
+//! engine (WAL + demotion tier), so the summary's demotion/rehydration
+//! counters — and the `store` metrics block — exercise the same code
+//! path a persistent deployment runs.
+//!
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--rounds 30]
 //!     [--workers 4] [--budget-mb 8] [--points 100] [--addr HOST:PORT]
 //!     [--segmenter dp|bottom_up|fluss|nnsegment|all] [--threads N]
+//!     [--data-dir PATH]
 //! ```
 
 use std::net::SocketAddr;
@@ -41,6 +47,7 @@ struct Args {
     addr: Option<String>,
     segmenter: String,
     threads: Option<usize>,
+    data_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -54,6 +61,7 @@ impl Default for Args {
             addr: None,
             segmenter: "dp".into(),
             threads: None,
+            data_dir: None,
         }
     }
 }
@@ -76,6 +84,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(it.next().expect("--addr needs HOST:PORT")),
             "--segmenter" => args.segmenter = it.next().expect("--segmenter needs a strategy name"),
             "--threads" => args.threads = Some(take("--threads")),
+            "--data-dir" => args.data_dir = Some(it.next().expect("--data-dir needs a path")),
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -133,6 +142,7 @@ fn main() {
                 workers: args.workers,
                 memory_budget: args.budget_mb * 1024 * 1024,
                 threads: args.threads,
+                data_dir: args.data_dir.as_ref().map(Into::into),
                 ..ServerConfig::default()
             })
             .expect("bind an ephemeral port");
@@ -286,13 +296,29 @@ fn main() {
         read(&registry, "memory_budget") / (1024.0 * 1024.0),
     );
     println!(
-        "        requests={} cubes_built={} cache_hits={} refreshes={} evictions={}",
+        "        requests={} cubes_built={} cache_hits={} refreshes={} \
+         evictions={} demotions={} rehydrations={}",
         read(&totals, "requests"),
         read(&totals, "cubes_built"),
         read(&totals, "cube_cache_hits"),
         read(&totals, "cube_refreshes"),
         read(&totals, "cube_evictions"),
+        read(&totals, "cube_demotions"),
+        read(&totals, "cube_rehydrations"),
     );
+    let store = metrics.get("store").cloned().unwrap_or(Value::Null);
+    if !matches!(store, Value::Null) {
+        println!(
+            "store:  wal_appends={} wal_bytes={} snapshots={} recoveries={} \
+             demotions={} rehydrations={}",
+            read(&store, "wal_appends"),
+            read(&store, "wal_bytes"),
+            read(&store, "snapshots"),
+            read(&store, "recoveries"),
+            read(&store, "demotions"),
+            read(&store, "rehydrations"),
+        );
+    }
 
     drop(setup);
     if let Some(mut handle) = owned.take() {

@@ -27,6 +27,11 @@ pub enum TsExplainError {
         /// Requested period.
         period: usize,
     },
+    /// The durable store rejected a write the request's acknowledgement
+    /// depends on (WAL append or checkpoint I/O). The in-memory state may
+    /// be ahead of disk; the unacknowledged mutation is the part a crash
+    /// would lose.
+    Storage(String),
 }
 
 impl fmt::Display for TsExplainError {
@@ -42,6 +47,7 @@ impl fmt::Display for TsExplainError {
             TsExplainError::PeriodTooLong { n, period } => {
                 write!(f, "period {period} too long for a series of {n} points")
             }
+            TsExplainError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }

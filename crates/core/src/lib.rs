@@ -94,6 +94,7 @@
 //! individually toggleable via [`Optimizations`].
 
 mod config;
+mod durability;
 mod error;
 mod latency;
 mod pipeline;
@@ -108,6 +109,7 @@ mod session;
 mod streaming;
 
 pub use config::Optimizations;
+pub use durability::CubeSpill;
 pub use error::TsExplainError;
 pub use latency::{LatencyBreakdown, MemoCounters, ParallelTimings};
 pub use recommend::{recommend_explain_by, AttributeScore};
@@ -127,6 +129,12 @@ pub use streaming::StreamingExplainer;
 // The intra-query parallel execution layer (deterministic chunk-ordered
 // fan-out; `TSX_THREADS`, `ExplainRequest::with_threads`).
 pub use tsexplain_parallel::{ParallelCtx, MAX_DEFAULT_THREADS, THREADS_ENV};
+
+// The durable storage engine (WAL + snapshots + recovery-on-boot;
+// `SessionRegistry::with_store`, `tsx-server --data-dir`).
+pub use tsexplain_store::{
+    DataStore, RecoveredTenant, Recovery, StoreError, StoreMetrics, TenantCheckpoint,
+};
 
 // Curated re-exports so downstream users need only this crate.
 pub use tsexplain_cube::{CubeConfig, CubeError, ExplanationCube, IncrementalCube};

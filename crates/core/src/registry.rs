@@ -27,7 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use tsexplain_relation::{AggQuery, Datum, Relation};
+use tsexplain_store::{DataStore, Recovery, TenantCheckpoint};
 
+use crate::durability::TenantSpill;
 use crate::error::TsExplainError;
 use crate::request::ExplainRequest;
 use crate::result::ExplainResult;
@@ -135,6 +137,11 @@ pub struct SessionRegistry {
     /// The LRU clock shared by every hosted session.
     clock: Arc<AtomicU64>,
     memory_budget: usize,
+    /// The durable store, when the process runs with a data directory:
+    /// every registration / row batch / deletion is WAL-logged before the
+    /// caller is acknowledged, periodic checkpoints truncate the log, and
+    /// budget evictions demote cubes to it instead of dropping them.
+    store: Option<Arc<DataStore>>,
 }
 
 impl Default for SessionRegistry {
@@ -157,7 +164,68 @@ impl SessionRegistry {
             next_id: AtomicU64::new(1),
             clock: Arc::new(AtomicU64::new(0)),
             memory_budget: budget,
+            store: None,
         }
+    }
+
+    /// A registry backed by a durable store, rebuilt from what the store
+    /// recovered on open: every surviving tenant comes back as a live
+    /// session *under its original id*, `next_id` resumes from the
+    /// persisted watermark (deleted ids are never recycled), and all
+    /// further mutations are WAL-logged through `store`.
+    ///
+    /// Returns the registry plus human-readable notes — the recovery's own
+    /// notes followed by any tenants that failed to rebuild (skipped, never
+    /// a panic: their durable state stays on disk for inspection).
+    pub fn with_store(
+        budget: usize,
+        store: Arc<DataStore>,
+        recovery: Recovery,
+    ) -> (Self, Vec<String>) {
+        let registry = SessionRegistry {
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(recovery.next_id.max(1)),
+            clock: Arc::new(AtomicU64::new(0)),
+            memory_budget: budget,
+            store: Some(Arc::clone(&store)),
+        };
+        let mut notes = recovery.notes;
+        for tenant in recovery.tenants {
+            let id = tenant.id;
+            match registry.rebuild_session(tenant) {
+                Ok(session) => {
+                    registry
+                        .sessions
+                        .write()
+                        .expect("registry map lock poisoned")
+                        .insert(id, Arc::new(Mutex::new(session)));
+                }
+                Err(e) => notes.push(format!("tenant {id} not rebuilt: {e}")),
+            }
+        }
+        (registry, notes)
+    }
+
+    /// Reconstructs one recovered tenant's live session (shared clock,
+    /// global budget, spill tier attached).
+    fn rebuild_session(
+        &self,
+        tenant: tsexplain_store::RecoveredTenant,
+    ) -> Result<ExplainSession, TsExplainError> {
+        let mut builder = Relation::builder(tenant.schema);
+        for row in tenant.rows {
+            builder.push_row(row)?;
+        }
+        let mut session = ExplainSession::new(builder.finish(), tenant.query)?;
+        session.set_cache_budget(self.memory_budget);
+        session.set_cache_clock(Arc::clone(&self.clock));
+        if let Some(store) = &self.store {
+            session.set_spill(Some(Arc::new(TenantSpill::new(
+                Arc::clone(store),
+                tenant.id,
+            ))));
+        }
+        Ok(session)
     }
 
     /// The global memory budget in bytes.
@@ -165,7 +233,15 @@ impl SessionRegistry {
         self.memory_budget
     }
 
+    /// The durable store backing this registry, if it runs with one.
+    pub fn store(&self) -> Option<&Arc<DataStore>> {
+        self.store.as_ref()
+    }
+
     /// Registers a relation + query as a new tenant and returns its id.
+    /// With a durable store attached, the registration is WAL-logged (and
+    /// fsynced) before this returns — an acknowledged tenant survives a
+    /// crash.
     pub fn register(
         &self,
         relation: Relation,
@@ -177,21 +253,45 @@ impl SessionRegistry {
         session.set_cache_budget(self.memory_budget);
         session.set_cache_clock(Arc::clone(&self.clock));
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store
+                .log_register(
+                    id,
+                    session.schema(),
+                    session.query(),
+                    &session.export_rows(),
+                )
+                .map_err(|e| TsExplainError::Storage(e.to_string()))?;
+            session.set_spill(Some(Arc::new(TenantSpill::new(Arc::clone(store), id))));
+        }
         self.sessions
             .write()
             .expect("registry map lock poisoned")
             .insert(id, Arc::new(Mutex::new(session)));
+        self.maybe_checkpoint();
         Ok(DatasetId(id))
     }
 
-    /// Removes a tenant, dropping its session and caches. Returns whether
-    /// the id was registered.
+    /// Removes a tenant, dropping its session and caches — and, with a
+    /// durable store attached, its on-disk state (a tombstone lands in the
+    /// WAL first, so a reboot never resurrects the dataset). Returns
+    /// whether the id was registered.
     pub fn remove(&self, id: DatasetId) -> bool {
-        self.sessions
+        let removed = self
+            .sessions
             .write()
             .expect("registry map lock poisoned")
             .remove(&id.0)
-            .is_some()
+            .is_some();
+        if removed {
+            if let Some(store) = &self.store {
+                if let Err(e) = store.log_remove(id.0) {
+                    eprintln!("tsx-store: logging removal of dataset {id} failed: {e}");
+                }
+            }
+            self.maybe_checkpoint();
+        }
+        removed
     }
 
     /// Ids of all registered datasets, ascending.
@@ -268,14 +368,28 @@ impl SessionRegistry {
     }
 
     /// Appends raw rows (schema order) to tenant `id`, then enforces the
-    /// global memory budget.
+    /// global memory budget. With a durable store attached, the batch is
+    /// WAL-logged (and fsynced) after the session accepts it and before
+    /// this returns — the log is appended under the session lock so WAL
+    /// order matches application order and `seq` stays exact.
     pub fn append_rows(&self, id: DatasetId, rows: Vec<Vec<Datum>>) -> Result<(), RegistryError> {
         let handle = self.session(id)?;
         {
             let mut session = handle.lock().map_err(|_| RegistryError::Poisoned(id))?;
-            session.append_rows(rows)?;
+            match &self.store {
+                Some(store) => {
+                    let seq = session.total_rows() as u64;
+                    let batch = rows.clone();
+                    session.append_rows(rows)?;
+                    store
+                        .log_rows(id.0, seq, &batch)
+                        .map_err(|e| TsExplainError::Storage(e.to_string()))?;
+                }
+                None => session.append_rows(rows)?,
+            }
         }
         self.enforce_global_budget();
+        self.maybe_checkpoint();
         Ok(())
     }
 
@@ -312,8 +426,38 @@ impl SessionRegistry {
             out.totals.rows_appended += s.rows_appended;
             out.totals.rebuilds += s.rebuilds;
             out.totals.cube_evictions += s.cube_evictions;
+            out.totals.cube_demotions += s.cube_demotions;
+            out.totals.cube_rehydrations += s.cube_rehydrations;
         }
         out
+    }
+
+    /// Checkpoints the durable store (all tenants' full state, then WAL
+    /// truncation) once enough log has accumulated. Tenants whose lock is
+    /// poisoned are skipped — they are already unrecoverable in-process
+    /// (see [`RegistryError::Poisoned`]) and a checkpoint is the point
+    /// their durable state is garbage-collected too. Checkpoint I/O errors
+    /// are reported and retried at the next trigger; the WAL keeps the
+    /// data safe in the meantime.
+    fn maybe_checkpoint(&self) {
+        let Some(store) = &self.store else { return };
+        if !store.wants_checkpoint() {
+            return;
+        }
+        let mut tenants = Vec::new();
+        for (id, handle) in self.handles() {
+            let Ok(session) = handle.lock() else { continue };
+            tenants.push(TenantCheckpoint {
+                id,
+                schema: session.schema().clone(),
+                query: session.query().clone(),
+                rows: session.export_rows(),
+            });
+        }
+        let next_id = self.next_id.load(Ordering::Relaxed);
+        if let Err(e) = store.checkpoint(next_id, &tenants) {
+            eprintln!("tsx-store: checkpoint failed (will retry): {e}");
+        }
     }
 
     /// A stable snapshot of `(id, handle)` pairs, map lock released.
@@ -518,6 +662,150 @@ mod tests {
         assert_eq!(again.stats.n_points, 21);
         assert_eq!(registry.dataset_stats(a).unwrap().stats.cubes_built, 2);
         assert_eq!(registry.stats().totals.cube_evictions, 2);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tsx-registry-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_registry(dir: &std::path::Path, budget: usize) -> SessionRegistry {
+        let (store, recovery) = DataStore::open(dir).unwrap();
+        let (registry, notes) = SessionRegistry::with_store(budget, Arc::new(store), recovery);
+        assert!(notes.is_empty(), "unexpected recovery notes: {notes:?}");
+        registry
+    }
+
+    #[test]
+    fn reboot_recovers_tenants_under_their_original_ids() {
+        let dir = temp_dir("reboot");
+        let (a, b, expected) = {
+            let registry = durable_registry(&dir, DEFAULT_REGISTRY_BUDGET);
+            let a = registry
+                .register(relation(0..12), AggQuery::sum("t", "v"))
+                .unwrap();
+            let b = registry
+                .register(relation(0..21), AggQuery::sum("t", "v"))
+                .unwrap();
+            registry.append_rows(a, rows_for(12..21)).unwrap();
+            (a, b, registry.explain(a, &request()).unwrap())
+        };
+        // "Reboot": a fresh registry over the same data dir.
+        let registry = durable_registry(&dir, DEFAULT_REGISTRY_BUDGET);
+        assert_eq!(registry.ids(), vec![a, b]);
+        let replayed = registry.explain(a, &request()).unwrap();
+        assert_eq!(replayed.segmentation, expected.segmentation);
+        assert_eq!(replayed.aggregate, expected.aggregate);
+        assert_eq!(replayed.total_variance, expected.total_variance);
+        // New registrations continue above the persisted watermark.
+        let c = registry
+            .register(relation(0..5), AggQuery::sum("t", "v"))
+            .unwrap();
+        assert!(c > b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn removed_tenants_stay_removed_across_reboots() {
+        let dir = temp_dir("remove");
+        let (a, b) = {
+            let registry = durable_registry(&dir, DEFAULT_REGISTRY_BUDGET);
+            let a = registry
+                .register(relation(0..12), AggQuery::sum("t", "v"))
+                .unwrap();
+            let b = registry
+                .register(relation(0..12), AggQuery::sum("t", "v"))
+                .unwrap();
+            assert!(registry.remove(a));
+            (a, b)
+        };
+        let registry = durable_registry(&dir, DEFAULT_REGISTRY_BUDGET);
+        assert_eq!(registry.ids(), vec![b]);
+        // The deleted id is never recycled.
+        let c = registry
+            .register(relation(0..5), AggQuery::sum("t", "v"))
+            .unwrap();
+        assert_ne!(c, a);
+        assert!(c > b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_pressure_demotes_and_rehydrates_bit_identically() {
+        let dir = temp_dir("demote");
+        // Measure one cube's footprint, then run with a budget that can
+        // hold only one of the two cubes the test builds.
+        let probe = durable_registry(&dir.join("probe"), DEFAULT_REGISTRY_BUDGET);
+        let pid = probe
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        let expected = probe.explain(pid, &request()).unwrap();
+        let one_cube = probe.stats().cache_bytes;
+        assert!(one_cube > 0);
+
+        let registry = durable_registry(&dir.join("live"), one_cube + one_cube / 2);
+        let id = registry
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        registry.explain(id, &request()).unwrap(); // cube A
+        registry.explain(id, &request().with_max_order(1)).unwrap(); // cube B evicts A — demoted, not dropped
+        let stats = registry.stats();
+        assert_eq!(stats.totals.cube_demotions, 1);
+        assert_eq!(stats.totals.cube_evictions, 0, "demotion is not a drop");
+        // Asking for A again decodes the demoted snapshot: no rebuild.
+        let rehydrated = registry.explain(id, &request()).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.totals.cube_rehydrations, 1);
+        assert_eq!(stats.totals.cubes_built, 2, "A was not rebuilt");
+        assert_eq!(rehydrated.segmentation, expected.segmentation);
+        assert_eq!(rehydrated.aggregate, expected.aggregate);
+        assert_eq!(rehydrated.total_variance, expected.total_variance);
+        assert_eq!(rehydrated.k_variance_curve, expected.k_variance_curve);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_demoted_cubes_are_discarded_after_appends() {
+        let dir = temp_dir("stale");
+        let probe = durable_registry(&dir.join("probe"), DEFAULT_REGISTRY_BUDGET);
+        let pid = probe
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        probe.explain(pid, &request()).unwrap();
+        let one_cube = probe.stats().cache_bytes;
+
+        let registry = durable_registry(&dir.join("live"), one_cube + one_cube / 2);
+        let id = registry
+            .register(relation(0..12), AggQuery::sum("t", "v"))
+            .unwrap();
+        registry.explain(id, &request()).unwrap(); // cube A
+        registry.explain(id, &request().with_max_order(1)).unwrap(); // demotes A at the 24-row watermark
+        assert_eq!(registry.stats().totals.cube_demotions, 1);
+        // New rows make the demoted copy stale; the next miss for A must
+        // rebuild from the session, not resurrect pre-append state.
+        registry.append_rows(id, rows_for(12..21)).unwrap();
+        let after = registry.explain(id, &request()).unwrap();
+        assert_eq!(after.stats.n_points, 21);
+        let stats = registry.stats();
+        assert_eq!(
+            stats.totals.cube_rehydrations, 0,
+            "stale copy must not serve"
+        );
+        // And the result matches a cold registry over the full history.
+        let cold = SessionRegistry::new();
+        let cid = cold
+            .register(relation(0..21), AggQuery::sum("t", "v"))
+            .unwrap();
+        let expected = cold.explain(cid, &request()).unwrap();
+        assert_eq!(after.segmentation, expected.segmentation);
+        assert_eq!(after.aggregate, expected.aggregate);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use tsexplain_relation::{
     AggQuery, AttrValue, Column, ColumnType, Datum, Relation, RelationError, Schema,
 };
 
+use crate::durability::CubeSpill;
 use crate::error::TsExplainError;
 use crate::pipeline::explain_cube_request;
 use crate::request::{ExplainRequest, InvalidRequest};
@@ -60,10 +61,18 @@ pub struct SessionStats {
     pub rows_appended: u64,
     /// Full rebuilds forced by restated history.
     pub rebuilds: u64,
-    /// Cached cubes evicted to respect the cache byte budget (locally or by
-    /// a registry's global policy). Evicted keys keep serving correctly —
-    /// the next request for one rebuilds it.
+    /// Cached cubes *dropped* to respect the cache byte budget (locally or
+    /// by a registry's global policy) — evicted with no durable copy left
+    /// behind. Evicted keys keep serving correctly — the next request for
+    /// one rebuilds it.
     pub cube_evictions: u64,
+    /// Cached cubes *demoted* under the same budget pressure: evicted from
+    /// memory but spilled to the durable store first, so the next request
+    /// rehydrates instead of rebuilding. Always 0 without a data dir.
+    pub cube_demotions: u64,
+    /// Cache misses served by decoding a demoted cube's snapshot back into
+    /// memory (bit-identical to the evicted state) instead of rebuilding.
+    pub cube_rehydrations: u64,
 }
 
 /// A cached cube: the incremental enumeration state plus the finalized
@@ -149,6 +158,9 @@ pub struct ExplainSession {
     /// LRU clock. Sessions owned by a [`crate::SessionRegistry`] share one
     /// clock so recency is comparable across tenants.
     clock: Arc<AtomicU64>,
+    /// Second eviction tier: when set, budget evictions demote cubes to it
+    /// and cache misses try to rehydrate from it before rebuilding.
+    spill: Option<Arc<dyn CubeSpill>>,
 }
 
 /// Default cube-cache byte budget per session: 256 MiB.
@@ -180,6 +192,7 @@ impl ExplainSession {
             stats: SessionStats::default(),
             cache_budget: DEFAULT_CUBE_CACHE_BUDGET,
             clock: Arc::new(AtomicU64::new(0)),
+            spill: None,
         })
     }
 
@@ -217,22 +230,43 @@ impl ExplainSession {
 
     /// Evicts the least-recently-used cached cube, returning its
     /// approximate size. The evicted key keeps serving correctly: the next
-    /// request for it rebuilds the cube from the session's data.
+    /// request for it rehydrates (with a spill tier) or rebuilds the cube
+    /// from the session's data.
     pub fn evict_lru_one(&mut self) -> Option<usize> {
         let key = self
             .cubes
             .iter()
             .min_by_key(|(_, e)| e.last_used)
             .map(|(k, _)| k.clone())?;
-        let freed = self.cubes.remove(&key).map(|e| e.bytes)?;
-        self.stats.cube_evictions += 1;
-        Some(freed)
+        self.evict_entry(&key)
+    }
+
+    /// Removes one cache entry, demoting it to the spill tier when one is
+    /// attached (a failed demotion degrades to a plain drop). Returns the
+    /// approximate bytes freed.
+    fn evict_entry(&mut self, key: &CubeCacheKey) -> Option<usize> {
+        let entry = self.cubes.remove(key)?;
+        let demoted = self
+            .spill
+            .as_ref()
+            .is_some_and(|spill| spill.demote(key.fingerprint(), &entry.inc.to_snapshot_bytes()));
+        if demoted {
+            self.stats.cube_demotions += 1;
+        } else {
+            self.stats.cube_evictions += 1;
+        }
+        Some(entry.bytes)
     }
 
     /// Replaces the LRU clock (a registry shares one clock across all its
     /// sessions so global eviction can compare recency between tenants).
     pub(crate) fn set_cache_clock(&mut self, clock: Arc<AtomicU64>) {
         self.clock = clock;
+    }
+
+    /// Attaches (or detaches) the spill tier budget evictions demote to.
+    pub(crate) fn set_spill(&mut self, spill: Option<Arc<dyn CubeSpill>>) {
+        self.spill = spill;
     }
 
     /// Evicts LRU entries until the cache fits the budget. `protect` (the
@@ -247,8 +281,7 @@ impl ExplainSession {
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(key) => {
-                    self.cubes.remove(&key);
-                    self.stats.cube_evictions += 1;
+                    self.evict_entry(&key);
                 }
                 None => break,
             }
@@ -277,6 +310,20 @@ impl ExplainSession {
     /// Number of prepared cubes currently cached.
     pub fn cached_cubes(&self) -> usize {
         self.cubes.len()
+    }
+
+    /// Total raw rows the session holds (base + tail) — the row watermark
+    /// the durable store sequences WAL batches and checkpoints by.
+    pub fn total_rows(&self) -> usize {
+        self.base.n_rows() + self.tail.len()
+    }
+
+    /// Every raw row the session holds, in ingestion order (schema order
+    /// per row) — what a durable checkpoint persists.
+    pub(crate) fn export_rows(&self) -> Vec<Vec<Datum>> {
+        let mut rows = relation_rows(&self.base);
+        rows.extend(self.tail.iter().cloned());
+        rows
     }
 
     /// Cache instrumentation.
@@ -505,6 +552,30 @@ impl ExplainSession {
             }
             self.enforce_budget(Some(&key));
             return Ok((cube, was_ready));
+        }
+
+        // Cache miss. With a spill tier attached, a previously demoted
+        // cube at the session's exact row watermark is decoded back into
+        // memory bit-identically — no recompute. A stale copy (rows
+        // arrived after the demotion) or one whose key no longer matches
+        // (fingerprint collision) is discarded and rebuilt below.
+        if let Some(spill) = self.spill.clone() {
+            if let Some(bytes) = spill.rehydrate(key.fingerprint()) {
+                match IncrementalCube::from_snapshot_bytes(&bytes) {
+                    Ok(inc)
+                        if inc.config().cache_key() == key
+                            && inc.rows_ingested() == self.base.n_rows() + self.tail.len() =>
+                    {
+                        self.stats.cube_rehydrations += 1;
+                        let mut entry = CacheEntry::new(inc, stamp);
+                        let (cube, _) = entry.snapshot(smoothing)?;
+                        self.cubes.insert(key.clone(), entry);
+                        self.enforce_budget(Some(&key));
+                        return Ok((cube, false));
+                    }
+                    _ => spill.discard(key.fingerprint()),
+                }
+            }
         }
 
         // Cold build. An empty base with pending tail rows (streaming cold

@@ -37,6 +37,10 @@ pub enum CubeError {
         /// Number of values in the offending row.
         got: usize,
     },
+    /// A persisted cube snapshot failed to decode (torn write, bit flip,
+    /// wrong version). Recovery treats this as "no snapshot" and rebuilds —
+    /// it must never panic.
+    CorruptSnapshot(String),
 }
 
 impl fmt::Display for CubeError {
@@ -66,6 +70,9 @@ impl fmt::Display for CubeError {
                     f,
                     "appended row has {got} explain-by value(s); cube expects {expected}"
                 )
+            }
+            CubeError::CorruptSnapshot(what) => {
+                write!(f, "corrupt cube snapshot: {what}")
             }
         }
     }

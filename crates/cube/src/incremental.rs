@@ -37,32 +37,35 @@ use crate::values::ValueMatrix;
 pub type AppendRow = (AttrValue, Vec<AttrValue>, f64);
 
 /// An explanation cube that grows at the tail (see module docs).
+///
+/// Fields are `pub(crate)` so [`crate::persist`] can serialize the logical
+/// state to a block snapshot and reassemble it bit-identically.
 #[derive(Clone, Debug)]
 pub struct IncrementalCube {
-    config: CubeConfig,
-    agg: AggFn,
+    pub(crate) config: CubeConfig,
+    pub(crate) agg: AggFn,
     /// Sorted, append-only time axis.
-    timestamps: Vec<AttrValue>,
-    time_index: HashMap<AttrValue, u32>,
-    attr_names: Vec<String>,
+    pub(crate) timestamps: Vec<AttrValue>,
+    pub(crate) time_index: HashMap<AttrValue, u32>,
+    pub(crate) attr_names: Vec<String>,
     /// Per attribute: values in code order (sorted for values present at
     /// construction, then first-seen order).
-    dict_values: Vec<Vec<AttrValue>>,
-    dict_index: Vec<HashMap<AttrValue, u32>>,
+    pub(crate) dict_values: Vec<Vec<AttrValue>>,
+    pub(crate) dict_index: Vec<HashMap<AttrValue, u32>>,
     /// Attribute subsets `S` with `|S| <= max_order`, in the batch
     /// builder's mask order.
-    subsets: Vec<Vec<u16>>,
+    pub(crate) subsets: Vec<Vec<u16>>,
     /// Per subset: value-combination -> explanation id.
-    groups: Vec<HashMap<Vec<u32>, ExplId>>,
-    explanations: Vec<Explanation>,
-    series: Vec<Vec<AggState>>,
-    total: Vec<AggState>,
+    pub(crate) groups: Vec<HashMap<Vec<u32>, ExplId>>,
+    pub(crate) explanations: Vec<Explanation>,
+    pub(crate) series: Vec<Vec<AggState>>,
+    pub(crate) total: Vec<AggState>,
     /// Time-major pre-decoded values, maintained incrementally: appends
     /// re-decode only the touched rows (or rebuild when new candidates
     /// appeared), and snapshots hand the matrix to the finalizer so the
     /// common no-prune case skips the O(ε·n) re-decode entirely.
-    values: ValueMatrix,
-    rows_ingested: usize,
+    pub(crate) values: ValueMatrix,
+    pub(crate) rows_ingested: usize,
 }
 
 impl IncrementalCube {

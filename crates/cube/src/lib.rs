@@ -26,6 +26,7 @@ mod error;
 mod explanation;
 mod incremental;
 mod mem;
+mod persist;
 mod trie;
 mod values;
 

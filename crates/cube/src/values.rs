@@ -65,6 +65,34 @@ impl ValueMatrix {
         }
     }
 
+    /// Reassembles a matrix from its raw parts — the snapshot-load path.
+    /// Returns `None` when the dimensions are inconsistent with the data
+    /// (a torn or corrupt snapshot must not become an out-of-bounds panic
+    /// later).
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        data: Vec<f64>,
+        totals: Vec<f64>,
+    ) -> Option<Self> {
+        if data.len() != n_rows.checked_mul(n_cols)? || totals.len() != n_rows {
+            return None;
+        }
+        Some(ValueMatrix {
+            n_rows,
+            n_cols,
+            data,
+            totals,
+        })
+    }
+
+    /// The full row-major value block (`data[t * n_cols + e]`) — what a
+    /// block snapshot writes in one contiguous pass.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Number of time points (rows).
     pub fn n_rows(&self) -> usize {
         self.n_rows

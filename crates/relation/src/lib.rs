@@ -43,4 +43,5 @@ pub use predicate::{Conjunction, Predicate};
 pub use query::{AggQuery, AggregatedTimeSeries, MeasureExpr};
 pub use relation::Relation;
 pub use schema::{ColumnType, Field, Schema};
+pub use serde_impls::{decode_wire_row, encode_wire_row};
 pub use value::AttrValue;

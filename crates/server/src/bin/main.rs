@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! tsx-server [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--max-body-mb MB]
-//!            [--threads N]
+//!            [--threads N] [--data-dir PATH]
 //! ```
 //!
 //! `--threads` sets the default intra-query parallelism for requests that
 //! carry no `threads` member of their own (0 = machine default; results
 //! are byte-identical at any setting).
+//!
+//! `--data-dir` turns on the durable storage engine: datasets are
+//! recovered from `PATH` before the listener accepts, every mutation is
+//! WAL-logged (and fsynced) before its acknowledgement, and
+//! budget-evicted cubes are demoted to disk instead of dropped. Without
+//! it the server is purely in-memory.
 //!
 //! Serves until killed. `--addr 127.0.0.1:0` picks an ephemeral port and
 //! prints it, which is what scripts and CI use.
@@ -44,11 +50,16 @@ fn main() -> ExitCode {
                 Some(n) => config.threads = Some(n),
                 None => return usage("--threads needs a thread count (0 = machine default)"),
             },
+            "--data-dir" => match args.next() {
+                Some(dir) => config.data_dir = Some(dir.into()),
+                None => return usage("--data-dir needs a directory path"),
+            },
             "--help" | "-h" => {
                 println!(
                     "tsx-server: the TSExplain HTTP/JSON serving subsystem\n\n\
                      USAGE: tsx-server [--addr HOST:PORT] [--workers N] \
-                     [--budget-mb MB] [--max-body-mb MB] [--threads N]"
+                     [--budget-mb MB] [--max-body-mb MB] [--threads N] \
+                     [--data-dir PATH]"
                 );
                 return ExitCode::SUCCESS;
             }

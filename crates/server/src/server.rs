@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde::{Serialize, Value};
-use tsexplain::{SessionRegistry, DEFAULT_REGISTRY_BUDGET};
+use tsexplain::{DataStore, SessionRegistry, DEFAULT_REGISTRY_BUDGET};
 
 use crate::error::ApiError;
 use crate::http::{self, ReadError};
@@ -45,6 +45,13 @@ pub struct ServerConfig {
     /// Results are byte-identical at any setting — the parallel layer's
     /// determinism contract.
     pub threads: Option<usize>,
+    /// Data directory for the durable storage engine (`tsx-server
+    /// --data-dir`). When set, the server recovers every tenant from it
+    /// before accepting connections, WAL-logs each mutation before
+    /// acknowledging it, and demotes budget-evicted cubes to it instead of
+    /// dropping them. `None` (the default) serves purely in memory —
+    /// byte-identical behavior to a server without the storage engine.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +65,7 @@ impl Default for ServerConfig {
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(5),
             threads: None,
+            data_dir: None,
         }
     }
 }
@@ -149,11 +157,12 @@ pub struct ServerShared {
 }
 
 impl ServerShared {
-    /// The `/metrics` JSON document: HTTP counters + registry counters.
+    /// The `/metrics` JSON document: HTTP counters + registry counters,
+    /// plus a `store` block when a durable data dir backs the process.
     pub fn metrics_value(&self) -> Value {
         let m = &self.metrics;
         let r = self.registry.stats();
-        Value::object([
+        let mut doc = Value::object([
             (
                 "server",
                 Value::object([
@@ -221,7 +230,24 @@ impl ServerShared {
                     ("totals", crate::wire::session_stats_value(&r.totals)),
                 ]),
             ),
-        ])
+        ]);
+        if let Some(store) = self.registry.store() {
+            let s = store.metrics();
+            if let Value::Object(fields) = &mut doc {
+                fields.insert(
+                    "store".into(),
+                    Value::object([
+                        ("wal_appends", s.wal_appends.serialize()),
+                        ("wal_bytes", s.wal_bytes.serialize()),
+                        ("snapshots", s.snapshots.serialize()),
+                        ("recoveries", s.recoveries.serialize()),
+                        ("demotions", s.demotions.serialize()),
+                        ("rehydrations", s.rehydrations.serialize()),
+                    ]),
+                );
+            }
+        }
+        doc
     }
 }
 
@@ -233,10 +259,32 @@ impl Server {
     /// acceptor and workers run on background threads until
     /// [`ServerHandle::shutdown`].
     pub fn bind(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        // Recovery runs before the listener accepts anything: the first
+        // connection already sees every surviving tenant.
+        let registry = match &config.data_dir {
+            Some(dir) => {
+                let (store, recovery) = DataStore::open(dir).map_err(std::io::Error::other)?;
+                let recovered = recovery.tenants.len();
+                let discarded = recovery.discarded_bytes;
+                let (registry, notes) =
+                    SessionRegistry::with_store(config.memory_budget, Arc::new(store), recovery);
+                for note in &notes {
+                    eprintln!("tsx-server: recovery: {note}");
+                }
+                println!(
+                    "tsx-server recovered {recovered} dataset(s) from {} \
+                     ({discarded} bytes discarded, {} note(s))",
+                    dir.display(),
+                    notes.len(),
+                );
+                registry
+            }
+            None => SessionRegistry::with_memory_budget(config.memory_budget),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            registry: SessionRegistry::with_memory_budget(config.memory_budget),
+            registry,
             metrics: ServerMetrics::default(),
             workers: config.workers.max(1),
             threads: config.threads,

@@ -15,10 +15,9 @@
 
 use serde::{Deserialize, Error, Serialize, Value};
 use tsexplain::{
-    AggQuery, AttrValue, DatasetSnapshot, Datum, ExplainRequest, ExplainResult, Schema,
-    SessionStats,
+    AggQuery, DatasetSnapshot, Datum, ExplainRequest, ExplainResult, Schema, SessionStats,
 };
-use tsexplain_relation::ColumnType;
+use tsexplain_relation::{decode_wire_row, encode_wire_row};
 
 use crate::error::ApiError;
 
@@ -267,58 +266,26 @@ pub fn session_stats_value(stats: &SessionStats) -> Value {
         ("rows_appended", stats.rows_appended.serialize()),
         ("rebuilds", stats.rebuilds.serialize()),
         ("cube_evictions", stats.cube_evictions.serialize()),
+        ("cube_demotions", stats.cube_demotions.serialize()),
+        ("cube_rehydrations", stats.cube_rehydrations.serialize()),
     ])
 }
 
 /// Decodes wire rows into raw [`Datum`] rows, schema-aware (module docs).
+/// Delegates to the relation crate's codec — the same one the durable WAL
+/// uses — and adds the offending row index to the error message.
 pub fn decode_rows(schema: &Schema, rows: &[Value]) -> Result<Vec<Vec<Datum>>, ApiError> {
     rows.iter()
         .enumerate()
         .map(|(i, row)| {
-            decode_row(schema, row).map_err(|m| ApiError::bad_request(format!("row {i}: {m}")))
-        })
-        .collect()
-}
-
-fn decode_row(schema: &Schema, row: &Value) -> Result<Vec<Datum>, String> {
-    let cells = row
-        .as_array()
-        .ok_or_else(|| format!("expected an array, got {}", row.type_name()))?;
-    if cells.len() != schema.len() {
-        return Err(format!(
-            "expected {} values (schema order), got {}",
-            schema.len(),
-            cells.len()
-        ));
-    }
-    cells
-        .iter()
-        .zip(schema.fields())
-        .map(|(cell, field)| match field.column_type() {
-            ColumnType::Dimension => AttrValue::deserialize(cell)
-                .map(Datum::Attr)
-                .map_err(|e| format!("dimension {:?}: {e}", field.name())),
-            ColumnType::Measure => f64::deserialize(cell)
-                .map(Datum::Num)
-                .map_err(|e| format!("measure {:?}: {e}", field.name())),
+            decode_wire_row(schema, row).map_err(|e| ApiError::bad_request(format!("row {i}: {e}")))
         })
         .collect()
 }
 
 /// Encodes raw [`Datum`] rows as wire rows (the client half).
 pub fn encode_rows(rows: &[Vec<Datum>]) -> Vec<Value> {
-    rows.iter()
-        .map(|row| {
-            Value::Array(
-                row.iter()
-                    .map(|d| match d {
-                        Datum::Attr(v) => v.serialize(),
-                        Datum::Num(x) => x.serialize(),
-                    })
-                    .collect(),
-            )
-        })
-        .collect()
+    rows.iter().map(|row| encode_wire_row(row)).collect()
 }
 
 #[cfg(test)]

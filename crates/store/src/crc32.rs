@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) over byte
+//! slices — the integrity check every durable frame in the store carries.
+//!
+//! Hand-rolled table-driven implementation: the workspace vendors its few
+//! dependencies, and a 30-line checksum does not justify one more.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"TSExplain"), crc32(b"TSExplain"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_sum() {
+        let base = crc32(b"hello, durable world");
+        let mut bytes = b"hello, durable world".to_vec();
+        for i in 0..bytes.len() * 8 {
+            bytes[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&bytes), base, "bit {i}");
+            bytes[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

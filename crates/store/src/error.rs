@@ -1,0 +1,55 @@
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors from the durable store.
+///
+/// Corruption is deliberately *not* an error at recovery time — torn
+/// tails and bad frames are skipped and counted (see
+/// [`crate::Recovery`]) — so this type covers genuine I/O failures and
+/// requests that cannot be served (e.g. logging to a closed store).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the path it struck.
+    Io {
+        /// What the store was doing.
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A record could not be encoded (should be unreachable for the
+    /// types the store writes; kept explicit rather than panicking).
+    Encode(String),
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            StoreError::Encode(what) => write!(f, "encode: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Encode(_) => None,
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # tsexplain-store
+//!
+//! The durable storage engine under a TSExplain serving deployment:
+//! a CRC-framed, fsynced, segment-rotated write-ahead log of every
+//! tenant registration / row batch / deletion, checkpoint snapshots
+//! that truncate it, block snapshots of demoted cubes, and
+//! recovery-on-boot that reconstructs every tenant from whatever valid
+//! prefix a crash left behind.
+//!
+//! The crate is dependency-free in the workspace's vendoring spirit:
+//! `std::fs` for I/O, the vendored `serde`/`serde_json` for record
+//! payloads (the same encodings the HTTP wire uses, so a WAL is
+//! readable with the API's own vocabulary), and a hand-rolled CRC-32.
+//! It knows nothing about cubes beyond "a blob of bytes with a
+//! fingerprint" — cube snapshot encoding lives with the cube, framing
+//! and placement live here.
+//!
+//! Entry point: [`DataStore::open`], which recovers and then serves.
+//! See [`store`]'s module docs for the on-disk layout and the exact
+//! recovery semantics.
+
+mod crc32;
+mod error;
+mod frame;
+mod store;
+mod wal;
+
+pub use error::StoreError;
+pub use store::{DataStore, RecoveredTenant, Recovery, StoreMetrics, TenantCheckpoint};
+pub use wal::WalRecord;

@@ -1,0 +1,163 @@
+//! WAL record vocabulary and its JSON codec.
+//!
+//! Every frame in a WAL segment carries one JSON record, tagged by
+//! `"kind"`. Schemas and queries reuse the relation crate's serde (the
+//! same encoding the HTTP wire uses), and rows travel as the shared
+//! schema-ordered wire arrays — so a WAL is readable with the same
+//! vocabulary as the API traffic that produced it.
+//!
+//! `Rows.seq` is the tenant's total row count *before* the batch. It is
+//! what makes snapshot + suffix replay idempotent: a replayer holding
+//! `n` rows skips records entirely below its watermark and applies only
+//! the unseen tail of an overlapping batch.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use tsexplain_relation::{AggQuery, Schema};
+
+/// One durable event in a tenant's life.
+#[derive(Debug)]
+pub enum WalRecord {
+    /// A tenant was registered (`POST /datasets`), with its initial rows.
+    Register {
+        /// The tenant id the registry assigned.
+        id: u64,
+        /// The relation's schema.
+        schema: Schema,
+        /// The "what happened" aggregation query.
+        query: AggQuery,
+        /// Initial rows as wire arrays (possibly empty).
+        rows: Vec<Value>,
+    },
+    /// A row batch was appended (`POST /datasets/{id}/rows`).
+    Rows {
+        /// The tenant.
+        id: u64,
+        /// Tenant row count before this batch (see module docs).
+        seq: u64,
+        /// The batch, as wire arrays.
+        rows: Vec<Value>,
+    },
+    /// The tenant was deleted (`DELETE /datasets/{id}`); replay must not
+    /// resurrect it.
+    Remove {
+        /// The tenant.
+        id: u64,
+    },
+}
+
+impl Serialize for WalRecord {
+    fn serialize(&self) -> Value {
+        match self {
+            WalRecord::Register {
+                id,
+                schema,
+                query,
+                rows,
+            } => Value::object([
+                ("kind", Value::String("register".into())),
+                ("id", id.serialize()),
+                ("schema", schema.serialize()),
+                ("query", query.serialize()),
+                ("rows", rows.serialize()),
+            ]),
+            WalRecord::Rows { id, seq, rows } => Value::object([
+                ("kind", Value::String("rows".into())),
+                ("id", id.serialize()),
+                ("seq", seq.serialize()),
+                ("rows", rows.serialize()),
+            ]),
+            WalRecord::Remove { id } => Value::object([
+                ("kind", Value::String("remove".into())),
+                ("id", id.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WalRecord {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.get("kind").and_then(Value::as_str) {
+            Some("register") => Ok(WalRecord::Register {
+                id: value.field("id")?,
+                schema: value.field("schema")?,
+                query: value.field("query")?,
+                rows: value.field("rows")?,
+            }),
+            Some("rows") => Ok(WalRecord::Rows {
+                id: value.field("id")?,
+                seq: value.field("seq")?,
+                rows: value.field("rows")?,
+            }),
+            Some("remove") => Ok(WalRecord::Remove {
+                id: value.field("id")?,
+            }),
+            _ => Err(Error::new(
+                "expected WAL record kind \"register\", \"rows\" or \"remove\"",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsexplain_relation::{AggQuery, Field, Schema};
+
+    #[test]
+    fn records_roundtrip() {
+        let schema = Schema::new(vec![Field::dimension("t"), Field::measure("v")]).unwrap();
+        let records = [
+            WalRecord::Register {
+                id: 3,
+                schema,
+                query: AggQuery::sum("t", "v"),
+                rows: vec![Value::Array(vec![
+                    Value::String("d0".into()),
+                    Value::Number(1.5),
+                ])],
+            },
+            WalRecord::Rows {
+                id: 3,
+                seq: 1,
+                rows: vec![Value::Array(vec![
+                    Value::String("d1".into()),
+                    Value::Number(2.5),
+                ])],
+            },
+            WalRecord::Remove { id: 3 },
+        ];
+        for rec in &records {
+            let text = serde_json::to_string(rec).unwrap();
+            match (rec, serde_json::from_str::<WalRecord>(&text).unwrap()) {
+                (
+                    WalRecord::Register { id, rows, .. },
+                    WalRecord::Register {
+                        id: id2,
+                        rows: rows2,
+                        query,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(*id, id2);
+                    assert_eq!(*rows, rows2);
+                    assert_eq!(query.time_attr(), "t");
+                }
+                (
+                    WalRecord::Rows { id, seq, rows },
+                    WalRecord::Rows {
+                        id: id2,
+                        seq: seq2,
+                        rows: rows2,
+                    },
+                ) => {
+                    assert_eq!((*id, *seq, rows), (id2, seq2, &rows2));
+                }
+                (WalRecord::Remove { id }, WalRecord::Remove { id: id2 }) => {
+                    assert_eq!(*id, id2);
+                }
+                (a, b) => panic!("kind changed in roundtrip: {a:?} -> {b:?}"),
+            }
+        }
+        assert!(serde_json::from_str::<WalRecord>("{\"kind\":\"truncate\"}").is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! End-to-end acceptance of the durable storage engine through the HTTP
+//! boundary: demoted cubes rehydrate bit-identically (pinned against the
+//! same golden `/compare` the in-memory server must reproduce, at thread
+//! counts 1/2/8), deleted datasets stay deleted across reboots, and a
+//! SIGKILL'd server recovers every acknowledged mutation on the next
+//! boot — warm answers byte-identical to the pre-crash ones.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Value;
+use tsexplain::{DiffMetric, ExplainRequest, Optimizations};
+use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
+use tsexplain_server::{Client, ClientError, Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tsx-durability-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The same synthetic corpus dataset `integration_server` pins its golden
+/// against.
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(SyntheticConfig {
+        n_points: 60,
+        seed: 7,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn base_request() -> ExplainRequest {
+    ExplainRequest::new(["category"]).with_optimizations(Optimizations::none())
+}
+
+fn durable_config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        data_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+/// Serializes a result with the latency block removed (wall-clock is the
+/// one legitimately nondeterministic part of a response).
+fn canonical(value: &Value) -> Value {
+    match value {
+        Value::Object(map) => {
+            let mut map = map.clone();
+            map.remove("latency");
+            Value::Object(map)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Canonicalizes a `/compare` response the way the golden file does: the
+/// latency block of every strategy row removed, everything else intact.
+fn canonical_compare(response: &Value) -> Value {
+    let Value::Object(map) = response else {
+        return response.clone();
+    };
+    let mut map = map.clone();
+    if let Some(Value::Array(rows)) = map.get("strategies").cloned() {
+        let rows = rows
+            .into_iter()
+            .map(|row| match row {
+                Value::Object(mut row) => {
+                    if let Some(result) = row.remove("result") {
+                        row.insert("result".into(), canonical(&result));
+                    }
+                    Value::Object(row)
+                }
+                other => other,
+            })
+            .collect();
+        map.insert("strategies".into(), Value::Array(rows));
+    }
+    Value::Object(map)
+}
+
+fn read_counter(metrics: &Value, block: &str, key: &str) -> f64 {
+    metrics
+        .get(block)
+        .and_then(|b| b.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Satellite (d): a demoted-then-rehydrated cube serves byte-identical
+/// responses. The budget admits exactly one cube, so asking for a second
+/// cube key demotes the first to disk; asking for the first again
+/// rehydrates it — decode, not rebuild — and the subsequent `/compare`
+/// must reproduce the *same* pinned golden the in-memory server does, at
+/// thread counts 1, 2 and 8.
+#[test]
+fn rehydrated_cube_reproduces_the_golden_compare_at_thread_counts_1_2_8() {
+    let data = dataset();
+
+    // Probe one cube's footprint on a throwaway in-memory server.
+    let one_cube = {
+        let mut handle = Server::bind(ServerConfig::default()).unwrap();
+        let mut client = Client::new(handle.local_addr());
+        let created = client
+            .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+            .unwrap();
+        client
+            .explain_value(created.dataset_id, &base_request())
+            .unwrap();
+        let stats = client.stats(created.dataset_id).unwrap();
+        let bytes = stats.get("cache_bytes").and_then(Value::as_f64).unwrap() as usize;
+        drop(client);
+        handle.shutdown();
+        bytes
+    };
+    assert!(one_cube > 0);
+
+    let dir = temp_dir("golden");
+    let mut handle = Server::bind(ServerConfig {
+        memory_budget: one_cube, // exactly one resident cube
+        ..durable_config(&dir)
+    })
+    .unwrap();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+
+    // Cube A, then cube B (different key): A is demoted, not dropped.
+    client
+        .explain_value(created.dataset_id, &base_request())
+        .unwrap();
+    let reference = client
+        .explain_value(created.dataset_id, &base_request())
+        .unwrap();
+    client
+        .explain_value(created.dataset_id, &base_request().with_max_order(1))
+        .unwrap();
+    let metrics = client.metrics().unwrap();
+    assert!(
+        read_counter(&metrics, "store", "demotions") >= 1.0,
+        "budget pressure must demote, got {metrics:?}"
+    );
+
+    // Asking for A again decodes the demoted snapshot back into memory…
+    let rehydrated = client
+        .explain_value(created.dataset_id, &base_request())
+        .unwrap();
+    let metrics = client.metrics().unwrap();
+    assert!(read_counter(&metrics, "store", "rehydrations") >= 1.0);
+    let totals = metrics
+        .get("registry")
+        .and_then(|r| r.get("totals"))
+        .cloned()
+        .unwrap();
+    assert!(
+        totals
+            .get("cube_rehydrations")
+            .and_then(Value::as_f64)
+            .unwrap()
+            >= 1.0
+    );
+    assert_eq!(
+        totals.get("cubes_built").and_then(Value::as_f64),
+        Some(2.0),
+        "rehydration must not rebuild"
+    );
+    // …bit-identically: the full response (minus wall-clock and cache
+    // provenance, which differ by construction) matches the pre-demotion
+    // cache-hit reference.
+    let strip = |value: &Value| {
+        let mut value = canonical(value);
+        if let Value::Object(map) = &mut value {
+            if let Some(Value::Object(mut stats)) = map.get("stats").cloned() {
+                stats.remove("cube_from_cache");
+                map.insert("stats".into(), Value::Object(stats));
+            }
+        }
+        value
+    };
+    assert_eq!(strip(&rehydrated), strip(&reference));
+
+    // The rehydrated cube is now warm: `/compare` over it must reproduce
+    // the pinned golden — the same bytes the in-memory server produces —
+    // at every thread count.
+    let golden = include_str!("golden_compare.jsonl")
+        .lines()
+        .next()
+        .expect("golden file has the canonical /compare JSON on line 1");
+    for threads in [1usize, 2, 8] {
+        let value = client
+            .compare_value(
+                created.dataset_id,
+                &base_request().with_threads(threads),
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&canonical_compare(&value)).unwrap(),
+            golden,
+            "threads={threads}: rehydrated /compare diverged from the golden"
+        );
+    }
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (a): DELETE removes durable state too — a reboot over the
+/// same data dir must not resurrect the dataset, and its id is never
+/// recycled.
+#[test]
+fn deleted_datasets_stay_deleted_across_reboots() {
+    let data = dataset();
+    let dir = temp_dir("delete");
+    let (doomed, survivor) = {
+        let mut handle = Server::bind(durable_config(&dir)).unwrap();
+        let mut client = Client::new(handle.local_addr());
+        let doomed = client
+            .register(&data.schema(), &data.query(), &data.rows_between(0, 30))
+            .unwrap()
+            .dataset_id;
+        let survivor = client
+            .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+            .unwrap()
+            .dataset_id;
+        client.remove(doomed).unwrap();
+        drop(client);
+        handle.shutdown();
+        (doomed, survivor)
+    };
+
+    let mut handle = Server::bind(durable_config(&dir)).unwrap();
+    let mut client = Client::new(handle.local_addr());
+    // The tombstone held: the deleted tenant is gone, the other serves.
+    match client.stats(doomed).unwrap_err() {
+        ClientError::Api(e) => assert_eq!((e.status, e.kind.as_str()), (404, "unknown_dataset")),
+        other => panic!("expected a 404, got {other}"),
+    }
+    let answer = client.explain(survivor, &base_request()).unwrap();
+    assert_eq!(answer.stats.n_points, 60);
+    // No durable residue: neither a tenant snapshot nor cube blobs.
+    assert!(!dir.join("tenants").join(format!("t{doomed}.snap")).exists());
+    // New registrations never recycle the deleted id.
+    let fresh = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 10))
+        .unwrap()
+        .dataset_id;
+    assert_ne!(fresh, doomed);
+    assert!(fresh > survivor);
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Boots the real `tsx-server` binary on an ephemeral port with
+/// `--data-dir` and returns the child plus its parsed address.
+fn spawn_server(dir: &std::path::Path) -> (std::process::Child, SocketAddr) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tsx-server"))
+        .args(["--addr", "127.0.0.1:0", "--data-dir", dir.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tsx-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("tsx-server exited before listening")
+            .expect("read tsx-server stdout");
+        if let Some(rest) = line.split("http://").nth(1) {
+            let addr = rest.split_whitespace().next().unwrap();
+            break addr.parse().expect("parse the printed address");
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// Satellite (f): kill -9 mid-flight, reboot on the same data dir, and
+/// every acknowledged mutation — registration and streamed rows — is
+/// back, with warm answers byte-identical to the pre-crash ones.
+#[test]
+fn sigkilled_server_recovers_acknowledged_state_on_reboot() {
+    let data = dataset();
+    let dir = temp_dir("sigkill");
+
+    let (mut child, addr) = spawn_server(&dir);
+    let mut client = Client::new(addr);
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 40))
+        .unwrap();
+    // Stream the rest in two acknowledged batches.
+    client
+        .append_rows(created.dataset_id, &data.rows_between(40, 50))
+        .unwrap();
+    client
+        .append_rows(created.dataset_id, &data.rows_between(50, 60))
+        .unwrap();
+    let requests = [
+        base_request(),
+        base_request().with_fixed_k(3),
+        base_request()
+            .with_top_m(1)
+            .with_diff_metric(DiffMetric::RelativeChange),
+    ];
+    let before: Vec<Value> = requests
+        .iter()
+        .map(|r| canonical(&client.explain_value(created.dataset_id, r).unwrap()))
+        .collect();
+    drop(client);
+
+    // No goodbyes: SIGKILL, as a crash would.
+    child.kill().expect("kill tsx-server");
+    child.wait().expect("reap tsx-server");
+
+    let (mut child, addr) = spawn_server(&dir);
+    let mut client = Client::new(addr);
+    // The dataset survives under its original id with all 60 points…
+    let stats = client.stats(created.dataset_id).unwrap();
+    assert_eq!(stats.get("n_points").and_then(Value::as_f64), Some(60.0));
+    // …and warm answers are byte-identical to the pre-crash ones (both
+    // sides are first-touch cube builds, so even the stats block agrees).
+    for (request, expected) in requests.iter().zip(&before) {
+        let after = canonical(&client.explain_value(created.dataset_id, request).unwrap());
+        assert_eq!(&after, expected, "post-reboot answer diverged");
+    }
+    // Recovery is visible in the store metrics.
+    let metrics = client.metrics().unwrap();
+    assert!(read_counter(&metrics, "store", "recoveries") >= 1.0);
+    drop(client);
+    child.kill().expect("kill tsx-server");
+    child.wait().expect("reap tsx-server");
+    let _ = std::fs::remove_dir_all(&dir);
+}
