@@ -32,6 +32,11 @@ pub trait CubeSpill: Send + Sync + fmt::Debug {
     fn demote(&self, fingerprint: u64, bytes: &[u8]) -> bool;
     /// Loads a previously demoted cube's bytes, if a valid copy exists.
     fn rehydrate(&self, fingerprint: u64) -> Option<Vec<u8>>;
+    /// Counts one served rehydration. Called only after the loaded copy
+    /// passed the session's cache-key + row-watermark checks, so stale or
+    /// colliding loads that get discarded never inflate the tier's
+    /// rehydration metric.
+    fn note_rehydrated(&self);
     /// Unlinks a demoted copy that can no longer serve (stale watermark).
     fn discard(&self, fingerprint: u64);
 }
@@ -73,6 +78,10 @@ impl CubeSpill for TenantSpill {
 
     fn rehydrate(&self, fingerprint: u64) -> Option<Vec<u8>> {
         self.store.load_cube(self.tenant, fingerprint)
+    }
+
+    fn note_rehydrated(&self) {
+        self.store.note_rehydration();
     }
 
     fn discard(&self, fingerprint: u64) {

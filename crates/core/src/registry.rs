@@ -142,6 +142,11 @@ pub struct SessionRegistry {
     /// caller is acknowledged, periodic checkpoints truncate the log, and
     /// budget evictions demote cubes to it instead of dropping them.
     store: Option<Arc<DataStore>>,
+    /// Serializes checkpoint cycles (rotate → export → truncate). Two
+    /// interleaved cycles could let the older cycle's export overwrite a
+    /// newer tenant snapshot while the newer cycle's truncation deletes
+    /// the only log copy of the rows in between.
+    checkpoint_gate: Mutex<()>,
 }
 
 impl Default for SessionRegistry {
@@ -165,6 +170,7 @@ impl SessionRegistry {
             clock: Arc::new(AtomicU64::new(0)),
             memory_budget: budget,
             store: None,
+            checkpoint_gate: Mutex::new(()),
         }
     }
 
@@ -188,6 +194,7 @@ impl SessionRegistry {
             clock: Arc::new(AtomicU64::new(0)),
             memory_budget: budget,
             store: Some(Arc::clone(&store)),
+            checkpoint_gate: Mutex::new(()),
         };
         let mut notes = recovery.notes;
         for tenant in recovery.tenants {
@@ -254,20 +261,35 @@ impl SessionRegistry {
         session.set_cache_clock(Arc::clone(&self.clock));
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.store {
-            store
-                .log_register(
-                    id,
-                    session.schema(),
-                    session.query(),
-                    &session.export_rows(),
-                )
-                .map_err(|e| TsExplainError::Storage(e.to_string()))?;
             session.set_spill(Some(Arc::new(TenantSpill::new(Arc::clone(store), id))));
+            // Publish the tenant BEFORE logging, holding its session lock
+            // across both: a checkpoint cycle that rotates before our WAL
+            // record lands then blocks on this lock during its export and
+            // snapshots the tenant itself — the registration can never sit
+            // only in a log segment that the same cycle truncates.
+            let handle = Arc::new(Mutex::new(session));
+            let guard = handle.lock().expect("freshly created session lock");
+            self.sessions
+                .write()
+                .expect("registry map lock poisoned")
+                .insert(id, Arc::clone(&handle));
+            let logged =
+                store.log_register(id, guard.schema(), guard.query(), &guard.export_rows());
+            drop(guard);
+            if let Err(e) = logged {
+                // Not durable ⇒ not registered: unpublish and fail.
+                self.sessions
+                    .write()
+                    .expect("registry map lock poisoned")
+                    .remove(&id);
+                return Err(TsExplainError::Storage(e.to_string()));
+            }
+        } else {
+            self.sessions
+                .write()
+                .expect("registry map lock poisoned")
+                .insert(id, Arc::new(Mutex::new(session)));
         }
-        self.sessions
-            .write()
-            .expect("registry map lock poisoned")
-            .insert(id, Arc::new(Mutex::new(session)));
         self.maybe_checkpoint();
         Ok(DatasetId(id))
     }
@@ -275,23 +297,31 @@ impl SessionRegistry {
     /// Removes a tenant, dropping its session and caches — and, with a
     /// durable store attached, its on-disk state (a tombstone lands in the
     /// WAL first, so a reboot never resurrects the dataset). Returns
-    /// whether the id was registered.
-    pub fn remove(&self, id: DatasetId) -> bool {
-        let removed = self
+    /// whether the id was registered. If the tombstone cannot be made
+    /// durable, the tenant is put back and the deletion FAILS: a client
+    /// must never hold an ack for a DELETE that a reboot would undo.
+    pub fn remove(&self, id: DatasetId) -> Result<bool, RegistryError> {
+        let Some(handle) = self
             .sessions
             .write()
             .expect("registry map lock poisoned")
             .remove(&id.0)
-            .is_some();
-        if removed {
-            if let Some(store) = &self.store {
-                if let Err(e) = store.log_remove(id.0) {
-                    eprintln!("tsx-store: logging removal of dataset {id} failed: {e}");
-                }
+        else {
+            return Ok(false);
+        };
+        if let Some(store) = &self.store {
+            if let Err(e) = store.log_remove(id.0) {
+                self.sessions
+                    .write()
+                    .expect("registry map lock poisoned")
+                    .insert(id.0, handle);
+                return Err(RegistryError::Session(TsExplainError::Storage(
+                    e.to_string(),
+                )));
             }
-            self.maybe_checkpoint();
         }
-        removed
+        self.maybe_checkpoint();
+        Ok(true)
     }
 
     /// Ids of all registered datasets, ascending.
@@ -381,9 +411,16 @@ impl SessionRegistry {
                     let seq = session.total_rows() as u64;
                     let batch = rows.clone();
                     session.append_rows(rows)?;
-                    store
-                        .log_rows(id.0, seq, &batch)
-                        .map_err(|e| TsExplainError::Storage(e.to_string()))?;
+                    if let Err(e) = store.log_rows(id.0, seq, &batch) {
+                        // Un-apply the batch: if it stayed resident while
+                        // the client got an error, every later acked batch
+                        // would be logged with a seq replay sees as a gap
+                        // and skips — one transient WAL failure would
+                        // silently forfeit the tenant's durability until
+                        // the next checkpoint.
+                        session.rollback_rows_to(seq as usize);
+                        return Err(TsExplainError::Storage(e.to_string()).into());
+                    }
                 }
                 None => session.append_rows(rows)?,
             }
@@ -432,18 +469,40 @@ impl SessionRegistry {
         out
     }
 
-    /// Checkpoints the durable store (all tenants' full state, then WAL
-    /// truncation) once enough log has accumulated. Tenants whose lock is
-    /// poisoned are skipped — they are already unrecoverable in-process
-    /// (see [`RegistryError::Poisoned`]) and a checkpoint is the point
-    /// their durable state is garbage-collected too. Checkpoint I/O errors
-    /// are reported and retried at the next trigger; the WAL keeps the
-    /// data safe in the meantime.
+    /// Checkpoints the durable store once enough log has accumulated: one
+    /// cycle of rotate → export → truncate. The WAL is rotated FIRST and
+    /// the tenant states are exported AFTER — every record already in the
+    /// pre-rotation segments is then visible to the exports (taken under
+    /// each session's lock, which any in-flight mutation holds while it
+    /// logs), and a record logged concurrently with the export lands in
+    /// the fresh segment, which survives the truncation. The seq
+    /// watermark makes snapshot/WAL-suffix overlap idempotent on replay,
+    /// so no acked mutation can fall between a deleted log segment and a
+    /// snapshot that predates it. Tenants whose lock is poisoned are
+    /// skipped — they are already unrecoverable in-process (see
+    /// [`RegistryError::Poisoned`]) and a checkpoint is the point their
+    /// durable state is garbage-collected too. Checkpoint I/O errors are
+    /// reported and retried at the next trigger; the WAL keeps the data
+    /// safe in the meantime.
     fn maybe_checkpoint(&self) {
         let Some(store) = &self.store else { return };
         if !store.wants_checkpoint() {
             return;
         }
+        // One cycle at a time; a trigger while one runs is redundant.
+        let Ok(_gate) = self.checkpoint_gate.try_lock() else {
+            return;
+        };
+        if !store.wants_checkpoint() {
+            return;
+        }
+        let rotation = match store.rotate_wal() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tsx-store: checkpoint rotation failed (will retry): {e}");
+                return;
+            }
+        };
         let mut tenants = Vec::new();
         for (id, handle) in self.handles() {
             let Ok(session) = handle.lock() else { continue };
@@ -455,7 +514,7 @@ impl SessionRegistry {
             });
         }
         let next_id = self.next_id.load(Ordering::Relaxed);
-        if let Err(e) = store.checkpoint(next_id, &tenants) {
+        if let Err(e) = store.checkpoint(next_id, &tenants, rotation) {
             eprintln!("tsx-store: checkpoint failed (will retry): {e}");
         }
     }
@@ -605,8 +664,8 @@ mod tests {
         let rb = registry.explain(b, &request()).unwrap();
         assert_eq!(ra.stats.n_points, 12);
         assert_eq!(rb.stats.n_points, 21);
-        assert!(registry.remove(a));
-        assert!(!registry.remove(a));
+        assert!(registry.remove(a).unwrap());
+        assert!(!registry.remove(a).unwrap());
         assert!(matches!(
             registry.explain(a, &request()),
             Err(RegistryError::UnknownDataset(_))
@@ -722,7 +781,7 @@ mod tests {
             let b = registry
                 .register(relation(0..12), AggQuery::sum("t", "v"))
                 .unwrap();
-            assert!(registry.remove(a));
+            assert!(registry.remove(a).unwrap());
             (a, b)
         };
         let registry = durable_registry(&dir, DEFAULT_REGISTRY_BUDGET);

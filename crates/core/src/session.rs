@@ -471,6 +471,40 @@ impl ExplainSession {
         }
     }
 
+    /// Rewinds the session to its first `n_rows` ingested rows — the
+    /// registry's undo for a batch whose WAL append failed after the
+    /// session had already applied it. In-memory state and the durable log
+    /// must not diverge: a batch the client was *not* acked for cannot
+    /// stay resident, or every later acked batch would be logged with a
+    /// `seq` that replay sees as a gap and skips. Drops every cached cube;
+    /// the next request per key rebuilds (or rehydrates a copy at the
+    /// rewound watermark).
+    pub(crate) fn rollback_rows_to(&mut self, n_rows: usize) {
+        let mut rows = self.export_rows();
+        let removed = rows.len().saturating_sub(n_rows) as u64;
+        rows.truncate(n_rows);
+        self.stats.rows_appended = self.stats.rows_appended.saturating_sub(removed);
+        let mut builder = Relation::builder(self.schema.clone());
+        for row in rows {
+            builder
+                .push_row(row)
+                .expect("rows were previously accepted by this schema");
+        }
+        self.base = builder.finish();
+        self.tail.clear();
+        self.cubes.clear();
+        match self.base.dim_column(self.query.time_attr()) {
+            Ok(col) => {
+                self.n_points = col.dict().len();
+                self.last_time = col.dict().values().last().cloned();
+            }
+            Err(_) => {
+                self.n_points = 0;
+                self.last_time = None;
+            }
+        }
+    }
+
     /// Whether `rows` only touch the session's tail: every timestamp at or
     /// after the horizon, and previously-unseen timestamps arriving in
     /// non-decreasing order (the contract of incremental cube appends).
@@ -567,6 +601,7 @@ impl ExplainSession {
                             && inc.rows_ingested() == self.base.n_rows() + self.tail.len() =>
                     {
                         self.stats.cube_rehydrations += 1;
+                        spill.note_rehydrated();
                         let mut entry = CacheEntry::new(inc, stamp);
                         let (cube, _) = entry.snapshot(smoothing)?;
                         self.cubes.insert(key.clone(), entry);
@@ -979,6 +1014,26 @@ mod tests {
             err,
             TsExplainError::InvalidRequest(InvalidRequest::UnknownTimeAttribute(_))
         ));
+    }
+
+    #[test]
+    fn rollback_restores_the_exact_pre_batch_state() {
+        let mut s = ExplainSession::new(relation(0..12), AggQuery::sum("t", "v")).unwrap();
+        let expected = s.explain(&base_request()).unwrap();
+        let watermark = s.total_rows();
+        s.append_rows(rows_for(12..21)).unwrap();
+        // The registry's WAL-failure undo: the batch must vanish entirely.
+        s.rollback_rows_to(watermark);
+        assert_eq!(s.total_rows(), watermark);
+        assert_eq!(s.n_points(), 12);
+        assert_eq!(s.stats().rows_appended, 0);
+        let after = s.explain(&base_request()).unwrap();
+        assert_eq!(after.segmentation, expected.segmentation);
+        assert_eq!(after.aggregate, expected.aggregate);
+        assert_eq!(after.total_variance, expected.total_variance);
+        // The session keeps serving appends after a rollback.
+        s.append_rows(rows_for(12..21)).unwrap();
+        assert_eq!(s.explain(&base_request()).unwrap().stats.n_points, 21);
     }
 
     #[test]

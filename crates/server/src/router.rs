@@ -238,7 +238,7 @@ fn stats(shared: &ServerShared, id: DatasetId) -> Result<Response, ApiError> {
 }
 
 fn remove(shared: &ServerShared, id: DatasetId) -> Result<Response, ApiError> {
-    if shared.registry.remove(id) {
+    if shared.registry.remove(id).map_err(ApiError::from)? {
         Ok(json_ok(
             200,
             &Value::object([("removed", Value::Bool(true))]),

@@ -12,11 +12,14 @@
 //!
 //! **Write path.** Every mutation is appended to the current WAL segment
 //! as one CRC frame and fsynced before the caller acknowledges, so an
-//! acked request survives a crash. Segments rotate at a size threshold;
-//! a checkpoint writes every tenant's full state to `tenants/` (atomic
-//! tmp + rename), persists `next_id`, then starts a fresh segment and
-//! deletes the old ones — the WAL prefix below the checkpoint watermark
-//! is truncated.
+//! acked request survives a crash. Segments rotate at a size threshold.
+//! A checkpoint cycle rotates to a fresh segment *first*
+//! ([`DataStore::rotate_wal`]), then writes every tenant's full state to
+//! `tenants/` (atomic tmp + rename), persists `next_id`, and deletes
+//! only the pre-rotation segments ([`DataStore::checkpoint`]) — records
+//! logged concurrently with the export land in the fresh segment and
+//! survive, so no acked mutation can fall between a deleted log and a
+//! snapshot that predates it.
 //!
 //! **Recovery.** [`DataStore::open`] loads the newest valid tenant
 //! snapshots, then replays the WAL suffix on top: `Register` for an
@@ -25,7 +28,11 @@
 //! straddle it — `seq` makes this exact), `Remove` tombstones drop the
 //! tenant. Replay keeps the longest valid frame prefix: a torn tail or
 //! checksum failure ends it, everything after is counted and reported,
-//! and nothing ever panics on corrupt bytes.
+//! and nothing ever panics on corrupt bytes. The torn segment is then
+//! truncated to that prefix on disk (and beyond-prefix segments are
+//! unlinked), so the next boot's replay continues cleanly into every
+//! segment written after this recovery instead of re-stopping at the
+//! same tear and discarding later acked records.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
@@ -196,13 +203,17 @@ impl DataStore {
             last_seg_index = last_seg_index.max(segment_index(path));
             if stopped {
                 // A torn segment ends the valid prefix; later segments
-                // are beyond it by construction.
+                // are beyond it by construction. Replay discarded their
+                // records, so the files must go too — left in place they
+                // would resurrect the discarded suffix on the next boot,
+                // once the truncation below turns the torn segment clean.
                 let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
                 recovery.discarded_bytes += len;
                 recovery.notes.push(format!(
-                    "segment {} beyond torn prefix: {len} bytes",
+                    "segment {} beyond torn prefix: {len} bytes unlinked",
                     path.display()
                 ));
+                fs::remove_file(path).map_err(|e| StoreError::io("unlink", path, e))?;
                 continue;
             }
             let bytes = fs::read(path).map_err(|e| StoreError::io("read", path, e))?;
@@ -212,8 +223,15 @@ impl DataStore {
             }
             if lost > 0 {
                 recovery.discarded_bytes += lost as u64;
+                // Truncate the torn bytes away NOW: acked records written
+                // after this recovery land in later segments, and a future
+                // boot must replay through them. A torn tail left on disk
+                // would end that boot's valid prefix right here and
+                // discard every later segment — fsynced, acknowledged
+                // records included.
+                truncate_file(path, (bytes.len() - lost) as u64)?;
                 recovery.notes.push(format!(
-                    "segment {}: kept longest valid prefix, discarded {lost} bytes ({})",
+                    "segment {}: kept longest valid prefix, truncated {lost} bytes ({})",
                     path.display(),
                     match end {
                         FrameEnd::Torn => "torn tail",
@@ -223,6 +241,9 @@ impl DataStore {
                 ));
                 stopped = true;
             }
+        }
+        if stopped {
+            sync_dir(&root.join("wal"));
         }
 
         recovery.next_id = recovery.next_id.max(max_id_seen + 1).max(1);
@@ -315,10 +336,35 @@ impl DataStore {
         Ok(())
     }
 
+    /// Rotates the WAL to a fresh segment and returns that segment's
+    /// index — the rotation point a subsequent [`DataStore::checkpoint`]
+    /// truncates below. A checkpoint cycle must rotate FIRST and export
+    /// tenant state AFTER: every record already logged then sits below
+    /// the rotation point and is covered by the exports, while a record
+    /// logged concurrently with the export lands in the fresh segment,
+    /// which the truncation spares. Also restarts the checkpoint-interval
+    /// counter ([`DataStore::wants_checkpoint`]).
+    pub fn rotate_wal(&self) -> Result<u64, StoreError> {
+        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        let fresh = rotate_locked(&self.root, &mut wal)?;
+        drop(wal);
+        self.appends_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(fresh)
+    }
+
     /// Writes every tenant's full state to `tenants/`, persists the id
-    /// watermark, then truncates the WAL (module docs). Tenants absent
-    /// from `tenants` lose their snapshot files (they were deleted).
-    pub fn checkpoint(&self, next_id: u64, tenants: &[TenantCheckpoint]) -> Result<(), StoreError> {
+    /// watermark, then deletes the WAL segments below `rotation` — a
+    /// value obtained from [`DataStore::rotate_wal`] *before* the tenant
+    /// states were exported (see there for why that order is the
+    /// crash-safety contract; the `seq` watermark makes any snapshot/WAL
+    /// overlap idempotent on replay). Tenants absent from `tenants` lose
+    /// their snapshot files (they were deleted).
+    pub fn checkpoint(
+        &self,
+        next_id: u64,
+        tenants: &[TenantCheckpoint],
+        rotation: u64,
+    ) -> Result<(), StoreError> {
         for t in tenants {
             let payload = serde_json::to_string(&Value::object([
                 ("id", t.id.serialize()),
@@ -347,25 +393,15 @@ impl DataStore {
         let meta = format!("{{\"next_id\":{next_id}}}");
         write_atomic(&self.root.join("meta.json"), meta.as_bytes())?;
 
-        // Rotate to a fresh segment and drop everything before it: the
-        // snapshots above now cover that prefix.
-        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-        let fresh = wal.seg_index + 1;
-        let path = segment_path(&self.root, fresh);
-        wal.file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| StoreError::io("open", &path, e))?;
-        wal.seg_index = fresh;
-        wal.seg_bytes = 0;
-        sync_dir(&self.root.join("wal"));
+        // Drop every segment below the rotation point: the snapshots
+        // above were exported after the rotation, so they cover that
+        // prefix in full.
         for old in sorted_files(&self.root.join("wal"), ".wal")? {
-            if segment_index(&old) < fresh {
+            if segment_index(&old) < rotation {
                 let _ = fs::remove_file(&old);
             }
         }
-        self.appends_since_checkpoint.store(0, Ordering::Relaxed);
+        sync_dir(&self.root.join("wal"));
         Ok(())
     }
 
@@ -387,6 +423,11 @@ impl DataStore {
     /// Loads a demoted cube's bytes, if a valid snapshot exists. A
     /// missing or corrupt file is `None` (the caller rebuilds from the
     /// session instead), and a corrupt file is unlinked on sight.
+    ///
+    /// A raw load is not yet a rehydration: the caller still validates
+    /// the decoded cube's cache key and row watermark, and only a copy
+    /// that actually serves counts — it reports that via
+    /// [`DataStore::note_rehydration`].
     pub fn load_cube(&self, tenant: u64, fingerprint: u64) -> Option<Vec<u8>> {
         let path = self.cube_path(tenant, fingerprint);
         let bytes = match fs::read(&path) {
@@ -402,8 +443,15 @@ impl DataStore {
             let _ = fs::remove_file(&path);
             return None;
         }
-        self.rehydrations.fetch_add(1, Ordering::Relaxed);
         Some(frames.remove(0).to_vec())
+    }
+
+    /// Counts one served rehydration (see [`DataStore::load_cube`]):
+    /// called once the loaded cube passed the caller's key + row-watermark
+    /// checks, so stale or fingerprint-colliding loads that get discarded
+    /// and rebuilt never inflate the `/metrics` store block.
+    pub fn note_rehydration(&self) {
+        self.rehydrations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Unlinks one demoted cube (e.g. after it was rehydrated and then
@@ -432,16 +480,7 @@ impl DataStore {
 
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
         if wal.seg_bytes >= SEGMENT_BYTES {
-            let fresh = wal.seg_index + 1;
-            let path = segment_path(&self.root, fresh);
-            wal.file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .map_err(|e| StoreError::io("open", &path, e))?;
-            wal.seg_index = fresh;
-            wal.seg_bytes = 0;
-            sync_dir(&self.root.join("wal"));
+            rotate_locked(&self.root, &mut wal)?;
         }
         let path = segment_path(&self.root, wal.seg_index);
         wal.file
@@ -643,6 +682,34 @@ fn sorted_files(dir: &Path, suffix: &str) -> Result<Vec<PathBuf>, StoreError> {
 
 fn segment_path(root: &Path, index: u64) -> PathBuf {
     root.join("wal").join(format!("{index:06}.wal"))
+}
+
+/// Points the writer at a freshly created next segment and returns its
+/// index. Shared by size-triggered rotation and checkpoint rotation.
+fn rotate_locked(root: &Path, wal: &mut WalWriter) -> Result<u64, StoreError> {
+    let fresh = wal.seg_index + 1;
+    let path = segment_path(root, fresh);
+    wal.file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| StoreError::io("open", &path, e))?;
+    wal.seg_index = fresh;
+    wal.seg_bytes = 0;
+    sync_dir(&root.join("wal"));
+    Ok(fresh)
+}
+
+/// Durably truncates `path` to its first `len` bytes.
+fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
+    let f = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StoreError::io("open", path, e))?;
+    f.set_len(len)
+        .map_err(|e| StoreError::io("truncate", path, e))?;
+    f.sync_all().map_err(|e| StoreError::io("fsync", path, e))?;
+    Ok(())
 }
 
 /// The numeric index of a `{index:06}.wal` segment (0 if unparsable,
