@@ -10,8 +10,12 @@
 //! `--segmenter` selects the segmentation strategy the explain mix runs
 //! (`dp`, `bottom_up`, `fluss`, `nnsegment`), or `all` to rotate through
 //! every strategy; explain latencies are reported *per strategy*
-//! (p50/p90/p99), so the bench trajectory can track baseline-vs-DP
-//! serving cost side by side.
+//! (p50/p90/p99/p99.9), so the bench trajectory can track baseline-vs-DP
+//! serving cost side by side. Percentiles come from the same log-bucketed
+//! `tsexplain-obs` histogram the server scrapes at `/metrics`, so client-
+//! and server-side numbers are directly comparable (and the per-strategy
+//! rows are mergers of the per-operation histograms — the same merge the
+//! server uses to aggregate worker shards).
 //!
 //! `--threads` sets the in-process server's intra-query parallelism
 //! default (0 = machine default): with the determinism contract, the
@@ -36,6 +40,7 @@ use std::time::{Duration, Instant};
 use serde::Value;
 use tsexplain::{default_window_for, DiffMetric, ExplainRequest, SegmenterSpec};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
+use tsexplain_obs::{Histogram, HistogramFamily, HistogramSnapshot};
 use tsexplain_server::{Client, Server, ServerConfig, ServerHandle};
 
 struct Args {
@@ -242,7 +247,9 @@ fn main() {
     }
     let wall = started.elapsed();
 
-    // Report: throughput + per-op (and per-strategy) latency percentiles.
+    // Report: throughput + per-op (and per-strategy) latency percentiles,
+    // from the shared obs histogram rather than a hand-rolled sort — the
+    // same estimator the server's `/metrics` exposition uses.
     let total = all.len();
     println!(
         "\n{} requests in {:.2?} -> {:.0} req/s over {} concurrent clients\n",
@@ -251,36 +258,40 @@ fn main() {
         total as f64 / wall.as_secs_f64(),
         args.clients
     );
-    println!(
-        "{:<26} {:>7} {:>10} {:>10} {:>10} {:>10}",
-        "operation", "count", "p50", "p90", "p99", "max"
-    );
-    let mut ops: Vec<&str> = Vec::new();
-    for (op, _) in &all {
-        if !ops.contains(&op.as_str()) {
-            ops.push(op);
-        }
+    let per_op = HistogramFamily::new();
+    for (op, d) in &all {
+        per_op.record(op, *d);
     }
-    ops.sort_unstable();
-    for op in ops {
-        let mut lats: Vec<Duration> = all
-            .iter()
-            .filter(|(o, _)| o == op)
-            .map(|(_, d)| *d)
-            .collect();
-        if lats.is_empty() {
-            continue;
-        }
-        lats.sort_unstable();
+    println!(
+        "{:<26} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "operation", "count", "p50", "p90", "p99", "p99.9", "max"
+    );
+    let snapshots = per_op.snapshot_all();
+    for (op, snap) in &snapshots {
+        print_row(op, snap);
+    }
+
+    // Per-strategy rollup: every explain op naming this strategy —
+    // shared-tenant and private-tenant alike — merged into one histogram
+    // (exercising the same associative merge the proptests pin down).
+    let strategy_names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+    if snapshots.iter().filter(|(op, _)| op.contains(',')).count() > 1 {
         println!(
-            "{:<26} {:>7} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
-            op,
-            lats.len(),
-            percentile(&lats, 50.0),
-            percentile(&lats, 90.0),
-            percentile(&lats, 99.0),
-            lats[lats.len() - 1],
+            "\n{:<26} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "strategy (merged)", "count", "p50", "p90", "p99", "p99.9", "max"
         );
+        for name in strategy_names {
+            let merged = Histogram::new();
+            for (op, _) in &snapshots {
+                if op.ends_with(&format!(",{name})")) {
+                    merged.merge_from(&per_op.get(op));
+                }
+            }
+            let snap = merged.snapshot();
+            if snap.count > 0 {
+                print_row(name, &snap);
+            }
+        }
     }
 
     // Server-side counters: cache pressure and eviction activity.
@@ -326,7 +337,15 @@ fn main() {
     }
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() as f64) * p / 100.0).ceil() as usize;
-    sorted[idx.clamp(1, sorted.len()) - 1]
+fn print_row(label: &str, snap: &HistogramSnapshot) {
+    println!(
+        "{:<26} {:>7} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
+        label,
+        snap.count,
+        snap.p50(),
+        snap.p90(),
+        snap.p99(),
+        snap.p999(),
+        snap.max(),
+    );
 }

@@ -67,9 +67,13 @@ impl CubeSpill for TenantSpill {
         match self.store.store_cube(self.tenant, fingerprint, bytes) {
             Ok(()) => true,
             Err(e) => {
-                eprintln!(
-                    "tsx-store: demoting a cube of tenant {} failed ({e}); dropping it instead",
-                    self.tenant
+                tsexplain_obs::log::warn(
+                    "store",
+                    "demoting a cube failed; dropping it instead",
+                    &[
+                        ("tenant", serde::Value::Number(self.tenant as f64)),
+                        ("error", serde::Value::String(e.to_string())),
+                    ],
                 );
                 false
             }

@@ -74,17 +74,22 @@ pub(crate) fn explain_cube_request(
         },
     };
 
-    let outcome = spec
-        .build()
-        .segment(&mut ctx, &positions, request.k_selection())
-        .map_err(TsExplainError::Segment)?;
+    let outcome = {
+        let _span = tsexplain_obs::trace::span("segmentation");
+        spec.build()
+            .segment(&mut ctx, &positions, request.k_selection())
+            .map_err(TsExplainError::Segment)?
+    };
 
-    let segments: Vec<SegmentExplanation> = outcome
-        .segmentation
-        .segments()
-        .into_iter()
-        .map(|seg| describe_segment(cube, &mut ctx, seg))
-        .collect();
+    let segments: Vec<SegmentExplanation> = {
+        let _span = tsexplain_obs::trace::span("cascading");
+        outcome
+            .segmentation
+            .segments()
+            .into_iter()
+            .map(|seg| describe_segment(cube, &mut ctx, seg))
+            .collect()
+    };
 
     let timers = ctx.timers();
     let latency = LatencyBreakdown {

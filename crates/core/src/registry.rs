@@ -499,7 +499,11 @@ impl SessionRegistry {
         let rotation = match store.rotate_wal() {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("tsx-store: checkpoint rotation failed (will retry): {e}");
+                tsexplain_obs::log::warn(
+                    "store",
+                    "checkpoint rotation failed (will retry)",
+                    &[("error", serde::Value::String(e.to_string()))],
+                );
                 return;
             }
         };
@@ -515,7 +519,14 @@ impl SessionRegistry {
         }
         let next_id = self.next_id.load(Ordering::Relaxed);
         if let Err(e) = store.checkpoint(next_id, &tenants, rotation) {
-            eprintln!("tsx-store: checkpoint failed (will retry): {e}");
+            tsexplain_obs::log::warn(
+                "store",
+                "checkpoint failed (will retry)",
+                &[
+                    ("error", serde::Value::String(e.to_string())),
+                    ("tenants", serde::Value::Number(tenants.len() as f64)),
+                ],
+            );
         }
     }
 

@@ -569,6 +569,7 @@ impl ExplainSession {
         &mut self,
         request: &ExplainRequest,
     ) -> Result<(Arc<ExplanationCube>, bool), TsExplainError> {
+        let _span = tsexplain_obs::trace::span("cube_acquire");
         let mut cube_config = CubeConfig::new(request.explain_by().iter().cloned())
             .with_max_order(request.max_order());
         cube_config.filter_ratio = request.optimizations().filter_ratio;
@@ -594,6 +595,7 @@ impl ExplainSession {
         // arrived after the demotion) or one whose key no longer matches
         // (fingerprint collision) is discarded and rebuilt below.
         if let Some(spill) = self.spill.clone() {
+            let _span = tsexplain_obs::trace::span("spill_rehydrate");
             if let Some(bytes) = spill.rehydrate(key.fingerprint()) {
                 match IncrementalCube::from_snapshot_bytes(&bytes) {
                     Ok(inc)
@@ -623,6 +625,7 @@ impl ExplainSession {
             // A rebuild drops cached cubes, but on this path the cache was
             // already missing this key; other keys are rebuilt on demand.
         }
+        let _build_span = tsexplain_obs::trace::span("cube_build");
         let par = request.parallel_ctx();
         let mut inc =
             IncrementalCube::from_relation_with(&self.base, &self.query, &cube_config, &par)?;

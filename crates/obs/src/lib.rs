@@ -1,0 +1,34 @@
+//! # tsexplain-obs
+//!
+//! Dependency-free observability primitives for the TSExplain serving
+//! stack, in the workspace's vendoring spirit (std + the vendored
+//! `serde`/`serde_json` only):
+//!
+//! - [`hist`]: a lock-free, log-bucketed, mergeable latency histogram
+//!   with p50/p90/p99/p99.9 estimation — the one percentile
+//!   implementation shared by the server and the bench harness.
+//! - [`log`]: levelled structured JSON-lines logging to stderr
+//!   (`TSX_LOG` / `--log-level`), with component/tenant/request-id
+//!   fields.
+//! - [`trace`]: a span API with an ambient thread-local collector, so
+//!   pipeline stages record nested spans with zero plumbing and zero
+//!   cost when no trace is active.
+//! - [`flight`]: a fixed-size ring of recent slow requests (span tree +
+//!   latency breakdown), the data behind `GET /debug/requests`.
+//! - [`prom`]: Prometheus text exposition (`_bucket`/`_sum`/`_count`)
+//!   for `GET /metrics?format=prometheus`.
+//!
+//! Everything here is a side channel: recording, logging, and tracing
+//! never feed back into the engine, so explain output stays
+//! byte-identical with observability on or off, at any thread count.
+
+pub mod flight;
+pub mod hist;
+pub mod log;
+pub mod prom;
+pub mod trace;
+
+pub use flight::{FlightEntry, FlightRecorder};
+pub use hist::{bucket_index, Histogram, HistogramFamily, HistogramSnapshot, BUCKET_BOUNDS_NANOS};
+pub use log::Level;
+pub use prom::Exposition;

@@ -1,0 +1,189 @@
+//! Levelled, structured JSON-lines logging.
+//!
+//! One event is one JSON object on one stderr line — machine-parseable,
+//! never interleaved mid-line, and entirely a side channel: nothing the
+//! engine computes depends on whether a line was emitted, so goldens and
+//! determinism proptests hold at any log level.
+//!
+//! The global level comes from the `TSX_LOG` environment variable
+//! (`off|error|warn|info|debug`, default `info`), read once on first use;
+//! [`set_level`] overrides it (the server wires `--log-level` there).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::Value;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process is losing data or violating an invariant.
+    Error,
+    /// Something failed but was absorbed (retry, fallback, discard).
+    Warn,
+    /// Lifecycle events: boot, recovery, shutdown.
+    Info,
+    /// Per-request detail.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    // 0 is reserved for "off" and 255 for "not yet initialised".
+    fn rank(self) -> u8 {
+        match self {
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+        }
+    }
+}
+
+/// Parses a level name as accepted by `--log-level` / `TSX_LOG`.
+/// `None` means logging is off entirely.
+pub fn parse_level(name: &str) -> Result<Option<Level>, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "off" | "none" => Ok(None),
+        "error" => Ok(Some(Level::Error)),
+        "warn" | "warning" => Ok(Some(Level::Warn)),
+        "info" => Ok(Some(Level::Info)),
+        "debug" => Ok(Some(Level::Debug)),
+        other => Err(format!(
+            "unknown log level {other:?} (expected off|error|warn|info|debug)"
+        )),
+    }
+}
+
+const UNSET: u8 = 255;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Sets the global level; `None` silences all logging.
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(level.map_or(0, Level::rank), Ordering::Relaxed);
+}
+
+fn current_rank() -> u8 {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNSET => {
+            let from_env = std::env::var("TSX_LOG")
+                .ok()
+                .and_then(|v| parse_level(&v).ok())
+                .unwrap_or(Some(Level::Info));
+            let rank = from_env.map_or(0, Level::rank);
+            LEVEL.store(rank, Ordering::Relaxed);
+            rank
+        }
+        rank => rank,
+    }
+}
+
+/// Whether events at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    level.rank() <= current_rank()
+}
+
+/// Formats one event as its JSON line (without emitting it).
+pub fn format_line(
+    level: Level,
+    component: &str,
+    message: &str,
+    fields: &[(&str, Value)],
+    ts_ms: u64,
+) -> String {
+    let mut entries: Vec<(&str, Value)> = vec![
+        ("ts_ms", Value::Number(ts_ms as f64)),
+        ("level", Value::String(level.as_str().into())),
+        ("component", Value::String(component.into())),
+        ("msg", Value::String(message.into())),
+    ];
+    entries.extend(fields.iter().cloned());
+    serde_json::to_string(&Value::object(entries)).expect("log lines always encode")
+}
+
+/// Emits one structured event if `level` is enabled.
+pub fn event(level: Level, component: &str, message: &str, fields: &[(&str, Value)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    let line = format_line(level, component, message, fields, ts_ms);
+    // One write_all per line keeps concurrent events line-atomic.
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(line.as_bytes());
+    let _ = handle.write_all(b"\n");
+}
+
+/// An `error`-level event.
+pub fn error(component: &str, message: &str, fields: &[(&str, Value)]) {
+    event(Level::Error, component, message, fields);
+}
+
+/// A `warn`-level event.
+pub fn warn(component: &str, message: &str, fields: &[(&str, Value)]) {
+    event(Level::Warn, component, message, fields);
+}
+
+/// An `info`-level event.
+pub fn info(component: &str, message: &str, fields: &[(&str, Value)]) {
+    event(Level::Info, component, message, fields);
+}
+
+/// A `debug`-level event.
+pub fn debug(component: &str, message: &str, fields: &[(&str, Value)]) {
+    event(Level::Debug, component, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_json_objects_with_reserved_keys() {
+        let line = format_line(
+            Level::Warn,
+            "store",
+            "checkpoint failed (will retry)",
+            &[
+                ("tenant", Value::Number(7.0)),
+                ("error", Value::String("disk full".into())),
+            ],
+            1_700_000_000_123,
+        );
+        let value: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(value.get("level").and_then(Value::as_str), Some("warn"));
+        assert_eq!(
+            value.get("component").and_then(Value::as_str),
+            Some("store")
+        );
+        assert_eq!(value.get("tenant").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(
+            value.get("ts_ms").and_then(Value::as_f64),
+            Some(1_700_000_000_123.0)
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn level_names_parse_both_ways() {
+        assert_eq!(parse_level("off").unwrap(), None);
+        assert_eq!(parse_level("ERROR").unwrap(), Some(Level::Error));
+        assert_eq!(parse_level("warn").unwrap(), Some(Level::Warn));
+        assert_eq!(parse_level("info").unwrap(), Some(Level::Info));
+        assert_eq!(parse_level("debug").unwrap(), Some(Level::Debug));
+        assert!(parse_level("loud").is_err());
+    }
+}

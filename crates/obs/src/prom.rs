@@ -1,0 +1,221 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! A small writer producing the plain-text scrape format: `# HELP` /
+//! `# TYPE` headers, `name{label="value"} value` samples, and full
+//! histogram series (`_bucket` with cumulative counts and an `+Inf`
+//! terminator, `_sum` in seconds, `_count`). Metric names, label order,
+//! and bucket boundaries are emitted exactly as given, so output is
+//! deterministic and pinned by a golden-format test.
+
+use crate::hist::{HistogramSnapshot, BUCKET_BOUNDS_NANOS};
+
+/// An in-progress exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    buf: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header for a metric. Call once per
+    /// metric name, before its samples.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// Writes one sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.buf.push_str(name);
+        self.write_labels(labels, None);
+        self.buf.push(' ');
+        self.buf.push_str(&fmt_value(value));
+        self.buf.push('\n');
+    }
+
+    /// Writes one histogram series (`_bucket`, `_sum`, `_count`) from a
+    /// snapshot. The header (kind `histogram`) must already be written.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, &count) in snap.buckets.iter().enumerate() {
+            cumulative += count;
+            self.buf.push_str(&bucket_name);
+            self.write_labels(labels, Some(&fmt_seconds(BUCKET_BOUNDS_NANOS[i])));
+            self.buf.push(' ');
+            self.buf.push_str(&fmt_value(cumulative as f64));
+            self.buf.push('\n');
+        }
+        cumulative += snap.overflow;
+        self.buf.push_str(&bucket_name);
+        self.write_labels(labels, Some("+Inf"));
+        self.buf.push(' ');
+        self.buf.push_str(&fmt_value(cumulative as f64));
+        self.buf.push('\n');
+        self.sample(&format!("{name}_sum"), labels, snap.sum_nanos as f64 / 1e9);
+        self.sample(&format!("{name}_count"), labels, snap.count as f64);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)], le: Option<&str>) {
+        if labels.is_empty() && le.is_none() {
+            return;
+        }
+        self.buf.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            self.buf.push_str(k);
+            self.buf.push_str("=\"");
+            self.buf.push_str(&escape_label(v));
+            self.buf.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                self.buf.push(',');
+            }
+            self.buf.push_str("le=\"");
+            self.buf.push_str(le);
+            self.buf.push('"');
+        }
+        self.buf.push('}');
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus parses it back: shortest
+/// round-trip decimal, integral values without a trailing `.0`.
+fn fmt_value(value: f64) -> String {
+    format!("{value}")
+}
+
+/// A bucket boundary in seconds, from its nanosecond bound.
+fn fmt_seconds(nanos: u64) -> String {
+    format!("{}", nanos as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use std::time::Duration;
+
+    /// Pins the exposition format: metric names, label ordering, bucket
+    /// boundaries, cumulative bucket counts, and value formatting.
+    #[test]
+    fn golden_exposition_format() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(1)); // first bucket
+        h.record(Duration::from_micros(1)); // first bucket
+        h.record(Duration::from_millis(3)); // le=0.005
+        h.record(Duration::from_secs(90)); // overflow
+        let mut exp = Exposition::new();
+        exp.header(
+            "tsx_requests_total",
+            "counter",
+            "Total HTTP requests received.",
+        );
+        exp.sample("tsx_requests_total", &[], 4.0);
+        exp.header(
+            "tsx_request_duration_seconds",
+            "histogram",
+            "Wall-clock request latency by route.",
+        );
+        exp.histogram(
+            "tsx_request_duration_seconds",
+            &[("route", "explain")],
+            &h.snapshot(),
+        );
+        let text = exp.finish();
+        let expected = "\
+# HELP tsx_requests_total Total HTTP requests received.
+# TYPE tsx_requests_total counter
+tsx_requests_total 4
+# HELP tsx_request_duration_seconds Wall-clock request latency by route.
+# TYPE tsx_request_duration_seconds histogram
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.000001\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.000002\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.000005\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.00001\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.00002\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.00005\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.0001\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.0002\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.0005\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.001\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.002\"} 2
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.005\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.01\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.02\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.05\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.1\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.2\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"0.5\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"1\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"2\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"5\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"10\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"20\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"60\"} 3
+tsx_request_duration_seconds_bucket{route=\"explain\",le=\"+Inf\"} 4
+tsx_request_duration_seconds_sum{route=\"explain\"} 90.003002
+tsx_request_duration_seconds_count{route=\"explain\"} 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut exp = Exposition::new();
+        exp.sample("m", &[("path", "a\"b\\c\nd")], 1.0);
+        assert_eq!(exp.finish(), "m{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn every_sample_line_parses_as_name_labels_value() {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(7));
+        let mut exp = Exposition::new();
+        exp.header("tsx_x_seconds", "histogram", "x");
+        exp.histogram("tsx_x_seconds", &[("tenant", "3")], &h.snapshot());
+        for line in exp.finish().lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').unwrap();
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+            assert!(series.starts_with("tsx_x_seconds"), "{line}");
+            if let Some(open) = series.find('{') {
+                assert!(series.ends_with('}'), "{line}");
+                assert!(series[open..].contains('='), "{line}");
+            }
+        }
+    }
+}

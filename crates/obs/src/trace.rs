@@ -1,0 +1,227 @@
+//! Span-based request tracing with an ambient, thread-local collector.
+//!
+//! The server [`begin`]s a trace before dispatching a request and
+//! [`finish`]es it after; any code on that thread — the session's cube
+//! acquire, the pipeline's cascading/segmentation stages — calls
+//! [`span`] to record a timed, nested span. When no trace is installed
+//! (unit tests, worker pool threads inside a parallel fan-out) the guard
+//! is a no-op, so instrumented code needs no plumbing and pays one
+//! thread-local check.
+//!
+//! Tracing is observational only: spans never feed back into the
+//! computation, so traced and untraced runs produce byte-identical
+//! results. Parallel fan-out workers run without a collector — the
+//! calling thread records the fan-out as one span — which keeps the
+//! recorded tree deterministic in shape regardless of thread count.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use serde::Value;
+
+struct SpanRecord {
+    name: &'static str,
+    parent: Option<usize>,
+    start_nanos: u64,
+    end_nanos: u64,
+}
+
+struct TraceState {
+    start: Instant,
+    spans: Vec<SpanRecord>,
+    stack: Vec<usize>,
+    annotations: Vec<(String, Value)>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
+}
+
+/// Installs a fresh trace collector on this thread, replacing any
+/// previous one.
+pub fn begin() {
+    ACTIVE.with(|cell| {
+        *cell.borrow_mut() = Some(TraceState {
+            start: Instant::now(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+            annotations: Vec::new(),
+        });
+    });
+}
+
+/// Whether a trace is collecting on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|cell| cell.borrow().is_some())
+}
+
+/// Attaches a named JSON annotation to the active trace (no-op without
+/// one). Later annotations with the same key win.
+pub fn annotate(key: &str, value: Value) {
+    ACTIVE.with(|cell| {
+        if let Some(state) = cell.borrow_mut().as_mut() {
+            state.annotations.retain(|(k, _)| k != key);
+            state.annotations.push((key.to_string(), value));
+        }
+    });
+}
+
+/// Opens a span that closes when the returned guard drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    let index = ACTIVE.with(|cell| {
+        let mut borrow = cell.borrow_mut();
+        let state = borrow.as_mut()?;
+        let start_nanos = state.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let parent = state.stack.last().copied();
+        state.spans.push(SpanRecord {
+            name,
+            parent,
+            start_nanos,
+            end_nanos: start_nanos,
+        });
+        let index = state.spans.len() - 1;
+        state.stack.push(index);
+        Some(index)
+    });
+    SpanGuard { index }
+}
+
+/// Closes its span on drop (including during a panic unwind).
+pub struct SpanGuard {
+    index: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(index) = self.index else { return };
+        ACTIVE.with(|cell| {
+            if let Some(state) = cell.borrow_mut().as_mut() {
+                let end_nanos = state.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                if let Some(record) = state.spans.get_mut(index) {
+                    record.end_nanos = end_nanos;
+                }
+                // Pop through any spans a panic unwound past.
+                while let Some(&top) = state.stack.last() {
+                    state.stack.pop();
+                    if top == index {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// A completed trace: the span tree plus any annotations.
+pub struct TraceResult {
+    spans: Vec<SpanRecord>,
+    /// Annotations attached via [`annotate`], in insertion order.
+    pub annotations: Vec<(String, Value)>,
+}
+
+impl TraceResult {
+    /// The span tree as JSON: an array of root spans, each
+    /// `{"name", "start_nanos", "duration_nanos", "children": [...]}`.
+    pub fn spans_value(&self) -> Value {
+        self.children_of(None)
+    }
+
+    /// The annotations as one JSON object.
+    pub fn annotations_value(&self) -> Value {
+        Value::object(
+            self.annotations
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn children_of(&self, parent: Option<usize>) -> Value {
+        Value::Array(
+            self.spans
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.parent == parent)
+                .map(|(i, s)| {
+                    Value::object([
+                        ("name", Value::String(s.name.into())),
+                        ("start_nanos", Value::Number(s.start_nanos as f64)),
+                        (
+                            "duration_nanos",
+                            Value::Number(s.end_nanos.saturating_sub(s.start_nanos) as f64),
+                        ),
+                        ("children", self.children_of(Some(i))),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Uninstalls this thread's collector and returns what it captured,
+/// or `None` if no trace was active.
+pub fn finish() -> Option<TraceResult> {
+    ACTIVE.with(|cell| {
+        cell.borrow_mut().take().map(|state| TraceResult {
+            spans: state.spans,
+            annotations: state.annotations,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_serialize_as_a_tree() {
+        begin();
+        {
+            let _outer = span("request");
+            {
+                let _inner = span("acquire");
+            }
+            let _sibling = span("segment");
+            annotate("latency", Value::Number(42.0));
+        }
+        let result = finish().expect("trace was active");
+        let tree = result.spans_value();
+        let roots = tree.as_array().unwrap();
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!(root.get("name").and_then(Value::as_str), Some("request"));
+        let children = root.get("children").and_then(Value::as_array).unwrap();
+        let names: Vec<&str> = children
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names, ["acquire", "segment"]);
+        assert_eq!(
+            result
+                .annotations_value()
+                .get("latency")
+                .and_then(Value::as_f64),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn spans_without_a_trace_are_noops() {
+        assert!(!is_active());
+        let _span = span("orphan");
+        annotate("ignored", Value::Null);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn worker_threads_do_not_inherit_the_collector() {
+        begin();
+        let handle = std::thread::spawn(|| {
+            let _span = span("on-worker");
+            is_active()
+        });
+        assert!(!handle.join().unwrap());
+        let result = finish().unwrap();
+        assert_eq!(result.spans_value().as_array().unwrap().len(), 0);
+    }
+}

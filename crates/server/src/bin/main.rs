@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tsx-server [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--max-body-mb MB]
-//!            [--threads N] [--data-dir PATH]
+//!            [--threads N] [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]
 //! ```
 //!
 //! `--threads` sets the default intra-query parallelism for requests that
@@ -14,6 +14,12 @@
 //! WAL-logged (and fsynced) before its acknowledgement, and
 //! budget-evicted cubes are demoted to disk instead of dropped. Without
 //! it the server is purely in-memory.
+//!
+//! `--log-level` (`off|error|warn|info|debug`, default `info`, also the
+//! `TSX_LOG` environment variable) controls the structured JSON-lines
+//! log on stderr. `--slow-ms` sets the flight-recorder threshold:
+//! requests at or above it are captured with their span tree and served
+//! at `GET /debug/requests` (0 records everything).
 //!
 //! Serves until killed. `--addr 127.0.0.1:0` picks an ephemeral port and
 //! prints it, which is what scripts and CI use.
@@ -54,12 +60,21 @@ fn main() -> ExitCode {
                 Some(dir) => config.data_dir = Some(dir.into()),
                 None => return usage("--data-dir needs a directory path"),
             },
+            "--log-level" => match args.next().as_deref().map(tsexplain_obs::log::parse_level) {
+                Some(Ok(level)) => tsexplain_obs::log::set_level(level),
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--log-level needs off|error|warn|info|debug"),
+            },
+            "--slow-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => config.slow_ms = ms,
+                None => return usage("--slow-ms needs a threshold in milliseconds"),
+            },
             "--help" | "-h" => {
                 println!(
                     "tsx-server: the TSExplain HTTP/JSON serving subsystem\n\n\
                      USAGE: tsx-server [--addr HOST:PORT] [--workers N] \
                      [--budget-mb MB] [--max-body-mb MB] [--threads N] \
-                     [--data-dir PATH]"
+                     [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]"
                 );
                 return ExitCode::SUCCESS;
             }

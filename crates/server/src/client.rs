@@ -160,6 +160,43 @@ impl Client {
         self.call("GET", "/metrics", None)
     }
 
+    /// The Prometheus text exposition (`/metrics?format=prometheus`) —
+    /// plain text, not JSON.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let response = self
+            .raw("GET", "/metrics?format=prometheus", None, &[])
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        if !(200..300).contains(&response.status) {
+            return Err(ClientError::Transport(format!(
+                "status {} scraping the exposition",
+                response.status
+            )));
+        }
+        String::from_utf8(response.body).map_err(|_| ClientError::Decode("non-UTF-8 body".into()))
+    }
+
+    /// The slow-request flight recorder (`/debug/requests`).
+    pub fn debug_requests(&mut self) -> Result<Value, ClientError> {
+        self.call("GET", "/debug/requests", None)
+    }
+
+    /// One request with full control: extra headers in, the raw
+    /// [`Response`] (status, headers, body) out, no retry. What tests use
+    /// to send `X-Request-Id` and inspect its echo.
+    pub fn raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> Result<Response, ReadError> {
+        let result = self.try_call_with(method, path, body, headers);
+        if result.is_err() {
+            self.connection = None;
+        }
+        result
+    }
+
     /// Removes a dataset.
     pub fn remove(&mut self, dataset_id: u64) -> Result<(), ClientError> {
         self.call("DELETE", &format!("/datasets/{dataset_id}"), None)
@@ -210,6 +247,16 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<Response, ReadError> {
+        self.try_call_with(method, path, body, &[])
+    }
+
+    fn try_call_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> Result<Response, ReadError> {
         use std::io::Write;
         if self.connection.is_none() {
             let stream = TcpStream::connect(self.addr)?;
@@ -219,10 +266,17 @@ impl Client {
         }
         let stream = self.connection.as_mut().expect("just ensured");
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: tsx\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: tsx\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;
         stream.flush()?;

@@ -60,6 +60,8 @@ pub struct Request {
     pub method: String,
     /// The path component, query string stripped.
     pub path: String,
+    /// The raw query string (after `?`), empty when absent.
+    pub query: String,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The raw body (`Content-Length` bytes).
@@ -80,6 +82,15 @@ impl Request {
     pub fn wants_close(&self) -> bool {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The value of query parameter `name`, if present (`a=1&b=2` form;
+    /// no percent-decoding — tsx-server's parameters are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -108,10 +119,14 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
         headers,
         body,
     })
@@ -122,7 +137,13 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
 pub struct Response {
     /// The status code.
     pub status: u16,
-    /// The body bytes (JSON for every tsx-server endpoint).
+    /// The `content-type` written with the body (JSON for every
+    /// tsx-server endpoint except the Prometheus exposition).
+    pub content_type: &'static str,
+    /// Extra headers (lower-cased names), e.g. `x-request-id`. On a
+    /// client-parsed response this holds every received header.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
     pub body: Vec<u8>,
 }
 
@@ -131,19 +152,47 @@ impl Response {
     pub fn json(status: u16, body: String) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
 
+    /// A plain-text response (the Prometheus exposition format).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The first header named `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Writes the response, flagging whether the connection stays open.
     pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
         writer.flush()
@@ -169,7 +218,12 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ReadError> 
     let headers = parse_headers(&lines)?;
     let mut body = vec![0u8; content_length(&headers)?];
     reader.read_exact(&mut body)?;
-    Ok(Response { status, body })
+    Ok(Response {
+        status,
+        content_type: "application/json",
+        headers,
+        body,
+    })
 }
 
 /// Reads the head block (request/status line + headers) as trimmed lines.
@@ -275,7 +329,19 @@ mod tests {
     fn strips_query_strings_and_honours_connection_close() {
         let req = parse("GET /metrics?verbose=1 HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "verbose=1");
         assert!(req.wants_close());
+    }
+
+    #[test]
+    fn query_params_are_addressable_by_name() {
+        let req = parse("GET /metrics?format=prometheus&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]
@@ -315,6 +381,24 @@ mod tests {
         let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
         assert_eq!(back.status, 201);
         assert_eq!(back.body, b"{\"ok\":true}");
+        assert_eq!(back.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn extra_response_headers_survive_the_roundtrip() {
+        let mut response = Response::text(200, "tsx_requests_total 1\n".into());
+        response
+            .headers
+            .push(("x-request-id".into(), "tsx-42".into()));
+        let mut wire = Vec::new();
+        response.write_to(&mut wire, false).unwrap();
+        let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back.header("x-request-id"), Some("tsx-42"));
+        assert_eq!(
+            back.header("content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        assert_eq!(back.body, b"tsx_requests_total 1\n");
     }
 
     #[test]

@@ -36,8 +36,18 @@
 //! * `GET /datasets/{id}/stats` — per-tenant session counters.
 //! * `DELETE /datasets/{id}` — drop a tenant.
 //! * `GET /metrics` — server + registry counters (cache bytes, evictions,
-//!   response classes).
+//!   response classes). `?format=prometheus` serves the same state as a
+//!   Prometheus text exposition with per-route/per-strategy/per-tenant
+//!   latency histograms (`tsexplain-obs`).
+//! * `GET /debug/requests` — the slow-request flight recorder: the last N
+//!   requests at or above `--slow-ms`, each with its span tree and the
+//!   explain latency breakdown.
 //! * `GET /healthz` — liveness.
+//!
+//! Every response carries an `x-request-id` header — the client's
+//! `X-Request-Id` echoed when supplied, a process-unique id minted
+//! otherwise — and the same id is stamped into log lines and flight
+//! entries.
 //!
 //! Errors map to structured 4xx/5xx JSON bodies (see [`ApiError`]):
 //! invalid requests and malformed rows are 400s, unknown datasets 404s,
@@ -47,6 +57,14 @@
 //! The [`Client`] speaks the same protocol for tests, examples and the
 //! `loadgen` benchmark; the `tsx-server` binary wraps [`Server`] with
 //! flags for the address, worker count and memory budget.
+//!
+//! ## Observability contract
+//!
+//! All instrumentation is a pure side channel: histograms, spans, flight
+//! entries and log lines never feed back into an answer, spans are
+//! recorded only on the thread running the request (parallel workers
+//! no-op), and logs go to stderr — responses stay byte-identical at any
+//! thread count, log level, or slow threshold.
 
 mod client;
 mod error;
@@ -60,4 +78,4 @@ pub use client::{Client, ClientError};
 pub use error::ApiError;
 pub use pool::WorkerPool;
 pub use router::handle;
-pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics, ServerShared};
+pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics, ServerObs, ServerShared};

@@ -9,6 +9,8 @@
 //! | GET    | `/datasets/{id}/stats`   | —                  | stats JSON          |
 //! | DELETE | `/datasets/{id}`         | —                  | `{"removed": true}` |
 //! | GET    | `/metrics`               | —                  | metrics JSON        |
+//! | GET    | `/metrics?format=prometheus` | —              | exposition text     |
+//! | GET    | `/debug/requests`        | —                  | flight recorder JSON |
 //! | GET    | `/healthz`               | —                  | `{"status": "ok"}`  |
 //!
 //! `/compare` fans one base request out across every segmentation strategy
@@ -51,19 +53,32 @@ fn route(shared: &ServerShared, request: &Request) -> Result<Response, ApiError>
         ("POST", ["datasets", id, "compare"]) => compare(shared, parse_id(id)?, &request.body),
         ("GET", ["datasets", id, "stats"]) => stats(shared, parse_id(id)?),
         ("DELETE", ["datasets", id]) => remove(shared, parse_id(id)?),
-        ("GET", ["metrics"]) => Ok(json_ok(200, &shared.metrics_value())),
+        ("GET", ["metrics"]) => metrics(shared, request),
+        ("GET", ["debug", "requests"]) => Ok(json_ok(200, &shared.obs.flight.snapshot_value())),
         ("GET", ["healthz"]) => Ok(json_ok(
             200,
             &Value::object([("status", Value::String("ok".into()))]),
         )),
         // Known paths with the wrong verb get a 405, everything else 404.
-        (_, ["datasets"]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+        (_, ["datasets"]) | (_, ["metrics"]) | (_, ["healthz"]) | (_, ["debug", "requests"]) => {
             Err(ApiError::method_not_allowed(method, &request.path))
         }
         (_, ["datasets", ..]) if segments.len() <= 3 => {
             Err(ApiError::method_not_allowed(method, &request.path))
         }
         _ => Err(ApiError::not_found(&request.path)),
+    }
+}
+
+/// `/metrics` in its two formats: the byte-stable JSON document
+/// (default, also `?format=json`) and the Prometheus text exposition.
+fn metrics(shared: &ServerShared, request: &Request) -> Result<Response, ApiError> {
+    match request.query_param("format") {
+        None | Some("json") => Ok(json_ok(200, &shared.metrics_value())),
+        Some("prometheus") => Ok(Response::text(200, shared.metrics_prometheus())),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "unknown metrics format {other:?} (expected json or prometheus)"
+        ))),
     }
 }
 
@@ -155,6 +170,11 @@ fn explain(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response
         .explain(id, &request)
         .map_err(ApiError::from)?;
     shared.metrics.observe_latency(&result.latency);
+    shared
+        .obs
+        .strategy_hist
+        .record(&result.strategy, result.latency.total());
+    tsexplain_obs::trace::annotate("latency", result.latency.serialize());
     Ok(json_ok(200, &result))
 }
 
@@ -198,16 +218,25 @@ fn compare(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response
     let outer = total_threads.min(specs.len()).max(1);
     let inner = (total_threads / outer).max(1);
     let strategy_base = base.clone().with_threads(inner);
-    let outcomes = tsexplain::ParallelCtx::new(outer).map(specs.len(), |i| {
-        prepared.explain(&strategy_base.clone().with_segmenter(specs[i]))
-    });
+    let outcomes = {
+        let _span = tsexplain_obs::trace::span("parallel_fanout");
+        tsexplain::ParallelCtx::new(outer).map(specs.len(), |i| {
+            prepared.explain(&strategy_base.clone().with_segmenter(specs[i]))
+        })
+    };
     shared.metrics.observe_fanout(outer);
     let mut results = Vec::with_capacity(specs.len());
     for outcome in outcomes {
         let result = outcome.map_err(ApiError::from)?;
         shared.metrics.observe_latency(&result.latency);
+        shared
+            .obs
+            .strategy_hist
+            .record(&result.strategy, result.latency.total());
         results.push(result);
     }
+    // The reference (DP) row's breakdown is the one worth flight-recording.
+    tsexplain_obs::trace::annotate("latency", results[0].latency.serialize());
 
     let reference_cuts = results[0].segmentation.cuts().to_vec();
     let objectives: Vec<f64> = results.iter().map(|r| r.total_variance).collect();

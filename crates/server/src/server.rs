@@ -15,10 +15,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Serialize, Value};
 use tsexplain::{DataStore, SessionRegistry, DEFAULT_REGISTRY_BUDGET};
+use tsexplain_obs::{trace, Exposition, FlightEntry, FlightRecorder, HistogramFamily};
 
 use crate::error::ApiError;
 use crate::http::{self, ReadError};
@@ -52,6 +53,10 @@ pub struct ServerConfig {
     /// dropping them. `None` (the default) serves purely in memory —
     /// byte-identical behavior to a server without the storage engine.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Requests at or above this wall-clock threshold land in the
+    /// slow-request flight recorder (`GET /debug/requests`). Zero records
+    /// every request.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -66,9 +71,13 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             threads: None,
             data_dir: None,
+            slow_ms: 500,
         }
     }
 }
+
+/// How many slow requests the flight recorder retains.
+const FLIGHT_CAPACITY: usize = 64;
 
 /// Server-level counters (the `/metrics` payload's HTTP half).
 #[derive(Debug, Default)]
@@ -143,6 +152,32 @@ impl ServerMetrics {
     }
 }
 
+/// Observability state shared by every worker: latency histograms and
+/// the slow-request flight recorder. All of it is a side channel — it
+/// never feeds back into request handling.
+#[derive(Debug)]
+pub struct ServerObs {
+    /// Wall-clock request latency by route label.
+    pub route_hist: HistogramFamily,
+    /// Engine explain latency (`LatencyBreakdown::total`) by strategy.
+    pub strategy_hist: HistogramFamily,
+    /// Wall-clock request latency by tenant (dataset id).
+    pub tenant_hist: HistogramFamily,
+    /// The last N requests over the `--slow-ms` threshold.
+    pub flight: FlightRecorder,
+}
+
+impl ServerObs {
+    fn new(slow: Duration) -> Self {
+        ServerObs {
+            route_hist: HistogramFamily::new(),
+            strategy_hist: HistogramFamily::new(),
+            tenant_hist: HistogramFamily::new(),
+            flight: FlightRecorder::new(FLIGHT_CAPACITY, slow),
+        }
+    }
+}
+
 /// State shared by every worker: the tenant registry plus counters.
 #[derive(Debug)]
 pub struct ServerShared {
@@ -150,6 +185,8 @@ pub struct ServerShared {
     pub registry: SessionRegistry,
     /// HTTP-level counters.
     pub metrics: ServerMetrics,
+    /// Histograms and the flight recorder.
+    pub obs: ServerObs,
     workers: usize,
     /// The server-wide intra-query thread default (`--threads`), applied
     /// by the router to requests without their own `threads` member.
@@ -249,6 +286,199 @@ impl ServerShared {
         }
         doc
     }
+
+    /// The `/metrics?format=prometheus` exposition: the same counters as
+    /// the JSON document plus the latency histograms (per-route,
+    /// per-strategy, per-tenant, and the store's fsync/checkpoint/recovery
+    /// durations) that have no JSON equivalent. Metric names, label order
+    /// and bucket boundaries are stable — a scrape target, not an API to
+    /// iterate on.
+    pub fn metrics_prometheus(&self) -> String {
+        let m = &self.metrics;
+        let r = self.registry.stats();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+        let mut exp = Exposition::new();
+
+        exp.header(
+            "tsx_requests_total",
+            "counter",
+            "Requests answered with a response.",
+        );
+        exp.sample("tsx_requests_total", &[], load(&m.requests));
+        exp.header(
+            "tsx_responses_total",
+            "counter",
+            "Responses by status class.",
+        );
+        for (class, counter) in [
+            ("2xx", &m.responses_2xx),
+            ("4xx", &m.responses_4xx),
+            ("5xx", &m.responses_5xx),
+        ] {
+            exp.sample("tsx_responses_total", &[("class", class)], load(counter));
+        }
+        exp.header("tsx_connections_total", "counter", "Connections accepted.");
+        exp.sample("tsx_connections_total", &[], load(&m.connections));
+        exp.header(
+            "tsx_protocol_errors_total",
+            "counter",
+            "Requests that never parsed (protocol garbage, oversized).",
+        );
+        exp.sample("tsx_protocol_errors_total", &[], load(&m.protocol_errors));
+        exp.header(
+            "tsx_panics_total",
+            "counter",
+            "Worker panics converted to 500s.",
+        );
+        exp.sample("tsx_panics_total", &[], load(&m.panics));
+        exp.header(
+            "tsx_parallel_explains_total",
+            "counter",
+            "Explain answers produced by a parallel context.",
+        );
+        exp.sample(
+            "tsx_parallel_explains_total",
+            &[],
+            load(&m.parallel_explains),
+        );
+        exp.header(
+            "tsx_memo_hits_total",
+            "counter",
+            "Segment-cost memo hits across answered explains.",
+        );
+        exp.sample("tsx_memo_hits_total", &[], load(&m.memo_hits));
+        exp.header(
+            "tsx_memo_misses_total",
+            "counter",
+            "Segment-cost memo misses across answered explains.",
+        );
+        exp.sample("tsx_memo_misses_total", &[], load(&m.memo_misses));
+
+        exp.header(
+            "tsx_workers",
+            "gauge",
+            "Worker threads handling connections.",
+        );
+        exp.sample("tsx_workers", &[], self.workers as f64);
+        exp.header("tsx_registry_datasets", "gauge", "Registered datasets.");
+        exp.sample("tsx_registry_datasets", &[], r.datasets as f64);
+        exp.header(
+            "tsx_registry_cached_cubes",
+            "gauge",
+            "Cubes resident in memory across all tenants.",
+        );
+        exp.sample("tsx_registry_cached_cubes", &[], r.cached_cubes as f64);
+        exp.header(
+            "tsx_registry_cache_bytes",
+            "gauge",
+            "Estimated bytes held by cached cubes.",
+        );
+        exp.sample("tsx_registry_cache_bytes", &[], r.cache_bytes as f64);
+        exp.header(
+            "tsx_registry_memory_budget_bytes",
+            "gauge",
+            "The registry's global cube-memory budget.",
+        );
+        exp.sample(
+            "tsx_registry_memory_budget_bytes",
+            &[],
+            r.memory_budget as f64,
+        );
+
+        exp.header(
+            "tsx_request_duration_seconds",
+            "histogram",
+            "Wall-clock request latency by route.",
+        );
+        for (route, snap) in self.obs.route_hist.snapshot_all() {
+            exp.histogram("tsx_request_duration_seconds", &[("route", &route)], &snap);
+        }
+        exp.header(
+            "tsx_explain_duration_seconds",
+            "histogram",
+            "Engine explain latency by segmentation strategy.",
+        );
+        for (strategy, snap) in self.obs.strategy_hist.snapshot_all() {
+            exp.histogram(
+                "tsx_explain_duration_seconds",
+                &[("strategy", &strategy)],
+                &snap,
+            );
+        }
+        exp.header(
+            "tsx_tenant_request_duration_seconds",
+            "histogram",
+            "Wall-clock request latency by tenant (dataset id).",
+        );
+        for (tenant, snap) in self.obs.tenant_hist.snapshot_all() {
+            exp.histogram(
+                "tsx_tenant_request_duration_seconds",
+                &[("tenant", &tenant)],
+                &snap,
+            );
+        }
+
+        if let Some(store) = self.registry.store() {
+            let s = store.metrics();
+            for (name, help, value) in [
+                (
+                    "tsx_store_wal_appends_total",
+                    "WAL records appended.",
+                    s.wal_appends,
+                ),
+                (
+                    "tsx_store_wal_bytes_total",
+                    "Framed WAL bytes written.",
+                    s.wal_bytes,
+                ),
+                (
+                    "tsx_store_snapshots_total",
+                    "Snapshot files written.",
+                    s.snapshots,
+                ),
+                (
+                    "tsx_store_recoveries_total",
+                    "Tenants reconstructed by recovery-on-boot.",
+                    s.recoveries,
+                ),
+                (
+                    "tsx_store_demotions_total",
+                    "Cubes demoted to disk by the eviction tier.",
+                    s.demotions,
+                ),
+                (
+                    "tsx_store_rehydrations_total",
+                    "Cubes rehydrated from disk on a cache miss.",
+                    s.rehydrations,
+                ),
+            ] {
+                exp.header(name, "counter", help);
+                exp.sample(name, &[], value as f64);
+            }
+            let d = store.durations();
+            for (name, help, hist) in [
+                (
+                    "tsx_store_fsync_duration_seconds",
+                    "Per-append WAL fsync time.",
+                    &d.fsync,
+                ),
+                (
+                    "tsx_store_checkpoint_duration_seconds",
+                    "Full checkpoint cycles.",
+                    &d.checkpoint,
+                ),
+                (
+                    "tsx_store_recovery_duration_seconds",
+                    "Recovery-on-boot, once per open.",
+                    &d.recovery,
+                ),
+            ] {
+                exp.header(name, "histogram", help);
+                exp.histogram(name, &[], &hist.snapshot());
+            }
+        }
+        exp.finish()
+    }
 }
 
 /// The serving subsystem: a bound listener draining into a worker pool.
@@ -269,13 +499,21 @@ impl Server {
                 let (registry, notes) =
                     SessionRegistry::with_store(config.memory_budget, Arc::new(store), recovery);
                 for note in &notes {
-                    eprintln!("tsx-server: recovery: {note}");
+                    tsexplain_obs::log::warn(
+                        "server",
+                        "recovery note",
+                        &[("note", Value::String(note.clone()))],
+                    );
                 }
-                println!(
-                    "tsx-server recovered {recovered} dataset(s) from {} \
-                     ({discarded} bytes discarded, {} note(s))",
-                    dir.display(),
-                    notes.len(),
+                tsexplain_obs::log::info(
+                    "server",
+                    "recovery complete",
+                    &[
+                        ("data_dir", Value::String(dir.display().to_string())),
+                        ("datasets", Value::Number(recovered as f64)),
+                        ("discarded_bytes", Value::Number(discarded as f64)),
+                        ("notes", Value::Number(notes.len() as f64)),
+                    ],
                 );
                 registry
             }
@@ -286,6 +524,7 @@ impl Server {
         let shared = Arc::new(ServerShared {
             registry,
             metrics: ServerMetrics::default(),
+            obs: ServerObs::new(Duration::from_millis(config.slow_ms)),
             workers: config.workers.max(1),
             threads: config.threads,
         });
@@ -384,10 +623,72 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Process-wide sequence feeding generated request ids.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh request id for requests that arrived without `X-Request-Id`.
+fn next_request_id() -> String {
+    format!(
+        "tsx-{}-{}",
+        std::process::id(),
+        REQUEST_SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// The histogram/flight-recorder route label for a request — the same
+/// shape classification the router dispatches on, folded to a closed set
+/// so metric label cardinality stays bounded.
+fn route_label(request: &http::Request) -> &'static str {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["datasets"]) => "register",
+        ("POST", ["datasets", _, "rows"]) => "append",
+        ("POST", ["datasets", _, "explain"]) => "explain",
+        ("POST", ["datasets", _, "compare"]) => "compare",
+        ("GET", ["datasets", _, "stats"]) => "stats",
+        ("DELETE", ["datasets", _]) => "remove",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["debug", "requests"]) => "debug_requests",
+        _ => "other",
+    }
+}
+
+/// The tenant (dataset id) a request addresses, when its path names one.
+fn tenant_label(request: &http::Request) -> Option<String> {
+    let mut segments = request.path.split('/').filter(|s| !s.is_empty());
+    if segments.next() != Some("datasets") {
+        return None;
+    }
+    let id = segments.next()?;
+    id.parse::<u64>().ok().map(|n| n.to_string())
+}
+
+/// Answers an unparsable message: counted as a protocol error, stamped
+/// with a generated request id like every other response.
+fn reject_protocol_error(shared: &ServerShared, error: ApiError, writer: &mut TcpStream) {
+    shared
+        .metrics
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
+    let mut response = error.into_response();
+    response
+        .headers
+        .push(("x-request-id".into(), next_request_id()));
+    shared.metrics.observe(response.status);
+    let _ = response.write_to(writer, false);
+}
+
 /// One keep-alive conversation: parse, dispatch, respond, repeat. The
 /// conversation ends at client close, protocol error, idle timeout, or
 /// server shutdown (checked between requests; in-flight requests always
 /// get their response).
+///
+/// Every parsed request is traced (spans recorded by the pipeline on
+/// this thread), timed into the per-route/per-tenant histograms, stamped
+/// with its request id (the client's `X-Request-Id` or a generated one),
+/// and — when it meets the `--slow-ms` threshold — captured by the
+/// flight recorder with its full span tree.
 fn serve_connection(
     shared: &ServerShared,
     stream: TcpStream,
@@ -406,24 +707,15 @@ fn serve_connection(
             Ok(request) => request,
             Err(ReadError::ConnectionClosed) => return,
             Err(ReadError::TooLarge { limit, .. }) => {
-                shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let response = ApiError::payload_too_large(limit).into_response();
-                shared.metrics.observe(response.status);
-                let _ = response.write_to(&mut writer, false);
+                reject_protocol_error(shared, ApiError::payload_too_large(limit), &mut writer);
                 return;
             }
             Err(ReadError::Malformed(m)) => {
-                shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let response =
-                    ApiError::bad_request(format!("malformed HTTP: {m}")).into_response();
-                shared.metrics.observe(response.status);
-                let _ = response.write_to(&mut writer, false);
+                reject_protocol_error(
+                    shared,
+                    ApiError::bad_request(format!("malformed HTTP: {m}")),
+                    &mut writer,
+                );
                 return;
             }
             Err(ReadError::Io(_)) => {
@@ -433,16 +725,58 @@ fn serve_connection(
                 return;
             }
         };
+        let request_id = request
+            .header("x-request-id")
+            .map(str::to_string)
+            .unwrap_or_else(next_request_id);
         let keep_alive = !request.wants_close() && !stopping.load(Ordering::SeqCst);
+        let started = Instant::now();
+        trace::begin();
         // A panic in the engine must cost one 500, not a worker thread.
-        let response = match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
+        let mut response = match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request)))
+        {
             Ok(response) => response,
             Err(_) => {
                 shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
                 ApiError::internal("worker panicked while handling the request").into_response()
             }
         };
+        let trace_result = trace::finish();
+        let elapsed = started.elapsed();
+
         shared.metrics.observe(response.status);
+        let route = route_label(&request);
+        shared.obs.route_hist.record(route, elapsed);
+        if let Some(tenant) = tenant_label(&request) {
+            shared.obs.tenant_hist.record(&tenant, elapsed);
+        }
+        if shared.obs.flight.qualifies(elapsed) {
+            let (spans, annotations) = match &trace_result {
+                Some(t) => (t.spans_value(), t.annotations_value()),
+                None => (Value::Array(Vec::new()), Value::object::<String, _>([])),
+            };
+            shared.obs.flight.record(FlightEntry {
+                seq: 0,
+                request_id: request_id.clone(),
+                method: request.method.clone(),
+                path: request.path.clone(),
+                status: response.status,
+                duration_nanos: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                spans,
+                annotations,
+            });
+        }
+        tsexplain_obs::log::debug(
+            "server",
+            "request",
+            &[
+                ("request_id", Value::String(request_id.clone())),
+                ("route", Value::String(route.into())),
+                ("status", Value::Number(response.status as f64)),
+                ("duration_ms", Value::Number(elapsed.as_secs_f64() * 1e3)),
+            ],
+        );
+        response.headers.push(("x-request-id".into(), request_id));
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             return;
         }

@@ -10,7 +10,9 @@
 //! The crate is dependency-free in the workspace's vendoring spirit:
 //! `std::fs` for I/O, the vendored `serde`/`serde_json` for record
 //! payloads (the same encodings the HTTP wire uses, so a WAL is
-//! readable with the API's own vocabulary), and a hand-rolled CRC-32.
+//! readable with the API's own vocabulary), a hand-rolled CRC-32, and
+//! `tsexplain-obs` for fsync/checkpoint/recovery latency histograms and
+//! structured logging.
 //! It knows nothing about cubes beyond "a blob of bytes with a
 //! fingerprint" — cube snapshot encoding lives with the cube, framing
 //! and placement live here.
@@ -26,5 +28,7 @@ mod store;
 mod wal;
 
 pub use error::StoreError;
-pub use store::{DataStore, RecoveredTenant, Recovery, StoreMetrics, TenantCheckpoint};
+pub use store::{
+    DataStore, RecoveredTenant, Recovery, StoreDurations, StoreMetrics, TenantCheckpoint,
+};
 pub use wal::WalRecord;

@@ -40,8 +40,10 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use serde::{Serialize, Value};
+use tsexplain_obs::Histogram;
 use tsexplain_relation::{decode_wire_row, encode_wire_row, AggQuery, Datum, Schema};
 
 use crate::error::StoreError;
@@ -127,6 +129,18 @@ struct WalWriter {
     seg_bytes: u64,
 }
 
+/// Latency histograms for the store's three durability-critical
+/// operations, exposed for Prometheus exposition.
+#[derive(Debug, Default)]
+pub struct StoreDurations {
+    /// Per-append `fsync` (really `sync_data`) time.
+    pub fsync: Histogram,
+    /// Full [`DataStore::checkpoint`] cycles.
+    pub checkpoint: Histogram,
+    /// Recovery-on-boot, recorded once per [`DataStore::open`].
+    pub recovery: Histogram,
+}
+
 /// The durable storage engine for one data directory (module docs).
 pub struct DataStore {
     root: PathBuf,
@@ -139,6 +153,7 @@ pub struct DataStore {
     recoveries: AtomicU64,
     demotions: AtomicU64,
     rehydrations: AtomicU64,
+    durations: StoreDurations,
 }
 
 impl std::fmt::Debug for DataStore {
@@ -154,6 +169,7 @@ impl DataStore {
     /// returns the store plus everything it recovered. Corrupt bytes are
     /// skipped and reported in [`Recovery::notes`], never a panic.
     pub fn open(root: impl Into<PathBuf>) -> Result<(DataStore, Recovery), StoreError> {
+        let started = Instant::now();
         let root = root.into();
         for dir in [
             root.clone(),
@@ -277,7 +293,9 @@ impl DataStore {
             recoveries: AtomicU64::new(recovery.tenants.len() as u64),
             demotions: AtomicU64::new(0),
             rehydrations: AtomicU64::new(0),
+            durations: StoreDurations::default(),
         };
+        store.durations.recovery.record(started.elapsed());
         Ok((store, recovery))
     }
 
@@ -365,6 +383,7 @@ impl DataStore {
         tenants: &[TenantCheckpoint],
         rotation: u64,
     ) -> Result<(), StoreError> {
+        let started = Instant::now();
         for t in tenants {
             let payload = serde_json::to_string(&Value::object([
                 ("id", t.id.serialize()),
@@ -402,6 +421,7 @@ impl DataStore {
             }
         }
         sync_dir(&self.root.join("wal"));
+        self.durations.checkpoint.record(started.elapsed());
         Ok(())
     }
 
@@ -436,9 +456,13 @@ impl DataStore {
         };
         let (mut frames, end, _) = read_all(&bytes);
         if end != FrameEnd::Clean || frames.len() != 1 {
-            eprintln!(
-                "tsx-store: cube snapshot {} is corrupt; discarding it",
-                path.display()
+            tsexplain_obs::log::warn(
+                "store",
+                "cube snapshot is corrupt; discarding it",
+                &[
+                    ("tenant", Value::Number(tenant as f64)),
+                    ("path", Value::String(path.display().to_string())),
+                ],
             );
             let _ = fs::remove_file(&path);
             return None;
@@ -458,6 +482,11 @@ impl DataStore {
     /// legitimately dropped).
     pub fn drop_cube(&self, tenant: u64, fingerprint: u64) {
         let _ = fs::remove_file(self.cube_path(tenant, fingerprint));
+    }
+
+    /// The store's durability-operation latency histograms.
+    pub fn durations(&self) -> &StoreDurations {
+        &self.durations
     }
 
     /// A point-in-time copy of the store counters.
@@ -486,9 +515,11 @@ impl DataStore {
         wal.file
             .write_all(&framed)
             .map_err(|e| StoreError::io("append", &path, e))?;
+        let fsync_started = Instant::now();
         wal.file
             .sync_data()
             .map_err(|e| StoreError::io("fsync", &path, e))?;
+        self.durations.fsync.record(fsync_started.elapsed());
         wal.seg_bytes += framed.len() as u64;
         drop(wal);
 

@@ -1,0 +1,253 @@
+//! End-to-end acceptance of the observability subsystem: a booted
+//! `tsx-server` must echo (or mint) `X-Request-Id` on every response,
+//! capture slow requests in the flight recorder with a real span tree,
+//! serve a valid Prometheus text exposition at
+//! `/metrics?format=prometheus`, and keep the JSON `/metrics` document
+//! byte-identical whether or not a `format` parameter spelled it out.
+
+use serde::Value;
+use tsexplain::ExplainRequest;
+use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
+use tsexplain_server::{Client, Server, ServerConfig};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(SyntheticConfig {
+        n_points: 60,
+        seed: 7,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// Boots a server whose flight recorder captures *every* request
+/// (`slow_ms: 0`), registers the corpus dataset, and runs one explain.
+fn boot() -> (tsexplain_server::ServerHandle, Client, u64) {
+    let handle = Server::bind(ServerConfig {
+        workers: 2,
+        slow_ms: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+    (handle, client, created.dataset_id)
+}
+
+/// Collects every span name in a flight-recorded span forest.
+fn span_names(spans: &Value, into: &mut Vec<String>) {
+    let Value::Array(spans) = spans else { return };
+    for span in spans {
+        if let Some(name) = span.get("name").and_then(Value::as_str) {
+            into.push(name.to_string());
+        }
+        if let Some(children) = span.get("children") {
+            span_names(children, into);
+        }
+    }
+}
+
+#[test]
+fn request_ids_are_echoed_or_minted() {
+    let (mut handle, mut client, id) = boot();
+    let body = serde_json::to_string(&serde::Serialize::serialize(&ExplainRequest::new([
+        "category",
+    ])))
+    .unwrap();
+
+    // A client-supplied id comes back verbatim.
+    let response = client
+        .raw(
+            "POST",
+            &format!("/datasets/{id}/explain"),
+            Some(&body),
+            &[("x-request-id", "trace-abc-123")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-request-id"), Some("trace-abc-123"));
+
+    // Without one, the server mints a process-unique id — on errors too.
+    for (method, path, expect_2xx) in [
+        ("GET", "/healthz".to_string(), true),
+        ("GET", "/nope".to_string(), false),
+        ("DELETE", format!("/datasets/{id}/explain"), false),
+    ] {
+        let response = client.raw(method, &path, None, &[]).unwrap();
+        assert_eq!((200..300).contains(&response.status), expect_2xx, "{path}");
+        let minted = response
+            .header("x-request-id")
+            .expect("id on every response");
+        assert!(minted.starts_with("tsx-"), "minted id {minted:?}");
+    }
+
+    // The flight recorder (slow_ms = 0 records everything) carries the
+    // client-supplied id on its entry.
+    let flight = client.debug_requests().unwrap();
+    let requests = flight.get("requests").and_then(Value::as_array).unwrap();
+    assert!(requests
+        .iter()
+        .any(|entry| { entry.get("request_id").and_then(Value::as_str) == Some("trace-abc-123") }));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn flight_recorder_captures_the_explain_span_tree() {
+    let (mut handle, mut client, id) = boot();
+    client
+        .explain_value(id, &ExplainRequest::new(["category"]))
+        .unwrap();
+    client
+        .compare_value(id, &ExplainRequest::new(["category"]), None)
+        .unwrap();
+
+    let flight = client.debug_requests().unwrap();
+    assert_eq!(
+        flight.get("slow_threshold_ms").and_then(Value::as_f64),
+        Some(0.0)
+    );
+    let requests = flight.get("requests").and_then(Value::as_array).unwrap();
+    assert!(!requests.is_empty(), "slow_ms=0 must record every request");
+
+    let explain_entry = requests
+        .iter()
+        .find(|e| {
+            e.get("path")
+                .and_then(Value::as_str)
+                .is_some_and(|p| p.ends_with("/explain"))
+        })
+        .expect("the explain request was recorded");
+    let mut names = Vec::new();
+    span_names(explain_entry.get("spans").unwrap(), &mut names);
+    for expected in ["cube_acquire", "segmentation", "cascading"] {
+        assert!(
+            names.contains(&expected.to_string()),
+            "missing {expected} in {names:?}"
+        );
+    }
+    // Spans carry real timings and the entry carries the breakdown.
+    assert!(explain_entry
+        .get("duration_nanos")
+        .and_then(Value::as_f64)
+        .is_some_and(|d| d > 0.0));
+    let latency = explain_entry
+        .get("annotations")
+        .and_then(|a| a.get("latency"))
+        .expect("the explain latency breakdown is annotated");
+    for module in ["precompute", "cascading", "segmentation"] {
+        assert!(latency.get(module).is_some(), "latency lacks {module}");
+    }
+
+    let compare_entry = requests
+        .iter()
+        .find(|e| {
+            e.get("path")
+                .and_then(Value::as_str)
+                .is_some_and(|p| p.ends_with("/compare"))
+        })
+        .expect("the compare request was recorded");
+    let mut names = Vec::new();
+    span_names(compare_entry.get("spans").unwrap(), &mut names);
+    assert!(names.contains(&"parallel_fanout".to_string()), "{names:?}");
+
+    // The ring is bounded: entries report monotonically increasing seq.
+    let seqs: Vec<f64> = requests
+        .iter()
+        .map(|e| e.get("seq").and_then(Value::as_f64).unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn prometheus_exposition_is_well_formed_and_json_metrics_unchanged() {
+    let (mut handle, mut client, id) = boot();
+    client
+        .explain_value(id, &ExplainRequest::new(["category"]))
+        .unwrap();
+    let _ = client.raw("GET", "/nope", None, &[]); // one 404 for the 4xx class
+
+    let text = client.metrics_prometheus().unwrap();
+    assert!(text.contains("tsx_requests_total "), "{text}");
+    assert!(
+        text.contains("tsx_request_duration_seconds_bucket{route=\"explain\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("tsx_explain_duration_seconds_bucket{strategy=\"dp\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("tsx_responses_total{class=\"4xx\"}"),
+        "{text}"
+    );
+
+    // Line-wise validity: every line is a comment or `name{labels} value`
+    // with a parseable finite value.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect(line);
+        assert!(
+            series
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+            "{line}"
+        );
+        let value: f64 = value.parse().expect(line);
+        assert!(value.is_finite(), "{line}");
+    }
+
+    // Histogram sanity on one family: cumulative buckets end at +Inf ==
+    // _count, and _count >= 1 for the explain route.
+    let count = text
+        .lines()
+        .find(|l| l.starts_with("tsx_request_duration_seconds_count{route=\"explain\"}"))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse::<f64>().ok())
+        .expect("explain route count series");
+    assert!(count >= 1.0);
+    let inf = text
+        .lines()
+        .find(|l| {
+            l.starts_with("tsx_request_duration_seconds_bucket{route=\"explain\",le=\"+Inf\"}")
+        })
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse::<f64>().ok())
+        .expect("+Inf bucket");
+    assert_eq!(inf, count);
+
+    // The JSON document is the same bytes with or without ?format=json,
+    // and gained no new keys for the scrape formats.
+    let bare = client.raw("GET", "/metrics", None, &[]).unwrap();
+    let explicit = client
+        .raw("GET", "/metrics?format=json", None, &[])
+        .unwrap();
+    assert_eq!(bare.status, 200);
+    // The two scrapes may legitimately differ (requests_total advanced
+    // between them), so compare shapes, not bytes: same top-level keys.
+    let bare: Value = serde_json::from_str(std::str::from_utf8(&bare.body).unwrap()).unwrap();
+    let explicit: Value =
+        serde_json::from_str(std::str::from_utf8(&explicit.body).unwrap()).unwrap();
+    let keys = |v: &Value| -> Vec<String> {
+        v.as_object()
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    };
+    assert_eq!(keys(&bare), keys(&explicit));
+    assert_eq!(
+        keys(&bare.get("server").cloned().unwrap()),
+        keys(&explicit.get("server").cloned().unwrap())
+    );
+
+    // An unknown format is a 400, not a panic or a silent JSON fallback.
+    let bad = client.raw("GET", "/metrics?format=xml", None, &[]).unwrap();
+    assert_eq!(bad.status, 400);
+    drop(client);
+    handle.shutdown();
+}
