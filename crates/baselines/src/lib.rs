@@ -23,6 +23,8 @@
 //! all of them are selectable per-request through the serving API next to
 //! the paper's explanation-aware DP.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod adapters;
 mod bottom_up;
 mod common;

@@ -9,6 +9,8 @@
 //! `cargo run --release -p tsexplain-bench --bin fig11_covid_total`,
 //! and the statistical benchmarks with `cargo bench --workspace`.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 use std::time::{Duration, Instant};
 
 use tsexplain::{ExplainRequest, ExplainResult, ExplainSession, Optimizations};
@@ -97,6 +99,9 @@ pub fn segment_rows(result: &ExplainResult) -> Vec<SegmentRow> {
 }
 
 /// Prints a Table-3/4/5-style table.
+// Stdout IS this helper's output channel (the experiment binaries pipe it
+// into EXPERIMENTS.md), hence the exemption from the library-wide deny.
+#[allow(clippy::print_stdout)]
 pub fn print_segment_table(title: &str, rows: &[SegmentRow], m: usize) {
     println!("\n{title}");
     print!("{:<26}", "Segment");

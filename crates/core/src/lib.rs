@@ -93,6 +93,8 @@
 //! Optimizations `filter`, guess-and-verify (O1) and sketching (O2) are
 //! individually toggleable via [`Optimizations`].
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod config;
 mod durability;
 mod error;

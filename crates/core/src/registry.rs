@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use tsexplain_relation::{AggQuery, Datum, Relation};
 use tsexplain_store::{DataStore, Recovery, TenantCheckpoint};
@@ -129,10 +129,13 @@ pub struct RegistryStats {
     pub totals: SessionStats,
 }
 
+/// The tenant map: dataset id → independently locked session.
+type SessionMap = HashMap<u64, Arc<Mutex<ExplainSession>>>;
+
 /// Thread-safe multi-tenant map of [`ExplainSession`]s (see module docs).
 #[derive(Debug)]
 pub struct SessionRegistry {
-    sessions: RwLock<HashMap<u64, Arc<Mutex<ExplainSession>>>>,
+    sessions: RwLock<SessionMap>,
     next_id: AtomicU64,
     /// The LRU clock shared by every hosted session.
     clock: Arc<AtomicU64>,
@@ -202,9 +205,7 @@ impl SessionRegistry {
             match registry.rebuild_session(tenant) {
                 Ok(session) => {
                     registry
-                        .sessions
-                        .write()
-                        .expect("registry map lock poisoned")
+                        .map_write()
                         .insert(id, Arc::new(Mutex::new(session)));
                 }
                 Err(e) => notes.push(format!("tenant {id} not rebuilt: {e}")),
@@ -233,6 +234,23 @@ impl SessionRegistry {
             ))));
         }
         Ok(session)
+    }
+
+    /// Read access to the tenant map, recovering from poison. The map
+    /// holds only `Arc` handles and every mutation is a single `HashMap`
+    /// call, so a panic in another holder cannot leave it logically
+    /// inconsistent — continuing with the inner value is strictly better
+    /// than cascading that panic into every request thread as a 500.
+    fn map_read(&self) -> RwLockReadGuard<'_, SessionMap> {
+        self.sessions.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access to the tenant map, recovering from poison (see
+    /// [`SessionRegistry::map_read`]).
+    fn map_write(&self) -> RwLockWriteGuard<'_, SessionMap> {
+        self.sessions
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The global memory budget in bytes.
@@ -268,27 +286,24 @@ impl SessionRegistry {
             // snapshots the tenant itself — the registration can never sit
             // only in a log segment that the same cycle truncates.
             let handle = Arc::new(Mutex::new(session));
-            let guard = handle.lock().expect("freshly created session lock");
-            self.sessions
-                .write()
-                .expect("registry map lock poisoned")
-                .insert(id, Arc::clone(&handle));
+            let Ok(guard) = handle.lock() else {
+                // Unreachable in practice (no other thread has seen the
+                // handle yet), but a storage error beats a panic here.
+                return Err(TsExplainError::Storage(
+                    "freshly created session lock poisoned".to_string(),
+                ));
+            };
+            self.map_write().insert(id, Arc::clone(&handle));
             let logged =
                 store.log_register(id, guard.schema(), guard.query(), &guard.export_rows());
             drop(guard);
             if let Err(e) = logged {
                 // Not durable ⇒ not registered: unpublish and fail.
-                self.sessions
-                    .write()
-                    .expect("registry map lock poisoned")
-                    .remove(&id);
+                self.map_write().remove(&id);
                 return Err(TsExplainError::Storage(e.to_string()));
             }
         } else {
-            self.sessions
-                .write()
-                .expect("registry map lock poisoned")
-                .insert(id, Arc::new(Mutex::new(session)));
+            self.map_write().insert(id, Arc::new(Mutex::new(session)));
         }
         self.maybe_checkpoint();
         Ok(DatasetId(id))
@@ -301,20 +316,12 @@ impl SessionRegistry {
     /// durable, the tenant is put back and the deletion FAILS: a client
     /// must never hold an ack for a DELETE that a reboot would undo.
     pub fn remove(&self, id: DatasetId) -> Result<bool, RegistryError> {
-        let Some(handle) = self
-            .sessions
-            .write()
-            .expect("registry map lock poisoned")
-            .remove(&id.0)
-        else {
+        let Some(handle) = self.map_write().remove(&id.0) else {
             return Ok(false);
         };
         if let Some(store) = &self.store {
             if let Err(e) = store.log_remove(id.0) {
-                self.sessions
-                    .write()
-                    .expect("registry map lock poisoned")
-                    .insert(id.0, handle);
+                self.map_write().insert(id.0, handle);
                 return Err(RegistryError::Session(TsExplainError::Storage(
                     e.to_string(),
                 )));
@@ -326,23 +333,14 @@ impl SessionRegistry {
 
     /// Ids of all registered datasets, ascending.
     pub fn ids(&self) -> Vec<DatasetId> {
-        let mut ids: Vec<DatasetId> = self
-            .sessions
-            .read()
-            .expect("registry map lock poisoned")
-            .keys()
-            .map(|&id| DatasetId(id))
-            .collect();
+        let mut ids: Vec<DatasetId> = self.map_read().keys().map(|&id| DatasetId(id)).collect();
         ids.sort_unstable();
         ids
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.sessions
-            .read()
-            .expect("registry map lock poisoned")
-            .len()
+        self.map_read().len()
     }
 
     /// True when no dataset is registered.
@@ -353,9 +351,7 @@ impl SessionRegistry {
     /// The session handle for `id`. The map lock is released before the
     /// handle is returned; callers lock the session itself.
     pub fn session(&self, id: DatasetId) -> Result<Arc<Mutex<ExplainSession>>, RegistryError> {
-        self.sessions
-            .read()
-            .expect("registry map lock poisoned")
+        self.map_read()
             .get(&id.0)
             .cloned()
             .ok_or(RegistryError::UnknownDataset(id))
@@ -509,6 +505,7 @@ impl SessionRegistry {
         };
         let mut tenants = Vec::new();
         for (id, handle) in self.handles() {
+            // tsx-lint: allow(lock-order, session lock under the checkpoint gate follows the documented order registry → session → store WAL; the gate is taken before any session lock and is never a session or WAL lock)
             let Ok(session) = handle.lock() else { continue };
             tenants.push(TenantCheckpoint {
                 id,
@@ -532,9 +529,7 @@ impl SessionRegistry {
 
     /// A stable snapshot of `(id, handle)` pairs, map lock released.
     fn handles(&self) -> Vec<(u64, Arc<Mutex<ExplainSession>>)> {
-        self.sessions
-            .read()
-            .expect("registry map lock poisoned")
+        self.map_read()
             .iter()
             .map(|(&id, h)| (id, Arc::clone(h)))
             .collect()

@@ -382,7 +382,7 @@ impl ExplanationCube {
         let series: usize = self.series.iter().map(|s| state_series_bytes(s)).sum();
         let index: usize = self
             .index
-            .keys()
+            .keys() // tsx-lint: allow(map-iter, order-insensitive byte-accounting sum; no emission)
             .map(|e| explanation_bytes(e) + size_of::<ExplId>() + MAP_ENTRY_OVERHEAD)
             .sum();
         size_of::<Self>()

@@ -145,6 +145,7 @@ pub(crate) fn enumerate_with_groups<C: AsRef<[u32]> + Sync>(
     let mut series = Vec::new();
     for mut part in parts {
         let offset = explanations.len() as ExplId;
+        // tsx-lint: allow(map-iter, uniform += rebase of every value; order-insensitive mutation, no emission)
         for id in part.group.values_mut() {
             *id += offset;
         }

@@ -245,7 +245,7 @@ impl IncrementalCube {
             + attr_values_bytes(&self.timestamps)
             + self
                 .time_index
-                .keys()
+                .keys() // tsx-lint: allow(map-iter, order-insensitive byte-accounting sum; no emission)
                 .map(|t| attr_value_bytes(t) + size_of::<u32>() + MAP_ENTRY_OVERHEAD)
                 .sum::<usize>()
             + self.attr_names.iter().map(String::len).sum::<usize>()

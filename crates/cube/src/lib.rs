@@ -20,6 +20,8 @@
 //!    (Fig. 8): `children(node, attr)` are the explanations refining `node`
 //!    by one predicate on `attr`.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod cube;
 mod enumerate;
 mod error;

@@ -21,6 +21,8 @@
 //! * [`covid_deaths`] — weekly deaths by age-group × vaccination status
 //!   (the time-varying-attribute case study, §8).
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 pub mod covid;
 pub mod covid_deaths;
 mod dates;

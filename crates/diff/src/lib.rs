@@ -23,6 +23,8 @@
 //! * [`diff_two_relations`] — the classical standalone diff operator over a
 //!   (test, control) relation pair, built on the same machinery.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod cascading;
 mod error;
 mod guess_verify;

@@ -12,6 +12,8 @@
 //! * [`rank_ascending`] / [`average_ranks`] — cross-metric ranking used to
 //!   aggregate Fig. 6 over datasets and SNR levels.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod distance_percent;
 mod gt_rank;
 mod rank;

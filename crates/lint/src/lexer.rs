@@ -1,0 +1,474 @@
+//! A hand-rolled Rust *line scanner* — not a parser. It produces a
+//! sanitized view of a source file in which every comment and every
+//! string/char-literal body is blanked to spaces (byte-for-byte, so
+//! offsets and line numbers are preserved), while recording three side
+//! tables the rules need:
+//!
+//! * the comments themselves (for `tsx-lint: allow(...)` directives),
+//! * the string literals (the env-read rule must see knob names),
+//! * `#[cfg(test)]` / `#[test]` item ranges (tests are exempt from
+//!   every rule — the invariants guard *shipping* code paths).
+//!
+//! The scanner understands nested block comments, raw strings
+//! (`r"…"`, `r#"…"#`, byte variants), escapes, and the `'a` lifetime vs
+//! `'a'` char-literal ambiguity. It deliberately does **not** build an
+//! AST: the workspace bans `syn`-class dependencies, and the rules are
+//! specified textually (see the crate docs) so a token-accurate
+//! sanitized view is exactly enough.
+
+/// One `//`-style comment (doc comments included), with its text.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// The comment text after the slashes, trimmed.
+    pub text: String,
+    /// Whether any non-whitespace code precedes it on its line.
+    pub code_before: bool,
+}
+
+/// One string literal's decoded position (content left as written;
+/// escapes are not processed — the rules only substring-match knobs).
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// Byte offset of the opening quote in the original source.
+    pub start: usize,
+    /// Byte offset one past the closing quote.
+    pub end: usize,
+    /// The literal body (between the quotes), as written.
+    pub content: String,
+}
+
+/// The sanitized view of one source file.
+#[derive(Debug)]
+pub struct Scan {
+    /// Same byte length as the source; comment and literal bodies are
+    /// spaces, newlines are kept, code bytes are untouched.
+    pub code: String,
+    /// Every line comment, in order.
+    pub comments: Vec<Comment>,
+    /// Every string literal, in order.
+    pub strings: Vec<StrLit>,
+    /// Byte offset of each line start (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// Half-open byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl Scan {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether an offset falls inside a test-only item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| offset >= a && offset < b)
+    }
+
+    /// The string literal fully contained in `range`, if any.
+    pub fn string_in(&self, range: (usize, usize)) -> Option<&StrLit> {
+        self.strings
+            .iter()
+            .find(|s| s.start >= range.0 && s.end <= range.1)
+    }
+}
+
+/// Sanitizes `source` (see module docs).
+pub fn scan(source: &str) -> Scan {
+    let bytes = source.as_bytes();
+    let mut code = vec![0u8; bytes.len()];
+    code.copy_from_slice(bytes);
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' && i + 1 < bytes.len() {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let blank = |code: &mut [u8], from: usize, to: usize| {
+        for c in code.iter_mut().take(to).skip(from) {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    };
+
+    let next_at = |base: usize, k: usize| bytes.get(base + k).copied().unwrap_or(0);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if next_at(i, 1) == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = source[start..i].trim_start_matches('/').trim().to_string();
+                let line = line_of(start);
+                let line_start = line_starts[line - 1];
+                let code_before = code[line_start..start]
+                    .iter()
+                    .any(|&c| !c.is_ascii_whitespace());
+                comments.push(Comment {
+                    line,
+                    text,
+                    code_before,
+                });
+                blank(&mut code, start, i);
+            }
+            b'/' if next_at(i, 1) == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && next_at(i, 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && next_at(i, 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut code, start, i);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"…", r#"…"#, br"…", rb is not a thing; b handled below.
+                let mut j = i;
+                while bytes.get(j) == Some(&b'r') || bytes.get(j) == Some(&b'b') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                let body_start = j + 1;
+                let mut k = body_start;
+                'raw: while k < bytes.len() {
+                    if bytes[k] == b'"' {
+                        let mut h = 0usize;
+                        while bytes.get(k + 1 + h) == Some(&b'#') {
+                            h += 1;
+                        }
+                        if h >= hashes {
+                            let end = k + 1 + hashes;
+                            strings.push(StrLit {
+                                start: i,
+                                end,
+                                content: source[body_start..k].to_string(),
+                            });
+                            blank(&mut code, body_start, k);
+                            i = end;
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                if k >= bytes.len() {
+                    i = bytes.len(); // unterminated; blank nothing more
+                }
+            }
+            b'b' if next_at(i, 1) == b'"' => {
+                i = consume_string(source, bytes, i + 1, i, &mut strings, &mut code);
+            }
+            b'b' if next_at(i, 1) == b'\'' => {
+                i = consume_char(bytes, i + 1, &mut code);
+            }
+            b'"' => {
+                i = consume_string(source, bytes, i, i, &mut strings, &mut code);
+            }
+            b'\'' => {
+                // Lifetime or char literal?
+                if next_at(i, 1) == b'\\' {
+                    i = consume_char(bytes, i, &mut code);
+                } else {
+                    // 'x' is a char literal; 'x anything-else is a lifetime.
+                    // Look past one UTF-8 character for a closing quote.
+                    let mut j = i + 1;
+                    if j < bytes.len() {
+                        j += utf8_len(bytes[j]);
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        blank(&mut code, i + 1, j);
+                        i = j + 1;
+                    } else {
+                        i += 1; // lifetime: leave as code
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let code = String::from_utf8_lossy(&code).into_owned();
+    let test_ranges = find_test_ranges(&code);
+    Scan {
+        code,
+        comments,
+        strings,
+        line_starts,
+        test_ranges,
+    }
+}
+
+/// True when `i` starts a raw (possibly byte) string literal.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of an identifier (e.g. `attr` before `"`).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Consumes a `"…"` literal starting at quote offset `q` (the literal
+/// itself started at `lit_start`, which differs for `b"…"`).
+fn consume_string(
+    source: &str,
+    bytes: &[u8],
+    q: usize,
+    lit_start: usize,
+    strings: &mut Vec<StrLit>,
+    code: &mut [u8],
+) -> usize {
+    let body_start = q + 1;
+    let mut i = body_start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                strings.push(StrLit {
+                    start: lit_start,
+                    end: i + 1,
+                    content: source[body_start..i].to_string(),
+                });
+                for c in code.iter_mut().take(i).skip(body_start) {
+                    if *c != b'\n' {
+                        *c = b' ';
+                    }
+                }
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Consumes a `'…'` char literal starting at quote offset `q`.
+fn consume_char(bytes: &[u8], q: usize, code: &mut [u8]) -> usize {
+    let mut i = q + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                for c in code.iter_mut().take(i).skip(q + 1) {
+                    if *c != b'\n' {
+                        *c = b' ';
+                    }
+                }
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Byte ranges of items annotated `#[cfg(test)]` or `#[test]` in
+/// sanitized code: from the attribute through the item's closing brace
+/// (or terminating semicolon for brace-less items like `use`).
+fn find_test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut from = 0usize;
+    loop {
+        let hit = match (
+            find_at(code, from, "cfg(test)"),
+            find_at(code, from, "#[test]"),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let Some(at) = hit else { break };
+        from = at + 1;
+        // Walk back to the `#[` that opens this attribute (for the
+        // `#[test]` pattern the hit itself is the opener); bail if this
+        // `cfg(test)` is not inside an attribute at all.
+        let Some(attr_start) = code[..(at + 2).min(code.len())].rfind("#[") else {
+            continue;
+        };
+        if ranges.iter().any(|&(a, b)| attr_start >= a && at < b) {
+            continue; // already inside a recorded test item
+        }
+        // Find the attribute's closing `]`.
+        let mut depth = 0usize;
+        let mut i = attr_start + 1;
+        let mut attr_end = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(mut i) = attr_end else { continue };
+        // Skip whitespace and any further attributes before the item.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item runs to its matching `}` (tracking nesting), or to a
+        // `;` that arrives before any `{` (brace-less item).
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((attr_start, end));
+        from = end;
+    }
+    ranges
+}
+
+/// First occurrence of `needle` at or after `from`.
+fn find_at(haystack: &str, from: usize, needle: &str) -> Option<usize> {
+    haystack
+        .get(from..)
+        .and_then(|s| s.find(needle))
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked_but_offsets_hold() {
+        let src = "let a = \"unwrap()\"; // unwrap()\nlet b = 1;\n";
+        let s = scan(src);
+        assert_eq!(s.code.len(), src.len());
+        assert!(!s.code.contains("unwrap"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].content, "unwrap()");
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].code_before);
+        assert_eq!(s.line_of(src.find("let b").unwrap()), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_handled() {
+        let src =
+            "let r = r#\"lock() \"quoted\" body\"#; let c = '\\''; let lt: &'static str = \"x\";";
+        let s = scan(src);
+        assert!(!s.code.contains("lock()"));
+        assert!(s.code.contains("'static"));
+        assert_eq!(s.strings[0].content, "lock() \"quoted\" body");
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let s = scan(src);
+        assert!(s.code.starts_with('a'));
+        assert!(s.code.trim_end().ends_with('b'));
+        assert!(!s.code.contains("comment"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_ranged() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(s.in_test(unwrap_at));
+        assert!(!s.in_test(src.find("live").unwrap()));
+        assert!(!s.in_test(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_ranged() {
+        let src = "#[test]\nfn check() { y.expect(\"boom\"); }\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.in_test(src.find("expect").unwrap()));
+        assert!(!s.in_test(src.find("live").unwrap()));
+    }
+}

@@ -1,0 +1,495 @@
+//! `tsexplain-lint` — workspace-invariant static analysis.
+//!
+//! The workspace's load-bearing guarantees are behavioural: byte-identical
+//! explanations at any thread count, panic-free request paths, and a fixed
+//! lock order (registry → session → store WAL) with fsync-before-ack only
+//! where durability demands it. Proptests and goldens catch violations
+//! *dynamically*, after the fact; this crate makes the same invariants
+//! *structural* — a textual pass over the sources that fails CI the moment
+//! a nondeterministic emission, a panicking request path, or an
+//! out-of-order acquisition is written.
+//!
+//! Three rule families, scoped by path (see [`families_for`]):
+//!
+//! | family | rules | scope |
+//! |---|---|---|
+//! | determinism | `map-iter`, `wall-clock`, `env-read` | `cube`, `segment`, `diff`, `baselines`, `parallel` |
+//! | panic-freedom | `no-unwrap`, `no-panic` | server request paths, `registry.rs`, `pipeline.rs` |
+//! | lock/IO discipline | `lock-order`, `fsync-under-lock` | `registry.rs`, `durability.rs`, `store` |
+//!
+//! Deliberate violations are silenced inline with a reasoned directive:
+//!
+//! ```text
+//! // tsx-lint: allow(wall-clock, feeds StageTimers; golden-stripped)
+//! let t0 = Instant::now();
+//! ```
+//!
+//! A same-line directive covers its own line; a standalone directive line
+//! covers the statement that follows (through the next line containing
+//! `;`, `{`, or `}`). The reason is mandatory — an allow without a why is
+//! itself a finding (`bad-directive`), and a directive that suppressed
+//! nothing is flagged as `unused-allow` so stale exemptions cannot
+//! accumulate.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::{Serialize, Value};
+
+/// Directive syntax errors and unknown rule names.
+pub const BAD_DIRECTIVE: &str = "bad-directive";
+/// An allow directive that suppressed no finding.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// One rule family; a file may be in several.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// No hash-ordered emission, wall-clock, or undocumented env reads.
+    Determinism,
+    /// No unwrap/expect/panic-class macros in request paths.
+    PanicFree,
+    /// No nested acquisitions or fsync under a held guard without a
+    /// directive citing the documented order.
+    Locks,
+}
+
+/// One finding, addressed `file:line: rule: message`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id, e.g. `map-iter`.
+    pub rule: String,
+    /// Human explanation with the suggested remedy.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding with the file left blank, filled in by the driver.
+    pub fn at(line: usize, rule: &str, message: String) -> Self {
+        Diagnostic {
+            file: String::new(),
+            line,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("file", Value::String(self.file.clone())),
+            ("line", Value::Number(self.line as f64)),
+            ("rule", Value::String(self.rule.clone())),
+            ("message", Value::String(self.message.clone())),
+        ])
+    }
+}
+
+/// The rule families that apply to a workspace-relative path.
+///
+/// Scope is deliberately narrow and explicit: determinism binds the five
+/// pure-compute crates whose output feeds goldens; panic-freedom binds the
+/// request path from socket to pipeline; lock discipline binds the three
+/// modules that take more than one lock. Everything else — tests, bins,
+/// benches, the obs side channel — is out of scope by construction.
+pub fn families_for(rel_path: &str) -> Vec<Family> {
+    let mut out = Vec::new();
+    const DETERMINISM_CRATES: &[&str] = &["cube", "segment", "diff", "baselines", "parallel"];
+    if DETERMINISM_CRATES
+        .iter()
+        .any(|c| rel_path.starts_with(&format!("crates/{c}/src/")))
+    {
+        out.push(Family::Determinism);
+    }
+    const PANIC_FILES: &[&str] = &[
+        "crates/server/src/router.rs",
+        "crates/server/src/server.rs",
+        "crates/server/src/http.rs",
+        "crates/server/src/wire.rs",
+        "crates/server/src/error.rs",
+        "crates/core/src/registry.rs",
+        "crates/core/src/pipeline.rs",
+    ];
+    if PANIC_FILES.contains(&rel_path) {
+        out.push(Family::PanicFree);
+    }
+    const LOCK_FILES: &[&str] = &[
+        "crates/core/src/registry.rs",
+        "crates/core/src/durability.rs",
+    ];
+    if LOCK_FILES.contains(&rel_path) || rel_path.starts_with("crates/store/src/") {
+        out.push(Family::Locks);
+    }
+    out
+}
+
+/// Whether a file is a golden-stripped timing module, exempt from the
+/// wall-clock rule (its entire job is to observe time).
+fn wall_clock_exempt(rel_path: &str) -> bool {
+    let stem = rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel_path)
+        .trim_end_matches(".rs");
+    stem == "timers" || stem.starts_with("latency")
+}
+
+/// A parsed `// tsx-lint: allow(rule, reason)` directive.
+#[derive(Clone, Debug)]
+struct Directive {
+    rule: String,
+    /// Inclusive line range the directive covers.
+    covers: (usize, usize),
+    line: usize,
+    used: bool,
+}
+
+const DIRECTIVE_TAG: &str = "tsx-lint:";
+
+/// Extracts directives from a file's comments; malformed ones become
+/// `bad-directive` findings.
+fn parse_directives(scan: &lexer::Scan, out: &mut Vec<Diagnostic>) -> Vec<Directive> {
+    let mut directives = Vec::new();
+    for comment in &scan.comments {
+        let Some(tag) = comment.text.find(DIRECTIVE_TAG) else {
+            continue;
+        };
+        let body = comment.text[tag + DIRECTIVE_TAG.len()..].trim();
+        let parsed = (|| -> Result<(String, String), String> {
+            let body = body
+                .strip_prefix("allow(")
+                .ok_or_else(|| "expected `allow(<rule>, <reason>)`".to_string())?;
+            let close = body
+                .rfind(')')
+                .ok_or_else(|| "missing closing `)`".to_string())?;
+            let inner = &body[..close];
+            let comma = inner
+                .find(',')
+                .ok_or_else(|| "missing `, <reason>` — every allow must say why".to_string())?;
+            let rule = inner[..comma].trim().to_string();
+            let reason = inner[comma + 1..].trim().to_string();
+            if !rules::ALL_RULES.contains(&rule.as_str()) {
+                return Err(format!(
+                    "unknown rule `{rule}` (rules: {})",
+                    rules::ALL_RULES.join(", ")
+                ));
+            }
+            if reason.is_empty() {
+                return Err("empty reason — every allow must say why".to_string());
+            }
+            Ok((rule, reason))
+        })();
+        match parsed {
+            Err(why) => out.push(Diagnostic::at(
+                comment.line,
+                BAD_DIRECTIVE,
+                format!("malformed tsx-lint directive: {why}"),
+            )),
+            Ok((rule, _reason)) => {
+                let covers = if comment.code_before {
+                    (comment.line, comment.line)
+                } else {
+                    // Standalone directive: cover the statement that
+                    // follows — every line up to and including the first
+                    // subsequent line whose code reaches a statement
+                    // boundary (`;`, `{`, or `}`).
+                    let mut end = comment.line + 1;
+                    let last = scan.line_starts.len();
+                    while end < last {
+                        let text = line_text(scan, end);
+                        if text.contains(';') || text.contains('{') || text.contains('}') {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    (comment.line + 1, end)
+                };
+                directives.push(Directive {
+                    rule,
+                    covers,
+                    line: comment.line,
+                    used: false,
+                });
+            }
+        }
+    }
+    directives
+}
+
+/// The sanitized text of one 1-based line.
+fn line_text(scan: &lexer::Scan, line: usize) -> &str {
+    let start = scan.line_starts[line - 1];
+    let end = scan
+        .line_starts
+        .get(line)
+        .copied()
+        .unwrap_or(scan.code.len());
+    &scan.code[start..end]
+}
+
+/// Lints one file's source. `rel_path` scopes the rule families and is
+/// stamped into every finding.
+///
+/// Files with no family in scope are left entirely alone — including
+/// their comments, so prose that merely *describes* the directive syntax
+/// (this crate's own docs, for instance) is never parsed as a directive.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let families = families_for(rel_path);
+    if families.is_empty() {
+        return Vec::new();
+    }
+    let scan = lexer::scan(source);
+    let mut out = Vec::new();
+    let mut directives = parse_directives(&scan, &mut out);
+    let raw = rules::run(&scan, &families, wall_clock_exempt(rel_path));
+    for diag in raw {
+        let suppressed = directives
+            .iter_mut()
+            .find(|d| d.rule == diag.rule && d.covers.0 <= diag.line && diag.line <= d.covers.1);
+        match suppressed {
+            Some(d) => d.used = true,
+            None => out.push(diag),
+        }
+    }
+    for d in &directives {
+        if !d.used {
+            out.push(Diagnostic::at(
+                d.line,
+                UNUSED_ALLOW,
+                format!(
+                    "allow({}) suppressed nothing — stale exemption, remove it",
+                    d.rule
+                ),
+            ));
+        }
+    }
+    for diag in &mut out {
+        diag.file = rel_path.to_string();
+    }
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// Walks `crates/*/src/**/*.rs` under `root` in sorted order and lints
+/// every file. IO errors become findings (line 0) rather than aborting
+/// the pass.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    collect_crate_sources(&crates_dir, &mut files);
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = rel_path_of(root, &path);
+        match std::fs::read_to_string(&path) {
+            Ok(source) => out.extend(lint_source(&rel, &source)),
+            Err(e) => out.push(Diagnostic {
+                file: rel,
+                line: 0,
+                rule: "io-error".to_string(),
+                message: format!("could not read file: {e}"),
+            }),
+        }
+    }
+    out
+}
+
+fn rel_path_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every `.rs` file under `crates/*/src`, recursively.
+fn collect_crate_sources(crates_dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(crates_dir) else {
+        return;
+    };
+    let mut krates: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    krates.sort();
+    for krate in krates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, out);
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The committed-baseline shape: findings grandfathered by exact
+/// `(file, line, rule)` triple. The target state is an empty list — CI
+/// asserts it — but the mechanism exists so an emergency land can record
+/// debt explicitly instead of deleting the gate.
+pub fn load_baseline(path: &Path) -> Result<Vec<(String, usize, String)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read baseline: {e}", path.display()))?;
+    let value =
+        serde_json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let findings = value
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing `findings` array", path.display()))?;
+    let mut out = Vec::new();
+    for entry in findings {
+        let file: String = entry
+            .field("file")
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let line: usize = entry
+            .field("line")
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let rule: String = entry
+            .field("rule")
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((file, line, rule));
+    }
+    Ok(out)
+}
+
+/// Drops findings present in the baseline.
+pub fn apply_baseline(
+    findings: Vec<Diagnostic>,
+    baseline: &[(String, usize, String)],
+) -> Vec<Diagnostic> {
+    findings
+        .into_iter()
+        .filter(|d| {
+            !baseline
+                .iter()
+                .any(|(f, l, r)| *f == d.file && *l == d.line && *r == d.rule)
+        })
+        .collect()
+}
+
+/// The machine-readable report: `{"findings": [...]}` with findings
+/// already sorted by the caller's walk order (file, then line, then rule).
+pub fn json_report(findings: &[Diagnostic]) -> Value {
+    Value::object([(
+        "findings",
+        Value::Array(findings.iter().map(Serialize::serialize).collect()),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_map_binds_the_documented_files() {
+        assert_eq!(
+            families_for("crates/cube/src/cube.rs"),
+            vec![Family::Determinism]
+        );
+        assert_eq!(
+            families_for("crates/core/src/registry.rs"),
+            vec![Family::PanicFree, Family::Locks]
+        );
+        assert_eq!(
+            families_for("crates/store/src/store.rs"),
+            vec![Family::Locks]
+        );
+        assert!(families_for("crates/obs/src/latency.rs").is_empty());
+        assert!(families_for("crates/server/src/metrics.rs").is_empty());
+    }
+
+    #[test]
+    fn same_line_directive_suppresses_and_standalone_covers_next_statement() {
+        let src = "fn f() {\n\
+                   let t = std::time::Instant::now(); // tsx-lint: allow(wall-clock, timing-only)\n\
+                   // tsx-lint: allow(wall-clock, spans the wrapped statement)\n\
+                   let u = std::time::Instant::now()\n\
+                       .elapsed();\n\
+                   }\n";
+        let d = lint_source("crates/cube/src/x.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unused_allow_and_bad_directive_are_findings() {
+        let src = "// tsx-lint: allow(map-iter, nothing here iterates)\n\
+                   fn f() {}\n\
+                   // tsx-lint: allow(wall-clock)\n\
+                   fn g() {}\n\
+                   // tsx-lint: allow(made-up-rule, with reason)\n\
+                   fn h() {}\n";
+        let d = lint_source("crates/cube/src/x.rs", src);
+        let rules: Vec<&str> = d.iter().map(|x| x.rule.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec![UNUSED_ALLOW, BAD_DIRECTIVE, BAD_DIRECTIVE],
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn reasons_may_contain_parens() {
+        let src = "fn f() {\n\
+                   let t = std::time::Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers (golden-stripped))\n\
+                   }\n";
+        assert!(lint_source("crates/segment/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_produce_no_findings() {
+        let src = "fn f() { x.unwrap(); let t = std::time::Instant::now(); }\n";
+        assert!(lint_source("crates/obs/src/log.rs", src).is_empty());
+    }
+
+    #[test]
+    fn baseline_filters_exact_triples() {
+        let findings = vec![
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "no-unwrap".into(),
+                message: "m".into(),
+            },
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 9,
+                rule: "no-unwrap".into(),
+                message: "m".into(),
+            },
+        ];
+        let baseline = vec![("a.rs".to_string(), 3usize, "no-unwrap".to_string())];
+        let left = apply_baseline(findings, &baseline);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].line, 9);
+    }
+}

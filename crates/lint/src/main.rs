@@ -1,0 +1,163 @@
+//! `tsx-lint` — run the workspace-invariant static-analysis pass.
+//!
+//! ```text
+//! tsx-lint [--root <dir>] [--format human|json] [--deny] [--baseline <file>]
+//! ```
+//!
+//! Walks `crates/*/src/**/*.rs`, applies the scoped rule families
+//! (determinism / panic-freedom / lock discipline), subtracts the
+//! committed baseline, and prints `file:line: rule: message` diagnostics
+//! (or a JSON report). Exits 1 under `--deny` when findings remain; always
+//! exits 2 on usage or IO errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tsexplain_lint::{apply_baseline, json_report, lint_workspace, load_baseline, rules};
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    deny: bool,
+    baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+const USAGE: &str = "usage: tsx-lint [--root <dir>] [--format human|json] [--deny] \
+                     [--baseline <file>] [--list-rules]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        format: Format::Human,
+        deny: false,
+        baseline: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                _ => return Err("--format needs `human` or `json`".to_string()),
+            },
+            "--deny" => opts.deny = true,
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: `--root` if given, else the nearest ancestor of
+/// the current directory whose `Cargo.toml` declares `[workspace]`.
+fn find_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        return if root.join("Cargo.toml").is_file() {
+            Ok(root)
+        } else {
+            Err(format!("{}: no Cargo.toml there", root.display()))
+        };
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd unavailable: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory \
+                        (pass --root)"
+                .to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in rules::ALL_RULES {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match find_root(opts.root) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("tsx-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = lint_workspace(&root);
+
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    if baseline_path.is_file() {
+        match load_baseline(&baseline_path) {
+            Ok(baseline) => findings = apply_baseline(findings, &baseline),
+            Err(msg) => {
+                eprintln!("tsx-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match opts.format {
+        Format::Human => {
+            for d in &findings {
+                println!("{d}");
+            }
+            if findings.is_empty() {
+                eprintln!("tsx-lint: workspace clean");
+            } else {
+                eprintln!("tsx-lint: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => {
+            let report = json_report(&findings);
+            match serde_json::to_string_pretty(&report) {
+                Ok(text) => println!("{text}"),
+                Err(e) => {
+                    eprintln!("tsx-lint: report encoding failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if opts.deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

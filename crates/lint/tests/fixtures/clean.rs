@@ -1,0 +1,27 @@
+//! Fixture: idiomatic code that trips no rule in any family. Linted
+//! under every scope in the golden test; never compiled.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Ordered emission, typed errors, one lock at a time.
+fn summarize(data: &BTreeMap<String, f64>) -> Result<String, String> {
+    let mut out = String::new();
+    for (key, value) in data {
+        out.push_str(&format!("{key}={value}\n"));
+    }
+    if out.is_empty() {
+        return Err("no data".to_string());
+    }
+    Ok(out)
+}
+
+fn counter_value(lock: &Mutex<u64>) -> u64 {
+    let guard = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard
+}
+
+/// Raw strings, chars, and lifetimes must not confuse the lexer.
+fn tricky<'a>(s: &'a str) -> (&'a str, char, &'static str) {
+    (s, '"', r#"quoted "inner" text"#)
+}

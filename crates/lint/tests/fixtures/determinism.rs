@@ -1,0 +1,55 @@
+//! Fixture: determinism-family violations, allow-directives, and clean
+//! variants. Linted as if it lived at `crates/cube/src/fixture.rs`; never
+//! compiled.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// VIOLATION (map-iter): emission order is the hash order.
+fn emit_scores(scores: &HashMap<String, f64>) -> Vec<String> {
+    scores.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}
+
+/// VIOLATION (map-iter): `for` over a HashSet.
+fn emit_seen(seen: &HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for x in seen {
+        out.push(*x);
+    }
+    out
+}
+
+/// ALLOWED: order-insensitive reduction under a reasoned directive.
+fn byte_total(sizes: &HashMap<String, usize>) -> usize {
+    sizes.values().sum() // tsx-lint: allow(map-iter, order-insensitive sum; no emission)
+}
+
+/// CLEAN: construction and lookup never iterate.
+fn lookup(scores: &HashMap<String, f64>, key: &str) -> Option<f64> {
+    scores.get(key).copied()
+}
+
+/// CLEAN: BTreeMap iteration is ordered.
+fn emit_sorted(sorted: &BTreeMap<String, f64>) -> Vec<String> {
+    sorted.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}
+
+/// VIOLATION (wall-clock): a timestamp is a nondeterministic input.
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// ALLOWED: timing that is stripped before goldens compare.
+fn timed() -> std::time::Duration {
+    let start = std::time::Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers; golden-stripped)
+    start.elapsed()
+}
+
+/// VIOLATION (env-read): an undocumented environment knob.
+fn secret_tuning() -> Option<String> {
+    std::env::var("TSX_SECRET_MODE").ok()
+}
+
+/// CLEAN: reads of documented knobs need no directive.
+fn threads() -> Option<String> {
+    std::env::var("TSX_THREADS").ok()
+}

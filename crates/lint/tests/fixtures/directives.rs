@@ -1,0 +1,26 @@
+//! Fixture: directive-syntax findings. Linted as if it lived at
+//! `crates/cube/src/fixture.rs`; never compiled.
+
+use std::collections::HashMap;
+
+/// VIOLATION (bad-directive): the reason is mandatory.
+fn missing_reason(scores: &HashMap<String, f64>) -> usize {
+    scores.values().count() // tsx-lint: allow(map-iter)
+}
+
+/// VIOLATION (bad-directive): the rule must exist.
+fn unknown_rule(scores: &HashMap<String, f64>) -> usize {
+    scores.keys().count() // tsx-lint: allow(hash-chaos, with a perfectly fine reason)
+}
+
+/// VIOLATION (unused-allow): nothing on the next statement trips the rule.
+fn stale() -> u32 {
+    // tsx-lint: allow(wall-clock, this statement never reads a clock)
+    let x = 1 + 1;
+    x
+}
+
+/// CLEAN: a well-formed, used directive (reason may contain parens).
+fn used(sizes: &HashMap<String, usize>) -> usize {
+    sizes.values().sum() // tsx-lint: allow(map-iter, order-insensitive sum (commutative monoid))
+}

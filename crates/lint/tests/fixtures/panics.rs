@@ -1,0 +1,53 @@
+//! Fixture: panic-freedom violations, exemptions, and clean variants.
+//! Linted as if it lived at `crates/server/src/router.rs`; never compiled.
+
+/// VIOLATION (no-unwrap): a panic here drops the connection.
+fn parse_port(raw: &str) -> u16 {
+    raw.parse().unwrap()
+}
+
+/// VIOLATION (no-unwrap): `.expect` is the same panic with a message.
+fn parse_host(raw: &str) -> String {
+    raw.split(':').next().expect("host before colon").to_string()
+}
+
+/// VIOLATION (no-panic): request handling must degrade to a typed error.
+fn route(path: &str) -> &'static str {
+    match path {
+        "/metrics" => "metrics",
+        _ => panic!("unrouted path {path}"),
+    }
+}
+
+/// VIOLATION (no-panic): `unreachable!` is still an unwind.
+fn classify(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "ok",
+        4 => "client",
+        5 => "server",
+        _ => unreachable!(),
+    }
+}
+
+/// CLEAN: poison recovery without a panic path.
+fn read_counter(lock: &std::sync::Mutex<u64>) -> u64 {
+    *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// CLEAN: identifiers merely *containing* `unwrap` never match.
+fn unwrap_or_defaults(value: Option<u16>) -> u16 {
+    value.unwrap_or(8080)
+}
+
+#[cfg(test)]
+mod tests {
+    /// EXEMPT: tests may panic freely.
+    #[test]
+    fn unwraps_are_fine_here() {
+        let v: Result<u16, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("test-only");
+        }
+    }
+}

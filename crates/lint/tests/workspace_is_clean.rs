@@ -1,0 +1,99 @@
+//! The gate itself: the real workspace must lint clean with an empty
+//! baseline, and the binary must actually fail when pointed at a
+//! workspace that violates a rule — a green CI step that cannot go red
+//! guards nothing.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn tsx_lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tsx-lint"))
+}
+
+#[test]
+fn workspace_lints_clean_under_deny() {
+    let output = tsx_lint()
+        .args(["--root"])
+        .arg(workspace_root())
+        .arg("--deny")
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "tsx-lint --deny failed on the workspace:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn json_report_parses_and_is_empty() {
+    let output = tsx_lint()
+        .args(["--root"])
+        .arg(workspace_root())
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let report = serde_json::parse(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    let findings = report.get("findings").and_then(|v| v.as_array()).unwrap();
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn committed_baseline_is_empty() {
+    let text = std::fs::read_to_string(workspace_root().join("lint-baseline.json")).unwrap();
+    let value = serde_json::parse(&text).unwrap();
+    let findings = value.get("findings").and_then(|v| v.as_array()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "lint-baseline.json has grandfathered findings — fix them instead"
+    );
+}
+
+#[test]
+fn deny_exits_nonzero_on_a_dirty_workspace() {
+    // A throwaway workspace with one wall-clock violation in a scoped crate.
+    let dir = std::env::temp_dir().join(format!("tsx-lint-dirty-{}", std::process::id()));
+    let src_dir = dir.join("crates/cube/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .unwrap();
+
+    let output = tsx_lint()
+        .args(["--root"])
+        .arg(&dir)
+        .arg("--deny")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(output.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("wall-clock"), "stdout:\n{stdout}");
+
+    // Without --deny the same findings are reported but the exit is 0:
+    // report mode must stay usable in pipelines that only want the list.
+    let src_dir2 = dir.join("crates/cube/src");
+    std::fs::create_dir_all(&src_dir2).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    std::fs::write(
+        src_dir2.join("lib.rs"),
+        "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .unwrap();
+    let output = tsx_lint().args(["--root"]).arg(&dir).output().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(output.status.code(), Some(0));
+}

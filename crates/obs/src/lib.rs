@@ -22,6 +22,8 @@
 //! never feed back into the engine, so explain output stays
 //! byte-identical with observability on or off, at any thread count.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 pub mod flight;
 pub mod hist;
 pub mod log;

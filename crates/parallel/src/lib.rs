@@ -30,6 +30,8 @@
 //! free of `Arc`/`'static` ceremony — chunk closures borrow the query's
 //! data directly.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 use std::ops::Range;
 use std::sync::OnceLock;
 use std::thread;

@@ -20,6 +20,8 @@
 //! Everything is deliberately simple, deterministic and single-threaded so
 //! the complexity analysis of the paper carries over directly.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod agg;
 mod builder;
 mod column;

@@ -206,7 +206,7 @@ impl<'a> SegmentationContext<'a> {
 
     /// Derives (and times) the top-m explanations of an arbitrary segment.
     pub fn explained(&mut self, seg: (usize, usize)) -> ExplainedSegment {
-        let start = Instant::now();
+        let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let top = self.engine.top_m(seg);
         self.timers.cascading += start.elapsed();
         ExplainedSegment::new(seg, top)
@@ -220,7 +220,7 @@ impl<'a> SegmentationContext<'a> {
             return;
         }
         let count = self.n_points().saturating_sub(1);
-        let start = Instant::now();
+        let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let tops: Vec<ExplainedSegment> =
             if self.parallel.is_sequential() || count < PAR_MIN_OBJECTS {
                 (0..count)
@@ -302,7 +302,7 @@ impl<'a> SegmentationContext<'a> {
         // Workers read (never write) the memo as it stood when the region
         // opened; cells within one call are distinct, so this sees exactly
         // the hits the sequential loop would.
-        let start = Instant::now();
+        let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let cube = self.engine.cube();
         let objects = self.object_tops.as_ref().expect("cached");
         let memo = self.memo_enabled.then_some(&self.memo);
@@ -377,7 +377,7 @@ impl<'a> SegmentationContext<'a> {
             }
         }
         self.ensure_objects();
-        let start = Instant::now();
+        let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let cube = self.engine.cube();
         let objects = self.object_tops.as_ref().expect("cached");
         let (cost, centroid_time) = raw_segment_cost(
@@ -446,7 +446,7 @@ impl<'a> SegmentationContext<'a> {
             }
         } else {
             self.ensure_objects();
-            let start = Instant::now();
+            let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
             let cube = self.engine.cube();
             let objects = self.object_tops.as_ref().expect("cached");
             let (diff, metric, m, strategy) = (
@@ -512,7 +512,7 @@ impl<'a> SegmentationContext<'a> {
             return schemes.iter().map(|s| self.objective(s)).collect();
         }
         self.ensure_objects();
-        let start = Instant::now();
+        let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let cube = self.engine.cube();
         let objects = self.object_tops.as_ref().expect("cached");
         let (diff, metric, m, strategy) = (
@@ -586,7 +586,7 @@ fn raw_segment_cost(
         let l = len as f64;
         (l * (2.0 * sum / (l * l)), Duration::default())
     } else {
-        let centroid_start = Instant::now();
+        let centroid_start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let centroid = ExplainedSegment::new(seg, engine.top_m(seg));
         let centroid_time = centroid_start.elapsed();
         let mut cost = 0.0;

@@ -26,6 +26,8 @@
 //! * [`elbow_k`] — Kneedle-style elbow selection over a K-cost curve (§6),
 //!   shared by every strategy's auto-K path.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod context;
 mod cost;
 mod dp;

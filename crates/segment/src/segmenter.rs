@@ -96,7 +96,7 @@ impl Segmenter for DpSegmenter {
     ) -> Result<SegmenterOutcome, SegmentError> {
         let n = ctx.n_points();
         let costs = ctx.compute_costs(positions, None);
-        let dp_start = Instant::now();
+        let dp_start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let k_cap = match k {
             KSelection::Auto { max_k } => max_k.min(positions.len() - 1).max(1),
             KSelection::Fixed(k) => k,
@@ -140,7 +140,7 @@ pub fn shape_segmenter_outcome(
     let n = series.len();
     match k {
         KSelection::Fixed(k) => {
-            let start = Instant::now();
+            let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
             let cuts = propose(series, k);
             let solve_time = start.elapsed();
             let segmentation = Segmentation::new(n, cuts)?;
@@ -162,7 +162,7 @@ pub fn shape_segmenter_outcome(
             // explanation-aware scoring of the proposed schemes is the
             // expensive half and fans out across the parallel context.
             for k in 1..=cap {
-                let start = Instant::now();
+                let start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
                 let cuts = propose(series, k);
                 solve_time += start.elapsed();
                 schemes.push(Segmentation::new(n, cuts)?);

@@ -64,10 +64,15 @@ impl ApiError {
     /// The JSON response for this error.
     pub fn into_response(self) -> Response {
         let status = self.status;
-        Response::json(
-            status,
-            serde_json::to_string(&self).expect("error bodies always encode"),
-        )
+        // Error bodies always encode today, but this is the last rung of
+        // the error ladder — if encoding ever fails, hand-rolled JSON
+        // beats a panic that would drop the connection with no response.
+        let body = serde_json::to_string(&self).unwrap_or_else(|_| {
+            "{\"status\":500,\"kind\":\"internal\",\
+             \"message\":\"error body failed to encode\"}"
+                .to_string()
+        });
+        Response::json(status, body)
     }
 }
 

@@ -66,6 +66,8 @@
 //! no-op), and logs go to stderr — responses stay byte-identical at any
 //! thread count, log level, or slow threshold.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod client;
 mod error;
 pub mod http;

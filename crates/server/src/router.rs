@@ -95,10 +95,12 @@ fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, ApiError> {
 }
 
 fn json_ok<T: Serialize + ?Sized>(status: u16, payload: &T) -> Response {
-    Response::json(
-        status,
-        serde_json::to_string(payload).expect("response bodies always encode"),
-    )
+    // Response bodies always encode today, but a panic here would drop
+    // the connection with nothing on the wire — degrade to a 500 instead.
+    match serde_json::to_string(payload) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => ApiError::internal(format!("response encoding failed: {e}")).into_response(),
+    }
 }
 
 fn register(shared: &ServerShared, body: &[u8]) -> Result<Response, ApiError> {

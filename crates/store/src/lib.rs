@@ -21,6 +21,8 @@
 //! See [`store`]'s module docs for the on-disk layout and the exact
 //! recovery semantics.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
 mod crc32;
 mod error;
 mod frame;

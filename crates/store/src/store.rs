@@ -517,6 +517,7 @@ impl DataStore {
             .map_err(|e| StoreError::io("append", &path, e))?;
         let fsync_started = Instant::now();
         wal.file
+            // tsx-lint: allow(fsync-under-lock, fsync-before-ack IS the durability contract; the WAL guard is last in the documented order registry → session → store WAL)
             .sync_data()
             .map_err(|e| StoreError::io("fsync", &path, e))?;
         self.durations.fsync.record(fsync_started.elapsed());
