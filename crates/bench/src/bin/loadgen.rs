@@ -27,11 +27,21 @@
 //! counters — and the `store` metrics block — exercise the same code
 //! path a persistent deployment runs.
 //!
+//! `--overload` switches to the admission-control drill: every client
+//! hammers the shared tenant as fast as it can against a deliberately
+//! tight server (queue depth defaults to 2 in this mode; tune with
+//! `--queue-depth`/`--max-conns`/`--tenant-rps`, which also apply to the
+//! normal mode's in-process server). 429s are counted as outcomes, not
+//! failures; the run then asserts the server shed load (`tsx_shed_total`
+//! and/or throttles > 0) *and* recovered to 2xx — exiting nonzero
+//! otherwise, which is what the CI overload smoke step leans on.
+//!
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--rounds 30]
 //!     [--workers 4] [--budget-mb 8] [--points 100] [--addr HOST:PORT]
 //!     [--segmenter dp|bottom_up|fluss|nnsegment|all] [--threads N]
-//!     [--data-dir PATH]
+//!     [--data-dir PATH] [--overload] [--max-conns N] [--queue-depth N]
+//!     [--tenant-rps R]
 //! ```
 
 use std::net::SocketAddr;
@@ -41,7 +51,7 @@ use serde::Value;
 use tsexplain::{default_window_for, DiffMetric, ExplainRequest, SegmenterSpec};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 use tsexplain_obs::{Histogram, HistogramFamily, HistogramSnapshot};
-use tsexplain_server::{Client, Server, ServerConfig, ServerHandle};
+use tsexplain_server::{Client, ClientError, Server, ServerConfig, ServerHandle};
 
 struct Args {
     clients: usize,
@@ -53,6 +63,10 @@ struct Args {
     segmenter: String,
     threads: Option<usize>,
     data_dir: Option<String>,
+    overload: bool,
+    max_conns: Option<usize>,
+    queue_depth: Option<usize>,
+    tenant_rps: Option<f64>,
 }
 
 impl Default for Args {
@@ -67,6 +81,10 @@ impl Default for Args {
             segmenter: "dp".into(),
             threads: None,
             data_dir: None,
+            overload: false,
+            max_conns: None,
+            queue_depth: None,
+            tenant_rps: None,
         }
     }
 }
@@ -90,6 +108,17 @@ fn parse_args() -> Args {
             "--segmenter" => args.segmenter = it.next().expect("--segmenter needs a strategy name"),
             "--threads" => args.threads = Some(take("--threads")),
             "--data-dir" => args.data_dir = Some(it.next().expect("--data-dir needs a path")),
+            "--overload" => args.overload = true,
+            "--max-conns" => args.max_conns = Some(take("--max-conns").max(1)),
+            "--queue-depth" => args.queue_depth = Some(take("--queue-depth").max(1)),
+            "--tenant-rps" => {
+                args.tenant_rps = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|r| *r >= 0.0 && r.is_finite())
+                        .expect("--tenant-rps needs a non-negative rate"),
+                )
+            }
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -143,14 +172,26 @@ fn main() {
     let addr: SocketAddr = match &args.addr {
         Some(addr) => addr.parse().expect("--addr must be HOST:PORT"),
         None => {
-            let handle = Server::bind(ServerConfig {
+            let mut config = ServerConfig {
                 workers: args.workers,
                 memory_budget: args.budget_mb * 1024 * 1024,
                 threads: args.threads,
                 data_dir: args.data_dir.as_ref().map(Into::into),
                 ..ServerConfig::default()
-            })
-            .expect("bind an ephemeral port");
+            };
+            if let Some(n) = args.max_conns {
+                config.max_conns = n;
+            }
+            if let Some(r) = args.tenant_rps {
+                config.tenant_rps = r;
+            }
+            match args.queue_depth {
+                Some(n) => config.queue_depth = n,
+                // The drill needs a queue the flood can actually fill.
+                None if args.overload => config.queue_depth = 2,
+                None => {}
+            }
+            let handle = Server::bind(config).expect("bind an ephemeral port");
             let addr = handle.local_addr();
             owned = Some(handle);
             addr
@@ -179,6 +220,15 @@ fn main() {
         .register(&schema, &query, &rows)
         .expect("register the shared dataset")
         .dataset_id;
+
+    if args.overload {
+        run_overload(&args, addr, shared);
+        drop(setup);
+        if let Some(mut handle) = owned.take() {
+            handle.shutdown();
+        }
+        return;
+    }
 
     // Fire. Each client owns one connection, one private tenant, and a
     // deterministic mixed workload rotating through the strategy mix.
@@ -335,6 +385,100 @@ fn main() {
     if let Some(mut handle) = owned.take() {
         handle.shutdown();
     }
+}
+
+/// The admission-control drill: every client fires explains at the
+/// shared tenant as fast as it can, counting 429s as outcomes instead of
+/// failures; afterwards the run verifies the server both *shed* (bounded
+/// behavior under overload) and *recovered* (2xx once the flood passed),
+/// exiting nonzero otherwise.
+fn run_overload(args: &Args, addr: SocketAddr, shared: u64) {
+    let points = args.points;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let rounds = args.rounds;
+            std::thread::spawn(move || -> (u64, u64, u64, u64) {
+                let (mut ok, mut shed, mut throttled, mut failed) = (0u64, 0u64, 0u64, 0u64);
+                let mut client = Client::new(addr);
+                for round in 0..rounds {
+                    match client.explain_value(shared, &request(c + round, points)) {
+                        Ok(_) => ok += 1,
+                        Err(ClientError::Api(e)) if e.status == 429 && e.kind == "throttled" => {
+                            throttled += 1;
+                        }
+                        Err(ClientError::Api(e)) if e.status == 429 => shed += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                (ok, shed, throttled, failed)
+            })
+        })
+        .collect();
+    let (mut ok, mut shed, mut throttled, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for worker in workers {
+        let (o, s, t, f) = worker.join().expect("client thread panicked");
+        ok += o;
+        shed += s;
+        throttled += t;
+        failed += f;
+    }
+    let wall = started.elapsed();
+    println!(
+        "\noverload: {ok} answered, {shed} shed (429 overloaded), \
+         {throttled} throttled (429 per-tenant), {failed} transport errors \
+         in {wall:.2?}"
+    );
+
+    // Recovery: the server must answer 2xx again once the flood stops.
+    let mut client = Client::new(addr);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let recovered_in = loop {
+        match client.raw("GET", "/healthz", None, &[]) {
+            Ok(response) if response.status == 200 => break Some(started.elapsed()),
+            _ if Instant::now() > deadline => break None,
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    let exposition = client.metrics_prometheus().expect("scrape the exposition");
+    let shed_total = exposition
+        .lines()
+        .find_map(|line| line.strip_prefix("tsx_shed_total "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let throttled_total = exposition
+        .lines()
+        .find_map(|line| line.strip_prefix("tsx_throttled_total "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let metrics = client.metrics().expect("metrics");
+    let admission = metrics
+        .get("server")
+        .and_then(|s| s.get("admission"))
+        .cloned()
+        .unwrap_or(Value::Null);
+    let read = |k: &str| admission.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    println!(
+        "server: tsx_shed_total={shed_total} tsx_throttled_total={throttled_total} \
+         queue_depth={}/{} open_connections={} idle_reaped={}",
+        read("queue_depth"),
+        read("queue_capacity"),
+        read("open_connections"),
+        read("idle_reaped"),
+    );
+    match recovered_in {
+        Some(at) => println!("recovered: /healthz answered 200 at {at:.2?}"),
+        None => println!("recovery FAILED: /healthz never answered 200"),
+    }
+    assert!(
+        recovered_in.is_some(),
+        "the server must answer 2xx after the flood"
+    );
+    assert!(
+        shed + throttled > 0 && shed_total + throttled_total > 0.0,
+        "the overload run produced no sheds or throttles — \
+         raise --clients or lower --queue-depth"
+    );
 }
 
 fn print_row(label: &str, snap: &HistogramSnapshot) {

@@ -1,0 +1,408 @@
+//! Readiness primitives for the tsx-server connection multiplexer:
+//! a thin, safe wrapper over Linux `epoll(7)` and `eventfd(2)` built on
+//! raw libc syscalls — the same dependency-free vendoring spirit as the
+//! rest of the workspace (the build environment has no crates.io access,
+//! and the symbols live in the platform libc that `std` already links).
+//!
+//! This is deliberately the *only* workspace crate containing `unsafe`:
+//! the FFI declarations and the two places that hand raw pointers to the
+//! kernel are confined here behind a safe API, so every other crate keeps
+//! the workspace-wide `#![forbid(unsafe_code)]`.
+//!
+//! The API is exactly what a parking multiplexer needs and nothing more:
+//!
+//! * [`Poller`] — one epoll instance. [`Poller::add`] registers a file
+//!   descriptor for level-triggered readability (plus peer-hangup
+//!   detection), [`Poller::remove`] deregisters it, and [`Poller::wait`]
+//!   blocks until readiness or a timeout, filling a caller-owned event
+//!   buffer with `(token, readable, hangup)` triples.
+//! * [`Waker`] — an `eventfd` that other threads ring to interrupt a
+//!   blocked [`Poller::wait`]; registered with the poller like any other
+//!   fd and drained on wake.
+//!
+//! Level-triggered mode is a correctness choice, not a default: the
+//! reactor hands readable connections to blocking workers and re-parks
+//! them afterwards, and level-triggering means bytes that arrived while
+//! the connection was *unparked* re-fire immediately on re-registration —
+//! no lost-wakeup window.
+//!
+//! On non-Linux targets the same API compiles but [`Poller::new`] and
+//! [`Waker::new`] return `io::ErrorKind::Unsupported`; the event-driven
+//! server core is a Linux subsystem (as is every deployment target this
+//! workspace serves), and a stub beats a platform `compile_error!`.
+
+#![deny(clippy::print_stdout)]
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The caller's token from [`Poller::add`].
+    pub token: u64,
+    /// Bytes (or an accepted connection) are ready to read.
+    pub readable: bool,
+    /// The peer hung up or the descriptor errored; with `readable` also
+    /// set, buffered bytes are still worth draining first.
+    pub hangup: bool,
+}
+
+pub use sys::{Poller, Waker};
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_uint, c_void};
+    use std::time::Duration;
+
+    // The subset of libc this crate speaks. The symbols come from the
+    // platform libc `std` links; no external crate is involved.
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// `struct epoll_event`. Packed on x86-64 (the kernel ABI there has
+    /// no padding between `events` and `data`); naturally aligned
+    /// elsewhere — the same `cfg_attr` split libc itself uses.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EINTR: i32 = 4;
+
+    /// How many kernel events one `epoll_wait` drains at most. Spillover
+    /// is not lost — level-triggered fds re-report on the next call.
+    const WAIT_BATCH: usize = 256;
+
+    /// An owned file descriptor closed on drop (pre-`OwnedFd`-idiom,
+    /// local so the crate needs nothing beyond the syscalls above).
+    #[derive(Debug)]
+    struct Fd(RawFd);
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            // Nothing useful can be done about a failed close on drop.
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    fn last_error() -> io::Error {
+        io::Error::last_os_error()
+    }
+
+    /// One epoll instance: register fds with tokens, wait for readiness.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: Fd,
+    }
+
+    impl Poller {
+        /// A fresh epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(last_error());
+            }
+            Ok(Poller { epfd: Fd(fd) })
+        }
+
+        /// Registers `fd` for level-triggered readability + peer hangup,
+        /// reported under `token`.
+        pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: EPOLLIN | EPOLLRDHUP,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd.0, EPOLL_CTL_ADD, fd, &mut event) };
+            if rc < 0 {
+                return Err(last_error());
+            }
+            Ok(())
+        }
+
+        /// Deregisters `fd`. Removing an fd the kernel already dropped
+        /// (peer close) reports an error the caller is free to ignore.
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            let mut event = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd.0, EPOLL_CTL_DEL, fd, &mut event) };
+            if rc < 0 {
+                return Err(last_error());
+            }
+            Ok(())
+        }
+
+        /// Blocks until at least one registered fd is ready or `timeout`
+        /// elapses (`None` = forever), replacing `events`' contents.
+        /// Returns the number of events delivered; `0` means timeout.
+        /// `EINTR` is retried internally.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: c_int = match timeout {
+                // Round up so a 0<t<1ms timeout still sleeps, and saturate
+                // instead of wrapping for absurdly long ones.
+                Some(t) => t
+                    .as_millis()
+                    .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                    .min(c_int::MAX as u128) as c_int,
+                None => -1,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd.0,
+                        buf.as_mut_ptr(),
+                        WAIT_BATCH as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                if last_error().raw_os_error() != Some(EINTR) {
+                    return Err(last_error());
+                }
+            };
+            for raw in buf.iter().take(n) {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = raw.events;
+                let token = raw.data;
+                events.push(Event {
+                    token,
+                    readable: bits & EPOLLIN != 0,
+                    hangup: bits & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    /// An `eventfd`-based wakeup: any thread may [`Waker::wake`] to
+    /// interrupt the poller blocked in [`Poller::wait`].
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: Fd,
+    }
+
+    impl Waker {
+        /// A fresh non-blocking eventfd.
+        pub fn new() -> io::Result<Waker> {
+            let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+            if fd < 0 {
+                return Err(last_error());
+            }
+            Ok(Waker { fd: Fd(fd) })
+        }
+
+        /// The raw fd, for registration with a [`Poller`].
+        pub fn raw_fd(&self) -> RawFd {
+            self.fd.0
+        }
+
+        /// Rings the wakeup. Infallible by design: the only failure mode
+        /// of a non-blocking eventfd write is a saturated counter, which
+        /// means a wake is already pending — mission accomplished.
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            unsafe {
+                write(self.fd.0, (&one as *const u64).cast(), 8);
+            }
+        }
+
+        /// Clears pending wakeups so level-triggered polling does not
+        /// spin; call on every waker readiness event.
+        pub fn drain(&self) {
+            let mut buf: u64 = 0;
+            unsafe {
+                // One read resets the whole eventfd counter.
+                read(self.fd.0, (&mut buf as *mut u64).cast(), 8);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the event-driven server core requires Linux epoll",
+        )
+    }
+
+    /// Stub poller for non-Linux targets: compiles, never constructs.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        /// Always `Unsupported` off Linux.
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist), present for API parity.
+        pub fn add(&self, _fd: i32, _token: u64) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist), present for API parity.
+        pub fn remove(&self, _fd: i32) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist), present for API parity.
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    /// Stub waker for non-Linux targets: compiles, never constructs.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        /// Always `Unsupported` off Linux.
+        pub fn new() -> io::Result<Waker> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist), present for API parity.
+        pub fn raw_fd(&self) -> i32 {
+            -1
+        }
+
+        /// Unreachable (no instance can exist), present for API parity.
+        pub fn wake(&self) {}
+
+        /// Unreachable (no instance can exist), present for API parity.
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn waker_interrupts_an_idle_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.raw_fd(), 7).unwrap();
+
+        let remote = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        // Far longer than the wake delay: only the waker can end this early.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        t.join().unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        // Drained: an immediate poll times out instead of re-firing.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker must not re-report readiness");
+    }
+
+    #[test]
+    fn sockets_report_readable_and_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 1).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending yet: a short wait times out.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap(),
+            0
+        );
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        let (server_side, _) = listener.accept().unwrap();
+        poller.add(server_side.as_raw_fd(), 2).unwrap();
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 2 && e.readable));
+
+        // Level-triggered: unconsumed bytes re-report on the next wait.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 2 && e.readable));
+
+        drop(client);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 2).unwrap();
+        assert!(ev.hangup, "peer close must surface as hangup");
+
+        poller.remove(server_side.as_raw_fd()).unwrap();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap(),
+            0,
+            "deregistered fds must stay silent"
+        );
+    }
+}

@@ -127,10 +127,16 @@ pub fn families_for(rel_path: &str) -> Vec<Family> {
         "crates/server/src/http.rs",
         "crates/server/src/wire.rs",
         "crates/server/src/error.rs",
+        "crates/server/src/reactor.rs",
+        "crates/server/src/admission.rs",
+        "crates/server/src/pool.rs",
         "crates/core/src/registry.rs",
         "crates/core/src/pipeline.rs",
     ];
-    if PANIC_FILES.contains(&rel_path) {
+    // The epoll crate sits under every connection the reactor multiplexes:
+    // a panic there takes the whole serving thread down, so the entire
+    // crate is in the panic-free scope.
+    if PANIC_FILES.contains(&rel_path) || rel_path.starts_with("crates/epoll/src/") {
         out.push(Family::PanicFree);
     }
     const LOCK_FILES: &[&str] = &[
@@ -426,6 +432,21 @@ mod tests {
         );
         assert!(families_for("crates/obs/src/latency.rs").is_empty());
         assert!(families_for("crates/server/src/metrics.rs").is_empty());
+    }
+
+    #[test]
+    fn admission_and_reactor_modules_are_panic_free_scope() {
+        for path in [
+            "crates/server/src/reactor.rs",
+            "crates/server/src/admission.rs",
+            "crates/server/src/pool.rs",
+            "crates/epoll/src/lib.rs",
+            "crates/epoll/src/anything_future.rs",
+        ] {
+            assert_eq!(families_for(path), vec![Family::PanicFree], "{path}");
+        }
+        // The epoll crate's tests and fixtures stay out of scope.
+        assert!(families_for("crates/epoll/tests/smoke.rs").is_empty());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Labelled monotonic counters — the counter sibling of
+//! [`HistogramFamily`](crate::hist::HistogramFamily).
+//!
+//! One atomic counter per label value, created on first use, kept sorted
+//! so exposition order is deterministic. The serving stack uses this for
+//! per-tenant admission decisions (`tsx_tenant_throttled_total{tenant}`),
+//! keyed on the same label axis as the per-tenant latency histograms so
+//! throttle counts and the latency they protect read off the same axis.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A labelled set of monotonic counters, created on first use.
+#[derive(Debug, Default)]
+pub struct CounterFamily {
+    inner: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl CounterFamily {
+    /// An empty family.
+    pub fn new() -> Self {
+        CounterFamily::default()
+    }
+
+    /// The counter for `label`, created at zero if absent.
+    pub fn get(&self, label: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(label)
+        {
+            return Arc::clone(c);
+        }
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(label.to_string()).or_default())
+    }
+
+    /// Adds `n` to `label`'s counter.
+    pub fn add(&self, label: &str, n: u64) {
+        self.get(label).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value of `label`'s counter (zero if never touched).
+    pub fn value(&self, label: &str) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(label)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Every labelled counter's value, sorted by label.
+    pub fn snapshot_all(&self) -> Vec<(String, u64)> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(label, c)| (label.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sum across all labels.
+    pub fn total(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let fam = CounterFamily::new();
+        fam.add("7", 1);
+        fam.add("7", 2);
+        fam.add("9", 5);
+        assert_eq!(fam.value("7"), 3);
+        assert_eq!(fam.value("9"), 5);
+        assert_eq!(fam.value("never-seen"), 0);
+        assert_eq!(fam.total(), 8);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_label() {
+        let fam = CounterFamily::new();
+        fam.add("zeta", 1);
+        fam.add("alpha", 2);
+        let all = fam.snapshot_all();
+        assert_eq!(all, vec![("alpha".into(), 2), ("zeta".into(), 1)]);
+    }
+}

@@ -7,6 +7,8 @@
 //! - [`hist`]: a lock-free, log-bucketed, mergeable latency histogram
 //!   with p50/p90/p99/p99.9 estimation — the one percentile
 //!   implementation shared by the server and the bench harness.
+//! - [`counter`]: labelled monotonic counters (the counter sibling of
+//!   the histogram family), used for per-tenant admission decisions.
 //! - [`log`]: levelled structured JSON-lines logging to stderr
 //!   (`TSX_LOG` / `--log-level`), with component/tenant/request-id
 //!   fields.
@@ -24,12 +26,14 @@
 
 #![forbid(unsafe_code)]
 #![deny(clippy::print_stdout)]
+pub mod counter;
 pub mod flight;
 pub mod hist;
 pub mod log;
 pub mod prom;
 pub mod trace;
 
+pub use counter::CounterFamily;
 pub use flight::{FlightEntry, FlightRecorder};
 pub use hist::{bucket_index, Histogram, HistogramFamily, HistogramSnapshot, BUCKET_BOUNDS_NANOS};
 pub use log::Level;

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! tsx-server [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--max-body-mb MB]
+//!            [--max-conns N] [--queue-depth N] [--tenant-rps R]
 //!            [--threads N] [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]
 //! ```
 //!
 //! `--threads` sets the default intra-query parallelism for requests that
 //! carry no `threads` member of their own (0 = machine default; results
 //! are byte-identical at any setting).
+//!
+//! `--max-conns`, `--queue-depth` and `--tenant-rps` tune admission
+//! control: the open-connection limit enforced at accept, the bound of
+//! the pending-request queue between the reactor and the workers (both
+//! shed with `429 Too Many Requests` + `retry-after` when exceeded), and
+//! the per-tenant token-bucket rate in requests/second (0 = unlimited).
 //!
 //! `--data-dir` turns on the durable storage engine: datasets are
 //! recovered from `PATH` before the listener accepts, every mutation is
@@ -52,6 +59,18 @@ fn main() -> ExitCode {
                 Some(mb) => config.max_body_bytes = mb * 1024 * 1024,
                 None => return usage("--max-body-mb needs a size in MiB"),
             },
+            "--max-conns" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.max_conns = n,
+                _ => return usage("--max-conns needs a positive integer"),
+            },
+            "--queue-depth" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.queue_depth = n,
+                _ => return usage("--queue-depth needs a positive integer"),
+            },
+            "--tenant-rps" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r >= 0.0 && r.is_finite() => config.tenant_rps = r,
+                _ => return usage("--tenant-rps needs a non-negative rate (0 = unlimited)"),
+            },
             "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => config.threads = Some(n),
                 None => return usage("--threads needs a thread count (0 = machine default)"),
@@ -73,7 +92,8 @@ fn main() -> ExitCode {
                 println!(
                     "tsx-server: the TSExplain HTTP/JSON serving subsystem\n\n\
                      USAGE: tsx-server [--addr HOST:PORT] [--workers N] \
-                     [--budget-mb MB] [--max-body-mb MB] [--threads N] \
+                     [--budget-mb MB] [--max-body-mb MB] [--max-conns N] \
+                     [--queue-depth N] [--tenant-rps R] [--threads N] \
                      [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]"
                 );
                 return ExitCode::SUCCESS;

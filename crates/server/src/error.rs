@@ -56,6 +56,26 @@ impl ApiError {
         )
     }
 
+    /// 429 for admission-control rejections. `kind` distinguishes the
+    /// queue-full shed (`overloaded`) from a per-tenant rate limit
+    /// (`throttled`); the caller adds the `retry-after` header via
+    /// [`ApiError::into_response_retry_after`].
+    pub fn too_many_requests(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        ApiError::new(429, kind, message)
+    }
+
+    /// Like [`ApiError::into_response`], with a `retry-after` header
+    /// telling the client when trying again is worthwhile (whole seconds,
+    /// rounded up — zero would invite an immediate, equally-doomed retry).
+    pub fn into_response_retry_after(self, after: std::time::Duration) -> Response {
+        let secs = after.as_secs() + u64::from(after.subsec_nanos() > 0);
+        let mut response = self.into_response();
+        response
+            .headers
+            .push(("retry-after".into(), secs.max(1).to_string()));
+        response
+    }
+
     /// 500 for bugs (worker panics, poisoned locks).
     pub fn internal(message: impl Into<String>) -> Self {
         ApiError::new(500, "internal", message)

@@ -1,9 +1,12 @@
 //! A small, dependency-free HTTP/1.1 codec over blocking streams.
 //!
 //! Exactly the subset the tsx-server wire protocol needs: request/response
-//! framing with `Content-Length` bodies, case-insensitive headers,
-//! keep-alive by default (HTTP/1.1 semantics) and hard limits on header
-//! and body sizes so a misbehaving client cannot balloon a worker. No
+//! framing with `Content-Length` bodies (strict: conflicting duplicates
+//! and non-digit values are malformed), case-insensitive headers,
+//! version-aware keep-alive (HTTP/1.1 persists by default; HTTP/1.0
+//! closes unless the client asks, honouring `Connection` as a token
+//! list) and hard limits on header and body sizes so a misbehaving
+//! client cannot balloon a worker. No
 //! chunked transfer, no TLS, no pipelining — requests on one connection
 //! are handled strictly in order.
 
@@ -53,6 +56,16 @@ impl From<io::Error> for ReadError {
     }
 }
 
+/// The HTTP minor version of a parsed message — it decides the
+/// keep-alive *default* when no `Connection` header says otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0`: close by default, keep-alive only on request.
+    Http10,
+    /// `HTTP/1.1` (and any later 1.x): keep-alive by default.
+    Http11,
+}
+
 /// One parsed HTTP request.
 #[derive(Debug)]
 pub struct Request {
@@ -62,6 +75,8 @@ pub struct Request {
     pub path: String,
     /// The raw query string (after `?`), empty when absent.
     pub query: String,
+    /// The protocol version on the request line.
+    pub version: Version,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The raw body (`Content-Length` bytes).
@@ -77,11 +92,31 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to drop the connection after this
-    /// exchange.
+    /// Whether the connection must drop after this exchange.
+    ///
+    /// `Connection` is a comma-separated token list, so `keep-alive,
+    /// close` closes (any `close` token wins). Without a decisive token
+    /// the protocol version's default applies: HTTP/1.1 persists,
+    /// HTTP/1.0 closes — a 1.0 client that never asked for keep-alive is
+    /// waiting for EOF to delimit the body, and holding the connection
+    /// open would hang it.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        let mut keep_alive_token = false;
+        if let Some(value) = self.header("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return true;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive_token = true;
+                }
+            }
+        }
+        match self.version {
+            Version::Http11 => false,
+            Version::Http10 => !keep_alive_token,
+        }
     }
 
     /// The value of query parameter `name`, if present (`a=1&b=2` form;
@@ -108,6 +143,11 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     if !version.starts_with("HTTP/1.") {
         return Err(ReadError::Malformed(format!("bad version {version:?}")));
     }
+    let version = if version == "HTTP/1.0" {
+        Version::Http10
+    } else {
+        Version::Http11
+    };
     let headers = parse_headers(&lines)?;
     let content_length = content_length(&headers)?;
     if content_length > max_body {
@@ -127,6 +167,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
         method: method.to_ascii_uppercase(),
         path,
         query,
+        version,
         headers,
         body,
     })
@@ -138,8 +179,10 @@ pub struct Response {
     /// The status code.
     pub status: u16,
     /// The `content-type` written with the body (JSON for every
-    /// tsx-server endpoint except the Prometheus exposition).
-    pub content_type: &'static str,
+    /// tsx-server endpoint except the Prometheus exposition). On a
+    /// client-parsed response this is the *received* `content-type`
+    /// header, whatever it said — not an assumption.
+    pub content_type: String,
     /// Extra headers (lower-cased names), e.g. `x-request-id`. On a
     /// client-parsed response this holds every received header.
     pub headers: Vec<(String, String)>,
@@ -152,7 +195,7 @@ impl Response {
     pub fn json(status: u16, body: String) -> Self {
         Response {
             status,
-            content_type: "application/json",
+            content_type: "application/json".into(),
             headers: Vec::new(),
             body: body.into_bytes(),
         }
@@ -162,7 +205,7 @@ impl Response {
     pub fn text(status: u16, body: String) -> Self {
         Response {
             status,
-            content_type: "text/plain; version=0.0.4",
+            content_type: "text/plain; version=0.0.4".into(),
             headers: Vec::new(),
             body: body.into_bytes(),
         }
@@ -218,9 +261,16 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ReadError> 
     let headers = parse_headers(&lines)?;
     let mut body = vec![0u8; content_length(&headers)?];
     reader.read_exact(&mut body)?;
+    // The parsed response reports what the server *sent* — hardcoding
+    // JSON here would mislabel the Prometheus text exposition.
+    let content_type = headers
+        .iter()
+        .find(|(n, _)| n == "content-type")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default();
     Ok(Response {
         status,
-        content_type: "application/json",
+        content_type,
         headers,
         body,
     })
@@ -279,13 +329,32 @@ fn parse_headers(lines: &[String]) -> Result<Vec<(String, String)>, ReadError> {
         .collect()
 }
 
+/// The body length the headers declare. Strict by design — this is the
+/// request-smuggling surface: conflicting duplicate `Content-Length`
+/// headers are rejected outright (two values means two different framings
+/// of the same byte stream), and the value must be plain ASCII digits —
+/// `+5` parses fine as a Rust `usize` but is not a valid HTTP length, and
+/// a front-end that reads it differently would de-sync from us.
 fn content_length(headers: &[(String, String)]) -> Result<usize, ReadError> {
-    match headers.iter().find(|(n, _)| n == "content-length") {
-        None => Ok(0),
-        Some((_, v)) => v
+    let mut declared: Option<usize> = None;
+    for (_, v) in headers.iter().filter(|(n, _)| n == "content-length") {
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ReadError::Malformed(format!("bad content-length {v:?}")));
+        }
+        let parsed: usize = v
             .parse()
-            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}"))),
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?;
+        match declared {
+            None => declared = Some(parsed),
+            Some(prev) if prev == parsed => {}
+            Some(prev) => {
+                return Err(ReadError::Malformed(format!(
+                    "conflicting content-length headers ({prev} vs {parsed})"
+                )))
+            }
+        }
     }
+    Ok(declared.unwrap_or(0))
 }
 
 /// The canonical reason phrase for the status codes tsx-server emits.
@@ -298,7 +367,9 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -342,6 +413,84 @@ mod tests {
         let bare = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(bare.query, "");
         assert_eq!(bare.query_param("format"), None);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_keep_alive_must_be_asked_for() {
+        // No Connection header: a 1.0 client waits for EOF — close.
+        let req = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.version, Version::Http10);
+        assert!(req.wants_close(), "HTTP/1.0 without Connection must close");
+        // Explicit keep-alive: honour it.
+        let req = parse("GET /healthz HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+        // HTTP/1.1 stays keep-alive by default.
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.version, Version::Http11);
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list_and_close_wins() {
+        // `keep-alive, close` must not slip through as keep-alive.
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.1\r\nConnection: Close , TE\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        // Unrelated tokens alone fall back to the version default.
+        let req = parse("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+        let req = parse("GET / HTTP/1.0\r\nConnection: upgrade\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.0\r\nConnection: TE, keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_malformed() {
+        // Two different framings of one byte stream — the smuggling shape.
+        let e = parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 10\r\n\r\nbody")
+            .unwrap_err();
+        assert!(matches!(e, ReadError::Malformed(_)), "{e}");
+        // Identical duplicates agree on the framing and still parse.
+        let req =
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn content_length_must_be_plain_digits() {
+        // `+4` parses as a Rust usize but is not a valid HTTP length.
+        for bad in ["+4", "-4", " 4x", "4 4", "0x10", ""] {
+            let e = parse(&format!(
+                "POST / HTTP/1.1\r\nContent-Length:{bad}\r\n\r\nbody"
+            ))
+            .unwrap_err();
+            assert!(
+                matches!(e, ReadError::Malformed(_)),
+                "{bad:?} must be rejected"
+            );
+        }
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 004\r\n\r\nbody").unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parsed_responses_report_the_received_content_type() {
+        // A text/plain body (the Prometheus exposition) must not come
+        // back labelled application/json.
+        let mut wire = Vec::new();
+        Response::text(200, "tsx_requests_total 1\n".into())
+            .write_to(&mut wire, true)
+            .unwrap();
+        let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back.content_type, "text/plain; version=0.0.4");
+        let mut wire = Vec::new();
+        Response::json(200, "{}".into())
+            .write_to(&mut wire, true)
+            .unwrap();
+        let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back.content_type, "application/json");
     }
 
     #[test]

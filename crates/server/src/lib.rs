@@ -7,19 +7,29 @@
 //! ## Architecture
 //!
 //! ```text
-//!             TcpListener (acceptor thread)
-//!                  │ accepted connections
-//!                  ▼
-//!           WorkerPool (N threads)  ── keep-alive HTTP/1.1 codec
-//!                  │ parsed requests
-//!                  ▼
-//!               router  ── JSON wire protocol (serde layer)
-//!                  │
-//!                  ▼
-//!          SessionRegistry (tsexplain)
-//!           per-tenant Mutex<ExplainSession>
-//!           global LRU-by-bytes cube eviction
+//!        TcpListener ──► reactor thread (epoll multiplexer)
+//!          │  over --max-conns?  ──► 429 + retry-after, close
+//!          │  idle keep-alive    ──► parked in the epoll set
+//!          ▼  readable                  ▲ idle again
+//!        bounded queue (--queue-depth)  │
+//!          │  full? ──► 429 shed        │
+//!          ▼                            │
+//!        WorkerPool (N threads) ── keep-alive HTTP/1.1 codec
+//!          │  per-tenant token bucket (--tenant-rps) ──► 429
+//!          ▼  admitted requests
+//!        router  ── JSON wire protocol (serde layer)
+//!          │
+//!          ▼
+//!        SessionRegistry (tsexplain)
+//!          per-tenant Mutex<ExplainSession>
+//!          global LRU-by-bytes cube eviction
 //! ```
+//!
+//! Admission control (the 429 arms above) is entirely upstream of the
+//! engine: it decides *whether* a request runs, never *what* the answer
+//! contains, so the determinism contract is untouched. Shed and throttle
+//! responses carry `retry-after` and an `x-request-id` like every other
+//! response.
 //!
 //! ## Endpoints
 //!
@@ -68,10 +78,12 @@
 
 #![forbid(unsafe_code)]
 #![deny(clippy::print_stdout)]
+mod admission;
 mod client;
 mod error;
 pub mod http;
 mod pool;
+mod reactor;
 mod router;
 mod server;
 pub mod wire;

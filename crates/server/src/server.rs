@@ -1,5 +1,12 @@
-//! The server proper: listener, acceptor thread, worker pool, metrics,
-//! graceful shutdown.
+//! The server proper: an epoll reactor multiplexing connections into a
+//! bounded worker pool, admission control, metrics, graceful shutdown.
+//!
+//! Connection flow: the reactor thread ([`crate::reactor`]) owns the
+//! listener and every idle connection; readable connections are handed to
+//! the worker pool through a bounded queue (full queue ⇒ 429 shed), and
+//! workers hand keep-alive connections back to the reactor between
+//! requests. Per-tenant token buckets ([`crate::admission`]) run in the
+//! worker once the request's path names a tenant.
 //!
 //! ```no_run
 //! use tsexplain_server::{Server, ServerConfig};
@@ -13,17 +20,23 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::{Serialize, Value};
 use tsexplain::{DataStore, SessionRegistry, DEFAULT_REGISTRY_BUDGET};
-use tsexplain_obs::{trace, Exposition, FlightEntry, FlightRecorder, HistogramFamily};
+use tsexplain_epoll::Waker;
+use tsexplain_obs::{
+    trace, CounterFamily, Exposition, FlightEntry, FlightRecorder, HistogramFamily,
+};
 
+use crate::admission::TokenBuckets;
 use crate::error::ApiError;
 use crate::http::{self, ReadError};
 use crate::pool::WorkerPool;
+use crate::reactor::{self, Reactor};
 use crate::router;
 
 /// Tunables of a [`Server`].
@@ -31,15 +44,29 @@ use crate::router;
 pub struct ServerConfig {
     /// The address to bind; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads handling requests.
     pub workers: usize,
     /// Global cube-memory budget handed to the [`SessionRegistry`].
     pub memory_budget: usize,
     /// Per-request body limit.
     pub max_body_bytes: usize,
-    /// Read timeout per connection — the keep-alive idle cap, and the
-    /// longest a shutdown waits for idle connections to drain.
+    /// Idle cap per connection, measured from accept (`tsx-server
+    /// --read-timeout-ms` is not exposed; this rides on the same knob as
+    /// before): the reactor reaps parked connections idle this long, and
+    /// workers use it as their per-read timeout against stalled senders.
     pub read_timeout: Duration,
+    /// Open-connection admission limit (`tsx-server --max-conns`).
+    /// Arrivals beyond it are answered 429 and closed at accept.
+    pub max_conns: usize,
+    /// Bound of the pending-request queue between the reactor and the
+    /// workers (`tsx-server --queue-depth`). A readable connection that
+    /// finds the queue full is shed with a 429 instead of waiting.
+    pub queue_depth: usize,
+    /// Per-tenant admission rate in requests/second (`tsx-server
+    /// --tenant-rps`). Zero (the default) disables per-tenant limits.
+    /// Tenants are keyed by dataset id, the same axis as
+    /// `tsx_tenant_request_duration_seconds`.
+    pub tenant_rps: f64,
     /// Default intra-query worker threads applied to requests that carry
     /// no explicit `threads` member (`tsx-server --threads`). `None`
     /// defers to the process default (`TSX_THREADS` / the machine).
@@ -69,6 +96,9 @@ impl Default for ServerConfig {
             memory_budget: DEFAULT_REGISTRY_BUDGET,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(5),
+            max_conns: 4096,
+            queue_depth: 1024,
+            tenant_rps: 0.0,
             threads: None,
             data_dir: None,
             slow_ms: 500,
@@ -89,8 +119,21 @@ pub struct ServerMetrics {
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
-    /// Connections accepted.
-    connections: AtomicU64,
+    /// Connections accepted (including those shed at accept).
+    pub(crate) connections: AtomicU64,
+    /// Connections answered 429 by admission control — at accept (over
+    /// `--max-conns`) or at dispatch (pending-request queue full).
+    pub(crate) shed: AtomicU64,
+    /// Requests rejected 429 by a per-tenant rate limit.
+    pub(crate) throttled: AtomicU64,
+    /// Idle connections closed by the reactor's sweep.
+    pub(crate) idle_reaped: AtomicU64,
+    /// Gauge: connections currently open (parked or in a worker).
+    pub(crate) open_connections: AtomicU64,
+    /// Gauge: readable connections waiting in the worker queue.
+    pub(crate) queue_depth: AtomicU64,
+    /// Gauge: idle keep-alive connections parked in the epoll set.
+    pub(crate) parked_connections: AtomicU64,
     /// Requests that never parsed (protocol garbage, oversized).
     protocol_errors: AtomicU64,
     /// Worker panics converted to 500s.
@@ -113,7 +156,7 @@ pub struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    fn observe(&self, status: u16) {
+    pub(crate) fn observe(&self, status: u16) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let class = match status {
             200..=299 => &self.responses_2xx,
@@ -163,6 +206,9 @@ pub struct ServerObs {
     pub strategy_hist: HistogramFamily,
     /// Wall-clock request latency by tenant (dataset id).
     pub tenant_hist: HistogramFamily,
+    /// Per-tenant rate-limit rejections, keyed like `tenant_hist` so a
+    /// tenant's throttles and its latency read off the same label axis.
+    pub tenant_throttled: CounterFamily,
     /// The last N requests over the `--slow-ms` threshold.
     pub flight: FlightRecorder,
 }
@@ -173,6 +219,7 @@ impl ServerObs {
             route_hist: HistogramFamily::new(),
             strategy_hist: HistogramFamily::new(),
             tenant_hist: HistogramFamily::new(),
+            tenant_throttled: CounterFamily::new(),
             flight: FlightRecorder::new(FLIGHT_CAPACITY, slow),
         }
     }
@@ -188,6 +235,14 @@ pub struct ServerShared {
     /// Histograms and the flight recorder.
     pub obs: ServerObs,
     workers: usize,
+    /// Open-connection admission limit (`--max-conns`).
+    pub(crate) max_conns: usize,
+    /// Bound of the pending-request queue (`--queue-depth`).
+    pub(crate) queue_capacity: usize,
+    /// Per-tenant admission rate (`--tenant-rps`); zero = unlimited.
+    pub(crate) tenant_rps: f64,
+    /// The per-tenant token buckets, present when `tenant_rps > 0`.
+    pub(crate) admission: Option<TokenBuckets>,
     /// The server-wide intra-query thread default (`--threads`), applied
     /// by the router to requests without their own `threads` member.
     pub(crate) threads: Option<usize>,
@@ -222,6 +277,32 @@ impl ServerShared {
                         m.protocol_errors.load(Ordering::Relaxed).serialize(),
                     ),
                     ("panics", m.panics.load(Ordering::Relaxed).serialize()),
+                    (
+                        "admission",
+                        Value::object([
+                            ("max_connections", self.max_conns.serialize()),
+                            (
+                                "open_connections",
+                                m.open_connections.load(Ordering::Relaxed).serialize(),
+                            ),
+                            (
+                                "parked_connections",
+                                m.parked_connections.load(Ordering::Relaxed).serialize(),
+                            ),
+                            ("queue_capacity", self.queue_capacity.serialize()),
+                            (
+                                "queue_depth",
+                                m.queue_depth.load(Ordering::Relaxed).serialize(),
+                            ),
+                            ("shed", m.shed.load(Ordering::Relaxed).serialize()),
+                            ("throttled", m.throttled.load(Ordering::Relaxed).serialize()),
+                            (
+                                "idle_reaped",
+                                m.idle_reaped.load(Ordering::Relaxed).serialize(),
+                            ),
+                            ("tenant_rps", Value::Number(self.tenant_rps)),
+                        ]),
+                    ),
                     (
                         "parallel",
                         Value::object([
@@ -320,6 +401,36 @@ impl ServerShared {
         exp.header("tsx_connections_total", "counter", "Connections accepted.");
         exp.sample("tsx_connections_total", &[], load(&m.connections));
         exp.header(
+            "tsx_shed_total",
+            "counter",
+            "Connections answered 429 by admission control (connection limit or full queue).",
+        );
+        exp.sample("tsx_shed_total", &[], load(&m.shed));
+        exp.header(
+            "tsx_throttled_total",
+            "counter",
+            "Requests rejected 429 by per-tenant rate limits.",
+        );
+        exp.sample("tsx_throttled_total", &[], load(&m.throttled));
+        exp.header(
+            "tsx_idle_reaped_total",
+            "counter",
+            "Idle connections closed by the reactor's sweep.",
+        );
+        exp.sample("tsx_idle_reaped_total", &[], load(&m.idle_reaped));
+        exp.header(
+            "tsx_tenant_throttled_total",
+            "counter",
+            "Per-tenant rate-limit rejections, by tenant (dataset id).",
+        );
+        for (tenant, value) in self.obs.tenant_throttled.snapshot_all() {
+            exp.sample(
+                "tsx_tenant_throttled_total",
+                &[("tenant", &tenant)],
+                value as f64,
+            );
+        }
+        exp.header(
             "tsx_protocol_errors_total",
             "counter",
             "Requests that never parsed (protocol garbage, oversized).",
@@ -354,12 +465,38 @@ impl ServerShared {
         );
         exp.sample("tsx_memo_misses_total", &[], load(&m.memo_misses));
 
-        exp.header(
-            "tsx_workers",
-            "gauge",
-            "Worker threads handling connections.",
-        );
+        exp.header("tsx_workers", "gauge", "Worker threads handling requests.");
         exp.sample("tsx_workers", &[], self.workers as f64);
+        exp.header(
+            "tsx_max_connections",
+            "gauge",
+            "Open-connection admission limit (--max-conns).",
+        );
+        exp.sample("tsx_max_connections", &[], self.max_conns as f64);
+        exp.header(
+            "tsx_open_connections",
+            "gauge",
+            "Connections currently open (parked or in a worker).",
+        );
+        exp.sample("tsx_open_connections", &[], load(&m.open_connections));
+        exp.header(
+            "tsx_parked_connections",
+            "gauge",
+            "Idle keep-alive connections parked in the epoll set.",
+        );
+        exp.sample("tsx_parked_connections", &[], load(&m.parked_connections));
+        exp.header(
+            "tsx_queue_capacity",
+            "gauge",
+            "Bound of the pending-request queue (--queue-depth).",
+        );
+        exp.sample("tsx_queue_capacity", &[], self.queue_capacity as f64);
+        exp.header(
+            "tsx_queue_depth",
+            "gauge",
+            "Readable connections waiting in the worker queue.",
+        );
+        exp.sample("tsx_queue_depth", &[], load(&m.queue_depth));
         exp.header("tsx_registry_datasets", "gauge", "Registered datasets.");
         exp.sample("tsx_registry_datasets", &[], r.datasets as f64);
         exp.header(
@@ -481,13 +618,16 @@ impl ServerShared {
     }
 }
 
-/// The serving subsystem: a bound listener draining into a worker pool.
+/// The serving subsystem: an epoll reactor draining into a bounded
+/// worker pool.
 pub struct Server;
 
 impl Server {
-    /// Binds `config.addr` and starts accepting. Returns immediately; the
-    /// acceptor and workers run on background threads until
-    /// [`ServerHandle::shutdown`].
+    /// Binds `config.addr` and starts serving. Returns immediately; the
+    /// reactor and workers run on background threads until
+    /// [`ServerHandle::shutdown`]. Epoll setup failures (unsupported
+    /// platform, fd exhaustion) surface here, not from a background
+    /// thread.
     pub fn bind(config: ServerConfig) -> std::io::Result<ServerHandle> {
         // Recovery runs before the listener accepts anything: the first
         // connection already sees every surviving tenant.
@@ -521,54 +661,59 @@ impl Server {
         };
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let waker = Arc::new(Waker::new()?);
+        let poller = reactor::build_poller(&listener, &waker)?;
+        let max_conns = config.max_conns.max(1);
+        let queue_depth = config.queue_depth.max(1);
         let shared = Arc::new(ServerShared {
             registry,
             metrics: ServerMetrics::default(),
             obs: ServerObs::new(Duration::from_millis(config.slow_ms)),
             workers: config.workers.max(1),
+            max_conns,
+            queue_capacity: queue_depth,
+            tenant_rps: config.tenant_rps,
+            admission: (config.tenant_rps > 0.0).then(|| TokenBuckets::new(config.tenant_rps)),
             threads: config.threads,
         });
         let stopping = Arc::new(AtomicBool::new(false));
+        let (returns_tx, returns_rx) = std::sync::mpsc::channel::<TcpStream>();
 
         let pool = {
             let shared = Arc::clone(&shared);
             let stopping = Arc::clone(&stopping);
+            let waker = Arc::clone(&waker);
             let config = config.clone();
-            WorkerPool::new(config.workers, move |stream: TcpStream| {
-                serve_connection(&shared, stream, &config, &stopping);
-            })
+            WorkerPool::bounded(
+                config.workers.max(1),
+                queue_depth,
+                move |stream: TcpStream| {
+                    serve_ready(&shared, stream, &config, &stopping, &returns_tx, &waker);
+                },
+            )
         };
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let stopping = Arc::clone(&stopping);
-            std::thread::Builder::new()
-                .name("tsx-acceptor".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stopping.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        match stream {
-                            Ok(stream) => {
-                                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                                if pool.submit(stream).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(_) => continue,
-                        }
-                    }
-                    // Dropping the pool closes the queue and joins workers.
-                    pool.join();
-                })?
+        let reactor = Reactor {
+            poller,
+            waker: Arc::clone(&waker),
+            listener,
+            pool,
+            returns: returns_rx,
+            shared: Arc::clone(&shared),
+            stopping: Arc::clone(&stopping),
+            max_conns,
+            idle_timeout: config.read_timeout,
         };
+        let thread = std::thread::Builder::new()
+            .name("tsx-reactor".into())
+            .spawn(move || reactor.run())?;
 
         Ok(ServerHandle {
             local_addr,
             shared,
             stopping,
-            acceptor: Some(acceptor),
+            waker,
+            reactor: Some(thread),
         })
     }
 }
@@ -578,7 +723,8 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
     stopping: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -599,11 +745,13 @@ impl ServerHandle {
         if self.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the acceptor's blocking `incoming()` with a no-op
-        // connection; it observes the flag and exits.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        // Ring the reactor's eventfd. (The old implementation unblocked a
+        // blocking accept loop with a no-op TCP connect, which counted a
+        // phantom connection in `tsx_connections_total` on every
+        // shutdown.)
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
     }
 
@@ -611,8 +759,8 @@ impl ServerHandle {
     /// [`ServerHandle::shutdown`], or the process runs forever — the
     /// standalone binary's serving mode).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
     }
 }
@@ -627,7 +775,7 @@ impl Drop for ServerHandle {
 static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A fresh request id for requests that arrived without `X-Request-Id`.
-fn next_request_id() -> String {
+pub(crate) fn next_request_id() -> String {
     format!(
         "tsx-{}-{}",
         std::process::id(),
@@ -679,35 +827,69 @@ fn reject_protocol_error(shared: &ServerShared, error: ApiError, writer: &mut Tc
     let _ = response.write_to(writer, false);
 }
 
-/// One keep-alive conversation: parse, dispatch, respond, repeat. The
-/// conversation ends at client close, protocol error, idle timeout, or
-/// server shutdown (checked between requests; in-flight requests always
-/// get their response).
+/// Per-tenant admission check: `Some((tenant, wait))` when the request
+/// names a tenant whose bucket is empty. Requests that address no tenant
+/// (health, metrics, register) are never throttled.
+fn throttle(shared: &ServerShared, request: &http::Request) -> Option<(String, Duration)> {
+    let buckets = shared.admission.as_ref()?;
+    let tenant = tenant_label(request)?;
+    match buckets.try_take(&tenant) {
+        Ok(()) => None,
+        Err(wait) => Some((tenant, wait)),
+    }
+}
+
+/// One dispatched conversation: parse, admit, dispatch, respond — then
+/// hand the idle connection back to the reactor instead of holding the
+/// worker. The conversation leaves this worker at client close, protocol
+/// error, read timeout, server shutdown, or (the common case) after a
+/// keep-alive response with no pipelined bytes pending.
 ///
 /// Every parsed request is traced (spans recorded by the pipeline on
 /// this thread), timed into the per-route/per-tenant histograms, stamped
 /// with its request id (the client's `X-Request-Id` or a generated one),
 /// and — when it meets the `--slow-ms` threshold — captured by the
 /// flight recorder with its full span tree.
-fn serve_connection(
+fn serve_ready(
     shared: &ServerShared,
     stream: TcpStream,
     config: &ServerConfig,
     stopping: &AtomicBool,
+    returns: &Sender<TcpStream>,
+    waker: &Waker,
 ) {
+    let metrics = &shared.metrics;
+    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    let close = || {
+        metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+    };
+    // The reactor parks connections non-blocking; workers read blocking,
+    // with the configured timeout guarding against stalled mid-request
+    // senders.
+    if stream.set_nonblocking(false).is_err() {
+        close();
+        return;
+    }
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(_) => {
+            close();
+            return;
+        }
     };
     let mut reader = BufReader::new(stream);
     loop {
         let request = match http::read_request(&mut reader, config.max_body_bytes) {
             Ok(request) => request,
-            Err(ReadError::ConnectionClosed) => return,
+            Err(ReadError::ConnectionClosed) => {
+                close();
+                return;
+            }
             Err(ReadError::TooLarge { limit, .. }) => {
                 reject_protocol_error(shared, ApiError::payload_too_large(limit), &mut writer);
+                close();
                 return;
             }
             Err(ReadError::Malformed(m)) => {
@@ -716,12 +898,14 @@ fn serve_connection(
                     ApiError::bad_request(format!("malformed HTTP: {m}")),
                     &mut writer,
                 );
+                close();
                 return;
             }
             Err(ReadError::Io(_)) => {
-                // A transport failure or the keep-alive idle timeout
-                // reaping a quiet connection — routine connection
-                // lifecycle, not client garbage; no counter.
+                // A transport failure or a read timeout against a stalled
+                // sender — routine connection lifecycle, not client
+                // garbage; no counter.
+                close();
                 return;
             }
         };
@@ -729,22 +913,34 @@ fn serve_connection(
             .header("x-request-id")
             .map(str::to_string)
             .unwrap_or_else(next_request_id);
-        let keep_alive = !request.wants_close() && !stopping.load(Ordering::SeqCst);
         let started = Instant::now();
         trace::begin();
-        // A panic in the engine must cost one 500, not a worker thread.
-        let mut response = match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request)))
-        {
-            Ok(response) => response,
-            Err(_) => {
-                shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
-                ApiError::internal("worker panicked while handling the request").into_response()
+        let mut response = match throttle(shared, &request) {
+            Some((tenant, wait)) => {
+                metrics.throttled.fetch_add(1, Ordering::Relaxed);
+                shared.obs.tenant_throttled.add(&tenant, 1);
+                ApiError::too_many_requests(
+                    "throttled",
+                    format!(
+                        "tenant {tenant} is over its {} request/s limit",
+                        shared.tenant_rps
+                    ),
+                )
+                .into_response_retry_after(wait)
             }
+            // A panic in the engine must cost one 500, not a worker thread.
+            None => match catch_unwind(AssertUnwindSafe(|| router::handle(shared, &request))) {
+                Ok(response) => response,
+                Err(_) => {
+                    metrics.panics.fetch_add(1, Ordering::Relaxed);
+                    ApiError::internal("worker panicked while handling the request").into_response()
+                }
+            },
         };
         let trace_result = trace::finish();
         let elapsed = started.elapsed();
 
-        shared.metrics.observe(response.status);
+        metrics.observe(response.status);
         let route = route_label(&request);
         shared.obs.route_hist.record(route, elapsed);
         if let Some(tenant) = tenant_label(&request) {
@@ -777,8 +973,30 @@ fn serve_connection(
             ],
         );
         response.headers.push(("x-request-id".into(), request_id));
+        // Keep-alive is decided *after* dispatch: a shutdown that flips
+        // mid-request must not advertise keep-alive on the very response
+        // after which the server stops listening.
+        let keep_alive = !request.wants_close() && !stopping.load(Ordering::SeqCst);
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            close();
             return;
         }
+        // Pipelined bytes already buffered are served here — handing the
+        // raw stream back to the reactor would discard the BufReader's
+        // buffer.
+        if !reader.buffer().is_empty() {
+            continue;
+        }
+        // Idle keep-alive: park the connection back in the reactor and
+        // free this worker. A closed return channel means the reactor is
+        // gone (shutdown); dropping the stream closes it.
+        let stream = reader.into_inner();
+        drop(writer);
+        if returns.send(stream).is_ok() {
+            waker.wake();
+        } else {
+            close();
+        }
+        return;
     }
 }
