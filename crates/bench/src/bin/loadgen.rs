@@ -36,12 +36,22 @@
 //! and/or throttles > 0) *and* recovered to 2xx — exiting nonzero
 //! otherwise, which is what the CI overload smoke step leans on.
 //!
+//! `--stall-ms MS` (drill mode) mixes two robustness shapes into the
+//! flood: *slow readers* that send a request and then refuse to read the
+//! response for MS before hanging up, and *over-budget* requests carrying
+//! `"timeout_ms": 0`, which the server must answer `504
+//! deadline_exceeded` without wedging a worker. The run then additionally
+//! asserts deadline 504s were produced and the pool stayed live.
+//! `--retry N` gives every drill client a [`RetryPolicy`] of N retries
+//! (capped backoff honoring `retry-after`), and the run asserts the
+//! retried flood still produced successes.
+//!
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--rounds 30]
 //!     [--workers 4] [--budget-mb 8] [--points 100] [--addr HOST:PORT]
 //!     [--segmenter dp|bottom_up|fluss|nnsegment|all] [--threads N]
 //!     [--data-dir PATH] [--overload] [--max-conns N] [--queue-depth N]
-//!     [--tenant-rps R]
+//!     [--tenant-rps R] [--stall-ms MS] [--retry N]
 //! ```
 
 use std::net::SocketAddr;
@@ -51,7 +61,7 @@ use serde::Value;
 use tsexplain::{default_window_for, DiffMetric, ExplainRequest, SegmenterSpec};
 use tsexplain_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
 use tsexplain_obs::{Histogram, HistogramFamily, HistogramSnapshot};
-use tsexplain_server::{Client, ClientError, Server, ServerConfig, ServerHandle};
+use tsexplain_server::{Client, ClientError, RetryPolicy, Server, ServerConfig, ServerHandle};
 
 struct Args {
     clients: usize,
@@ -67,6 +77,8 @@ struct Args {
     max_conns: Option<usize>,
     queue_depth: Option<usize>,
     tenant_rps: Option<f64>,
+    stall_ms: Option<u64>,
+    retry: Option<u32>,
 }
 
 impl Default for Args {
@@ -85,6 +97,8 @@ impl Default for Args {
             max_conns: None,
             queue_depth: None,
             tenant_rps: None,
+            stall_ms: None,
+            retry: None,
         }
     }
 }
@@ -119,6 +133,8 @@ fn parse_args() -> Args {
                         .expect("--tenant-rps needs a non-negative rate"),
                 )
             }
+            "--stall-ms" => args.stall_ms = Some(take("--stall-ms") as u64),
+            "--retry" => args.retry = Some(take("--retry") as u32),
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -387,47 +403,108 @@ fn main() {
     }
 }
 
+/// A slow reader: sends one well-formed explain request and then refuses
+/// to read a byte of the response for `stall`, then hangs up without
+/// ever reading it. The server's bounded write path must absorb this —
+/// the worker finishes (or times out) the write and moves on; the
+/// connection is the client's loss alone.
+fn stall_reader(addr: SocketAddr, shared: u64, points: usize, stall: Duration) {
+    use serde::Serialize;
+    use std::io::Write;
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return; // connection shed at accept — also a valid drill outcome
+    };
+    let body =
+        serde_json::to_string(&request(0, points).serialize()).expect("explain requests encode");
+    let head = format!(
+        "POST /datasets/{shared}/explain HTTP/1.1\r\nhost: tsx\r\n\
+         content-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    std::thread::sleep(stall);
+    // Dropped unread: the response rots in the socket buffer.
+}
+
 /// The admission-control drill: every client fires explains at the
 /// shared tenant as fast as it can, counting 429s as outcomes instead of
 /// failures; afterwards the run verifies the server both *shed* (bounded
 /// behavior under overload) and *recovered* (2xx once the flood passed),
 /// exiting nonzero otherwise.
+///
+/// With `--stall-ms` the flood also interleaves slow readers and
+/// over-budget (`timeout_ms: 0`) requests; deadline 504s are counted as
+/// their own outcome and asserted to have happened. With `--retry` every
+/// client retries per [`RetryPolicy`], and the run asserts the retried
+/// flood still got answers.
 fn run_overload(args: &Args, addr: SocketAddr, shared: u64) {
     let points = args.points;
+    let stall = args.stall_ms.map(Duration::from_millis);
+    let retry = args.retry;
     let started = Instant::now();
     let workers: Vec<_> = (0..args.clients)
         .map(|c| {
             let rounds = args.rounds;
-            std::thread::spawn(move || -> (u64, u64, u64, u64) {
-                let (mut ok, mut shed, mut throttled, mut failed) = (0u64, 0u64, 0u64, 0u64);
+            std::thread::spawn(move || -> (u64, u64, u64, u64, u64) {
+                let (mut ok, mut shed, mut throttled, mut deadlined, mut failed) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
                 let mut client = Client::new(addr);
+                if let Some(n) = retry {
+                    client = client.with_retry(RetryPolicy::retries(n));
+                }
                 for round in 0..rounds {
-                    match client.explain_value(shared, &request(c + round, points)) {
+                    // With the stall drill on, every 5th slot is a slow
+                    // reader and every 7th an over-budget request; the
+                    // rest stay plain floods.
+                    if let Some(stall) = stall {
+                        if round % 5 == 3 {
+                            stall_reader(addr, shared, points, stall);
+                            continue;
+                        }
+                    }
+                    let over_budget = stall.is_some() && round % 7 == 5;
+                    let request = if over_budget {
+                        // Zero budget: deterministically over-deadline at
+                        // the pipeline's entry poll.
+                        request(c + round, points).with_timeout_ms(0)
+                    } else {
+                        request(c + round, points)
+                    };
+                    match client.explain_value(shared, &request) {
                         Ok(_) => ok += 1,
                         Err(ClientError::Api(e)) if e.status == 429 && e.kind == "throttled" => {
                             throttled += 1;
                         }
                         Err(ClientError::Api(e)) if e.status == 429 => shed += 1,
+                        Err(ClientError::Api(e))
+                            if e.status == 504 && e.kind == "deadline_exceeded" =>
+                        {
+                            deadlined += 1;
+                        }
                         Err(_) => failed += 1,
                     }
                 }
-                (ok, shed, throttled, failed)
+                (ok, shed, throttled, deadlined, failed)
             })
         })
         .collect();
-    let (mut ok, mut shed, mut throttled, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    let (mut ok, mut shed, mut throttled, mut deadlined, mut failed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for worker in workers {
-        let (o, s, t, f) = worker.join().expect("client thread panicked");
+        let (o, s, t, d, f) = worker.join().expect("client thread panicked");
         ok += o;
         shed += s;
         throttled += t;
+        deadlined += d;
         failed += f;
     }
     let wall = started.elapsed();
     println!(
         "\noverload: {ok} answered, {shed} shed (429 overloaded), \
-         {throttled} throttled (429 per-tenant), {failed} transport errors \
-         in {wall:.2?}"
+         {throttled} throttled (429 per-tenant), deadlined={deadlined} \
+         (504 deadline_exceeded), {failed} transport errors in {wall:.2?}"
     );
 
     // Recovery: the server must answer 2xx again once the flood stops.
@@ -441,16 +518,16 @@ fn run_overload(args: &Args, addr: SocketAddr, shared: u64) {
         }
     };
     let exposition = client.metrics_prometheus().expect("scrape the exposition");
-    let shed_total = exposition
-        .lines()
-        .find_map(|line| line.strip_prefix("tsx_shed_total "))
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .unwrap_or(0.0);
-    let throttled_total = exposition
-        .lines()
-        .find_map(|line| line.strip_prefix("tsx_throttled_total "))
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .unwrap_or(0.0);
+    let scrape = |name: &str| {
+        exposition
+            .lines()
+            .find_map(|line| line.strip_prefix(name))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .unwrap_or(0.0)
+    };
+    let shed_total = scrape("tsx_shed_total ");
+    let throttled_total = scrape("tsx_throttled_total ");
+    let deadline_total = scrape("tsx_deadline_exceeded_total ");
     let metrics = client.metrics().expect("metrics");
     let admission = metrics
         .get("server")
@@ -460,6 +537,7 @@ fn run_overload(args: &Args, addr: SocketAddr, shared: u64) {
     let read = |k: &str| admission.get(k).and_then(Value::as_f64).unwrap_or(0.0);
     println!(
         "server: tsx_shed_total={shed_total} tsx_throttled_total={throttled_total} \
+         tsx_deadline_exceeded_total={deadline_total} \
          queue_depth={}/{} open_connections={} idle_reaped={}",
         read("queue_depth"),
         read("queue_capacity"),
@@ -474,11 +552,32 @@ fn run_overload(args: &Args, addr: SocketAddr, shared: u64) {
         recovered_in.is_some(),
         "the server must answer 2xx after the flood"
     );
+    // With retries on, clients absorb 429s and resend until answered —
+    // the server-side shed/throttle counters still prove admission
+    // control engaged even when no 429 survives to the client tally.
     assert!(
-        shed + throttled > 0 && shed_total + throttled_total > 0.0,
+        shed_total + throttled_total > 0.0,
         "the overload run produced no sheds or throttles — \
          raise --clients or lower --queue-depth"
     );
+    if args.retry.is_none() {
+        assert!(
+            shed + throttled > 0,
+            "no client observed a 429 — raise --clients or lower --queue-depth"
+        );
+    } else {
+        assert!(
+            ok > 0,
+            "retrying clients never succeeded — the pool did not stay live"
+        );
+    }
+    if args.stall_ms.is_some() {
+        assert!(
+            deadlined > 0 && deadline_total > 0.0,
+            "the stall drill produced no deadline 504s — \
+             the over-budget requests were not answered honestly"
+        );
+    }
 }
 
 fn print_row(label: &str, snap: &HistogramSnapshot) {

@@ -32,6 +32,15 @@ pub enum TsExplainError {
     /// be ahead of disk; the unacknowledged mutation is the part a crash
     /// would lose.
     Storage(String),
+    /// The request's deadline (or an explicit cancel) tripped mid-compute.
+    /// All-or-nothing: every partial result was discarded, caches and
+    /// counters are as if the request never ran. `stage` names the pipeline
+    /// stage that observed the trip.
+    Cancelled {
+        /// Which stage observed the cancellation ("start", "cube",
+        /// "segmentation", "cascading").
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for TsExplainError {
@@ -48,6 +57,12 @@ impl fmt::Display for TsExplainError {
                 write!(f, "period {period} too long for a series of {n} points")
             }
             TsExplainError::Storage(e) => write!(f, "storage error: {e}"),
+            TsExplainError::Cancelled { stage } => {
+                write!(
+                    f,
+                    "request cancelled during {stage}; partial work discarded"
+                )
+            }
         }
     }
 }
@@ -72,7 +87,12 @@ impl From<InvalidRequest> for TsExplainError {
 
 impl From<CubeError> for TsExplainError {
     fn from(e: CubeError) -> Self {
-        TsExplainError::Cube(e)
+        match e {
+            // Cancellation is a property of the request, not of the cube:
+            // surface it uniformly so the serving layer maps one variant.
+            CubeError::Cancelled => TsExplainError::Cancelled { stage: "cube" },
+            e => TsExplainError::Cube(e),
+        }
     }
 }
 
@@ -84,7 +104,12 @@ impl From<RelationError> for TsExplainError {
 
 impl From<SegmentError> for TsExplainError {
     fn from(e: SegmentError) -> Self {
-        TsExplainError::Segment(e)
+        match e {
+            SegmentError::Cancelled => TsExplainError::Cancelled {
+                stage: "segmentation",
+            },
+            e => TsExplainError::Segment(e),
+        }
     }
 }
 

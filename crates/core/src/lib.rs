@@ -96,6 +96,7 @@
 #![forbid(unsafe_code)]
 #![deny(clippy::print_stdout)]
 mod config;
+mod deadline;
 mod durability;
 mod error;
 mod latency;
@@ -111,6 +112,7 @@ mod session;
 mod streaming;
 
 pub use config::Optimizations;
+pub use deadline::{CancelToken, Deadline};
 pub use durability::CubeSpill;
 pub use error::TsExplainError;
 pub use latency::{LatencyBreakdown, MemoCounters, ParallelTimings};

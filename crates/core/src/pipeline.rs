@@ -44,6 +44,12 @@ pub(crate) fn explain_cube_request(
         None => TopExplStrategy::Exact,
     };
     let parallel = request.parallel_ctx();
+    // Entry poll: guarantees every request observes at least one poll, so
+    // a zero (or already-spent) budget cancels deterministically through
+    // the real engine path rather than depending on loop timing.
+    if parallel.is_cancelled() {
+        return Err(TsExplainError::Cancelled { stage: "start" });
+    }
     let mut ctx = SegmentationContext::new(
         cube,
         request.diff_metric(),
@@ -51,7 +57,7 @@ pub(crate) fn explain_cube_request(
         strategy,
         request.variance_metric(),
     )
-    .with_parallel(parallel);
+    .with_parallel(parallel.clone());
 
     let spec = request.segmenter();
     let positions: Vec<usize> = match forced_positions {
@@ -78,7 +84,7 @@ pub(crate) fn explain_cube_request(
         let _span = tsexplain_obs::trace::span("segmentation");
         spec.build()
             .segment(&mut ctx, &positions, request.k_selection())
-            .map_err(TsExplainError::Segment)?
+            .map_err(TsExplainError::from)?
     };
 
     let segments: Vec<SegmentExplanation> = {
@@ -90,6 +96,11 @@ pub(crate) fn explain_cube_request(
             .map(|seg| describe_segment(cube, &mut ctx, seg))
             .collect()
     };
+    // All-or-nothing: a trip during the cascading stage leaves truncated
+    // explanation lists — discard them rather than serve a partial answer.
+    if parallel.is_cancelled() {
+        return Err(TsExplainError::Cancelled { stage: "cascading" });
+    }
 
     let timers = ctx.timers();
     let latency = LatencyBreakdown {

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use tsexplain_diff::DiffMetric;
-use tsexplain_parallel::ParallelCtx;
+use tsexplain_parallel::{CancelToken, ParallelCtx};
 use tsexplain_relation::{AttrValue, ColumnType, Schema};
 use tsexplain_segment::{KSelection, SketchConfig, VarianceMetric};
 
@@ -163,6 +163,16 @@ pub struct ExplainRequest {
     /// setting — the determinism contract of `tsexplain-parallel` — so
     /// this is a performance knob, never a correctness one.
     threads: Option<usize>,
+    /// The client's requested time budget in milliseconds — a wire member.
+    /// The server clamps it to its own `--request-timeout-ms` cap when
+    /// minting the request's [`crate::Deadline`]; a client can tighten the
+    /// budget but never loosen it.
+    timeout_ms: Option<u64>,
+    /// The runtime cancellation token the compute layers poll — attached by
+    /// the serving layer after minting the deadline, never from the wire.
+    /// Like `threads`, it can only turn a result into a typed error, never
+    /// change what a successful result contains.
+    cancel: Option<CancelToken>,
 }
 
 impl ExplainRequest {
@@ -181,6 +191,8 @@ impl ExplainRequest {
             time_range: None,
             segmenter: SegmenterSpec::default(),
             threads: None,
+            timeout_ms: None,
+            cancel: None,
         }
     }
 
@@ -276,12 +288,48 @@ impl ExplainRequest {
         self.threads
     }
 
+    /// Requests a client-side time budget of `ms` milliseconds (the wire
+    /// `timeout_ms` member). The serving layer clamps it to the server cap.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Clears the client-side time budget.
+    pub fn with_no_timeout(mut self) -> Self {
+        self.timeout_ms = None;
+        self
+    }
+
+    /// The client's requested time budget in milliseconds, if any.
+    pub fn timeout_ms(&self) -> Option<u64> {
+        self.timeout_ms
+    }
+
+    /// Attaches the cancellation token the compute layers will poll
+    /// (normally the minted deadline's token — see [`crate::Deadline`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The parallel execution context this request runs under: the
-    /// explicit override when set, the process default otherwise.
+    /// explicit override when set, the process default otherwise — with
+    /// the request's cancellation token (if any) attached so every fanned
+    /// worker polls it.
     pub fn parallel_ctx(&self) -> ParallelCtx {
-        match self.threads {
+        let ctx = match self.threads {
             Some(t) => ParallelCtx::new(t),
             None => ParallelCtx::from_env(),
+        };
+        match &self.cancel {
+            Some(token) => ctx.with_cancel(token.clone()),
+            None => ctx,
         }
     }
 

@@ -271,6 +271,7 @@ impl Serialize for ExplainRequest {
             ("time_range", self.time_range().serialize()),
             ("segmenter", self.segmenter().serialize()),
             ("threads", self.threads().serialize()),
+            ("timeout_ms", self.timeout_ms().serialize()),
         ])
     }
 }
@@ -297,6 +298,12 @@ impl Deserialize for ExplainRequest {
             .with_segmenter(field_or(value, "segmenter", defaults.segmenter())?);
         if let Some(threads) = field_or::<Option<usize>>(value, "threads", None)? {
             request = request.with_threads(threads);
+        }
+        // The client's requested time budget; the serving layer clamps it
+        // to the server cap when minting the deadline. The runtime cancel
+        // token is deliberately NOT a wire member.
+        if let Some(timeout_ms) = field_or::<Option<u64>>(value, "timeout_ms", None)? {
+            request = request.with_timeout_ms(timeout_ms);
         }
         request = match field_or(value, "k", defaults.k_selection())? {
             KSelection::Auto { max_k } => request.with_max_k(max_k),

@@ -1,11 +1,11 @@
 //! Property-based tests for the serving pipeline: result validity on
-//! arbitrary workloads, elbow sanity, optimization-equivalence, and
-//! strategy-dispatch invariants.
+//! arbitrary workloads, elbow sanity, optimization-equivalence,
+//! strategy-dispatch invariants, and all-or-nothing cancellation.
 
 use proptest::prelude::*;
 use tsexplain::{
-    elbow_k, AggQuery, Datum, ExplainRequest, ExplainSession, Field, KSelection, Optimizations,
-    Relation, Schema, SegmenterSpec,
+    elbow_k, AggQuery, CancelToken, Datum, ExplainRequest, ExplainSession, Field, KSelection,
+    Optimizations, Relation, Schema, SegmenterSpec, TsExplainError,
 };
 
 fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
@@ -180,6 +180,66 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Cancellation injected at an arbitrary poll point never corrupts
+    /// state: the request either completes byte-identical to an
+    /// uncancelled run or errors with `Cancelled` and leaves nothing
+    /// behind — a follow-up uncancelled request on the *same* session
+    /// (same cube cache) still returns the pristine golden bytes, and
+    /// the cube was built exactly once across both attempts.
+    #[test]
+    fn cancellation_is_all_or_nothing(rows in rows_strategy(), fuse in 0u64..400) {
+        let rel = build(&rows);
+        let n = match rel.dim_column("t") {
+            Ok(col) => col.dict().len(),
+            Err(_) => return Ok(()),
+        };
+        if n < 2 {
+            return Ok(());
+        }
+        let base = ExplainRequest::new(["a"]).with_optimizations(Optimizations::none());
+        // Canonical bytes modulo wall-clock (`latency`) and cache
+        // provenance (`cube_from_cache` — a cancelled attempt may leave a
+        // *complete* cube cached, which is legitimate reuse, not
+        // corruption; the answer itself must not change).
+        let canonical = |r: &tsexplain::ExplainResult| {
+            let mut v = serde_json::to_value(r);
+            if let serde::Value::Object(map) = &mut v {
+                map.remove("latency");
+                if let Some(serde::Value::Object(stats)) = map.get_mut("stats") {
+                    stats.remove("cube_from_cache");
+                }
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        // The pristine run: a fresh session, no cancellation.
+        let golden = canonical(&explain(&rel, &base).unwrap());
+        // Inject: the same work with a deterministic poll-count fuse —
+        // the request is abandoned at the (fuse+1)-th cooperative poll,
+        // wherever in the pipeline that lands.
+        let mut session = ExplainSession::new(rel.clone(), AggQuery::sum("t", "v")).unwrap();
+        let token = CancelToken::after_polls(fuse);
+        match session.explain(&base.clone().with_cancel(token.clone())) {
+            // The fuse outlived the request: output must be untouched by
+            // the polling (observation only, never part of the answer).
+            Ok(result) => prop_assert_eq!(canonical(&result), golden.clone()),
+            Err(TsExplainError::Cancelled { stage }) => {
+                prop_assert!(
+                    ["start", "cube", "segmentation", "cascading"].contains(&stage),
+                    "unknown cancellation stage {}", stage
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+        }
+        // All-or-nothing: the same session (and its cube cache / counters)
+        // answers the uncancelled request with the pristine bytes.
+        let after = session.explain(&base).unwrap();
+        prop_assert_eq!(canonical(&after), golden);
+        // Cache coherence: never a half-built cube. Either the first
+        // attempt cached the complete cube (the retry hits it) or it
+        // cached nothing (the retry builds it) — exactly one build total.
+        prop_assert_eq!(session.stats().cubes_built, 1);
     }
 
     /// The elbow picks a K present on the curve for any decreasing curve.

@@ -206,6 +206,11 @@ impl ExplanationCube {
             max_order,
             par,
         );
+        // All-or-nothing: a cancelled fan-out joins with truncated subset
+        // blocks — never assemble (or cache) a half-built cube.
+        if par.is_cancelled() {
+            return Err(CubeError::Cancelled);
+        }
         Ok(ExplanationCube::assemble(
             time_col.dict().values().to_vec(),
             query.agg(),

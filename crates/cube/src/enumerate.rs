@@ -22,6 +22,18 @@ struct SubsetEnumeration {
     series: Vec<Vec<AggState>>,
 }
 
+impl SubsetEnumeration {
+    /// The placeholder a cancelled worker emits; the builder discards the
+    /// whole (truncated) enumeration once it re-checks the token.
+    fn empty() -> Self {
+        SubsetEnumeration {
+            group: HashMap::new(),
+            explanations: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+}
+
 /// All non-empty attribute subsets with `|S| ≤ max_order`, in ascending
 /// bitmask order — the canonical enumeration order every cube builder
 /// (batch and incremental) shares.
@@ -103,9 +115,17 @@ pub(crate) fn enumerate<C: AsRef<[u32]> + Sync>(
     par: &ParallelCtx,
 ) -> Enumeration {
     let subsets = enumerate_subsets(attr_codes.len(), max_order);
+    let cancel = par.cancel_token().cloned();
     let parts = par.run_chunks(subsets.len(), |range| {
         range
-            .map(|si| enumerate_subset(&subsets[si], time_codes, n_times, attr_codes, measures))
+            .map(|si| {
+                // Subset-boundary poll: the builder re-checks after the
+                // fan-out and discards any truncated enumeration.
+                if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    return SubsetEnumeration::empty();
+                }
+                enumerate_subset(&subsets[si], time_codes, n_times, attr_codes, measures)
+            })
             .collect()
     });
     let mut explanations = Vec::new();
@@ -135,9 +155,15 @@ pub(crate) fn enumerate_with_groups<C: AsRef<[u32]> + Sync>(
     measures: &[f64],
     par: &ParallelCtx,
 ) -> (SubsetGroups, Vec<Explanation>, Vec<Vec<AggState>>) {
+    let cancel = par.cancel_token().cloned();
     let parts = par.run_chunks(subsets.len(), |range| {
         range
-            .map(|si| enumerate_subset(&subsets[si], time_codes, n_times, attr_codes, measures))
+            .map(|si| {
+                if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    return SubsetEnumeration::empty();
+                }
+                enumerate_subset(&subsets[si], time_codes, n_times, attr_codes, measures)
+            })
             .collect()
     });
     let mut groups = Vec::with_capacity(subsets.len());

@@ -41,6 +41,9 @@ pub enum CubeError {
     /// wrong version). Recovery treats this as "no snapshot" and rebuilds —
     /// it must never panic.
     CorruptSnapshot(String),
+    /// The request's cancel token tripped mid-build; the partial cube was
+    /// discarded (all-or-nothing — nothing half-built reaches the cache).
+    Cancelled,
 }
 
 impl fmt::Display for CubeError {
@@ -73,6 +76,9 @@ impl fmt::Display for CubeError {
             }
             CubeError::CorruptSnapshot(what) => {
                 write!(f, "corrupt cube snapshot: {what}")
+            }
+            CubeError::Cancelled => {
+                write!(f, "cube build cancelled before completing")
             }
         }
     }

@@ -138,6 +138,11 @@ impl IncrementalCube {
             &measures,
             par,
         );
+        // All-or-nothing: a cancelled fan-out joins with truncated subset
+        // blocks — never seed incremental state from a partial enumeration.
+        if par.is_cancelled() {
+            return Err(CubeError::Cancelled);
+        }
         debug_assert_eq!(
             explanations.len(),
             groups.iter().map(HashMap::len).sum::<usize>()

@@ -14,7 +14,7 @@
 //! | family | rules | scope |
 //! |---|---|---|
 //! | determinism | `map-iter`, `wall-clock`, `env-read` | `cube`, `segment`, `diff`, `baselines`, `parallel` |
-//! | panic-freedom | `no-unwrap`, `no-panic` | server request paths, `registry.rs`, `pipeline.rs` |
+//! | panic-freedom | `no-unwrap`, `no-panic` | server request paths, `registry.rs`, `pipeline.rs`, `deadline.rs`, `cancel.rs` |
 //! | lock/IO discipline | `lock-order`, `fsync-under-lock` | `registry.rs`, `durability.rs`, `store` |
 //!
 //! Deliberate violations are silenced inline with a reasoned directive:
@@ -132,6 +132,11 @@ pub fn families_for(rel_path: &str) -> Vec<Family> {
         "crates/server/src/pool.rs",
         "crates/core/src/registry.rs",
         "crates/core/src/pipeline.rs",
+        // Deadline/cancellation primitives run inside every request; a
+        // panic while checking "should I stop?" would defeat the whole
+        // point of graceful 504s.
+        "crates/core/src/deadline.rs",
+        "crates/parallel/src/cancel.rs",
     ];
     // The epoll crate sits under every connection the reactor multiplexes:
     // a panic there takes the whole serving thread down, so the entire
@@ -432,6 +437,17 @@ mod tests {
         );
         assert!(families_for("crates/obs/src/latency.rs").is_empty());
         assert!(families_for("crates/server/src/metrics.rs").is_empty());
+        // The cancellation primitives sit on every request path: the
+        // token lives in a determinism crate (and is additionally
+        // panic-free), the deadline clock is panic-free only.
+        assert_eq!(
+            families_for("crates/parallel/src/cancel.rs"),
+            vec![Family::Determinism, Family::PanicFree]
+        );
+        assert_eq!(
+            families_for("crates/core/src/deadline.rs"),
+            vec![Family::PanicFree]
+        );
     }
 
     #[test]

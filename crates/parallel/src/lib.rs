@@ -36,6 +36,10 @@ use std::ops::Range;
 use std::sync::OnceLock;
 use std::thread;
 
+mod cancel;
+
+pub use cancel::CancelToken;
+
 /// Cap on the machine-derived default thread count. Explicit requests
 /// (`ParallelCtx::new`, `TSX_THREADS=32`) may exceed it.
 pub const MAX_DEFAULT_THREADS: usize = 8;
@@ -49,10 +53,19 @@ pub const MAX_THREADS: usize = 256;
 pub const THREADS_ENV: &str = "TSX_THREADS";
 
 /// An intra-query parallel execution context (see module docs): a thread
-/// count plus deterministic chunked fan-out/reduce primitives.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// count plus deterministic chunked fan-out/reduce primitives, optionally
+/// carrying the request's [`CancelToken`].
+///
+/// Cancellation never changes a *successful* result: workers poll the
+/// token at chunk boundaries and early-exit with truncated output, but
+/// every adopting hot path re-checks [`ParallelCtx::is_cancelled`] after
+/// the fan-out and discards the whole region's output in favour of a
+/// typed error. Either the request runs to completion byte-identical to
+/// an uncancelled run, or it errors — never a third outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParallelCtx {
     threads: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl ParallelCtx {
@@ -63,14 +76,20 @@ impl ParallelCtx {
             0 => machine_default(),
             t => t.min(MAX_THREADS),
         };
-        ParallelCtx { threads }
+        ParallelCtx {
+            threads,
+            cancel: None,
+        }
     }
 
     /// The sequential context: every region runs inline on the caller's
     /// thread. Parallel and sequential execution are byte-identical by
     /// contract; this is the reference the harness compares against.
     pub fn sequential() -> Self {
-        ParallelCtx { threads: 1 }
+        ParallelCtx {
+            threads: 1,
+            cancel: None,
+        }
     }
 
     /// The process-wide default: [`THREADS_ENV`] when set (cached after the
@@ -84,7 +103,29 @@ impl ParallelCtx {
             },
             Err(_) => machine_default(),
         });
-        ParallelCtx { threads }
+        ParallelCtx {
+            threads,
+            cancel: None,
+        }
+    }
+
+    /// Attaches the request's cancellation token: every fan-out under
+    /// this context polls it at chunk boundaries, and adopting hot loops
+    /// poll it via [`ParallelCtx::is_cancelled`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the attached token; always false when none is attached.
+    /// Sticky: once true, stays true.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// The configured worker count (≥ 1; 1 = sequential).
@@ -105,6 +146,13 @@ impl ParallelCtx {
     /// order is fixed, so the result is independent of scheduling — the
     /// determinism contract. With one thread (or one chunk) `f` runs
     /// inline with no spawns.
+    ///
+    /// When a [`CancelToken`] is attached and trips, workers that have
+    /// not yet started their chunk skip it (their slot contributes
+    /// nothing), so the fan-out joins promptly and the returned vector
+    /// may be **truncated**. Callers that attach a token must re-check
+    /// [`ParallelCtx::is_cancelled`] after the region and discard the
+    /// output; without a token the result is always complete.
     pub fn run_chunks<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -112,6 +160,9 @@ impl ParallelCtx {
     {
         let ranges = self.chunk_ranges(n);
         if ranges.len() <= 1 {
+            if self.is_cancelled() {
+                return Vec::new();
+            }
             return f(0..n);
         }
         let mut parts: Vec<Option<Vec<T>>> = Vec::new();
@@ -121,8 +172,16 @@ impl ParallelCtx {
             // iteration below re-reads them in chunk order.
             for (slot, range) in parts.iter_mut().zip(ranges.iter().cloned()) {
                 let f = &f;
+                let ctx = &*self;
                 scope.spawn(move || {
-                    *slot = Some(f(range));
+                    // Chunk-boundary poll: a cancelled fan-out stops
+                    // spending CPU and joins cleanly; the region's caller
+                    // discards the truncated output.
+                    if ctx.is_cancelled() {
+                        *slot = Some(Vec::new());
+                    } else {
+                        *slot = Some(f(range));
+                    }
                 });
             }
         });
@@ -256,6 +315,37 @@ mod tests {
         assert!(ctx.threads() >= 1 && ctx.threads() <= MAX_DEFAULT_THREADS);
         assert_eq!(ParallelCtx::new(100_000).threads(), MAX_THREADS);
         assert_eq!(ParallelCtx::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn cancelled_fanout_joins_cleanly_and_truncates() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = ParallelCtx::new(4).with_cancel(token.clone());
+        assert!(ctx.is_cancelled());
+        let out = ctx.run_chunks(100, |range| range.collect::<Vec<usize>>());
+        assert!(out.is_empty(), "cancelled workers skip their chunks");
+        // An untripped token leaves results complete and ordered.
+        let live = ParallelCtx::new(4).with_cancel(CancelToken::new());
+        let out = live.run_chunks(100, |range| range.collect::<Vec<usize>>());
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(!live.is_cancelled());
+    }
+
+    #[test]
+    fn mid_region_cancel_truncates_but_joins() {
+        // Trip the token from inside the first chunk; later workers
+        // (throttled by the barrier-free schedule) may or may not have
+        // started, but the join itself must always complete and the
+        // caller observes the cancellation.
+        let token = CancelToken::after_polls(1);
+        let ctx = ParallelCtx::new(4).with_cancel(token);
+        let out = ctx.run_chunks(64, |range| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            range.collect::<Vec<usize>>()
+        });
+        assert!(out.len() <= 64);
+        assert!(ctx.is_cancelled());
     }
 
     #[test]

@@ -123,7 +123,15 @@ impl<'a> SegmentationContext<'a> {
 
     /// The parallel execution context in use.
     pub fn parallel(&self) -> ParallelCtx {
-        self.parallel
+        self.parallel.clone()
+    }
+
+    /// Polls the request's cancellation token (false when none is
+    /// attached). Hot loops early-exit on it; the driver then discards
+    /// every partial result and errors, so a poll never changes what a
+    /// *successful* request returns.
+    pub fn is_cancelled(&self) -> bool {
+        self.parallel.is_cancelled()
     }
 
     /// Disables the segment-cost memo (builder style). Costs and reported
@@ -280,6 +288,11 @@ impl<'a> SegmentationContext<'a> {
 
         if self.parallel.is_sequential() || n_pos < PAR_MIN_POSITIONS {
             for pi in 0..n_pos {
+                // Per-row cancellation poll: a cancelled request stops
+                // pricing and returns the (partial, discarded) matrix.
+                if self.parallel.is_cancelled() {
+                    return matrix;
+                }
                 for pj in pi + 1..n_pos {
                     let (a, b) = (positions[pi], positions[pj]);
                     if let Some(max_len) = max_len_points {
@@ -312,12 +325,19 @@ impl<'a> SegmentationContext<'a> {
             self.engine.m(),
             self.strategy,
         );
+        let cancel = self.parallel.cancel_token().cloned();
         let rows: Vec<CostRow> = self.parallel.run_chunks(n_pos, |range| {
             let mut engine = TopExplEngine::new(cube, diff, m, strategy);
             range
                 .map(|pi| {
                     let before = engine.calls();
                     let mut cells = Vec::new();
+                    // Per-row poll inside the chunk: workers stop pricing
+                    // promptly; the whole region's output is discarded by
+                    // the erroring request.
+                    if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        return (cells, 0);
+                    }
                     for pj in pi + 1..n_pos {
                         let (a, b) = (positions[pi], positions[pj]);
                         if let Some(max_len) = max_len_points {
@@ -369,6 +389,12 @@ impl<'a> SegmentationContext<'a> {
         debug_assert!(a < b);
         if b - a == 1 {
             return 0.0; // a single object is its own centroid
+        }
+        // Cancellation poll: bail before deriving or touching the memo,
+        // so no placeholder cost and no counter bump can ever leak out of
+        // a cancelled (and therefore erroring) request.
+        if self.parallel.is_cancelled() {
+            return 0.0;
         }
         if self.memo_enabled {
             if let Some(&cost) = self.memo.get(&seg) {
@@ -455,10 +481,14 @@ impl<'a> SegmentationContext<'a> {
                 self.engine.m(),
                 self.strategy,
             );
+            let cancel = self.parallel.cancel_token().cloned();
             let parts: Vec<(f64, u64)> = self.parallel.run_chunks(pending.len(), |range| {
                 let mut engine = TopExplEngine::new(cube, diff, m, strategy);
                 range
                     .map(|i| {
+                        if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                            return (0.0, 0); // discarded by the erroring request
+                        }
                         let before = engine.calls();
                         let (cost, _) =
                             raw_segment_cost(cube, diff, metric, objects, &mut engine, pending[i]);
@@ -474,6 +504,13 @@ impl<'a> SegmentationContext<'a> {
             let elapsed = start.elapsed();
             self.timers.segmentation += elapsed;
             self.timers.par_segmentation += elapsed;
+        }
+        // A cancelled sweep may have priced only a prefix of `pending`
+        // (zip truncation above, or segment_cost's early return): the
+        // read-back below would miss memo entries, so discard the batch —
+        // the driver surfaces the cancellation as a typed error.
+        if self.parallel.is_cancelled() {
+            return Vec::new();
         }
         // Each scheme's sum folds its segment costs in segment order —
         // the same fold the unmemoized path performs. The first occurrence
@@ -521,10 +558,14 @@ impl<'a> SegmentationContext<'a> {
             self.engine.m(),
             self.strategy,
         );
+        let cancel = self.parallel.cancel_token().cloned();
         let parts: Vec<(f64, u64)> = self.parallel.run_chunks(schemes.len(), |range| {
             let mut engine = TopExplEngine::new(cube, diff, m, strategy);
             range
                 .map(|i| {
+                    if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        return (0.0, 0); // discarded by the erroring request
+                    }
                     let before = engine.calls();
                     let cost: f64 = schemes[i]
                         .segments()

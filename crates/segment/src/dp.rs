@@ -117,6 +117,12 @@ pub fn k_segmentation_with(costs: &CostMatrix, k_max: usize, par: &ParallelCtx) 
         d[j * stride + 1] = costs.get(0, j);
     }
     for k in 2..=k_max {
+        // Layer-boundary cancellation poll: the caller (DpSegmenter)
+        // re-checks the token after the solve and discards this partial
+        // table, so truncated layers never reach a successful response.
+        if par.is_cancelled() {
+            break;
+        }
         let cell = |j: usize, d: &[f64]| -> (f64, u32) {
             let lo = match costs.band() {
                 Some(band) => j.saturating_sub(band).max(k - 1),

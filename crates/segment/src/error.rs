@@ -14,6 +14,9 @@ pub enum SegmentError {
         /// Number of candidate positions available.
         positions: usize,
     },
+    /// The request's cancel token tripped mid-segmentation; every partial
+    /// result was discarded (all-or-nothing — see `tsexplain-parallel`).
+    Cancelled,
 }
 
 impl fmt::Display for SegmentError {
@@ -25,6 +28,9 @@ impl fmt::Display for SegmentError {
             }
             SegmentError::InfeasibleK { k, positions } => {
                 write!(f, "no {k}-segmentation exists over {positions} positions")
+            }
+            SegmentError::Cancelled => {
+                write!(f, "segmentation cancelled before completing")
             }
         }
     }

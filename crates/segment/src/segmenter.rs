@@ -96,12 +96,20 @@ impl Segmenter for DpSegmenter {
     ) -> Result<SegmenterOutcome, SegmentError> {
         let n = ctx.n_points();
         let costs = ctx.compute_costs(positions, None);
+        if ctx.is_cancelled() {
+            return Err(SegmentError::Cancelled);
+        }
         let dp_start = Instant::now(); // tsx-lint: allow(wall-clock, feeds StageTimers only; the latency block is golden-stripped)
         let k_cap = match k {
             KSelection::Auto { max_k } => max_k.min(positions.len() - 1).max(1),
             KSelection::Fixed(k) => k,
         };
         let dp = k_segmentation_with(&costs, k_cap, &ctx.parallel());
+        // All-or-nothing: a cancelled solve leaves a truncated table whose
+        // cuts would be garbage — surface the typed error instead.
+        if ctx.is_cancelled() {
+            return Err(SegmentError::Cancelled);
+        }
         let curve = dp.k_variance_curve();
         let chosen_k = match k {
             KSelection::Auto { .. } => elbow_k(&curve),
@@ -145,6 +153,9 @@ pub fn shape_segmenter_outcome(
             let solve_time = start.elapsed();
             let segmentation = Segmentation::new(n, cuts)?;
             let cost = ctx.objective(&segmentation);
+            if ctx.is_cancelled() {
+                return Err(SegmentError::Cancelled);
+            }
             Ok(SegmenterOutcome {
                 chosen_k: segmentation.k(),
                 k_variance_curve: vec![(segmentation.k(), cost)],
@@ -168,6 +179,11 @@ pub fn shape_segmenter_outcome(
                 schemes.push(Segmentation::new(n, cuts)?);
             }
             let costs = ctx.objective_batch(&schemes);
+            // A cancelled batch comes back truncated (possibly empty) —
+            // bail before the elbow ever sees a partial curve.
+            if ctx.is_cancelled() {
+                return Err(SegmentError::Cancelled);
+            }
             let curve: Vec<(usize, f64)> = (1..=cap).zip(costs).collect();
             let chosen = elbow_k(&curve);
             let idx = curve

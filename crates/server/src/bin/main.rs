@@ -3,7 +3,8 @@
 //! ```text
 //! tsx-server [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--max-body-mb MB]
 //!            [--max-conns N] [--queue-depth N] [--tenant-rps R]
-//!            [--threads N] [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]
+//!            [--request-timeout-ms MS] [--threads N] [--data-dir PATH]
+//!            [--log-level LEVEL] [--slow-ms MS]
 //! ```
 //!
 //! `--threads` sets the default intra-query parallelism for requests that
@@ -15,6 +16,12 @@
 //! the pending-request queue between the reactor and the workers (both
 //! shed with `429 Too Many Requests` + `retry-after` when exceeded), and
 //! the per-tenant token-bucket rate in requests/second (0 = unlimited).
+//!
+//! `--request-timeout-ms` caps every explain/compare deadline (0 =
+//! unbounded, the default). A request's own `timeout_ms` member can
+//! tighten the cap but never loosen it; a request over budget is
+//! abandoned cooperatively and answered `504 deadline_exceeded` with all
+//! partial work discarded.
 //!
 //! `--data-dir` turns on the durable storage engine: datasets are
 //! recovered from `PATH` before the listener accepts, every mutation is
@@ -71,6 +78,11 @@ fn main() -> ExitCode {
                 Some(r) if r >= 0.0 && r.is_finite() => config.tenant_rps = r,
                 _ => return usage("--tenant-rps needs a non-negative rate (0 = unlimited)"),
             },
+            "--request-timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => config.request_timeout = None,
+                Some(ms) => config.request_timeout = Some(std::time::Duration::from_millis(ms)),
+                None => return usage("--request-timeout-ms needs milliseconds (0 = unbounded)"),
+            },
             "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => config.threads = Some(n),
                 None => return usage("--threads needs a thread count (0 = machine default)"),
@@ -93,8 +105,8 @@ fn main() -> ExitCode {
                     "tsx-server: the TSExplain HTTP/JSON serving subsystem\n\n\
                      USAGE: tsx-server [--addr HOST:PORT] [--workers N] \
                      [--budget-mb MB] [--max-body-mb MB] [--max-conns N] \
-                     [--queue-depth N] [--tenant-rps R] [--threads N] \
-                     [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]"
+                     [--queue-depth N] [--tenant-rps R] [--request-timeout-ms MS] \
+                     [--threads N] [--data-dir PATH] [--log-level LEVEL] [--slow-ms MS]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -45,11 +45,81 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// How a [`Client`] retries failed calls: capped exponential backoff
+/// with deterministic jitter, honoring the server's `retry-after` hint.
+///
+/// Only failures that provably left no request executing are retried —
+/// a refused/failed *connect* (nothing was ever sent), a clean close of
+/// a reused keep-alive connection before any response byte (the server
+/// idle-reaped it unread), and `429 Too Many Requests` (admission
+/// control rejects *before* the engine runs). A half-written exchange is
+/// never resent: blindly replaying a non-idempotent POST such as an
+/// append could ingest rows twice.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retry attempts after the first try. The default 0 keeps the
+    /// historical fail-fast behavior.
+    pub max_retries: u32,
+    /// The first backoff; each further attempt doubles it.
+    pub base: Duration,
+    /// The ceiling for any single backoff (also caps a server
+    /// `retry-after` hint).
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_retries` retries with the default backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry `attempt` (1-based). A server
+    /// `retry-after` hint wins (capped); otherwise capped exponential
+    /// with deterministic jitter in the upper half of the window, so a
+    /// fleet of clients salted differently doesn't retry in lockstep.
+    fn backoff(&self, attempt: u32, hint: Option<Duration>, salt: u64) -> Duration {
+        if let Some(hint) = hint {
+            return hint.min(self.cap);
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.cap);
+        let half = exp / 2;
+        let jitter_range = half.as_millis() as u64 + 1;
+        let jitter = splitmix(salt ^ u64::from(attempt)) % jitter_range;
+        half + Duration::from_millis(jitter)
+    }
+}
+
+/// SplitMix64: a tiny deterministic mixer for retry jitter — no RNG
+/// state, no wall clock, same backoff schedule on every run.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A blocking wire-protocol client bound to one server address.
 pub struct Client {
     addr: SocketAddr,
     connection: Option<TcpStream>,
     read_timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl Client {
@@ -59,7 +129,14 @@ impl Client {
             addr,
             connection: None,
             read_timeout: Duration::from_secs(60),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replaces the retry policy (default: no retries).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Registers a dataset; returns its id.
@@ -207,12 +284,11 @@ impl Client {
     /// returns the decoded 2xx body. Error statuses become
     /// [`ClientError::Api`].
     ///
-    /// Retry policy: the only failure retried is a *clean close of a
-    /// reused connection* — the server's idle timeout reaping a pooled
-    /// connection before the request was read. Anything else (a fresh
-    /// connection failing, a half-written exchange) is surfaced, never
-    /// resent: blindly replaying a non-idempotent POST such as an append
-    /// could ingest rows twice.
+    /// Retries follow the client's [`RetryPolicy`] — see its docs for
+    /// exactly which failures are safe to resend. Independently of the
+    /// policy, a *clean close of a reused connection* (the server's idle
+    /// timeout reaping a pooled connection before the request was read)
+    /// is resent once for free, as it always was.
     fn call(
         &mut self,
         method: &str,
@@ -220,25 +296,66 @@ impl Client {
         body: Option<&Value>,
     ) -> Result<Value, ClientError> {
         let encoded = body.map(|v| serde_json::to_string(v).expect("request bodies encode"));
-        let reused = self.connection.is_some();
-        match self.try_call(method, path, encoded.as_deref()) {
-            Ok(response) => finish(response),
-            Err(ReadError::ConnectionClosed) if reused => {
-                self.connection = None;
-                match self.try_call(method, path, encoded.as_deref()) {
-                    Ok(response) => finish(response),
-                    Err(e) => {
+        let salt = splitmix(path.len() as u64 ^ (encoded.as_deref().unwrap_or("").len() as u64));
+        let mut attempt: u32 = 0;
+        let mut clean_close_retried = false;
+        loop {
+            let reused = self.connection.is_some();
+            if let Err(e) = self.ensure_connected() {
+                // Nothing was sent — a connect failure is always safe to
+                // retry.
+                if attempt < self.retry.max_retries {
+                    attempt += 1;
+                    std::thread::sleep(self.retry.backoff(attempt, None, salt));
+                    continue;
+                }
+                return Err(ClientError::Transport(e.to_string()));
+            }
+            match self.try_call(method, path, encoded.as_deref()) {
+                Ok(response) => {
+                    // 429 means admission control bounced the request
+                    // before the engine saw it — safe to retry even for
+                    // non-idempotent calls, pacing by the server's own
+                    // `retry-after` hint.
+                    if response.status == 429 && attempt < self.retry.max_retries {
+                        let hint = retry_after_hint(&response);
+                        // Shed connections are closed server-side; don't
+                        // pool a dead socket across the backoff.
                         self.connection = None;
-                        Err(ClientError::Transport(e.to_string()))
+                        attempt += 1;
+                        std::thread::sleep(self.retry.backoff(attempt, hint, salt));
+                        continue;
                     }
+                    return finish(response);
+                }
+                Err(ReadError::ConnectionClosed) if reused && !clean_close_retried => {
+                    // The server idle-reaped the pooled connection before
+                    // reading the request; resend once without spending
+                    // retry budget.
+                    clean_close_retried = true;
+                    self.connection = None;
+                }
+                Err(e) => {
+                    // The connection's state is unknown; drop it. A
+                    // half-written exchange is never resent.
+                    self.connection = None;
+                    return Err(ClientError::Transport(e.to_string()));
                 }
             }
-            Err(e) => {
-                // The connection's state is unknown; drop it either way.
-                self.connection = None;
-                Err(ClientError::Transport(e.to_string()))
-            }
         }
+    }
+
+    /// Establishes the pooled connection if none is live. Separated from
+    /// the send path so the retry loop can tell "connect failed, nothing
+    /// sent" (safe to retry) apart from a mid-exchange failure (not).
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.connection.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            self.connection = Some(stream);
+        }
+        Ok(())
     }
 
     fn try_call(
@@ -258,12 +375,7 @@ impl Client {
         headers: &[(&str, &str)],
     ) -> Result<Response, ReadError> {
         use std::io::Write;
-        if self.connection.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
-            stream.set_read_timeout(Some(self.read_timeout))?;
-            stream.set_nodelay(true)?;
-            self.connection = Some(stream);
-        }
+        self.ensure_connected()?;
         let stream = self.connection.as_mut().expect("just ensured");
         let body = body.unwrap_or("");
         let mut head = format!(
@@ -283,6 +395,17 @@ impl Client {
         let mut reader = BufReader::new(stream.try_clone()?);
         read_response(&mut reader)
     }
+}
+
+/// The `retry-after` header of a 429, as a duration (whole seconds on
+/// the wire).
+fn retry_after_hint(response: &Response) -> Option<Duration> {
+    response
+        .headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("retry-after"))
+        .and_then(|(_, value)| value.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
 }
 
 fn finish(response: Response) -> Result<Value, ClientError> {

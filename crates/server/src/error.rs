@@ -7,7 +7,8 @@ use tsexplain::{CubeError, RegistryError, TsExplainError};
 use crate::http::Response;
 
 /// A failed API call: the HTTP status plus a JSON body
-/// `{"status", "kind", "message"}`.
+/// `{"status", "kind", "message"}` — and, for deadline 504s, an honest
+/// accounting of the budget (`"elapsed_ms"`, `"budget_ms"`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ApiError {
     /// The HTTP status code.
@@ -16,6 +17,20 @@ pub struct ApiError {
     pub kind: String,
     /// A human-readable description.
     pub message: String,
+    /// For `deadline_exceeded` responses: how the budget was spent. Absent
+    /// (and absent from the wire body) for every other error — the body
+    /// stays additive, never restructured.
+    pub deadline: Option<DeadlineInfo>,
+}
+
+/// The budget accounting attached to a `deadline_exceeded` 504.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineInfo {
+    /// Wall-clock milliseconds spent before the request was abandoned.
+    pub elapsed_ms: u64,
+    /// The effective budget in milliseconds — the tighter of the server
+    /// cap and the request's own `timeout_ms`.
+    pub budget_ms: u64,
 }
 
 impl ApiError {
@@ -25,7 +40,27 @@ impl ApiError {
             status,
             kind: kind.into(),
             message: message.into(),
+            deadline: None,
         }
+    }
+
+    /// 504 for a request whose deadline tripped before the engine
+    /// finished. All partial work was discarded (all-or-nothing), so a
+    /// retry with a larger budget sees exactly the same request semantics.
+    pub fn deadline_exceeded(stage: &str, elapsed_ms: u64, budget_ms: u64) -> Self {
+        let mut e = ApiError::new(
+            504,
+            "deadline_exceeded",
+            format!(
+                "request exceeded its {budget_ms} ms budget during {stage}; \
+                 partial work was discarded"
+            ),
+        );
+        e.deadline = Some(DeadlineInfo {
+            elapsed_ms,
+            budget_ms,
+        });
+        e
     }
 
     /// 400 for unparsable or structurally invalid payloads.
@@ -131,20 +166,34 @@ impl From<RegistryError> for ApiError {
 
 impl Serialize for ApiError {
     fn serialize(&self) -> Value {
-        Value::object([
+        let mut doc = Value::object([
             ("status", self.status.serialize()),
             ("kind", self.kind.serialize()),
             ("message", self.message.serialize()),
-        ])
+        ]);
+        if let (Some(info), Value::Object(fields)) = (&self.deadline, &mut doc) {
+            fields.insert("elapsed_ms".into(), info.elapsed_ms.serialize());
+            fields.insert("budget_ms".into(), info.budget_ms.serialize());
+        }
+        doc
     }
 }
 
 impl Deserialize for ApiError {
     fn deserialize(value: &Value) -> Result<Self, Error> {
+        // Budget fields are additive: only deadline 504s carry them.
+        let deadline = match (value.get("elapsed_ms"), value.get("budget_ms")) {
+            (Some(elapsed), Some(budget)) => Some(DeadlineInfo {
+                elapsed_ms: u64::deserialize(elapsed)?,
+                budget_ms: u64::deserialize(budget)?,
+            }),
+            _ => None,
+        };
         Ok(ApiError {
             status: value.field("status")?,
             kind: value.field("kind")?,
             message: value.field("message")?,
+            deadline,
         })
     }
 }

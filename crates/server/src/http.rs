@@ -476,6 +476,43 @@ mod tests {
     }
 
     #[test]
+    fn a_stalled_reader_is_disconnected_by_the_write_timeout() {
+        // The worker write path sets `set_write_timeout` on every accepted
+        // socket: a client that requests a response and then stops
+        // draining its socket must cost the server one bounded write
+        // error, not a wedged worker. Exercised here at the write-path
+        // level: once the kernel buffers fill, `write_to` must return Err
+        // instead of blocking forever.
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_write_timeout(Some(std::time::Duration::from_millis(50)))
+            .unwrap();
+        // Big enough to overrun both peers' socket buffers while the
+        // client (deliberately) never reads a byte.
+        let response = Response::json(200, "x".repeat(16 * 1024 * 1024));
+        let started = std::time::Instant::now();
+        let err = response
+            .write_to(&mut (&server_side), false)
+            .expect_err("write against a stalled reader must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "the stalled write must fail fast, not hang"
+        );
+        drop(client);
+    }
+
+    #[test]
     fn parsed_responses_report_the_received_content_type() {
         // A text/plain body (the Prometheus exposition) must not come
         // back labelled application/json.

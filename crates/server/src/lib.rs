@@ -88,8 +88,8 @@ mod router;
 mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
-pub use error::ApiError;
+pub use client::{Client, ClientError, RetryPolicy};
+pub use error::{ApiError, DeadlineInfo};
 pub use pool::WorkerPool;
 pub use router::handle;
 pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics, ServerObs, ServerShared};

@@ -238,6 +238,10 @@ impl Reactor {
             .push(("x-request-id".into(), next_request_id()));
         let mut wire = Vec::with_capacity(256);
         let _ = response.write_to(&mut wire, false);
+        // Belt and braces alongside the non-blocking mode below: even if
+        // this socket were ever blocking, no shed write may stall the
+        // reactor longer than the retry window it advertises.
+        let _ = stream.set_write_timeout(Some(SHED_RETRY_AFTER));
         let _ = stream.set_nonblocking(true);
         let _ = (&stream).write(&wire);
         // Drain whatever request bytes already arrived before closing:

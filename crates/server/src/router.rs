@@ -21,9 +21,12 @@
 //! Every error — parse failure, unknown id, invalid request, worker panic —
 //! maps through [`ApiError`] to a 4xx/5xx JSON body.
 
+use std::sync::atomic::Ordering;
+
 use serde::{Deserialize, Serialize, Value};
 use tsexplain::{
-    default_window_for, DatasetId, ExplainRequest, Relation, SegmenterSpec, TsExplainError,
+    default_window_for, DatasetId, Deadline, ExplainRequest, RegistryError, Relation,
+    SegmenterSpec, TsExplainError,
 };
 use tsexplain_eval::{distance_percent, rank_ascending};
 
@@ -165,12 +168,83 @@ fn with_thread_default(shared: &ServerShared, request: ExplainRequest) -> Explai
     }
 }
 
+/// Mints the request's deadline — the tighter of the server cap
+/// (`--request-timeout-ms`) and the request's own wire `timeout_ms` (a
+/// client can tighten the cap, never loosen it) — and attaches its cancel
+/// token so the engine's hot loops observe it. With neither configured
+/// the request runs unbounded, byte-identical to a server without
+/// deadlines.
+fn with_deadline(
+    shared: &ServerShared,
+    request: ExplainRequest,
+) -> (ExplainRequest, Option<Deadline>) {
+    match Deadline::mint(shared.request_timeout, request.timeout_ms()) {
+        Some(deadline) => {
+            let request = request.with_cancel(deadline.token().clone());
+            (request, Some(deadline))
+        }
+        None => (request, None),
+    }
+}
+
+/// Turns a cooperative-cancellation error into the deadline 504: bumps
+/// the counters (every deadline 504; plus `cancelled_inflight` when the
+/// trip happened after engine compute began), leaves the stage in the
+/// flight recorder, and reports honest elapsed/budget milliseconds from
+/// the deadline that was actually minted for this request.
+fn deadline_response(
+    shared: &ServerShared,
+    deadline: Option<&Deadline>,
+    stage: &'static str,
+) -> ApiError {
+    let m = &shared.metrics;
+    m.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    if stage != "start" {
+        m.cancelled_inflight.fetch_add(1, Ordering::Relaxed);
+    }
+    tsexplain_obs::trace::annotate("cancelled_at_stage", Value::String(stage.into()));
+    let (elapsed_ms, budget_ms) = match deadline {
+        Some(d) => (d.elapsed_ms(), d.budget_ms()),
+        // Unreachable in practice — a token only exists because a deadline
+        // was minted — but a zeroed accounting beats a panic.
+        None => (0, 0),
+    };
+    ApiError::deadline_exceeded(stage, elapsed_ms, budget_ms)
+}
+
+/// Maps a registry failure, routing cancellation to the 504 path.
+fn map_registry_error(
+    shared: &ServerShared,
+    deadline: Option<&Deadline>,
+    e: RegistryError,
+) -> ApiError {
+    match e {
+        RegistryError::Session(TsExplainError::Cancelled { stage }) => {
+            deadline_response(shared, deadline, stage)
+        }
+        other => ApiError::from(other),
+    }
+}
+
+/// Maps an engine failure, routing cancellation to the 504 path.
+fn map_engine_error(
+    shared: &ServerShared,
+    deadline: Option<&Deadline>,
+    e: TsExplainError,
+) -> ApiError {
+    match e {
+        TsExplainError::Cancelled { stage } => deadline_response(shared, deadline, stage),
+        other => ApiError::from(other),
+    }
+}
+
 fn explain(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
     let request = with_thread_default(shared, parse_body::<ExplainRequest>(body)?);
+    let (request, deadline) = with_deadline(shared, request);
     let result = shared
         .registry
         .explain(id, &request)
-        .map_err(ApiError::from)?;
+        .map_err(|e| map_registry_error(shared, deadline.as_ref(), e))?;
     shared.metrics.observe_latency(&result.latency);
     shared
         .obs
@@ -189,6 +263,10 @@ fn explain(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response
 fn compare(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response, ApiError> {
     let spec: CompareBody = parse_body(body)?;
     let base = with_thread_default(shared, spec.request.clone());
+    // One deadline covers the whole comparison — cube acquisition plus
+    // every strategy row. The token rides `base` into each per-strategy
+    // clone below.
+    let (base, deadline) = with_deadline(shared, base);
     // One lock hold: validate + acquire (or build) the tenant's cube. The
     // prepared cube reports the series length the request actually
     // explains (after any time-range slicing), which is the length the
@@ -196,7 +274,7 @@ fn compare(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response
     let prepared = shared
         .registry
         .prepare(id, &base.clone().with_segmenter(SegmenterSpec::Dp))
-        .map_err(ApiError::from)?;
+        .map_err(|e| map_registry_error(shared, deadline.as_ref(), e))?;
     let window = spec
         .window
         .unwrap_or_else(|| default_window_for(prepared.n_points()));
@@ -229,7 +307,7 @@ fn compare(shared: &ServerShared, id: DatasetId, body: &[u8]) -> Result<Response
     shared.metrics.observe_fanout(outer);
     let mut results = Vec::with_capacity(specs.len());
     for outcome in outcomes {
-        let result = outcome.map_err(ApiError::from)?;
+        let result = outcome.map_err(|e| map_engine_error(shared, deadline.as_ref(), e))?;
         shared.metrics.observe_latency(&result.latency);
         shared
             .obs

@@ -84,6 +84,15 @@ pub struct ServerConfig {
     /// slow-request flight recorder (`GET /debug/requests`). Zero records
     /// every request.
     pub slow_ms: u64,
+    /// Server-wide request deadline cap (`tsx-server --request-timeout-ms`).
+    /// When set, every explain/compare is minted a [`tsexplain::Deadline`]
+    /// of at most this budget (a wire `timeout_ms` can tighten it, never
+    /// loosen it) and compute is cooperatively cancelled once it trips —
+    /// the request 504s with `kind=deadline_exceeded` and the worker is
+    /// freed. `None` (the default) runs requests unbounded, byte-identical
+    /// to a server without the deadline layer; a wire `timeout_ms` still
+    /// applies to its own request.
+    pub request_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +111,7 @@ impl Default for ServerConfig {
             threads: None,
             data_dir: None,
             slow_ms: 500,
+            request_timeout: None,
         }
     }
 }
@@ -153,6 +163,13 @@ pub struct ServerMetrics {
     memo_hits: AtomicU64,
     /// Segment-cost memo misses (costs computed and cached).
     memo_misses: AtomicU64,
+    /// Requests answered 504 because their deadline tripped (server cap or
+    /// wire `timeout_ms`).
+    pub(crate) deadline_exceeded: AtomicU64,
+    /// Of `deadline_exceeded`: requests whose cancellation tripped *after*
+    /// engine compute had begun (stage other than "start") — in-flight
+    /// work that was cooperatively abandoned and discarded.
+    pub(crate) cancelled_inflight: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -246,6 +263,10 @@ pub struct ServerShared {
     /// The server-wide intra-query thread default (`--threads`), applied
     /// by the router to requests without their own `threads` member.
     pub(crate) threads: Option<usize>,
+    /// The server-wide deadline cap (`--request-timeout-ms`); the router
+    /// mints each explain/compare deadline from it plus the request's own
+    /// wire `timeout_ms`.
+    pub(crate) request_timeout: Option<Duration>,
 }
 
 impl ServerShared {
@@ -334,6 +355,26 @@ impl ServerShared {
                         Value::object([
                             ("hits", m.memo_hits.load(Ordering::Relaxed).serialize()),
                             ("misses", m.memo_misses.load(Ordering::Relaxed).serialize()),
+                        ]),
+                    ),
+                    (
+                        "deadlines",
+                        Value::object([
+                            (
+                                "request_timeout_ms",
+                                match self.request_timeout {
+                                    Some(cap) => (cap.as_millis() as u64).serialize(),
+                                    None => Value::Null,
+                                },
+                            ),
+                            (
+                                "deadline_exceeded",
+                                m.deadline_exceeded.load(Ordering::Relaxed).serialize(),
+                            ),
+                            (
+                                "cancelled_inflight",
+                                m.cancelled_inflight.load(Ordering::Relaxed).serialize(),
+                            ),
                         ]),
                     ),
                 ]),
@@ -464,6 +505,26 @@ impl ServerShared {
             "Segment-cost memo misses across answered explains.",
         );
         exp.sample("tsx_memo_misses_total", &[], load(&m.memo_misses));
+        exp.header(
+            "tsx_deadline_exceeded_total",
+            "counter",
+            "Requests answered 504 because their deadline tripped.",
+        );
+        exp.sample(
+            "tsx_deadline_exceeded_total",
+            &[],
+            load(&m.deadline_exceeded),
+        );
+        exp.header(
+            "tsx_cancelled_inflight_total",
+            "counter",
+            "Deadline 504s whose cancellation tripped after engine compute began.",
+        );
+        exp.sample(
+            "tsx_cancelled_inflight_total",
+            &[],
+            load(&m.cancelled_inflight),
+        );
 
         exp.header("tsx_workers", "gauge", "Worker threads handling requests.");
         exp.sample("tsx_workers", &[], self.workers as f64);
@@ -675,6 +736,7 @@ impl Server {
             tenant_rps: config.tenant_rps,
             admission: (config.tenant_rps > 0.0).then(|| TokenBuckets::new(config.tenant_rps)),
             threads: config.threads,
+            request_timeout: config.request_timeout,
         });
         let stopping = Arc::new(AtomicBool::new(false));
         let (returns_tx, returns_rx) = std::sync::mpsc::channel::<TcpStream>();
@@ -871,6 +933,10 @@ fn serve_ready(
         return;
     }
     let _ = stream.set_read_timeout(Some(config.read_timeout));
+    // A stalled *reader* must not pin a worker either: bound every write
+    // so a client that stops draining its socket gets disconnected once
+    // the kernel buffer fills, instead of wedging the response path.
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,

@@ -184,6 +184,10 @@ fn prometheus_exposition_is_well_formed_and_json_metrics_unchanged() {
         text.contains("tsx_responses_total{class=\"4xx\"}"),
         "{text}"
     );
+    // The deadline counters are additive members of the stable exposition:
+    // present (with headers) from boot, zero until a deadline trips.
+    assert!(text.contains("tsx_deadline_exceeded_total "), "{text}");
+    assert!(text.contains("tsx_cancelled_inflight_total "), "{text}");
 
     // Line-wise validity: every line is a comment or `name{labels} value`
     // with a parseable finite value.
@@ -243,6 +247,31 @@ fn prometheus_exposition_is_well_formed_and_json_metrics_unchanged() {
     assert_eq!(
         keys(&bare.get("server").cloned().unwrap()),
         keys(&explicit.get("server").cloned().unwrap())
+    );
+    // The JSON document stayed additive: every pre-deadline block is
+    // still present, and the new `deadlines` block carries exactly its
+    // documented keys.
+    let server = bare.get("server").cloned().unwrap();
+    for block in ["admission", "parallel", "memo", "deadlines"] {
+        assert!(server.get(block).is_some(), "server metrics lack {block}");
+    }
+    let deadlines = server.get("deadlines").cloned().unwrap();
+    assert_eq!(
+        keys(&deadlines), // JSON objects serialize key-sorted
+        vec![
+            "cancelled_inflight".to_string(),
+            "deadline_exceeded".to_string(),
+            "request_timeout_ms".to_string(),
+        ]
+    );
+    // No server cap configured: the cap reports null, the counters zero.
+    assert!(matches!(
+        deadlines.get("request_timeout_ms"),
+        Some(Value::Null)
+    ));
+    assert_eq!(
+        deadlines.get("deadline_exceeded").and_then(Value::as_f64),
+        Some(0.0)
     );
 
     // An unknown format is a 400, not a panic or a silent JSON fallback.

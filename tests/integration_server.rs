@@ -468,6 +468,118 @@ fn stress_parallel_clients_with_evictions_match_sequential_replay() {
     handle.shutdown();
 }
 
+/// End-to-end deadline acceptance: a request carrying a tiny `timeout_ms`
+/// is answered with a well-formed `504 deadline_exceeded` — `x-request-id`
+/// echoed, honest elapsed/budget fields — while `/healthz` stays live on
+/// the same server, and a follow-up request *without* a deadline on the
+/// same session reproduces the pinned golden `/compare` bytes: the
+/// cancelled request left no partial state behind.
+#[test]
+fn deadline_504_is_wellformed_and_leaves_no_state_behind() {
+    let mut handle = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let data = dataset();
+    let mut client = Client::new(handle.local_addr());
+    let created = client
+        .register(&data.schema(), &data.query(), &data.rows_between(0, 60))
+        .unwrap();
+    let request = requests().remove(0);
+
+    // Over-budget explain: a zero budget deterministically trips at the
+    // pipeline's entry poll, through the real engine path.
+    let err = client
+        .explain_value(created.dataset_id, &request.clone().with_timeout_ms(0))
+        .unwrap_err();
+    match err {
+        ClientError::Api(e) => {
+            assert_eq!((e.status, e.kind.as_str()), (504, "deadline_exceeded"));
+            let info = e.deadline.expect("deadline 504s carry budget accounting");
+            assert_eq!(info.budget_ms, 0, "the effective budget must be honest");
+            assert!(e.message.contains("discarded"), "{}", e.message);
+        }
+        other => panic!("expected a deadline API error, got {other}"),
+    }
+
+    // The 504 is a first-class response: x-request-id echoed like on any
+    // other route.
+    let body = serde_json::to_string(&request.clone().with_timeout_ms(0)).unwrap();
+    let response = client
+        .raw(
+            "POST",
+            &format!("/datasets/{}/explain", created.dataset_id),
+            Some(&body),
+            &[("x-request-id", "deadline-acceptance-1")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 504);
+    assert!(
+        response
+            .headers
+            .iter()
+            .any(|(n, v)| n.eq_ignore_ascii_case("x-request-id") && v == "deadline-acceptance-1"),
+        "the 504 must echo the supplied request id"
+    );
+
+    // An over-budget /compare takes the same 504 path.
+    let err = client
+        .compare_value(
+            created.dataset_id,
+            &request.clone().with_timeout_ms(0),
+            None,
+        )
+        .unwrap_err();
+    match err {
+        ClientError::Api(e) => assert_eq!((e.status, e.kind.as_str()), (504, "deadline_exceeded")),
+        other => panic!("expected a deadline API error, got {other}"),
+    }
+
+    // The server is unharmed: /healthz answers on the same connection.
+    let health = client.raw("GET", "/healthz", None, &[]).unwrap();
+    assert_eq!(health.status, 200);
+
+    // Follow-up without a deadline on the same session: the pinned golden
+    // /compare bytes reproduce — no half-built cube, no poisoned memo.
+    // (Warm the cube first exactly like the golden test does, so cache
+    // provenance matches the pinned line.)
+    client.explain_value(created.dataset_id, &request).unwrap();
+    let value = client
+        .compare_value(created.dataset_id, &request, None)
+        .unwrap();
+    let line = serde_json::to_string(&canonical_compare(&value)).unwrap();
+    let golden = include_str!("golden_compare.jsonl")
+        .lines()
+        .next()
+        .expect("golden file has the canonical /compare JSON on line 1");
+    assert_eq!(
+        line, golden,
+        "post-504 /compare diverged from the pinned golden"
+    );
+
+    // The deadline metrics block counted every 504 (three above). All
+    // three tripped during the cube build — engine compute had begun, so
+    // they also count as in-flight cancellations (cooperatively abandoned
+    // work), and the discarded partial cubes were never cached.
+    let metrics = client.metrics().unwrap();
+    let deadlines = metrics
+        .get("server")
+        .and_then(|s| s.get("deadlines"))
+        .cloned()
+        .expect("the server metrics carry a deadlines block");
+    assert_eq!(
+        deadlines.get("deadline_exceeded").and_then(Value::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(
+        deadlines.get("cancelled_inflight").and_then(Value::as_f64),
+        Some(3.0)
+    );
+    drop(client);
+    handle.shutdown();
+}
+
 #[test]
 fn errors_map_to_structured_statuses() {
     let mut handle = Server::bind(ServerConfig::default()).unwrap();
